@@ -1,0 +1,303 @@
+// Package mips's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation (each regenerates the full
+// experiment), plus microbenchmarks of the substrates themselves.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package mips
+
+import (
+	"testing"
+
+	"mips/internal/codegen"
+	"mips/internal/corpus"
+	"mips/internal/cpu"
+	"mips/internal/isa"
+	"mips/internal/kernel"
+	"mips/internal/lang"
+	"mips/internal/mem"
+	"mips/internal/reorg"
+	"mips/internal/tables"
+)
+
+// benchExperiment regenerates one table per iteration.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	var run func() (*tables.Table, error)
+	for _, e := range tables.All() {
+		if e.Name == name {
+			run = e.Run
+		}
+	}
+	if run == nil {
+		b.Fatalf("no experiment %q", name)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// One benchmark per paper table.
+
+func BenchmarkTable1(b *testing.B)  { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)  { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)  { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)  { benchExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B)  { benchExperiment(b, "table7") }
+func BenchmarkTable8(b *testing.B)  { benchExperiment(b, "table8") }
+func BenchmarkTable9(b *testing.B)  { benchExperiment(b, "table9") }
+func BenchmarkTable10(b *testing.B) { benchExperiment(b, "table10") }
+func BenchmarkTable11(b *testing.B) { benchExperiment(b, "table11") }
+
+// One benchmark per paper figure.
+
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "figure1") }
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "figure2") }
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "figure4") }
+
+// The in-text measurements of section 3.
+
+func BenchmarkFreeCycles(b *testing.B)    { benchExperiment(b, "freecycles") }
+func BenchmarkContextSwitch(b *testing.B) { benchExperiment(b, "ctxswitch") }
+
+// Substrate microbenchmarks.
+
+// BenchmarkPipelineSimulator measures simulated instructions per second
+// on the fully optimized Fibonacci benchmark.
+func BenchmarkPipelineSimulator(b *testing.B) {
+	p, err := corpus.Get("fib")
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := codegen.RunMIPS(im, 100_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Stats.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkReorganizer measures the postpass scheduler on the Puzzle
+// benchmark's instruction pieces.
+func BenchmarkReorganizer(b *testing.B) {
+	p, err := corpus.Get("puzzle1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := lang.Parse(p.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unit, err := codegen.GenMIPS(prog, codegen.MIPSOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ro, _ := reorg.Reorganize(unit, reorg.All())
+		if reorg.WordCount(ro) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkCompiler measures the whole front end plus code generation.
+func BenchmarkCompiler(b *testing.B) {
+	p, err := corpus.Get("sort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := lang.Parse(p.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codegen.GenMIPS(prog, codegen.MIPSOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreter measures the reference interpreter on queens.
+func BenchmarkInterpreter(b *testing.B) {
+	p, err := corpus.Get("queens")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := lang.Parse(p.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&lang.Interp{}).Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelBoot measures building and booting the full machine:
+// assembling the dispatch ROM through the reorganizer and running the
+// reset exception path.
+func BenchmarkKernelBoot(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := kernel.NewMachine(kernel.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(10_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFreeCycleDMA measures how much block-copy bandwidth the DMA
+// engine extracts from the free memory cycles of a running program —
+// the §3.1 "these cycles can be used for DMA" claim made concrete.
+func BenchmarkFreeCycleDMA(b *testing.B) {
+	p, err := corpus.Get("queens")
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var moved uint64
+	for i := 0; i < b.N; i++ {
+		phys := mem.NewPhysical(1 << 16)
+		c := cpu.New(cpu.NewBus(phys))
+		c.SetTrapHook(func(code uint16) {
+			if code == 0 {
+				c.Halt()
+			}
+		})
+		dma := mem.NewDMA(phys)
+		c.Bus.DMA = dma
+		// Saturate the engine so every free cycle is consumed.
+		dma.Queue(mem.Transfer{Src: 0, Dst: 1 << 15, Words: 1 << 14})
+		if err := c.LoadImage(im); err != nil {
+			b.Fatal(err)
+		}
+		c.IMem[0] = isa.Word(isa.RFE())
+		c.SetPC(uint32(im.Entry))
+		if _, err := c.Run(100_000_000); err != nil {
+			b.Fatal(err)
+		}
+		moved += dma.Moved()
+		if c.Stats.DMACycles == 0 {
+			b.Fatal("DMA consumed no free cycles")
+		}
+	}
+	b.ReportMetric(float64(moved)/float64(b.N), "words-moved/run")
+}
+
+// BenchmarkDemandPaging measures kernel fault service: a process that
+// touches many fresh pages.
+func BenchmarkDemandPaging(b *testing.B) {
+	im, _, err := codegen.CompileMIPS(`
+program toucher;
+var a: array[0..8191] of integer; i: integer;
+begin
+  i := 0;
+  while i < 8192 do begin
+    a[i] := i;
+    i := i + 512
+  end;
+  writeint(a[0])
+end.
+`, codegen.MIPSOptions{StackTop: codegen.KernelStackTop}, reorg.All())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := kernel.NewMachine(kernel.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.AddProcess(im, 16); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(10_000_000); err != nil {
+			b.Fatal(err)
+		}
+		if m.PageFaults() < 8 {
+			b.Fatalf("page faults = %d", m.PageFaults())
+		}
+	}
+}
+
+// Ablation benchmarks (DESIGN.md section 5).
+
+func BenchmarkAblationInterlocks(b *testing.B)   { benchExperiment(b, "ablation-interlocks") }
+func BenchmarkAblationDelaySchemes(b *testing.B) { benchExperiment(b, "ablation-delayschemes") }
+func BenchmarkAblationByteOverhead(b *testing.B) { benchExperiment(b, "ablation-byteoverhead") }
+
+func BenchmarkAblationBoolCross(b *testing.B) { benchExperiment(b, "ablation-boolcross") }
+
+// BenchmarkPageReplacement measures fault service under memory
+// pressure: a working set larger than physical memory, so every fault
+// evicts a FIFO victim with dirty write-back.
+func BenchmarkPageReplacement(b *testing.B) {
+	im, _, err := codegen.CompileMIPS(`
+program thrash;
+var a: array[0..20479] of integer; i, pass: integer;
+begin
+  for pass := 1 to 2 do begin
+    i := 0;
+    while i < 20480 do begin
+      a[i] := a[i] + i;
+      i := i + 512
+    end
+  end;
+  writeint(a[0])
+end.
+`, codegen.MIPSOptions{StackTop: codegen.KernelStackTop}, reorg.All())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := kernel.NewMachine(kernel.Config{PhysWords: 16 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.AddProcess(im, 16); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(50_000_000); err != nil {
+			b.Fatal(err)
+		}
+		if m.Evictions() == 0 {
+			b.Fatal("no evictions under pressure")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Command mipscc compiles Pasqual source for either target machine.
+//
+// Usage:
+//
+//	mipscc [-target mips|cc] [-o out.img] [-run] [-bytes] [-S] file.pas
+//
+// The MIPS target writes a loadable image (or runs it with -run); the
+// condition-code target always runs, printing its cost statistics.
+// -bytes selects byte allocation for character data (Tables 8/10);
+// -S prints the generated code instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mips/internal/ccarch"
+	"mips/internal/codegen"
+	"mips/internal/lang"
+	"mips/internal/reorg"
+)
+
+func main() {
+	target := flag.String("target", "mips", "target machine: mips or cc")
+	out := flag.String("o", "a.img", "output image file (mips target)")
+	run := flag.Bool("run", false, "execute after compiling")
+	useBytes := flag.Bool("bytes", false, "byte-allocate characters and booleans")
+	listing := flag.Bool("S", false, "print generated code")
+	forKernel := flag.Bool("kernel", false, "lay out the stack for running as a kernel process")
+	policy := flag.String("policy", "VAX", "cc target policy: VAX, 360, or M68000")
+	strategy := flag.String("bool", "early-out", "cc boolean strategy: full-eval, early-out, cond-set")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mipscc [flags] file.pas")
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	src := string(srcBytes)
+	mode := lang.WordAlloc
+	if *useBytes {
+		mode = lang.ByteAlloc
+	}
+	mopt := codegen.MIPSOptions{Mode: mode}
+	if *forKernel {
+		mopt.StackTop = codegen.KernelStackTop
+	}
+
+	switch *target {
+	case "mips":
+		im, st, err := codegen.CompileMIPS(src, mopt, reorg.All())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mipscc: %d pieces -> %d words (%d packed, %d/%d delay slots filled)\n",
+			st.InputPieces, st.OutputWords, st.PackedWords, st.DelayFilled, st.DelaySlots)
+		if *listing {
+			for i, w := range im.Words {
+				fmt.Printf("%4d: %s\n", int(im.TextBase)+i, w)
+			}
+			return
+		}
+		if *run {
+			res, err := codegen.RunMIPS(im, 500_000_000)
+			fmt.Print(res.Output)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "mipscc: %s\n", &res.Stats)
+			return
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if _, err := im.WriteTo(f); err != nil {
+			fatal(err)
+		}
+
+	case "cc":
+		pol, err := policyByName(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		strat, err := strategyByName(*strategy)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := lang.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := codegen.GenCC(prog, codegen.CCOptions{Policy: pol, Strategy: strat, Eliminate: true})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mipscc: %d instructions; %d/%d compares eliminated by condition codes\n",
+			len(res.Prog.Instrs), res.Savings.Saved(), res.Savings.TotalCompares)
+		if *listing {
+			for i := range res.Prog.Instrs {
+				fmt.Printf("%4d: %s\n", i, &res.Prog.Instrs[i])
+			}
+			return
+		}
+		output, st, err := codegen.RunCC(res, pol, 500_000_000)
+		fmt.Print(output)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mipscc: %d instructions executed, weighted cost %.0f (reg 1 / cmp 2 / br 4 / mem 4)\n",
+			st.Instructions, st.Cost(ccarch.PaperWeights()))
+
+	default:
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+}
+
+func policyByName(name string) (ccarch.Policy, error) {
+	for _, p := range ccarch.Policies() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return ccarch.Policy{}, fmt.Errorf("unknown policy %q", name)
+}
+
+func strategyByName(name string) (codegen.BoolStrategy, error) {
+	switch name {
+	case "full-eval":
+		return codegen.BoolFullEval, nil
+	case "early-out":
+		return codegen.BoolEarlyOut, nil
+	case "cond-set":
+		return codegen.BoolCondSet, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mipscc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// Command mipsrun executes a MIPS image on the simulator.
+//
+// Usage:
+//
+//	mipsrun [-max N] [-stats] [-kernel] [-timer N] image.img ...
+//
+// By default images run on the bare machine with host-serviced monitor
+// calls. With -kernel, each image is loaded as a process of the full
+// machine: dispatch ROM, demand paging, and (with -timer) preemptive
+// round-robin scheduling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mips/internal/codegen"
+	"mips/internal/cpu"
+	"mips/internal/isa"
+	"mips/internal/kernel"
+	"mips/internal/mem"
+)
+
+func main() {
+	maxSteps := flag.Uint64("max", 500_000_000, "step limit")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	useKernel := flag.Bool("kernel", false, "run under the kernel with demand paging")
+	timer := flag.Uint("timer", 0, "timer period in user instructions (0 = off; implies -kernel)")
+	trace := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mipsrun [flags] image.img ...")
+		os.Exit(2)
+	}
+
+	var images []*isa.Image
+	for _, name := range flag.Args() {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		im, err := isa.ReadImage(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		images = append(images, im)
+	}
+
+	if *useKernel || *timer > 0 || len(images) > 1 {
+		m, err := kernel.NewMachine(kernel.Config{TimerPeriod: uint32(*timer)})
+		if err != nil {
+			fatal(err)
+		}
+		attachTrace(m.CPU, *trace)
+		for i, im := range images {
+			if _, err := m.AddProcess(im, 16); err != nil {
+				fatal(fmt.Errorf("%s: %w", flag.Arg(i), err))
+			}
+		}
+		if _, err := m.Run(*maxSteps); err != nil {
+			fatal(err)
+		}
+		fmt.Print(m.ConsoleOutput())
+		if *stats {
+			fmt.Fprintf(os.Stderr, "mipsrun: %s\n", &m.CPU.Stats)
+			fmt.Fprintf(os.Stderr, "mipsrun: %d page faults, %d context switches, %d resident pages\n",
+				m.PageFaults(), m.ContextSwitches(), m.ResidentPages())
+		}
+		return
+	}
+
+	res, err := runBareTraced(images[0], *maxSteps, *trace)
+	fmt.Print(res.Output)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "mipsrun: %s\n", &res.Stats)
+	}
+}
+
+// runBareTraced is RunMIPS with an optional instruction trace.
+func runBareTraced(im *isa.Image, maxSteps, trace uint64) (codegen.RunResult, error) {
+	if trace == 0 {
+		return codegen.RunMIPS(im, maxSteps)
+	}
+	// Rebuild the bare machine by hand so the tracer can attach.
+	phys := mem.NewPhysical(1 << 16)
+	c := cpu.New(cpu.NewBus(phys))
+	var res codegen.RunResult
+	var out strings.Builder
+	c.SetTrapHook(func(code uint16) {
+		switch code {
+		case 0:
+			c.Halt()
+		case 1:
+			out.WriteByte(byte(c.Regs[1]))
+		case 2:
+			fmt.Fprintf(&out, "%d\n", int32(c.Regs[1]))
+		}
+	})
+	attachTrace(c, trace)
+	if err := c.LoadImage(im); err != nil {
+		return res, err
+	}
+	c.IMem[0] = isa.Word(isa.RFE())
+	c.SetPC(uint32(im.Entry))
+	_, err := c.Run(maxSteps)
+	res.Output = out.String()
+	res.Stats = c.Stats
+	return res, err
+}
+
+func attachTrace(c *cpu.CPU, n uint64) {
+	if n == 0 {
+		return
+	}
+	var count uint64
+	c.SetStepHook(func(pc uint32, in isa.Instr) {
+		if count < n {
+			fmt.Fprintf(os.Stderr, "%8d  pc=%-6d %s\n", count, pc, in)
+		}
+		count++
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mipsrun:", err)
+	os.Exit(1)
+}

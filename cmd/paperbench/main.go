@@ -1,0 +1,40 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation and prints them with the published values alongside.
+//
+// Usage:
+//
+//	paperbench [experiment ...]
+//
+// With no arguments every experiment runs in paper order. Experiment
+// names: table1..table11, figure1..figure4, freecycles, ctxswitch.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mips/internal/tables"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[a] = true
+	}
+	failed := false
+	for _, e := range tables.All() {
+		if len(want) > 0 && !want[e.Name] {
+			continue
+		}
+		tab, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tab.Render())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

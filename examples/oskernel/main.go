@@ -1,0 +1,84 @@
+// Oskernel: the systems half of the paper (§3). Boots the machine —
+// dispatch ROM at physical zero, surprise register, two-level privilege
+// — loads two user processes under on-chip segmentation, and runs them
+// with demand paging and preemptive round-robin scheduling on the
+// interval timer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mips/internal/asm"
+	"mips/internal/isa"
+	"mips/internal/kernel"
+	"mips/internal/reorg"
+)
+
+// Each process prints its own letter a few times, touching fresh stack
+// and data pages as it goes; every page arrives by demand paging.
+func userProgram(letter byte, rounds int) string {
+	return fmt.Sprintf(`
+	.entry main
+main:	mov #0, r5		; round counter
+	ldi #6000, r6		; data pointer, a fresh page
+round:	mov #'%c', r1
+	trap #1			; writechar
+	st r5, (r6)		; touch the data page
+	st r5, 0(sp)		; touch the stack page
+	add r6, r5, r6
+	mov #0, r2
+	ldi #400, r3
+spin:	add r2, #1, r2		; burn some time so the timer preempts us
+	blt r2, r3, spin
+	add r5, #1, r5
+	blt r5, #%d, round
+	trap #4			; exit
+`, letter, rounds)
+}
+
+func build(src string) *isa.Image {
+	u, err := asm.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ro, _ := reorg.Reorganize(u, reorg.All())
+	im, err := asm.Assemble(ro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return im
+}
+
+func main() {
+	m, err := kernel.NewMachine(kernel.Config{TimerPeriod: 250})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, letter := range []byte{'A', 'B'} {
+		pid, err := m.AddProcess(build(userProgram(letter, 8)), 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded process %c as pid %d (64K-word space, nothing resident yet)\n", letter, pid)
+	}
+
+	n, err := m.Run(50_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nconsole: %s\n", m.ConsoleOutput())
+	fmt.Printf("instructions executed:  %d\n", n)
+	fmt.Printf("page faults serviced:   %d (every page arrived on demand)\n", m.PageFaults())
+	fmt.Printf("disk page reads:        %d\n", m.DiskReads())
+	fmt.Printf("context switches:       %d (timer-driven round robin)\n", m.ContextSwitches())
+	fmt.Printf("resident translations:  %d (one page map serves both PIDs — §3.1)\n", m.ResidentPages())
+	fmt.Printf("exceptions by cause:    traps=%d interrupts=%d pagefaults=%d\n",
+		m.CPU.Stats.Exceptions[isa.CauseTrap],
+		m.CPU.Stats.Exceptions[isa.CauseInterrupt],
+		m.CPU.Stats.Exceptions[isa.CausePageFault])
+	fmt.Println("\nthe interleaved letters show preemption; the kernel that did all of")
+	fmt.Println("this is MIPS assembly in ROM, scheduled by the same reorganizer as")
+	fmt.Println("user code (internal/kernel/kernel.go).")
+}

@@ -1,0 +1,52 @@
+// Quickstart: compile a Pasqual program with the full MIPS tool chain
+// (code generation → reorganizer → assembler), run it on the pipeline
+// simulator, and look at the scheduled code and the machine statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mips/internal/codegen"
+	"mips/internal/reorg"
+)
+
+const program = `
+program quickstart;
+var i, sum: integer;
+begin
+  sum := 0;
+  for i := 1 to 100 do
+    if i mod 3 = 0 then sum := sum + i;
+  writeint(sum)
+end.
+`
+
+func main() {
+	// Compile with every reorganizer optimization: DAG scheduling over
+	// the load delay, piece packing, and branch-delay filling.
+	im, st, err := codegen.CompileMIPS(program, codegen.MIPSOptions{}, reorg.All())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d pieces -> %d instruction words\n", st.InputPieces, st.OutputWords)
+	fmt.Printf("          %d packed words, %d/%d branch delay slots filled, %d no-ops\n\n",
+		st.PackedWords, st.DelayFilled, st.DelaySlots, st.Nops)
+
+	fmt.Println("first 12 words of the scheduled program:")
+	for i, w := range im.Words[:12] {
+		fmt.Printf("  %3d: %s\n", int(im.TextBase)+i, w)
+	}
+
+	// Execute on the no-interlock pipeline simulator. The hazard
+	// auditor proves the reorganizer produced legal code.
+	res, err := codegen.RunMIPS(im, 10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noutput: %s", res.Output)
+	fmt.Printf("machine: %s\n", &res.Stats)
+	fmt.Printf("hazards observed: %d (the reorganizer guarantees zero)\n", len(res.Hazards))
+	fmt.Printf("free data-memory cycles: %.1f%% of the data port (paper §3.1 measured ~40%% of total bandwidth free)\n",
+		100*res.Stats.FreeBandwidthFraction())
+}

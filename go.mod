@@ -1,0 +1,3 @@
+module mips
+
+go 1.22

@@ -1,0 +1,375 @@
+// Package analysis implements the program measurements behind the
+// paper's empirical tables: the static distribution of constants
+// (Table 1), the census of boolean expressions (Table 4), and the
+// dynamic data-reference mixes under word and byte allocation
+// (Tables 7 and 8).
+package analysis
+
+import (
+	"fmt"
+
+	"mips/internal/lang"
+)
+
+// ConstDist is the Table 1 histogram: constants by magnitude bucket.
+type ConstDist struct {
+	Zero      int // |v| = 0
+	One       int // |v| = 1
+	Two       int // |v| = 2
+	To15      int // 3 <= |v| <= 15
+	To255     int // 16 <= |v| <= 255
+	Large     int // |v| > 255
+	CharTo255 int // of To255, character constants
+}
+
+// Total returns the number of constants counted.
+func (d ConstDist) Total() int {
+	return d.Zero + d.One + d.Two + d.To15 + d.To255 + d.Large
+}
+
+// Fraction returns each bucket as a fraction of the total, in Table 1
+// row order.
+func (d ConstDist) Fraction() [6]float64 {
+	t := float64(d.Total())
+	if t == 0 {
+		return [6]float64{}
+	}
+	return [6]float64{
+		float64(d.Zero) / t, float64(d.One) / t, float64(d.Two) / t,
+		float64(d.To15) / t, float64(d.To255) / t, float64(d.Large) / t,
+	}
+}
+
+// Covered4Bit returns the fraction of constants expressible in the
+// optional four-bit field (0..15; negatives reach it through the
+// reverse operators, which is why magnitudes are counted).
+func (d ConstDist) Covered4Bit() float64 {
+	t := d.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(d.Zero+d.One+d.Two+d.To15) / float64(t)
+}
+
+// Covered8Bit returns the fraction reachable by the 8-bit move
+// immediate.
+func (d ConstDist) Covered8Bit() float64 {
+	t := d.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(t-d.Large) / float64(t)
+}
+
+func (d *ConstDist) add(v int32, isChar bool) {
+	if v < 0 {
+		v = -v
+	}
+	switch {
+	case v == 0:
+		d.Zero++
+	case v == 1:
+		d.One++
+	case v == 2:
+		d.Two++
+	case v <= 15:
+		d.To15++
+	case v <= 255:
+		d.To255++
+		if isChar {
+			d.CharTo255++
+		}
+	default:
+		d.Large++
+	}
+}
+
+// Constants walks a program and tallies every constant occurrence:
+// literals in expressions, loop bounds, and string-constant characters
+// (which is where most of the paper's 16-255 bucket — "character
+// constants" — comes from).
+func Constants(p *lang.Program) ConstDist {
+	var d ConstDist
+	v := &walker{
+		expr: func(e lang.Expr) {
+			switch ex := e.(type) {
+			case *lang.IntExpr:
+				d.add(ex.Val, false)
+			case *lang.CharExpr:
+				d.add(ex.Val, true)
+			}
+		},
+	}
+	v.program(p)
+	return d
+}
+
+// BoolStats is the Table 4 census: boolean expressions containing
+// boolean operators, by operator count and destination.
+type BoolStats struct {
+	// Expressions counts maximal boolean expressions with at least one
+	// and/or operator.
+	Expressions int
+	// Operators counts their and/or operators.
+	Operators int
+	// EndInJump counts expressions whose value feeds a conditional
+	// branch (if/while/repeat conditions).
+	EndInJump int
+	// EndInStore counts expressions whose value is stored (assignments,
+	// value arguments).
+	EndInStore int
+	// BareComparisons counts conditions that are a single comparison
+	// with no boolean operator (the dominant case, which both styles
+	// compile identically).
+	BareComparisons int
+}
+
+// AvgOperators returns operators per boolean expression (paper: 1.66).
+func (b BoolStats) AvgOperators() float64 {
+	if b.Expressions == 0 {
+		return 0
+	}
+	return float64(b.Operators) / float64(b.Expressions)
+}
+
+// JumpFraction returns the fraction ending in jumps (paper: 80.9%).
+func (b BoolStats) JumpFraction() float64 {
+	t := b.EndInJump + b.EndInStore
+	if t == 0 {
+		return 0
+	}
+	return float64(b.EndInJump) / float64(t)
+}
+
+// Booleans tallies the boolean-expression shapes of a program.
+func Booleans(p *lang.Program) BoolStats {
+	var b BoolStats
+
+	countOps := func(e lang.Expr) int {
+		n := 0
+		var walk func(lang.Expr)
+		walk = func(e lang.Expr) {
+			switch ex := e.(type) {
+			case *lang.BinExpr:
+				if ex.Op == lang.OpAnd || ex.Op == lang.OpOr {
+					n++
+					walk(ex.L)
+					walk(ex.R)
+				}
+			case *lang.UnExpr:
+				if ex.Op == lang.OpNot {
+					walk(ex.E)
+				}
+			}
+		}
+		walk(e)
+		return n
+	}
+	classify := func(e lang.Expr, jump bool) {
+		if e == nil || !e.ExprType().Same(lang.BoolType) {
+			return
+		}
+		ops := countOps(e)
+		if ops == 0 {
+			if _, isRel := e.(*lang.BinExpr); isRel && jump {
+				b.BareComparisons++
+			}
+			return
+		}
+		b.Expressions++
+		b.Operators += ops
+		if jump {
+			b.EndInJump++
+		} else {
+			b.EndInStore++
+		}
+	}
+
+	v := &walker{
+		stmt: func(s lang.Stmt) {
+			switch st := s.(type) {
+			case *lang.IfStmt:
+				classify(st.Cond, true)
+			case *lang.WhileStmt:
+				classify(st.Cond, true)
+			case *lang.RepeatStmt:
+				classify(st.Cond, true)
+			case *lang.AssignStmt:
+				classify(st.RHS, false)
+			case *lang.CallStmt:
+				for _, a := range st.Call.Args {
+					classify(a, false)
+				}
+			}
+		},
+	}
+	v.program(p)
+	return b
+}
+
+// RefMix is the dynamic data-reference mix of Tables 7 and 8.
+type RefMix struct {
+	Loads8, Loads32   uint64
+	Stores8, Stores32 uint64
+	// Character references only (the second half of Table 7).
+	CharLoads8, CharLoads32   uint64
+	CharStores8, CharStores32 uint64
+}
+
+// Total returns all data references.
+func (r RefMix) Total() uint64 {
+	return r.Loads8 + r.Loads32 + r.Stores8 + r.Stores32
+}
+
+// LoadFraction returns loads as a fraction of all references (paper:
+// 71.2%).
+func (r RefMix) LoadFraction() float64 {
+	t := r.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Loads8+r.Loads32) / float64(t)
+}
+
+// Frac returns a count as a fraction of the total.
+func (r RefMix) Frac(n uint64) float64 {
+	t := r.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(n) / float64(t)
+}
+
+// CharTotal returns all character references.
+func (r RefMix) CharTotal() uint64 {
+	return r.CharLoads8 + r.CharLoads32 + r.CharStores8 + r.CharStores32
+}
+
+// CharFrac returns a count as a fraction of character references.
+func (r RefMix) CharFrac(n uint64) float64 {
+	t := r.CharTotal()
+	if t == 0 {
+		return 0
+	}
+	return float64(n) / float64(t)
+}
+
+// References executes the program under the reference interpreter with
+// the given allocation mode and tallies every data reference.
+func References(p *lang.Program, mode lang.AllocMode) (RefMix, error) {
+	var r RefMix
+	ip := &lang.Interp{Mode: mode, Fuel: 500_000_000}
+	ip.OnRef = func(ev lang.RefEvent) {
+		switch {
+		case ev.Store && ev.Bits == 8:
+			r.Stores8++
+		case ev.Store:
+			r.Stores32++
+		case ev.Bits == 8:
+			r.Loads8++
+		default:
+			r.Loads32++
+		}
+		if ev.Char {
+			switch {
+			case ev.Store && ev.Bits == 8:
+				r.CharStores8++
+			case ev.Store:
+				r.CharStores32++
+			case ev.Bits == 8:
+				r.CharLoads8++
+			default:
+				r.CharLoads32++
+			}
+		}
+	}
+	if _, err := ip.Run(p); err != nil {
+		return r, fmt.Errorf("analysis: %s: %w", p.Name, err)
+	}
+	return r, nil
+}
+
+// Add merges another mix into r.
+func (r *RefMix) Add(o RefMix) {
+	r.Loads8 += o.Loads8
+	r.Loads32 += o.Loads32
+	r.Stores8 += o.Stores8
+	r.Stores32 += o.Stores32
+	r.CharLoads8 += o.CharLoads8
+	r.CharLoads32 += o.CharLoads32
+	r.CharStores8 += o.CharStores8
+	r.CharStores32 += o.CharStores32
+}
+
+// walker visits every statement and expression of a program.
+type walker struct {
+	stmt func(lang.Stmt)
+	expr func(lang.Expr)
+}
+
+func (w *walker) program(p *lang.Program) {
+	w.stmts(p.Body)
+	for _, proc := range p.Procs {
+		w.stmts(proc.Body)
+	}
+}
+
+func (w *walker) stmts(list []lang.Stmt) {
+	for _, s := range list {
+		w.visitStmt(s)
+	}
+}
+
+func (w *walker) visitStmt(s lang.Stmt) {
+	if w.stmt != nil {
+		w.stmt(s)
+	}
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		w.stmts(st.Stmts)
+	case *lang.AssignStmt:
+		w.visitExpr(st.LHS)
+		w.visitExpr(st.RHS)
+	case *lang.IfStmt:
+		w.visitExpr(st.Cond)
+		w.stmts(st.Then)
+		w.stmts(st.Else)
+	case *lang.WhileStmt:
+		w.visitExpr(st.Cond)
+		w.stmts(st.Body)
+	case *lang.RepeatStmt:
+		w.stmts(st.Body)
+		w.visitExpr(st.Cond)
+	case *lang.ForStmt:
+		w.visitExpr(st.From)
+		w.visitExpr(st.To)
+		w.stmts(st.Body)
+	case *lang.CallStmt:
+		w.visitExpr(st.Call)
+	}
+}
+
+func (w *walker) visitExpr(e lang.Expr) {
+	if e == nil {
+		return
+	}
+	if w.expr != nil {
+		w.expr(e)
+	}
+	switch ex := e.(type) {
+	case *lang.BinExpr:
+		w.visitExpr(ex.L)
+		w.visitExpr(ex.R)
+	case *lang.UnExpr:
+		w.visitExpr(ex.E)
+	case *lang.IndexExpr:
+		w.visitExpr(ex.Arr)
+		w.visitExpr(ex.Idx)
+	case *lang.FieldExpr:
+		w.visitExpr(ex.Rec)
+	case *lang.CallExpr:
+		for _, a := range ex.Args {
+			w.visitExpr(a)
+		}
+	}
+}

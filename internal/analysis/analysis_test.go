@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"testing"
+
+	"mips/internal/corpus"
+	"mips/internal/lang"
+)
+
+func parse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConstantsBuckets(t *testing.T) {
+	p := parse(t, `
+program consts;
+var x: integer; c: char;
+begin
+  x := 0;
+  x := 1;
+  x := 2;
+  x := 7;
+  x := 200;
+  x := 70000;
+  x := -1;
+  c := 'a'
+end.`)
+	d := Constants(p)
+	if d.Zero != 1 || d.One != 2 || d.Two != 1 || d.To15 != 1 || d.To255 != 2 || d.Large != 1 {
+		t.Errorf("distribution = %+v", d)
+	}
+	if d.CharTo255 != 1 {
+		t.Errorf("char constants = %d", d.CharTo255)
+	}
+	if d.Total() != 8 {
+		t.Errorf("total = %d", d.Total())
+	}
+	if got := d.Covered4Bit(); got != 5.0/8 {
+		t.Errorf("4-bit coverage = %f", got)
+	}
+	if got := d.Covered8Bit(); got != 7.0/8 {
+		t.Errorf("8-bit coverage = %f", got)
+	}
+}
+
+func TestConstantsCorpusShape(t *testing.T) {
+	// The paper's Table 1 shape: a 4-bit constant covers ~70% and the
+	// 8-bit move immediate ~95%. Demand the qualitative shape on our
+	// corpus: small constants dominate, very large ones are rare.
+	var d ConstDist
+	for _, prog := range corpus.All() {
+		p := parse(t, prog.Source)
+		c := Constants(p)
+		d.Zero += c.Zero
+		d.One += c.One
+		d.Two += c.Two
+		d.To15 += c.To15
+		d.To255 += c.To255
+		d.Large += c.Large
+	}
+	if d.Total() < 100 {
+		t.Fatalf("corpus too small: %d constants", d.Total())
+	}
+	if c4 := d.Covered4Bit(); c4 < 0.5 {
+		t.Errorf("4-bit coverage = %.2f; paper reports ~0.7", c4)
+	}
+	if c8 := d.Covered8Bit(); c8 < 0.85 {
+		t.Errorf("8-bit coverage = %.2f; paper reports ~0.95", c8)
+	}
+}
+
+func TestBooleansCensus(t *testing.T) {
+	p := parse(t, `
+program bools;
+var a, b: integer; f: boolean;
+begin
+  if (a = 1) or (b = 2) then a := 1;        { jump, 1 op }
+  f := (a = 1) and (b = 2) and (a < b);     { store, 2 ops }
+  while a < b do a := a + 1;                { bare comparison }
+  if f then b := 2                          { variable: no operator }
+end.`)
+	s := Booleans(p)
+	if s.Expressions != 2 || s.Operators != 3 {
+		t.Errorf("census = %+v", s)
+	}
+	if s.EndInJump != 1 || s.EndInStore != 1 {
+		t.Errorf("destinations = %+v", s)
+	}
+	if s.BareComparisons != 1 {
+		t.Errorf("bare comparisons = %d", s.BareComparisons)
+	}
+	if got := s.AvgOperators(); got != 1.5 {
+		t.Errorf("avg operators = %f", got)
+	}
+	if got := s.JumpFraction(); got != 0.5 {
+		t.Errorf("jump fraction = %f", got)
+	}
+}
+
+func TestBooleansCorpusShape(t *testing.T) {
+	// The paper: most boolean expressions end in jumps (80.9%), and
+	// operators per expression is small (1.66).
+	var total BoolStats
+	for _, prog := range corpus.All() {
+		s := Booleans(parse(t, prog.Source))
+		total.Expressions += s.Expressions
+		total.Operators += s.Operators
+		total.EndInJump += s.EndInJump
+		total.EndInStore += s.EndInStore
+		total.BareComparisons += s.BareComparisons
+	}
+	if total.Expressions < 10 {
+		t.Fatalf("corpus too small: %d boolean expressions", total.Expressions)
+	}
+	if jf := total.JumpFraction(); jf < 0.5 {
+		t.Errorf("jump fraction = %.2f; paper reports 0.81", jf)
+	}
+	if avg := total.AvgOperators(); avg < 1.0 || avg > 3.0 {
+		t.Errorf("avg operators = %.2f; paper reports 1.66", avg)
+	}
+}
+
+func TestReferencesModes(t *testing.T) {
+	p := parse(t, `
+program refs;
+var
+  buf: array[0..9] of char;
+  n, i: integer;
+begin
+  for i := 0 to 9 do buf[i] := 'x';
+  n := 0;
+  for i := 0 to 9 do n := n + ord(buf[i])
+end.`)
+	word, err := References(p, lang.WordAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byte8, err := References(p, lang.ByteAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same total traffic, different widths.
+	if word.Total() != byte8.Total() {
+		t.Errorf("totals differ: %d vs %d", word.Total(), byte8.Total())
+	}
+	if word.Stores8 != 0 {
+		t.Errorf("word-allocated unpacked chars produced 8-bit stores: %+v", word)
+	}
+	if byte8.Stores8 != 10 {
+		t.Errorf("byte-allocated char stores = %d, want 10", byte8.Stores8)
+	}
+	if byte8.CharLoads8 != 10 {
+		t.Errorf("byte-allocated char loads = %d, want 10", byte8.CharLoads8)
+	}
+	if word.LoadFraction() <= 0.4 {
+		t.Errorf("load fraction = %f", word.LoadFraction())
+	}
+}
+
+func TestReferencesCorpusShape(t *testing.T) {
+	// Table 7's headline: loads dominate (paper: 71.2% loads), and
+	// word-sized references dominate byte-sized ones in both modes.
+	var word, byte8 RefMix
+	for _, prog := range corpus.All() {
+		p := parse(t, prog.Source)
+		w, err := References(p, lang.WordAlloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := References(p, lang.ByteAlloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		word.Add(w)
+		byte8.Add(b)
+	}
+	if lf := word.LoadFraction(); lf < 0.55 || lf > 0.9 {
+		t.Errorf("load fraction = %.2f; paper reports 0.71", lf)
+	}
+	if word.Frac(word.Loads8+word.Stores8) >= word.Frac(word.Loads32+word.Stores32) {
+		t.Error("byte references should not dominate in word allocation")
+	}
+	if byte8.Frac(byte8.Loads8+byte8.Stores8) >= byte8.Frac(byte8.Loads32+byte8.Stores32) {
+		t.Error("byte references should not dominate even in byte allocation")
+	}
+	// Byte allocation strictly increases 8-bit traffic.
+	if byte8.Loads8 <= word.Loads8 {
+		t.Errorf("byte-alloc loads8 = %d, word-alloc = %d", byte8.Loads8, word.Loads8)
+	}
+}
+
+func TestCharStoreShare(t *testing.T) {
+	// The paper: "Character reference patterns have a much higher
+	// percentage of stores than do non-character reference patterns."
+	var mix RefMix
+	for _, prog := range corpus.All() {
+		p := parse(t, prog.Source)
+		m, err := References(p, lang.WordAlloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix.Add(m)
+	}
+	charStores := mix.CharFrac(mix.CharStores8 + mix.CharStores32)
+	allStores := mix.Frac(mix.Stores8 + mix.Stores32)
+	if charStores <= allStores {
+		t.Errorf("char store share %.2f not above overall %.2f", charStores, allStores)
+	}
+}

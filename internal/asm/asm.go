@@ -1,0 +1,268 @@
+// Package asm is a two-pass assembler for the MIPS assembly dialect used
+// throughout this reproduction. The dialect mirrors the paper's code
+// samples: sources before destinations ("sub #1, r0, r2"), displacement
+// addressing written 2(sp)-style, byte-pointer loads written with an
+// explicit shift ("ld (r0+r2>>2), r1"), and compare-and-branch mnemonics
+// built from the sixteen comparison codes ("ble r0, #1, L11").
+//
+// In the real toolchain the reorganizer sits between code generation and
+// assembly (paper §4.2.1: the reorganizer "reorganizes, packs, and
+// assembles" even hand-written assembly). Here Parse produces a Unit of
+// statements, package reorg transforms units, and Assemble resolves
+// labels into a loadable image. A ".noreorg" region marks sequences the
+// front end schedules itself and the reorganizer must not touch.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mips/internal/isa"
+)
+
+// Stmt is one assembled statement: a single piece, or a pre-packed pair
+// written with "|".
+type Stmt struct {
+	// Labels bound to this statement's address.
+	Labels []string
+	// Pieces holds one piece, or two if the source pre-packed them.
+	Pieces []isa.Piece
+	// NoReorg marks statements inside a .noreorg region: the reorganizer
+	// must leave them exactly as written (paper §4.2.1: the front end
+	// "emits a pseudo-op which tells the reorganizer that this sequence
+	// is not to be touched").
+	NoReorg bool
+	// Line is the source line number, for diagnostics.
+	Line int
+}
+
+// DataItem is one initialized data word. If Symbol is set the word's
+// value is the symbol's resolved address (for jump tables and pointers).
+type DataItem struct {
+	Addr   int32
+	Value  uint32
+	Symbol string
+}
+
+// Unit is a parsed assembly translation unit.
+type Unit struct {
+	Stmts      []Stmt
+	Data       []DataItem
+	DataLabels map[string]int32
+	Entry      string
+	TextBase   int32
+}
+
+// SyntaxError describes a parse failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+type parser struct {
+	unit     *Unit
+	pending  []string // labels waiting for the next text statement
+	dataMode bool
+	dataAddr int32
+	noReorg  bool
+}
+
+// Parse reads an assembly source into a Unit.
+func Parse(src string) (*Unit, error) {
+	p := &parser{unit: &Unit{DataLabels: make(map[string]int32)}}
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		if err := p.parseLine(raw, line); err != nil {
+			return nil, err
+		}
+	}
+	if len(p.pending) > 0 {
+		// Trailing labels bind to an implicit nop so they stay addressable.
+		p.unit.Stmts = append(p.unit.Stmts, Stmt{Labels: p.pending, Pieces: []isa.Piece{isa.Nop()}})
+	}
+	return p.unit, nil
+}
+
+func (p *parser) parseLine(raw string, line int) error {
+	text := raw
+	if i := strings.IndexByte(text, ';'); i >= 0 {
+		text = text[:i]
+	}
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return nil
+	}
+
+	// Leading labels: "name:" possibly several on one line.
+	for {
+		i := strings.IndexByte(text, ':')
+		if i < 0 {
+			break
+		}
+		name := strings.TrimSpace(text[:i])
+		if !validLabel(name) {
+			return &SyntaxError{line, fmt.Sprintf("invalid label %q", name)}
+		}
+		if p.dataMode {
+			if _, dup := p.unit.DataLabels[name]; dup {
+				return &SyntaxError{line, fmt.Sprintf("duplicate data label %q", name)}
+			}
+			p.unit.DataLabels[name] = p.dataAddr
+		} else {
+			p.pending = append(p.pending, name)
+		}
+		text = strings.TrimSpace(text[i+1:])
+	}
+	if text == "" {
+		return nil
+	}
+
+	if strings.HasPrefix(text, ".") {
+		return p.directive(text, line)
+	}
+	if p.dataMode {
+		return &SyntaxError{line, "instruction in data section"}
+	}
+
+	// Packed statement: "alu-piece | mem-piece".
+	halves := strings.Split(text, "|")
+	if len(halves) > 2 {
+		return &SyntaxError{line, "more than two pieces in one word"}
+	}
+	var pieces []isa.Piece
+	for _, h := range halves {
+		pc, err := parsePiece(strings.TrimSpace(h), line)
+		if err != nil {
+			return err
+		}
+		pieces = append(pieces, pc)
+	}
+	p.unit.Stmts = append(p.unit.Stmts, Stmt{
+		Labels:  p.pending,
+		Pieces:  pieces,
+		NoReorg: p.noReorg,
+		Line:    line,
+	})
+	p.pending = nil
+	return nil
+}
+
+func (p *parser) directive(text string, line int) error {
+	fields := strings.Fields(text)
+	switch fields[0] {
+	case ".text":
+		p.dataMode = false
+		if len(fields) > 1 {
+			n, err := strconv.ParseInt(fields[1], 0, 32)
+			if err != nil {
+				return &SyntaxError{line, "bad .text origin"}
+			}
+			p.unit.TextBase = int32(n)
+		}
+	case ".data":
+		p.dataMode = true
+		if len(fields) > 1 {
+			n, err := strconv.ParseInt(fields[1], 0, 32)
+			if err != nil {
+				return &SyntaxError{line, "bad .data origin"}
+			}
+			p.dataAddr = int32(n)
+		}
+	case ".entry":
+		if len(fields) != 2 {
+			return &SyntaxError{line, ".entry needs a symbol"}
+		}
+		p.unit.Entry = fields[1]
+	case ".word":
+		if !p.dataMode {
+			return &SyntaxError{line, ".word outside data section"}
+		}
+		args := strings.Split(strings.TrimSpace(strings.TrimPrefix(text, ".word")), ",")
+		for _, a := range args {
+			a = strings.TrimSpace(a)
+			n, err := strconv.ParseInt(a, 0, 64)
+			if err != nil {
+				if !validLabel(a) {
+					return &SyntaxError{line, fmt.Sprintf("bad .word value %q", a)}
+				}
+				// A symbolic word resolves to the label's address.
+				p.unit.Data = append(p.unit.Data, DataItem{Addr: p.dataAddr, Symbol: a})
+				p.dataAddr++
+				continue
+			}
+			p.unit.Data = append(p.unit.Data, DataItem{Addr: p.dataAddr, Value: uint32(n)})
+			p.dataAddr++
+		}
+	case ".ascii":
+		if !p.dataMode {
+			return &SyntaxError{line, ".ascii outside data section"}
+		}
+		s, err := strconv.Unquote(strings.TrimSpace(strings.TrimPrefix(text, ".ascii")))
+		if err != nil {
+			return &SyntaxError{line, "bad .ascii string"}
+		}
+		for _, word := range PackString(s) {
+			p.unit.Data = append(p.unit.Data, DataItem{Addr: p.dataAddr, Value: word})
+			p.dataAddr++
+		}
+	case ".space":
+		if !p.dataMode {
+			return &SyntaxError{line, ".space outside data section"}
+		}
+		if len(fields) != 2 {
+			return &SyntaxError{line, ".space needs a word count"}
+		}
+		n, err := strconv.ParseInt(fields[1], 0, 32)
+		if err != nil || n < 0 {
+			return &SyntaxError{line, "bad .space count"}
+		}
+		p.dataAddr += int32(n)
+	case ".noreorg":
+		p.noReorg = true
+	case ".endnoreorg":
+		p.noReorg = false
+	default:
+		return &SyntaxError{line, fmt.Sprintf("unknown directive %s", fields[0])}
+	}
+	return nil
+}
+
+// PackString packs a byte string into words, byte 0 most significant,
+// NUL-terminated (the terminator is always present, even if it needs an
+// extra word).
+func PackString(s string) []uint32 {
+	b := append([]byte(s), 0)
+	var words []uint32
+	for i := 0; i < len(b); i += 4 {
+		var w uint32
+		for j := 0; j < 4; j++ {
+			w <<= 8
+			if i+j < len(b) {
+				w |= uint32(b[i+j])
+			}
+		}
+		words = append(words, w)
+	}
+	return words
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '$', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

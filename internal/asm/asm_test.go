@@ -1,0 +1,332 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"mips/internal/cpu"
+	"mips/internal/isa"
+	"mips/internal/mem"
+)
+
+func TestParsePieceForms(t *testing.T) {
+	// String round trip: every piece the ISA can print must re-parse to
+	// an identical piece.
+	pieces := []isa.Piece{
+		isa.Nop(),
+		isa.ALU(isa.OpAdd, 1, isa.R(2), isa.Imm(3)),
+		isa.ALU(isa.OpRSub, 2, isa.Imm(1), isa.R(0)),
+		isa.ALU(isa.OpXC, 1, isa.R(0), isa.R(1)),
+		isa.ALU(isa.OpIC, 2, isa.R(3), isa.R(2)),
+		isa.Mov(4, isa.Imm(200)),
+		isa.Mov(4, isa.R(7)),
+		{Kind: isa.PieceALU, Op: isa.OpNot, Dst: 3, Src1: isa.R(2)},
+		{Kind: isa.PieceALU, Op: isa.OpMovLo, Src1: isa.R(1)},
+		isa.SetCond(isa.CmpGEU, 5, isa.R(1), isa.Imm(9)),
+		isa.LoadDisp(1, 14, 2),
+		isa.StoreDisp(1, 14, 2),
+		isa.LoadAbs(2, 100),
+		isa.LoadIndex(1, 2, 3),
+		isa.StoreIndex(1, 2, 3),
+		isa.LoadShift(1, 2, 0, 2),
+		isa.StoreShift(1, 2, 0, 2),
+		isa.LoadImm32(3, -99999),
+		isa.Branch(isa.CmpLE, isa.R(0), isa.Imm(1), "L11"),
+		isa.Jump("L3"),
+		isa.Call("fib", isa.RegLink),
+		isa.JumpInd(isa.RegLink),
+		isa.Trap(42),
+		isa.ReadSpecial(1, isa.SpecSurprise),
+		isa.WriteSpecial(isa.SpecSegBase, 2),
+		isa.RFE(),
+	}
+	for i := range pieces {
+		text := pieces[i].String()
+		got, err := parsePiece(text, 1)
+		if err != nil {
+			t.Errorf("parse %q: %v", text, err)
+			continue
+		}
+		if got.String() != text {
+			t.Errorf("round trip %q -> %q", text, got.String())
+		}
+	}
+}
+
+func TestParseRegisterAliases(t *testing.T) {
+	p, err := parsePiece("st r1, 2(sp)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != isa.RegSP {
+		t.Errorf("sp alias = r%d", p.Base)
+	}
+	p, err = parsePiece("jmpr ra", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Src1.Reg != isa.RegLink {
+		t.Errorf("ra alias = r%d", p.Src1.Reg)
+	}
+}
+
+func TestParseCharImmediate(t *testing.T) {
+	p, err := parsePiece("mov #'A', r1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Src1.IsImm || p.Src1.Imm != 65 {
+		t.Errorf("char imm = %+v", p.Src1)
+	}
+}
+
+func TestParseShorthandParenBase(t *testing.T) {
+	p, err := parsePiece("ld (r2), r1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != isa.AModeDisp || p.Base != 2 || p.Disp != 0 {
+		t.Errorf("(r2) = %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate r1, r2, r3",
+		"add r1, r2",       // missing operand
+		"ld r1, r2",        // bad EA
+		"ld 2(r99), r1",    // bad register
+		"trap #9999",       // out of range
+		"beq r1, r2",       // missing label
+		"rdspec bogus, r1", // unknown special
+		"mov #'ab', r1",    // bad char constant
+		"jmp 123",          // target must be a label
+	}
+	for _, src := range bad {
+		if _, err := parsePiece(src, 1); err == nil {
+			t.Errorf("parsePiece(%q) accepted bad input", src)
+		}
+	}
+}
+
+func TestParseUnitStructure(t *testing.T) {
+	src := `
+; paper figure 4, legal code with no-ops
+	.entry start
+start:	ld 2(sp), r0
+	ble r0, #1, L11
+	nop
+L11:	sub r0, #1, r2 | st r2, 2(sp)
+	trap #0
+`
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Stmts) != 5 {
+		t.Fatalf("stmts = %d", len(u.Stmts))
+	}
+	if u.Entry != "start" {
+		t.Errorf("entry = %q", u.Entry)
+	}
+	if len(u.Stmts[3].Pieces) != 2 {
+		t.Errorf("packed statement has %d pieces", len(u.Stmts[3].Pieces))
+	}
+	if u.Stmts[0].Labels[0] != "start" || u.Stmts[3].Labels[0] != "L11" {
+		t.Error("labels misbound")
+	}
+}
+
+func TestParseDataSection(t *testing.T) {
+	src := `
+	.data 100
+greeting: .ascii "Hi"
+values:	.word 1, 2, 3
+buf:	.space 4
+after:	.word 0xFF
+	.text
+	nop
+`
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.DataLabels["greeting"] != 100 {
+		t.Errorf("greeting at %d", u.DataLabels["greeting"])
+	}
+	// "Hi\0" fits one word.
+	if u.DataLabels["values"] != 101 {
+		t.Errorf("values at %d", u.DataLabels["values"])
+	}
+	if u.DataLabels["buf"] != 104 {
+		t.Errorf("buf at %d", u.DataLabels["buf"])
+	}
+	if u.DataLabels["after"] != 108 {
+		t.Errorf("after at %d", u.DataLabels["after"])
+	}
+	if len(u.Data) != 5 {
+		t.Errorf("data items = %d", len(u.Data))
+	}
+}
+
+func TestPackString(t *testing.T) {
+	words := PackString("AB")
+	if len(words) != 1 || words[0] != 0x41420000 {
+		t.Errorf("PackString(AB) = %#x", words)
+	}
+	// Four characters need a second word for the terminator.
+	words = PackString("ABCD")
+	if len(words) != 2 || words[0] != 0x41424344 || words[1] != 0 {
+		t.Errorf("PackString(ABCD) = %#x", words)
+	}
+	if w := PackString(""); len(w) != 1 || w[0] != 0 {
+		t.Errorf("PackString(empty) = %#x", w)
+	}
+}
+
+func TestAssembleResolvesLabels(t *testing.T) {
+	im := MustAssemble(`
+	.entry main
+main:	mov #0, r1
+loop:	add r1, #1, r1
+	blt r1, #5, loop
+	nop
+	trap #0
+`)
+	if im.Entry != 0 {
+		t.Errorf("entry = %d", im.Entry)
+	}
+	br := im.Words[2].Mem
+	if br == nil || br.Kind != isa.PieceBranch || br.Target != 1 {
+		t.Errorf("branch = %v", im.Words[2])
+	}
+}
+
+func TestAssembleSymbolicLongImmediate(t *testing.T) {
+	im := MustAssemble(`
+	.data 200
+counter: .word 7
+	.text
+	ldi counter, r1
+	nop
+	ld (r1), r2
+	trap #0
+`)
+	ldi := im.Words[0].Mem
+	if ldi.Disp != 200 {
+		t.Errorf("ldi resolved to %d", ldi.Disp)
+	}
+	if im.Data[200] != 7 {
+		t.Errorf("data = %v", im.Data)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"jmp nowhere\nnop",                      // undefined label
+		"x: nop\nx: nop",                        // duplicate label
+		".entry missing\nnop",                   // undefined entry
+		"add r1, #2, r3 | add r1, #2, r4 | nop", // three pieces
+		"beq r1, r2, far\nnop",                  // undefined
+		".data\n.word zzz",                      // bad word
+		".word 5",                               // .word outside .data
+		"ld 2(r1), r2 | ld 3(r1), r3",           // two memory pieces cannot pack
+	}
+	for _, src := range bad {
+		u, err := Parse(src)
+		if err != nil {
+			continue // parse-time rejection also acceptable
+		}
+		if _, err := Assemble(u); err == nil {
+			t.Errorf("Assemble(%q) accepted bad input", src)
+		}
+	}
+}
+
+func TestAssembledProgramRunsOnCPU(t *testing.T) {
+	// End-to-end: sum 1..10 with compare-and-branch, store the result.
+	im := MustAssemble(`
+	.data 500
+result:	.word 0
+	.text
+	.entry main
+main:	mov #0, r1		; sum
+	mov #0, r2		; i
+loop:	add r2, #1, r2
+	add r1, r2, r1
+	blt r2, #10, loop
+	nop			; branch delay slot
+	ldi result, r3
+	nop			; load delay
+	st r1, (r3)
+	trap #0
+`)
+	phys := mem.NewPhysical(1 << 12)
+	c := cpu.New(cpu.NewBus(phys))
+	c.SetTrapHook(func(code uint16) {
+		if code == 0 {
+			c.Halt()
+		}
+	})
+	if err := c.LoadImage(im); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := phys.Peek(500); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestNoReorgRegionMarked(t *testing.T) {
+	src := `
+	nop
+	.noreorg
+	add r1, #1, r1
+	sub r1, #1, r1
+	.endnoreorg
+	nop
+`
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, false}
+	for i, s := range u.Stmts {
+		if s.NoReorg != want[i] {
+			t.Errorf("stmt %d NoReorg = %t", i, s.NoReorg)
+		}
+	}
+}
+
+func TestSyntaxErrorHasLineNumber(t *testing.T) {
+	_, err := Parse("nop\nbogus r1\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("line = %d", se.Line)
+	}
+	if !strings.Contains(se.Error(), "line 2") {
+		t.Errorf("message = %q", se.Error())
+	}
+}
+
+func TestTrailingLabelBindsToNop(t *testing.T) {
+	u, err := Parse("nop\nend:\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(u.Stmts))
+	}
+	last := u.Stmts[len(u.Stmts)-1]
+	if len(last.Labels) != 1 || last.Labels[0] != "end" || !last.Pieces[0].IsNop() {
+		t.Errorf("trailing label stmt = %+v", last)
+	}
+}

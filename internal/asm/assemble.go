@@ -1,0 +1,127 @@
+package asm
+
+import (
+	"fmt"
+
+	"mips/internal/isa"
+)
+
+// Assemble resolves labels and produces a loadable image. Each statement
+// becomes exactly one instruction word: a pre-packed pair shares a word,
+// every other piece gets its own. (Packing loose pieces is the
+// reorganizer's job, which runs before assembly.)
+func Assemble(u *Unit) (*isa.Image, error) {
+	im := isa.NewImage()
+	im.TextBase = u.TextBase
+
+	// Pass one: bind text labels to word addresses.
+	addr := u.TextBase
+	for i := range u.Stmts {
+		for _, l := range u.Stmts[i].Labels {
+			if _, dup := im.Symbols[l]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", u.Stmts[i].Line, l)
+			}
+			if _, dup := u.DataLabels[l]; dup {
+				return nil, fmt.Errorf("line %d: label %q defined in both text and data", u.Stmts[i].Line, l)
+			}
+			im.Symbols[l] = addr
+		}
+		addr++
+	}
+	for l, a := range u.DataLabels {
+		if _, dup := im.Symbols[l]; dup {
+			return nil, fmt.Errorf("duplicate label %q", l)
+		}
+		im.Symbols[l] = a
+	}
+
+	// Pass two: resolve targets and build words.
+	resolve := func(p *isa.Piece, line int) error {
+		switch p.Kind {
+		case isa.PieceBranch, isa.PieceJump, isa.PieceCall:
+			a, ok := im.Symbols[p.Label]
+			if !ok {
+				return fmt.Errorf("line %d: undefined label %q", line, p.Label)
+			}
+			p.Target = a
+			p.Label = ""
+		case isa.PieceLoad:
+			if p.Mode == isa.AModeLongImm && p.Label != "" {
+				a, ok := im.Symbols[p.Label]
+				if !ok {
+					return fmt.Errorf("line %d: undefined symbol %q", line, p.Label)
+				}
+				p.Disp = a
+				p.Label = ""
+			}
+		}
+		return nil
+	}
+
+	for i := range u.Stmts {
+		s := &u.Stmts[i]
+		for j := range s.Pieces {
+			if err := resolve(&s.Pieces[j], s.Line); err != nil {
+				return nil, err
+			}
+		}
+		var word isa.Instr
+		switch len(s.Pieces) {
+		case 1:
+			word = isa.Word(s.Pieces[0])
+		case 2:
+			var ok bool
+			word, ok = isa.Pack(s.Pieces[0], s.Pieces[1])
+			if !ok {
+				return nil, fmt.Errorf("line %d: pieces cannot share a word: %s | %s",
+					s.Line, &s.Pieces[0], &s.Pieces[1])
+			}
+		default:
+			return nil, fmt.Errorf("line %d: statement with %d pieces", s.Line, len(s.Pieces))
+		}
+		if err := word.Validate(); err != nil {
+			return nil, fmt.Errorf("line %d: %w", s.Line, err)
+		}
+		im.Words = append(im.Words, word)
+	}
+
+	for _, d := range u.Data {
+		v := d.Value
+		if d.Symbol != "" {
+			a, ok := im.Symbols[d.Symbol]
+			if !ok {
+				return nil, fmt.Errorf("undefined symbol %q in .word", d.Symbol)
+			}
+			v = uint32(a)
+		}
+		im.Data[d.Addr] = v
+	}
+
+	if u.Entry != "" {
+		a, ok := im.Symbols[u.Entry]
+		if !ok {
+			return nil, fmt.Errorf("undefined entry symbol %q", u.Entry)
+		}
+		im.Entry = a
+	} else {
+		im.Entry = u.TextBase
+	}
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// MustAssemble parses and assembles source, panicking on error. It is a
+// convenience for tests and statically known-good kernel sources.
+func MustAssemble(src string) *isa.Image {
+	u, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	im, err := Assemble(u)
+	if err != nil {
+		panic(err)
+	}
+	return im
+}

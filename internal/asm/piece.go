@@ -1,0 +1,379 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mips/internal/isa"
+)
+
+// parsePiece parses one instruction piece in the dialect produced by
+// isa.Piece.String.
+func parsePiece(text string, line int) (isa.Piece, error) {
+	bad := func(format string, args ...any) (isa.Piece, error) {
+		return isa.Piece{}, &SyntaxError{line, fmt.Sprintf(format, args...)}
+	}
+	mn, rest, _ := strings.Cut(text, " ")
+	mn = strings.TrimSpace(mn)
+	args := splitArgs(rest)
+
+	switch {
+	case mn == "nop":
+		if len(args) != 0 {
+			return bad("nop takes no operands")
+		}
+		return isa.Nop(), nil
+
+	case mn == "ld", mn == "st":
+		if len(args) != 2 {
+			return bad("%s needs an address and a register", mn)
+		}
+		eaIdx, regIdx := 0, 1
+		if mn == "st" {
+			eaIdx, regIdx = 1, 0
+		}
+		data, err := parseReg(args[regIdx])
+		if err != nil {
+			return bad("%s: %v", mn, err)
+		}
+		p, err := parseEA(args[eaIdx])
+		if err != nil {
+			return bad("%s: %v", mn, err)
+		}
+		p.Data = data
+		p.Kind = isa.PieceLoad
+		if mn == "st" {
+			p.Kind = isa.PieceStore
+		}
+		return p, nil
+
+	case mn == "ldi":
+		if len(args) != 2 {
+			return bad("ldi needs a value and a register")
+		}
+		data, err := parseReg(args[1])
+		if err != nil {
+			return bad("ldi: %v", err)
+		}
+		p := isa.Piece{Kind: isa.PieceLoad, Mode: isa.AModeLongImm, Data: data}
+		if strings.HasPrefix(args[0], "#") {
+			v, err := parseImmValue(args[0])
+			if err != nil {
+				return bad("ldi: %v", err)
+			}
+			p.Disp = v
+		} else if validLabel(args[0]) {
+			// Symbolic long immediate: resolves to the symbol's address.
+			p.Label = args[0]
+		} else {
+			return bad("ldi: bad value %q", args[0])
+		}
+		return p, nil
+
+	case mn == "jmp":
+		if len(args) != 1 || !validLabel(args[0]) {
+			return bad("jmp needs a label")
+		}
+		return isa.Jump(args[0]), nil
+
+	case mn == "call":
+		if len(args) != 2 || !validLabel(args[0]) {
+			return bad("call needs a label and a link register")
+		}
+		link, err := parseReg(args[1])
+		if err != nil {
+			return bad("call: %v", err)
+		}
+		return isa.Call(args[0], link), nil
+
+	case mn == "jmpr":
+		if len(args) != 1 {
+			return bad("jmpr needs a register")
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return bad("jmpr: %v", err)
+		}
+		return isa.JumpInd(r), nil
+
+	case mn == "trap":
+		if len(args) != 1 {
+			return bad("trap needs a code")
+		}
+		v, err := parseImmValue(args[0])
+		if err != nil || v < 0 || v > isa.MaxTrapCode {
+			return bad("trap: bad code %q", args[0])
+		}
+		return isa.Trap(uint16(v)), nil
+
+	case mn == "rdspec":
+		if len(args) != 2 {
+			return bad("rdspec needs a special register and a register")
+		}
+		s, ok := parseSpecial(args[0])
+		if !ok {
+			return bad("rdspec: unknown special register %q", args[0])
+		}
+		r, err := parseReg(args[1])
+		if err != nil {
+			return bad("rdspec: %v", err)
+		}
+		return isa.ReadSpecial(r, s), nil
+
+	case mn == "wrspec":
+		if len(args) != 2 {
+			return bad("wrspec needs a register and a special register")
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return bad("wrspec: %v", err)
+		}
+		s, ok := parseSpecial(args[1])
+		if !ok {
+			return bad("wrspec: unknown special register %q", args[1])
+		}
+		return isa.WriteSpecial(s, r), nil
+
+	case mn == "rfe":
+		if len(args) != 0 {
+			return bad("rfe takes no operands")
+		}
+		return isa.RFE(), nil
+
+	case mn == "movlo":
+		if len(args) != 1 {
+			return bad("movlo needs a source")
+		}
+		src, err := parseOperand(args[0])
+		if err != nil {
+			return bad("movlo: %v", err)
+		}
+		return isa.Piece{Kind: isa.PieceALU, Op: isa.OpMovLo, Src1: src}, nil
+
+	case strings.HasPrefix(mn, "set"):
+		cmp, ok := isa.ParseCmp(mn[3:])
+		if !ok {
+			return bad("unknown set condition %q", mn)
+		}
+		if len(args) != 3 {
+			return bad("%s needs two sources and a destination", mn)
+		}
+		s1, err := parseOperand(args[0])
+		if err != nil {
+			return bad("%s: %v", mn, err)
+		}
+		s2, err := parseOperand(args[1])
+		if err != nil {
+			return bad("%s: %v", mn, err)
+		}
+		dst, err := parseReg(args[2])
+		if err != nil {
+			return bad("%s: %v", mn, err)
+		}
+		return isa.SetCond(cmp, dst, s1, s2), nil
+
+	case strings.HasPrefix(mn, "b"):
+		if cmp, ok := isa.ParseCmp(mn[1:]); ok {
+			if len(args) != 3 || !validLabel(args[2]) {
+				return bad("%s needs two sources and a label", mn)
+			}
+			s1, err := parseOperand(args[0])
+			if err != nil {
+				return bad("%s: %v", mn, err)
+			}
+			s2, err := parseOperand(args[1])
+			if err != nil {
+				return bad("%s: %v", mn, err)
+			}
+			return isa.Branch(cmp, s1, s2, args[2]), nil
+		}
+	}
+
+	// Everything else is a plain ALU mnemonic.
+	if op, ok := isa.ParseALUOp(mn); ok {
+		if op.Unary() {
+			if len(args) != 2 {
+				return bad("%s needs a source and a destination", mn)
+			}
+			src, err := parseOperand(args[0])
+			if err != nil {
+				return bad("%s: %v", mn, err)
+			}
+			dst, err := parseReg(args[1])
+			if err != nil {
+				return bad("%s: %v", mn, err)
+			}
+			return isa.Piece{Kind: isa.PieceALU, Op: op, Dst: dst, Src1: src}, nil
+		}
+		if len(args) != 3 {
+			return bad("%s needs two sources and a destination", mn)
+		}
+		s1, err := parseOperand(args[0])
+		if err != nil {
+			return bad("%s: %v", mn, err)
+		}
+		s2, err := parseOperand(args[1])
+		if err != nil {
+			return bad("%s: %v", mn, err)
+		}
+		dst, err := parseReg(args[2])
+		if err != nil {
+			return bad("%s: %v", mn, err)
+		}
+		return isa.ALU(op, dst, s1, s2), nil
+	}
+	return bad("unknown mnemonic %q", mn)
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	switch s {
+	case "sp":
+		return isa.RegSP, nil
+	case "ra":
+		return isa.RegLink, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// parseImmValue parses "#42", "#0x1F", "#-3", or "#'A'".
+func parseImmValue(s string) (int32, error) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("expected immediate, got %q", s)
+	}
+	body := s[1:]
+	if strings.HasPrefix(body, "'") {
+		r, err := strconv.Unquote(body)
+		if err != nil || len(r) != 1 {
+			return 0, fmt.Errorf("bad character constant %q", s)
+		}
+		return int32(r[0]), nil
+	}
+	n, err := strconv.ParseInt(body, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(n), nil
+}
+
+func parseOperand(s string) (isa.Operand, error) {
+	if strings.HasPrefix(s, "#") {
+		v, err := parseImmValue(s)
+		if err != nil {
+			return isa.Operand{}, err
+		}
+		return isa.Imm(v), nil
+	}
+	r, err := parseReg(s)
+	if err != nil {
+		return isa.Operand{}, err
+	}
+	return isa.R(r), nil
+}
+
+// parseEA parses an effective address: "@100", "2(r14)", "(r2+r3)",
+// "(r2+r3>>2)".
+func parseEA(s string) (isa.Piece, error) {
+	var p isa.Piece
+	switch {
+	case strings.HasPrefix(s, "@"):
+		n, err := strconv.ParseInt(s[1:], 0, 32)
+		if err != nil {
+			return p, fmt.Errorf("bad absolute address %q", s)
+		}
+		p.Mode = isa.AModeAbs
+		p.Disp = int32(n)
+		return p, nil
+
+	case strings.HasPrefix(s, "("):
+		if !strings.HasSuffix(s, ")") {
+			return p, fmt.Errorf("unbalanced parens in %q", s)
+		}
+		inner := s[1 : len(s)-1]
+		basePart, idxPart, found := strings.Cut(inner, "+")
+		if !found {
+			// "(r2)" is shorthand for 0(r2).
+			base, err := parseReg(strings.TrimSpace(inner))
+			if err != nil {
+				return p, err
+			}
+			p.Mode = isa.AModeDisp
+			p.Base = base
+			return p, nil
+		}
+		base, err := parseReg(strings.TrimSpace(basePart))
+		if err != nil {
+			return p, err
+		}
+		idxPart = strings.TrimSpace(idxPart)
+		if idxStr, shiftStr, shifted := strings.Cut(idxPart, ">>"); shifted {
+			idx, err := parseReg(strings.TrimSpace(idxStr))
+			if err != nil {
+				return p, err
+			}
+			sh, err := strconv.Atoi(strings.TrimSpace(shiftStr))
+			if err != nil || sh < 0 || sh > 5 {
+				return p, fmt.Errorf("bad shift in %q", s)
+			}
+			p.Mode = isa.AModeShift
+			p.Base = base
+			p.Index = idx
+			p.Shift = uint8(sh)
+			return p, nil
+		}
+		idx, err := parseReg(idxPart)
+		if err != nil {
+			return p, err
+		}
+		p.Mode = isa.AModeIndex
+		p.Base = base
+		p.Index = idx
+		return p, nil
+
+	default:
+		// displacement(base)
+		i := strings.IndexByte(s, '(')
+		if i < 0 || !strings.HasSuffix(s, ")") {
+			return p, fmt.Errorf("bad effective address %q", s)
+		}
+		disp, err := strconv.ParseInt(strings.TrimSpace(s[:i]), 0, 32)
+		if err != nil {
+			return p, fmt.Errorf("bad displacement in %q", s)
+		}
+		base, err := parseReg(strings.TrimSpace(s[i+1 : len(s)-1]))
+		if err != nil {
+			return p, err
+		}
+		p.Mode = isa.AModeDisp
+		p.Base = base
+		p.Disp = int32(disp)
+		return p, nil
+	}
+}
+
+func parseSpecial(s string) (isa.SpecialReg, bool) {
+	for i := isa.SpecialReg(0); i < isa.NumSpecialRegs; i++ {
+		if i.String() == s {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,165 @@
+// Package ccarch models the condition-code architectures the paper
+// compares MIPS against (§2.3): a three-operand register machine whose
+// conditional control flow runs through N/Z/V/C condition codes set as a
+// side effect of instruction execution. A Policy selects which
+// instructions set the codes and whether a conditional-set instruction
+// exists, reproducing the taxonomy of Table 2:
+//
+//	M68000: set on operations, conditional set available
+//	VAX:    set on operations and moves
+//	360:    set on operations only
+//	PDP-10/MIPS: no condition codes (compare-and-branch), for reference
+//
+// The machine is deliberately simple — the paper's comparisons are about
+// instruction counts and the Table 6 cost weights (register op 1,
+// compare 2, branch 4), not microarchitecture.
+package ccarch
+
+import "fmt"
+
+// Policy describes a condition-code regime.
+type Policy struct {
+	// Name identifies the machine family.
+	Name string
+	// SetOnOps: ALU operations set the condition codes.
+	SetOnOps bool
+	// SetOnMoves: moves and loads also set the condition codes (VAX).
+	SetOnMoves bool
+	// CondSet: a conditional-set instruction (M68000 scc) exists.
+	CondSet bool
+	// HasCC is false for machines with no condition codes at all; they
+	// use compare-and-branch and set-conditionally instead.
+	HasCC bool
+}
+
+// The paper's Table 2 policies.
+var (
+	PolicyM68000 = Policy{Name: "M68000", HasCC: true, SetOnOps: true, CondSet: true}
+	PolicyVAX    = Policy{Name: "VAX", HasCC: true, SetOnOps: true, SetOnMoves: true}
+	Policy360    = Policy{Name: "360", HasCC: true, SetOnOps: true}
+	PolicyNoCC   = Policy{Name: "MIPS", HasCC: false}
+)
+
+// Policies lists the Table 2 rows.
+func Policies() []Policy {
+	return []Policy{PolicyM68000, PolicyVAX, Policy360, PolicyNoCC}
+}
+
+// Cond is a branch/set condition decoded from the N/Z/V/C flags.
+type Cond uint8
+
+const (
+	CondAlways Cond = iota
+	CondEQ          // Z
+	CondNE          // !Z
+	CondLT          // N xor V
+	CondLE          // Z or (N xor V)
+	CondGT          // !(Z or (N xor V))
+	CondGE          // !(N xor V)
+	CondLTU         // C
+	CondLEU         // C or Z
+	CondGTU         // !(C or Z)
+	CondGEU         // !C
+
+	numConds
+)
+
+var condNames = [numConds]string{
+	"ra", "eq", "ne", "lt", "le", "gt", "ge", "ltu", "leu", "gtu", "geu",
+}
+
+func (c Cond) String() string {
+	if c < numConds {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond%d", uint8(c))
+}
+
+// Negate returns the complementary condition.
+func (c Cond) Negate() Cond {
+	switch c {
+	case CondEQ:
+		return CondNE
+	case CondNE:
+		return CondEQ
+	case CondLT:
+		return CondGE
+	case CondLE:
+		return CondGT
+	case CondGT:
+		return CondLE
+	case CondGE:
+		return CondLT
+	case CondLTU:
+		return CondGEU
+	case CondLEU:
+		return CondGTU
+	case CondGTU:
+		return CondLEU
+	case CondGEU:
+		return CondLTU
+	}
+	return c
+}
+
+// Flags is the condition-code register.
+type Flags struct {
+	N, Z, V, C bool
+}
+
+// fromResult sets N and Z from a result, clearing V and C (the move /
+// logical-operation rule).
+func fromResult(v uint32) Flags {
+	return Flags{N: int32(v) < 0, Z: v == 0}
+}
+
+// fromSub sets all four flags from a-b, the compare rule.
+func fromSub(a, b uint32) Flags {
+	d := a - b
+	return Flags{
+		N: int32(d) < 0,
+		Z: d == 0,
+		V: (a^b)&(a^d)&(1<<31) != 0,
+		C: a < b, // borrow
+	}
+}
+
+// fromAdd sets all four flags from a+b.
+func fromAdd(a, b uint32) Flags {
+	s := a + b
+	return Flags{
+		N: int32(s) < 0,
+		Z: s == 0,
+		V: (a^s)&(b^s)&(1<<31) != 0,
+		C: s < a,
+	}
+}
+
+// Holds reports whether the condition is satisfied by the flags.
+func (f Flags) Holds(c Cond) bool {
+	switch c {
+	case CondAlways:
+		return true
+	case CondEQ:
+		return f.Z
+	case CondNE:
+		return !f.Z
+	case CondLT:
+		return f.N != f.V
+	case CondLE:
+		return f.Z || f.N != f.V
+	case CondGT:
+		return !(f.Z || f.N != f.V)
+	case CondGE:
+		return f.N == f.V
+	case CondLTU:
+		return f.C
+	case CondLEU:
+		return f.C || f.Z
+	case CondGTU:
+		return !(f.C || f.Z)
+	case CondGEU:
+		return !f.C
+	}
+	return false
+}

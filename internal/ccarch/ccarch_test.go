@@ -1,0 +1,437 @@
+package ccarch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlagsMatchDirectComparisons(t *testing.T) {
+	// After cmp a,b the flag conditions must agree with the direct
+	// comparisons — the whole point of the N/Z/V/C encoding.
+	f := func(a, b uint32) bool {
+		fl := fromSub(a, b)
+		sa, sb := int32(a), int32(b)
+		return fl.Holds(CondEQ) == (a == b) &&
+			fl.Holds(CondNE) == (a != b) &&
+			fl.Holds(CondLT) == (sa < sb) &&
+			fl.Holds(CondLE) == (sa <= sb) &&
+			fl.Holds(CondGT) == (sa > sb) &&
+			fl.Holds(CondGE) == (sa >= sb) &&
+			fl.Holds(CondLTU) == (a < b) &&
+			fl.Holds(CondLEU) == (a <= b) &&
+			fl.Holds(CondGTU) == (a > b) &&
+			fl.Holds(CondGEU) == (a >= b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondNegateProperty(t *testing.T) {
+	f := func(a, b uint32, c8 uint8) bool {
+		c := Cond(c8%uint8(numConds-1)) + 1 // skip CondAlways
+		fl := fromSub(a, b)
+		return fl.Holds(c.Negate()) == !fl.Holds(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetsCCByPolicy(t *testing.T) {
+	add := ALU(OpAdd, 1, R(2), R(3))
+	mov := Mov(1, Imm(5))
+	ld := Ld(1, 2, 0)
+	cmp := Cmp(R(1), Imm(0))
+
+	cases := []struct {
+		p                Policy
+		add, mov, ld, cc bool
+	}{
+		{PolicyM68000, true, false, false, true},
+		{PolicyVAX, true, true, true, true},
+		{Policy360, true, false, false, true},
+		{PolicyNoCC, false, false, false, false},
+	}
+	for _, tc := range cases {
+		if add.SetsCC(tc.p) != tc.add {
+			t.Errorf("%s: add sets CC = %t", tc.p.Name, add.SetsCC(tc.p))
+		}
+		if mov.SetsCC(tc.p) != tc.mov {
+			t.Errorf("%s: mov sets CC = %t", tc.p.Name, mov.SetsCC(tc.p))
+		}
+		if ld.SetsCC(tc.p) != tc.ld {
+			t.Errorf("%s: ld sets CC = %t", tc.p.Name, ld.SetsCC(tc.p))
+		}
+		if cmp.SetsCC(tc.p) != tc.cc {
+			t.Errorf("%s: cmp sets CC = %t", tc.p.Name, cmp.SetsCC(tc.p))
+		}
+	}
+}
+
+// figure1Full is the paper's Figure 1 full-evaluation sequence for
+// Found := (Rec = Key) OR (I = 13), with memory laid out as:
+// mem[0]=Rec, mem[1]=Key, mem[2]=I, mem[3]=Found; r0 holds 0.
+func figure1Full() *Builder {
+	b := NewBuilder()
+	b.Emit(
+		Ld(1, 0, 0),     // Rec
+		Ld(2, 0, 1),     // Key
+		Ld(3, 0, 2),     // I
+		Mov(4, Imm(0)),  // str 0, r4
+		Cmp(R(1), R(2)), // comp Rec, Key
+		Bcc(CondNE, "L"),
+		Mov(4, Imm(1)),
+	)
+	b.Label("L")
+	b.Emit(
+		Cmp(R(3), Imm(13)),
+		Bcc(CondNE, "D"),
+		Mov(4, Imm(1)),
+	)
+	b.Label("D")
+	b.Emit(St(4, 0, 3), Halt())
+	return b
+}
+
+func TestFigure1FullEvaluationSemantics(t *testing.T) {
+	cases := []struct {
+		rec, key, i uint32
+		want        uint32
+	}{
+		{5, 5, 0, 1},
+		{5, 6, 13, 1},
+		{5, 6, 12, 0},
+		{5, 5, 13, 1},
+	}
+	for _, tc := range cases {
+		p, err := figure1Full().Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMachine(PolicyVAX, 16)
+		m.Mem[0], m.Mem[1], m.Mem[2] = tc.rec, tc.key, tc.i
+		if err := m.Run(p, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if m.Mem[3] != tc.want {
+			t.Errorf("(%d,%d,%d): Found = %d, want %d", tc.rec, tc.key, tc.i, m.Mem[3], tc.want)
+		}
+	}
+}
+
+func TestFigure2ConditionalSet(t *testing.T) {
+	// Figure 2: comp Rec,Key; seq r4; comp I,13; seq r5; or r4,r5 —
+	// branch-free under the M68000 policy.
+	b := NewBuilder()
+	b.Emit(
+		Ld(1, 0, 0),
+		Ld(2, 0, 1),
+		Ld(3, 0, 2),
+		Cmp(R(1), R(2)),
+		Scc(CondEQ, 4),
+		Cmp(R(3), Imm(13)),
+		Scc(CondEQ, 5),
+		ALU(OpOr, 4, R(4), R(5)),
+		St(4, 0, 3),
+		Halt(),
+	)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(PolicyM68000, 16)
+	m.Mem[0], m.Mem[1], m.Mem[2] = 7, 8, 13
+	if err := m.Run(p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[3] != 1 {
+		t.Errorf("Found = %d", m.Mem[3])
+	}
+	if m.Stats.Branches != 0 {
+		t.Errorf("branches = %d, want 0", m.Stats.Branches)
+	}
+}
+
+func TestSccRequiresPolicy(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(Cmp(R(1), Imm(0)), Scc(CondEQ, 2), Halt())
+	p, _ := b.Program()
+	m := NewMachine(PolicyVAX, 4) // VAX row has no conditional set
+	if err := m.Run(p, 100); err == nil {
+		t.Error("scc on a machine without conditional set should fail")
+	}
+}
+
+func TestCmpRequiresCC(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(Cmp(R(1), R(2)), Halt())
+	p, _ := b.Program()
+	m := NewMachine(PolicyNoCC, 4)
+	if err := m.Run(p, 100); err == nil {
+		t.Error("cmp on a no-CC machine should fail")
+	}
+}
+
+func TestDynamicCostWeights(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(
+		Mov(1, Imm(3)),     // 1
+		Cmp(R(1), Imm(0)),  // 2
+		Bcc(CondEQ, "end"), // 4 (not taken)
+	)
+	b.Label("end")
+	b.Emit(Halt())
+	p, _ := b.Program()
+	m := NewMachine(PolicyVAX, 4)
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats.Cost(PaperWeights()); got != 7 {
+		t.Errorf("cost = %v, want 7", got)
+	}
+}
+
+func TestStaticCost(t *testing.T) {
+	p, _ := figure1Full().Program()
+	got := StaticCost(p, PaperWeights())
+	// 3 ld (12) + 3 mov (3) + 2 cmp (4) + 2 bcc (8) + 1 st (4) = 31.
+	if got != 31 {
+		t.Errorf("static cost = %v, want 31", got)
+	}
+}
+
+func TestEliminateComparesOpsPolicy(t *testing.T) {
+	// sub r1,r2 -> r3; cmp r3,#0; beq  — the compare is redundant when
+	// operations set the codes.
+	b := NewBuilder()
+	b.Emit(
+		ALU(OpSub, 3, R(1), R(2)),
+		Cmp(R(3), Imm(0)),
+		Bcc(CondEQ, "end"),
+		Mov(4, Imm(1)),
+	)
+	b.Label("end")
+	b.Emit(Halt())
+	p, _ := b.Program()
+
+	out, sav := EliminateCompares(p, Policy360)
+	if sav.TotalCompares != 1 || sav.SavedByOps != 1 || sav.SavedByMoves != 0 {
+		t.Errorf("savings = %+v", sav)
+	}
+	if len(out.Instrs) != len(p.Instrs)-1 {
+		t.Errorf("instrs = %d", len(out.Instrs))
+	}
+	// Semantics preserved: run both on both branch outcomes.
+	for _, r1 := range []uint32{5, 9} {
+		run := func(prog *Program, pol Policy) uint32 {
+			m := NewMachine(pol, 4)
+			m.Regs[1], m.Regs[2] = r1, 5
+			if err := m.Run(prog, 100); err != nil {
+				t.Fatal(err)
+			}
+			return m.Regs[4]
+		}
+		if run(p, Policy360) != run(out, Policy360) {
+			t.Errorf("elimination changed semantics for r1=%d", r1)
+		}
+	}
+}
+
+func TestEliminateComparesMovesPolicy(t *testing.T) {
+	// ld r1; tst r1; beq — redundant only under set-on-moves (VAX).
+	b := NewBuilder()
+	b.Emit(
+		Ld(1, 0, 0),
+		Tst(R(1)),
+		Bcc(CondEQ, "end"),
+		Mov(2, Imm(1)),
+	)
+	b.Label("end")
+	b.Emit(Halt())
+	p, _ := b.Program()
+
+	_, sav360 := EliminateCompares(p, Policy360)
+	if sav360.Saved() != 0 {
+		t.Errorf("360 saved %d; loads do not set its codes", sav360.Saved())
+	}
+	out, savVAX := EliminateCompares(p, PolicyVAX)
+	if savVAX.SavedByMoves != 1 || savVAX.MovesSettingCC != 1 {
+		t.Errorf("VAX savings = %+v", savVAX)
+	}
+	m := NewMachine(PolicyVAX, 4)
+	m.Mem[0] = 0
+	if err := m.Run(out, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[2] != 0 {
+		t.Error("eliminated tst changed the branch outcome")
+	}
+}
+
+func TestEliminationBlockedByLabel(t *testing.T) {
+	// A label on the compare means the codes may arrive from another
+	// path; the compare must stay.
+	b := NewBuilder()
+	b.Emit(ALU(OpSub, 3, R(1), R(2)))
+	b.Label("join")
+	b.Emit(
+		Cmp(R(3), Imm(0)),
+		Bcc(CondEQ, "join"),
+		Halt(),
+	)
+	p, _ := b.Program()
+	_, sav := EliminateCompares(p, Policy360)
+	if sav.Saved() != 0 {
+		t.Errorf("compare under a label eliminated: %+v", sav)
+	}
+}
+
+func TestEliminationRemapsTargets(t *testing.T) {
+	// A forward branch over an eliminated compare must still land on
+	// the right instruction.
+	b := NewBuilder()
+	b.Emit(
+		Jmp("over"),
+		ALU(OpAdd, 3, R(1), R(2)),
+		Cmp(R(3), Imm(0)), // eliminated
+	)
+	b.Label("over")
+	b.Emit(Mov(5, Imm(9)), Halt())
+	p, _ := b.Program()
+	out, _ := EliminateCompares(p, Policy360)
+	m := NewMachine(Policy360, 4)
+	if err := m.Run(out, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[5] != 9 {
+		t.Error("branch target mis-remapped after elimination")
+	}
+}
+
+func TestPoliciesTable2(t *testing.T) {
+	ps := Policies()
+	if len(ps) != 4 {
+		t.Fatalf("policies = %d", len(ps))
+	}
+	byName := map[string]Policy{}
+	for _, p := range ps {
+		byName[p.Name] = p
+	}
+	if !byName["M68000"].CondSet || byName["VAX"].CondSet {
+		t.Error("conditional-set column wrong")
+	}
+	if !byName["VAX"].SetOnMoves || byName["360"].SetOnMoves {
+		t.Error("set-on-moves column wrong")
+	}
+	if byName["MIPS"].HasCC {
+		t.Error("MIPS row must have no condition codes")
+	}
+}
+
+func TestBuilderAndLinkErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(Jmp("missing"), Halt())
+	if _, err := b.Program(); err == nil {
+		t.Error("undefined label must fail to link")
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(
+		Mov(1, Imm(3)),
+		Call("double"),
+		Call("double"),
+		Halt(),
+	)
+	b.Label("double")
+	b.Emit(ALU(OpAdd, 1, R(1), R(1)), Ret())
+	p, _ := b.Program()
+	m := NewMachine(PolicyVAX, 4)
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 12 {
+		t.Errorf("r1 = %d, want 12", m.Regs[1])
+	}
+}
+
+func TestNativeMulDivMod(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(
+		Mov(1, Imm(-37)),
+		Mov(2, Imm(5)),
+		ALU(OpMul, 3, R(1), R(2)),
+		ALU(OpDiv, 4, R(1), R(2)),
+		ALU(OpMod, 5, R(1), R(2)),
+		Halt(),
+	)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(PolicyVAX, 4)
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if int32(m.Regs[3]) != -185 || int32(m.Regs[4]) != -7 || int32(m.Regs[5]) != -2 {
+		t.Errorf("mul/div/mod = %d, %d, %d", int32(m.Regs[3]), int32(m.Regs[4]), int32(m.Regs[5]))
+	}
+}
+
+func TestDivisionByZeroIsAnError(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(ALU(OpDiv, 1, R(2), R(3)), Halt())
+	p, _ := b.Program()
+	if err := NewMachine(PolicyVAX, 4).Run(p, 100); err == nil {
+		t.Error("divide by zero should error")
+	}
+	b2 := NewBuilder()
+	b2.Emit(ALU(OpMod, 1, R(2), R(3)), Halt())
+	p2, _ := b2.Program()
+	if err := NewMachine(PolicyVAX, 4).Run(p2, 100); err == nil {
+		t.Error("modulo by zero should error")
+	}
+}
+
+func TestConsoleOutputOps(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(
+		Mov(1, Imm(-42)),
+		Instr{Op: OpPutInt, Src1: R(1)},
+		Mov(2, Imm('z')),
+		Instr{Op: OpPutCh, Src1: R(2)},
+		Halt(),
+	)
+	p, _ := b.Program()
+	m := NewMachine(Policy360, 4)
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Out.String(); got != "-42\nz" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestMulSetsCodesUnderOpsPolicy(t *testing.T) {
+	// Multiply participates in the set-on-operations rule like any ALU op.
+	b := NewBuilder()
+	b.Emit(
+		Mov(1, Imm(3)),
+		Mov(2, Imm(0)),
+		ALU(OpMul, 3, R(1), R(2)), // result 0 -> Z set
+		Bcc(CondEQ, "zero"),
+		Mov(4, Imm(1)),
+	)
+	b.Label("zero")
+	b.Emit(Halt())
+	p, _ := b.Program()
+	m := NewMachine(Policy360, 4)
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[4] != 0 {
+		t.Error("branch on multiply-set codes not taken")
+	}
+}

@@ -1,0 +1,146 @@
+package ccarch
+
+// CmpSavings reports what a condition-code policy saves over explicit
+// compares, the quantities of the paper's Table 3. The paper's finding:
+// the savings are tiny — about 1.1% of compares when only operations set
+// the codes, 2.1% when moves set them too.
+type CmpSavings struct {
+	// TotalCompares counts compare/test instructions before elimination.
+	TotalCompares int
+	// SavedByOps counts compares made redundant by an ALU operation that
+	// already set the codes.
+	SavedByOps int
+	// SavedByMoves counts compares made redundant by a move or load
+	// (possible only under a set-on-moves policy such as the VAX's).
+	SavedByMoves int
+	// MovesSettingCC counts moves whose condition-code side effect was
+	// actually consumed — the paper's "moves used only to set condition
+	// code" row.
+	MovesSettingCC int
+}
+
+// Saved returns the total eliminated compares.
+func (s CmpSavings) Saved() int { return s.SavedByOps + s.SavedByMoves }
+
+// EliminateCompares removes compare instructions whose condition codes
+// are already set by the immediately preceding instruction under the
+// policy. Input programs use explicit compares everywhere (the no-CC
+// style); the result is what a CC-aware code generator would emit.
+//
+// A compare is eliminable when:
+//   - it tests a register against zero (or is a tst), and
+//   - the previous instruction defines exactly that register and sets
+//     the condition codes under the policy, and
+//   - no label lands on the compare (the CC state would depend on the
+//     path taken).
+//
+// The usual caveat applies (and is why CC machines frighten compiler
+// writers, §2.3): signed orderings after an overflowing operation differ
+// from an explicit compare against zero. Like production compilers of
+// the era, elimination assumes well-defined arithmetic.
+func EliminateCompares(p *Program, policy Policy) (*Program, CmpSavings) {
+	var sav CmpSavings
+
+	labelled := make(map[int]bool, len(p.Labels))
+	for _, idx := range p.Labels {
+		labelled[idx] = true
+	}
+
+	n := len(p.Instrs)
+	drop := make([]bool, n)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op != OpCmp && in.Op != OpTst {
+			continue
+		}
+		sav.TotalCompares++
+		if !policy.HasCC {
+			continue
+		}
+		// Must compare a register against zero.
+		if in.Src1.IsImm {
+			continue
+		}
+		if in.Op == OpCmp && !(in.Src2.IsImm && in.Src2.Imm == 0) {
+			continue
+		}
+		if labelled[i] || i == 0 {
+			continue
+		}
+		// Walk back over instructions that neither set the codes nor
+		// disturb the compared register, to the instruction whose codes
+		// would be live at the compare.
+		setter := -1
+		for j := i - 1; j >= 0; j-- {
+			prev := &p.Instrs[j]
+			if drop[j] || prev.Class() == ClassBranch {
+				break
+			}
+			if prev.SetsCC(policy) {
+				setter = j
+				break
+			}
+			// A CC-neutral write to the compared register kills the chain.
+			if d, ok := defOf(prev); ok && d == in.Src1.Reg {
+				break
+			}
+			if labelled[j] {
+				// Control may join here with unknown codes.
+				break
+			}
+		}
+		if setter < 0 {
+			continue
+		}
+		prev := &p.Instrs[setter]
+		d, ok := defOf(prev)
+		if !ok || d != in.Src1.Reg {
+			continue
+		}
+		drop[i] = true
+		switch prev.Op {
+		case OpMov, OpLd, OpScc:
+			sav.SavedByMoves++
+			sav.MovesSettingCC++
+		default:
+			sav.SavedByOps++
+		}
+	}
+
+	// Rebuild without the dropped compares, remapping labels.
+	out := &Program{Labels: make(map[string]int, len(p.Labels))}
+	remap := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		remap[i] = len(out.Instrs)
+		if !drop[i] {
+			out.Instrs = append(out.Instrs, p.Instrs[i])
+		}
+	}
+	remap[n] = len(out.Instrs)
+	for name, idx := range p.Labels {
+		out.Labels[name] = remap[idx]
+	}
+	for i := range out.Instrs {
+		in := &out.Instrs[i]
+		switch in.Op {
+		case OpBcc, OpJmp, OpCall:
+			if in.Label == "" {
+				in.Target = remap[in.Target]
+			}
+		}
+	}
+	if err := out.Link(); err != nil {
+		// Labels were only remapped, never removed; relinking cannot fail.
+		panic("ccarch: relink after elimination: " + err.Error())
+	}
+	return out, sav
+}
+
+// defOf returns the register an instruction defines.
+func defOf(in *Instr) (Reg, bool) {
+	switch in.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpDiv, OpMod, OpMov, OpScc, OpLd:
+		return in.Dst, true
+	}
+	return 0, false
+}

@@ -1,0 +1,271 @@
+package codegen
+
+import (
+	"mips/internal/ccarch"
+	"mips/internal/lang"
+)
+
+// ccPlace describes where a CC-machine lvalue lives: a base register
+// plus displacement (the machine's only addressing mode, with r0 the
+// software zero for absolute addresses).
+type ccPlace struct {
+	base   ccarch.Reg
+	disp   int32
+	ownReg bool // base is an owned temporary
+}
+
+func (g *ccGen) freeCCPlace(p ccPlace) {
+	if p.ownReg {
+		g.free(p.base)
+	}
+}
+
+func (g *ccGen) lvalue(e lang.Expr) ccPlace {
+	switch ex := e.(type) {
+	case *lang.VarExpr:
+		o := ex.Obj
+		switch {
+		case o.Kind == lang.ObjConst && o.IsStr:
+			return ccPlace{base: ccZero, disp: g.lay.StringAddrCC(o)}
+		case o.Kind == lang.ObjGlobal:
+			return ccPlace{base: ccZero, disp: g.lay.GlobalAddr[o]}
+		case o.ByRef:
+			r := g.alloc(ex.ExprPos())
+			g.emit(ccarch.Ld(r, ccSP, g.frame.Offsets[o]))
+			return ccPlace{base: r, ownReg: true}
+		default:
+			return ccPlace{base: ccSP, disp: g.frame.Offsets[o]}
+		}
+
+	case *lang.IndexExpr:
+		arrT := ex.Arr.ExprType()
+		base := g.containerAddr(ex.Arr)
+		idx := g.eval(ex.Idx)
+		if arrT.Lo != 0 {
+			g.emit(ccarch.ALU(ccarch.OpSub, idx, ccarch.R(idx), ccarch.Imm(arrT.Lo)))
+		}
+		if w := g.lay.Mode.SizeWords(arrT.Elem); w != 1 {
+			g.emit(ccarch.ALU(ccarch.OpMul, idx, ccarch.R(idx), ccarch.Imm(w)))
+		}
+		g.emit(ccarch.ALU(ccarch.OpAdd, base, ccarch.R(base), ccarch.R(idx)))
+		g.free(idx)
+		return ccPlace{base: base, ownReg: true}
+
+	case *lang.FieldExpr:
+		recT := ex.Rec.ExprType()
+		p := g.lvalue(ex.Rec)
+		p.disp += g.lay.Mode.FieldOffsetWords(recT, ex.FieldIndex)
+		return p
+	}
+	fail(e.ExprPos(), "not an lvalue: %T", e)
+	return ccPlace{}
+}
+
+// StringAddrCC returns a string constant's address (helper to keep the
+// CC backend independent of the MIPS one).
+func (l *Layout) StringAddrCC(o *lang.Object) int32 { return l.StringAddr[o] }
+
+// containerAddr materializes an array/record base address into an owned
+// register.
+func (g *ccGen) containerAddr(e lang.Expr) ccarch.Reg {
+	p := g.lvalue(e)
+	if p.ownReg && p.disp == 0 {
+		return p.base
+	}
+	var r ccarch.Reg
+	if p.ownReg {
+		r = p.base
+	} else {
+		r = g.alloc(e.ExprPos())
+	}
+	g.emit(ccarch.ALU(ccarch.OpAdd, r, ccarch.R(p.base), ccarch.Imm(p.disp)))
+	return r
+}
+
+func (g *ccGen) loadScalar(e lang.Expr) ccarch.Reg {
+	p := g.lvalue(e)
+	var d ccarch.Reg
+	if p.ownReg {
+		d = p.base
+	} else {
+		d = g.alloc(e.ExprPos())
+	}
+	g.emit(ccarch.Ld(d, p.base, p.disp))
+	return d
+}
+
+func (g *ccGen) storeScalar(e lang.Expr, v ccarch.Reg) {
+	p := g.lvalue(e)
+	g.emit(ccarch.St(v, p.base, p.disp))
+	g.freeCCPlace(p)
+}
+
+// eval computes an expression into a fresh temporary.
+func (g *ccGen) eval(e lang.Expr) ccarch.Reg {
+	switch ex := e.(type) {
+	case *lang.IntExpr:
+		return g.loadConst(ex.Val, ex.ExprPos())
+	case *lang.CharExpr:
+		return g.loadConst(ex.Val, ex.ExprPos())
+	case *lang.BoolExpr:
+		v := int32(0)
+		if ex.Val {
+			v = 1
+		}
+		return g.loadConst(v, ex.ExprPos())
+
+	case *lang.VarExpr:
+		if ex.Obj.Kind == lang.ObjConst && !ex.Obj.IsStr {
+			return g.loadConst(ex.Obj.ConstVal, ex.ExprPos())
+		}
+		return g.loadScalar(ex)
+	case *lang.IndexExpr, *lang.FieldExpr:
+		return g.loadScalar(e)
+
+	case *lang.UnExpr:
+		switch ex.Op {
+		case lang.OpOrd, lang.OpChr:
+			return g.eval(ex.E)
+		case lang.OpNeg:
+			r := g.eval(ex.E)
+			g.emit(ccarch.Instr{Op: ccarch.OpSub, Dst: r, Src1: ccarch.Imm(0), Src2: ccarch.R(r)})
+			return r
+		case lang.OpNot:
+			r := g.eval(ex.E)
+			g.emit(ccarch.ALU(ccarch.OpXor, r, ccarch.R(r), ccarch.Imm(1)))
+			return r
+		}
+
+	case *lang.BinExpr:
+		return g.evalBin(ex)
+
+	case *lang.CallExpr:
+		return g.genCall(ex)
+	}
+	fail(e.ExprPos(), "cannot evaluate %T", e)
+	return 0
+}
+
+func (g *ccGen) loadConst(v int32, pos lang.Pos) ccarch.Reg {
+	r := g.alloc(pos)
+	g.emit(ccarch.Mov(r, ccarch.Imm(v)))
+	return r
+}
+
+// operand evaluates an expression as an operand, using immediates for
+// constants (the CC machine's immediate fields are not size-limited in
+// this model).
+func (g *ccGen) operand(e lang.Expr) ccarch.Operand {
+	if v, ok := constValue(e); ok {
+		return ccarch.Imm(v)
+	}
+	return ccarch.R(g.eval(e))
+}
+
+func (g *ccGen) freeOperand(o ccarch.Operand) {
+	if !o.IsImm {
+		g.free(o.Reg)
+	}
+}
+
+func (g *ccGen) evalBin(ex *lang.BinExpr) ccarch.Reg {
+	if ex.Op.Relational() {
+		return g.evalRelation(ex)
+	}
+	switch ex.Op {
+	case lang.OpAnd, lang.OpOr:
+		return g.evalBoolOp(ex)
+	}
+	var op ccarch.Op
+	switch ex.Op {
+	case lang.OpAdd:
+		op = ccarch.OpAdd
+	case lang.OpSub:
+		op = ccarch.OpSub
+	case lang.OpMul:
+		op = ccarch.OpMul
+	case lang.OpDiv:
+		op = ccarch.OpDiv
+	case lang.OpMod:
+		op = ccarch.OpMod
+	}
+	l := g.eval(ex.L)
+	r := g.operand(ex.R)
+	g.emit(ccarch.ALU(op, l, ccarch.R(l), r))
+	g.freeOperand(r)
+	return l
+}
+
+// evalRelation produces a 0/1 value from a comparison under the chosen
+// strategy.
+func (g *ccGen) evalRelation(ex *lang.BinExpr) ccarch.Reg {
+	cond := ccCond(ex.Op)
+
+	if g.opt.Strategy == BoolCondSet {
+		// Figure 2: the conditional-set instruction, branch-free.
+		l := g.eval(ex.L)
+		r := g.operand(ex.R)
+		g.emit(ccarch.Cmp(ccarch.R(l), r))
+		g.freeOperand(r)
+		g.emit(ccarch.Scc(cond, l))
+		return l
+	}
+	// Figure 1: preset the result, compare, branch over the other
+	// store. The preset must precede the compare — on a set-on-moves
+	// machine (VAX) the move would clobber the codes.
+	d := g.alloc(ex.ExprPos())
+	g.emit(ccarch.Mov(d, ccarch.Imm(0)))
+	l := g.eval(ex.L)
+	r := g.operand(ex.R)
+	g.emit(ccarch.Cmp(ccarch.R(l), r))
+	g.free(l)
+	g.freeOperand(r)
+	done := g.newLabel()
+	g.emit(ccarch.Bcc(cond.Negate(), done))
+	g.emit(ccarch.Mov(d, ccarch.Imm(1)))
+	g.label(done)
+	return d
+}
+
+// evalBoolOp produces a 0/1 value for and/or under the strategy.
+func (g *ccGen) evalBoolOp(ex *lang.BinExpr) ccarch.Reg {
+	if g.opt.Strategy == BoolEarlyOut && exprPure(ex.R) {
+		// Early-out: a branch chain with one store per outcome.
+		d := g.alloc(ex.ExprPos())
+		done := g.newLabel()
+		g.emit(ccarch.Mov(d, ccarch.Imm(1)))
+		g.condBranch(ex, done, true)
+		g.emit(ccarch.Mov(d, ccarch.Imm(0)))
+		g.label(done)
+		return d
+	}
+	// Full evaluation (or conditional set): operand values combined
+	// bitwise.
+	l := g.eval(ex.L)
+	r := g.eval(ex.R)
+	op := ccarch.OpAnd
+	if ex.Op == lang.OpOr {
+		op = ccarch.OpOr
+	}
+	g.emit(ccarch.ALU(op, l, ccarch.R(l), ccarch.R(r)))
+	g.free(r)
+	return l
+}
+
+func ccCond(op lang.BinOp) ccarch.Cond {
+	switch op {
+	case lang.OpEq:
+		return ccarch.CondEQ
+	case lang.OpNE:
+		return ccarch.CondNE
+	case lang.OpLT:
+		return ccarch.CondLT
+	case lang.OpLE:
+		return ccarch.CondLE
+	case lang.OpGT:
+		return ccarch.CondGT
+	case lang.OpGE:
+		return ccarch.CondGE
+	}
+	return ccarch.CondAlways
+}

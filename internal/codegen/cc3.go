@@ -1,0 +1,256 @@
+package codegen
+
+import (
+	"mips/internal/ccarch"
+	"mips/internal/lang"
+)
+
+// Statements and control flow for the CC backend.
+
+func (g *ccGen) stmts(list []lang.Stmt) {
+	for _, s := range list {
+		g.stmt(s)
+	}
+}
+
+func (g *ccGen) stmt(s lang.Stmt) {
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		g.stmts(st.Stmts)
+
+	case *lang.AssignStmt:
+		v := g.eval(st.RHS)
+		g.storeScalar(st.LHS, v)
+		g.free(v)
+
+	case *lang.IfStmt:
+		elseL, endL := g.newLabel(), g.newLabel()
+		target := endL
+		if len(st.Else) > 0 {
+			target = elseL
+		}
+		g.condBranch(st.Cond, target, false)
+		g.stmts(st.Then)
+		if len(st.Else) > 0 {
+			g.emit(ccarch.Jmp(endL))
+			g.label(elseL)
+			g.stmts(st.Else)
+		}
+		g.label(endL)
+
+	case *lang.WhileStmt:
+		top, endL := g.newLabel(), g.newLabel()
+		g.label(top)
+		g.condBranch(st.Cond, endL, false)
+		g.stmts(st.Body)
+		g.emit(ccarch.Jmp(top))
+		g.label(endL)
+
+	case *lang.RepeatStmt:
+		top := g.newLabel()
+		g.label(top)
+		g.stmts(st.Body)
+		g.condBranch(st.Cond, top, false)
+
+	case *lang.ForStmt:
+		g.genFor(st)
+
+	case *lang.CallStmt:
+		if r := g.genCall(st.Call); r != 0 {
+			g.free(r)
+		}
+	}
+}
+
+func (g *ccGen) genFor(st *lang.ForStmt) {
+	limitOff := g.frame.LoopTmp[st]
+	from := g.eval(st.From)
+	g.storeScalar(st.Var, from)
+	g.free(from)
+	lim := g.eval(st.To)
+	g.emit(ccarch.St(lim, ccSP, limitOff))
+	g.free(lim)
+
+	top, endL := g.newLabel(), g.newLabel()
+	g.label(top)
+	v := g.loadScalar(st.Var)
+	l := g.alloc(st.Pos)
+	g.emit(ccarch.Ld(l, ccSP, limitOff))
+	g.emit(ccarch.Cmp(ccarch.R(v), ccarch.R(l)))
+	exitCond := ccarch.CondGT
+	if st.Down {
+		exitCond = ccarch.CondLT
+	}
+	g.emit(ccarch.Bcc(exitCond, endL))
+	g.free(v)
+	g.free(l)
+	g.stmts(st.Body)
+	v = g.loadScalar(st.Var)
+	op := ccarch.OpAdd
+	if st.Down {
+		op = ccarch.OpSub
+	}
+	g.emit(ccarch.ALU(op, v, ccarch.R(v), ccarch.Imm(1)))
+	g.storeScalar(st.Var, v)
+	g.free(v)
+	g.emit(ccarch.Jmp(top))
+	g.label(endL)
+}
+
+// condBranch branches to target when the condition equals want,
+// following the boolean strategy for composite conditions.
+func (g *ccGen) condBranch(e lang.Expr, target string, want bool) {
+	switch ex := e.(type) {
+	case *lang.BoolExpr:
+		if ex.Val == want {
+			g.emit(ccarch.Jmp(target))
+		}
+		return
+
+	case *lang.UnExpr:
+		if ex.Op == lang.OpNot {
+			g.condBranch(ex.E, target, !want)
+			return
+		}
+
+	case *lang.BinExpr:
+		if ex.Op.Relational() {
+			// A bare comparison always uses compare-and-branch: "the
+			// branch instruction will be part of the normal evaluation"
+			// (§2.3.2).
+			l := g.eval(ex.L)
+			r := g.operand(ex.R)
+			g.emit(ccarch.Cmp(ccarch.R(l), r))
+			g.free(l)
+			g.freeOperand(r)
+			cond := ccCond(ex.Op)
+			if !want {
+				cond = cond.Negate()
+			}
+			g.emit(ccarch.Bcc(cond, target))
+			return
+		}
+		if (ex.Op == lang.OpAnd || ex.Op == lang.OpOr) &&
+			g.opt.Strategy == BoolEarlyOut && exprPure(ex.R) {
+			isAnd := ex.Op == lang.OpAnd
+			if isAnd == want {
+				skip := g.newLabel()
+				g.condBranch(ex.L, skip, !want)
+				g.condBranch(ex.R, target, want)
+				g.label(skip)
+			} else {
+				g.condBranch(ex.L, target, want)
+				g.condBranch(ex.R, target, want)
+			}
+			return
+		}
+	}
+	// General case: evaluate to a value and test it.
+	v := g.eval(e)
+	g.emit(ccarch.Tst(ccarch.R(v)))
+	g.free(v)
+	cond := ccarch.CondNE
+	if !want {
+		cond = ccarch.CondEQ
+	}
+	g.emit(ccarch.Bcc(cond, target))
+}
+
+// genCall compiles builtins and procedure/function calls. Functions
+// return their result in r1 (loaded by the callee's epilogue).
+func (g *ccGen) genCall(c *lang.CallExpr) ccarch.Reg {
+	switch c.Builtin {
+	case lang.BWriteInt:
+		v := g.eval(c.Args[0])
+		g.emit(ccarch.Instr{Op: ccarch.OpPutInt, Src1: ccarch.R(v)})
+		g.free(v)
+		return 0
+	case lang.BWriteChar:
+		v := g.eval(c.Args[0])
+		g.emit(ccarch.Instr{Op: ccarch.OpPutCh, Src1: ccarch.R(v)})
+		g.free(v)
+		return 0
+	case lang.BHalt:
+		g.emit(ccarch.Halt())
+		return 0
+	}
+
+	proc := c.Proc
+	frame := g.lay.Frames[proc]
+	argRegs := make([]ccarch.Reg, len(c.Args))
+	for i, a := range c.Args {
+		if proc.Params[i].ByRef {
+			argRegs[i] = g.ccAddressOf(a)
+		} else {
+			argRegs[i] = g.eval(a)
+		}
+	}
+	spilled := g.ccSpillLive(argRegs)
+	g.adjustSP(-frame.Size)
+	off := int32(1)
+	for i, r := range argRegs {
+		g.emit(ccarch.St(r, ccSP, off))
+		if proc.Params[i].ByRef {
+			off++
+		} else {
+			off += g.lay.Mode.SizeWords(proc.Params[i].Type)
+		}
+		g.free(r)
+	}
+	g.emit(ccarch.Call("p$" + proc.Name))
+	g.adjustSP(frame.Size)
+
+	var result ccarch.Reg
+	if proc.Result != nil {
+		result = g.alloc(c.ExprPos())
+		if result != ccTmpLo {
+			g.emit(ccarch.Mov(result, ccarch.R(ccTmpLo)))
+		}
+	}
+	g.ccRestore(spilled)
+	return result
+}
+
+func (g *ccGen) ccAddressOf(e lang.Expr) ccarch.Reg {
+	p := g.lvalue(e)
+	var r ccarch.Reg
+	if p.ownReg {
+		r = p.base
+		if p.disp != 0 {
+			g.emit(ccarch.ALU(ccarch.OpAdd, r, ccarch.R(r), ccarch.Imm(p.disp)))
+		}
+		return r
+	}
+	r = g.alloc(e.ExprPos())
+	g.emit(ccarch.ALU(ccarch.OpAdd, r, ccarch.R(p.base), ccarch.Imm(p.disp)))
+	return r
+}
+
+func (g *ccGen) ccSpillLive(except []ccarch.Reg) map[ccarch.Reg]int32 {
+	keep := map[ccarch.Reg]bool{}
+	for _, r := range except {
+		keep[r] = true
+	}
+	spilled := map[ccarch.Reg]int32{}
+	slot := g.frame.SpillBase
+	for r := ccTmpLo; r <= ccTmpHi; r++ {
+		if !g.inUse[r] || keep[r] {
+			continue
+		}
+		if slot >= g.frame.SpillBase+NumSpillSlots {
+			fail(lang.Pos{}, "out of spill slots")
+		}
+		g.emit(ccarch.St(r, ccSP, slot))
+		spilled[r] = slot
+		slot++
+	}
+	return spilled
+}
+
+func (g *ccGen) ccRestore(spilled map[ccarch.Reg]int32) {
+	for r := ccTmpLo; r <= ccTmpHi; r++ {
+		if slot, ok := spilled[r]; ok {
+			g.emit(ccarch.Ld(r, ccSP, slot))
+		}
+	}
+}

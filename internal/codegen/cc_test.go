@@ -1,0 +1,318 @@
+package codegen
+
+import (
+	"testing"
+
+	"mips/internal/ccarch"
+	"mips/internal/lang"
+)
+
+// ccDiffTest compiles src for the CC machine under every legal
+// strategy/policy pairing and checks output equality with the
+// interpreter.
+func ccDiffTest(t *testing.T, src string) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want, err := (&lang.Interp{}).Run(prog)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	type combo struct {
+		pol   ccarch.Policy
+		strat BoolStrategy
+		elim  bool
+	}
+	combos := []combo{
+		{ccarch.PolicyVAX, BoolFullEval, false},
+		{ccarch.PolicyVAX, BoolEarlyOut, false},
+		{ccarch.PolicyVAX, BoolEarlyOut, true},
+		{ccarch.PolicyVAX, BoolFullEval, true},
+		{ccarch.Policy360, BoolFullEval, true},
+		{ccarch.Policy360, BoolEarlyOut, false},
+		{ccarch.PolicyM68000, BoolCondSet, false},
+		{ccarch.PolicyM68000, BoolCondSet, true},
+		{ccarch.PolicyM68000, BoolFullEval, false},
+	}
+	for _, c := range combos {
+		res, err := GenCC(prog, CCOptions{Policy: c.pol, Strategy: c.strat, Eliminate: c.elim})
+		if err != nil {
+			t.Fatalf("%s/%s: gen: %v", c.pol.Name, c.strat, err)
+		}
+		got, _, err := RunCC(res, c.pol, 20_000_000)
+		if err != nil {
+			t.Fatalf("%s/%s/elim=%t: run: %v", c.pol.Name, c.strat, c.elim, err)
+		}
+		if got != want {
+			t.Errorf("%s/%s/elim=%t: output = %q, want %q", c.pol.Name, c.strat, c.elim, got, want)
+		}
+	}
+}
+
+func TestCCHelloWorld(t *testing.T) {
+	ccDiffTest(t, `
+program hello;
+begin
+  writechar('c'); writechar('c'); writeint(-7)
+end.`)
+}
+
+func TestCCArithmeticAndLoops(t *testing.T) {
+	ccDiffTest(t, `
+program arith;
+var i, s: integer;
+begin
+  s := 0;
+  for i := 1 to 12 do s := s + i * i;
+  writeint(s);
+  writeint(100 div 7); writeint(100 mod 7);
+  writeint(-100 div 7); writeint(-100 mod 7);
+  i := 5;
+  while i > 0 do i := i - 1;
+  writeint(i);
+  repeat i := i + 2 until i >= 7;
+  writeint(i)
+end.`)
+}
+
+func TestCCBooleanStrategies(t *testing.T) {
+	ccDiffTest(t, `
+program bools;
+var found, b: boolean; rec, key, i: integer;
+begin
+  rec := 5; key := 5; i := 12;
+  found := (rec = key) or (i = 13);
+  if found then writeint(1) else writeint(0);
+  found := (rec <> key) and (i < 13);
+  if not found then writeint(2);
+  b := (rec > 1) and ((key < 9) or (i = 0));
+  if b then writeint(3);
+  if (rec = 9) or (key = 9) then writeint(4) else writeint(5)
+end.`)
+}
+
+func TestCCFunctionsAndRecursion(t *testing.T) {
+	ccDiffTest(t, `
+program fib;
+function fib(n: integer): integer;
+begin
+  if n < 2 then fib := n
+  else fib := fib(n - 1) + fib(n - 2)
+end;
+begin
+  writeint(fib(11))
+end.`)
+}
+
+func TestCCArraysRecordsParams(t *testing.T) {
+	ccDiffTest(t, `
+program structs;
+type pt = record x, y: integer end;
+var
+  v: array[1..6] of integer;
+  p: pt;
+  i: integer;
+procedure scale(var q: pt; k: integer);
+begin
+  q.x := q.x * k; q.y := q.y * k
+end;
+begin
+  for i := 1 to 6 do v[i] := 2 * i;
+  writeint(v[1] + v[6]);
+  p.x := 3; p.y := 5;
+  scale(p, 4);
+  writeint(p.x); writeint(p.y)
+end.`)
+}
+
+func TestCCStringConstants(t *testing.T) {
+	ccDiffTest(t, `
+program msg;
+const hi = 'cc!';
+var i: integer;
+begin
+  for i := 0 to 2 do writechar(hi[i])
+end.`)
+}
+
+func TestCCImpureBooleanKeepsSideEffects(t *testing.T) {
+	ccDiffTest(t, `
+program impure;
+var x: boolean;
+function noisy: boolean;
+begin
+  writechar('n');
+  noisy := true
+end;
+begin
+  x := false and noisy;
+  if x then writeint(1) else writeint(0)
+end.`)
+}
+
+func TestCCCondSetRequiresPolicy(t *testing.T) {
+	prog, err := lang.Parse(`program p; begin end.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenCC(prog, CCOptions{Policy: ccarch.PolicyVAX, Strategy: BoolCondSet}); err == nil {
+		t.Error("cond-set on the VAX policy should be rejected")
+	}
+}
+
+// figure1Source is the paper's running example:
+// Found := (Rec = Key) OR (I = 13).
+const figure1Source = `
+program figure1;
+var found: boolean; rec, key, i: integer;
+begin
+  rec := 1; key := 2; i := 13;
+  found := (rec = key) or (i = 13);
+  if found then writechar('t') else writechar('f')
+end.`
+
+func TestFigureStrategiesBranchCounts(t *testing.T) {
+	prog, err := lang.Parse(figure1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pol ccarch.Policy, strat BoolStrategy) ccarch.Stats {
+		res, err := GenCC(prog, CCOptions{Policy: pol, Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, st, err := RunCC(res, pol, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != "t" {
+			t.Fatalf("%s: wrong result %q", strat, out)
+		}
+		return st
+	}
+	full := run(ccarch.PolicyVAX, BoolFullEval)
+	early := run(ccarch.PolicyVAX, BoolEarlyOut)
+	condset := run(ccarch.PolicyM68000, BoolCondSet)
+
+	// Figure 1 vs Figure 2: the conditional-set version of the boolean
+	// assignment is branch-free, so it executes fewer branches overall.
+	if condset.Branches >= full.Branches {
+		t.Errorf("cond-set branches = %d, full-eval = %d; Figure 2 should win",
+			condset.Branches, full.Branches)
+	}
+	// Early-out executes no more instructions than full evaluation.
+	if early.Instructions > full.Instructions {
+		t.Errorf("early-out = %d instructions, full = %d", early.Instructions, full.Instructions)
+	}
+	// Cost comparison under the Table 6 weights.
+	w := ccarch.PaperWeights()
+	if condset.Cost(w) >= full.Cost(w) {
+		t.Errorf("cond-set cost %v not below full-eval cost %v", condset.Cost(w), full.Cost(w))
+	}
+}
+
+func TestCCCompareEliminationOnRealCode(t *testing.T) {
+	// A loop decrement followed by a zero test. With memory-resident
+	// variables the value is reloaded before the test, so only a
+	// set-on-moves machine (VAX) saves the compare — via the load.
+	src := `
+program loopdown;
+var i, s: integer;
+begin
+  s := 0;
+  i := 10;
+  repeat
+    s := s + i;
+    i := i - 1
+  until i = 0;
+  writeint(s)
+end.`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res360, err := GenCC(prog, CCOptions{Policy: ccarch.Policy360, Strategy: BoolEarlyOut, Eliminate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res360.Savings.Saved() != 0 {
+		t.Errorf("360 saved %d compares; the reload kills the chain", res360.Savings.Saved())
+	}
+	resVAX, err := GenCC(prog, CCOptions{Policy: ccarch.PolicyVAX, Strategy: BoolEarlyOut, Eliminate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resVAX.Savings.SavedByMoves == 0 {
+		t.Errorf("VAX load-sets-codes saved nothing: %+v", resVAX.Savings)
+	}
+	out, _, err := RunCC(resVAX, ccarch.PolicyVAX, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "55\n" {
+		t.Errorf("output after elimination = %q", out)
+	}
+}
+
+func TestCCCompareEliminationByOps(t *testing.T) {
+	// A value-context comparison of an arithmetic result against zero:
+	// the subtract's codes are still live at the compare even on a
+	// set-on-ops-only machine (the intervening preset move is neutral
+	// there).
+	src := `
+program opsave;
+var x, y: integer; b: boolean;
+begin
+  x := 9; y := 9;
+  b := (x - y) = 0;
+  if b then writeint(1) else writeint(0)
+end.`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GenCC(prog, CCOptions{Policy: ccarch.Policy360, Strategy: BoolFullEval, Eliminate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Savings.SavedByOps == 0 {
+		t.Errorf("arithmetic-then-test saved nothing: %+v", res.Savings)
+	}
+	out, _, err := RunCC(res, ccarch.Policy360, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "1\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCCSavingsAreSmallFractionOnMixedCode(t *testing.T) {
+	// The paper's Table 3 point: compares saved by condition codes are a
+	// small fraction of all compares on ordinary code.
+	src := `
+program mixed;
+var i, j, s: integer; a: array[0..9] of integer;
+begin
+  s := 0;
+  for i := 0 to 9 do a[i] := i * 3;
+  for i := 0 to 9 do
+    for j := 0 to 9 do
+      if a[i] < a[j] then s := s + 1;
+  writeint(s)
+end.`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GenCC(prog, CCOptions{Policy: ccarch.PolicyVAX, Strategy: BoolEarlyOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.Savings.Saved()) / float64(res.Savings.TotalCompares)
+	if frac > 0.25 {
+		t.Errorf("savings fraction %.2f implausibly high (paper: ~1-2%%)", frac)
+	}
+}

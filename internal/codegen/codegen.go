@@ -1,0 +1,238 @@
+// Package codegen translates checked Pasqual programs to the two target
+// machines of the paper's comparisons:
+//
+//   - the MIPS model (word-addressed, no condition codes): naive
+//     one-piece-per-operation output in sequential semantics, exactly
+//     the shape the postpass reorganizer consumes (paper §4.2.1: "All
+//     the programs were written in C and compiled to instruction pieces
+//     by a version of the Portable C Compiler" — here Pasqual plays the
+//     source language and this backend the PCC role);
+//   - the condition-code machine (package ccarch), with the boolean
+//     evaluation strategies of §2.3.2: full evaluation, early-out, and
+//     conditional set.
+//
+// Both backends share one storage layout so instruction counts compare
+// like for like.
+package codegen
+
+import (
+	"fmt"
+
+	"mips/internal/lang"
+)
+
+// Layout assigns storage to a program's objects: globals and string
+// constants get static word addresses; locals and parameters get frame
+// offsets. Both backends use the same layout.
+type Layout struct {
+	Mode lang.AllocMode
+
+	// DataBase is the first word address used for globals.
+	DataBase int32
+	// StackTop is the initial stack pointer (frames grow down).
+	StackTop int32
+
+	// GlobalAddr maps each global to its word address.
+	GlobalAddr map[*lang.Object]int32
+	// StringAddr maps string constants to their (byte-packed) word
+	// addresses.
+	StringAddr map[*lang.Object]int32
+	// DataEnd is the first unused word after static data.
+	DataEnd int32
+	// Init holds initial memory contents (string constants).
+	Init map[int32]uint32
+
+	// Frames maps each procedure (nil for the main body) to its layout.
+	Frames map[*lang.ProcDecl]*Frame
+}
+
+// Frame is one procedure's activation record layout, in words from the
+// frame base (the stack pointer after entry):
+//
+//	0:          saved return address
+//	1..:        parameters (value or address for var parameters)
+//	then:       locals
+//	then:       loop-limit temporaries (one per for statement)
+//	then:       expression spill slots
+type Frame struct {
+	Proc *lang.ProcDecl
+
+	Offsets   map[*lang.Object]int32 // params and locals
+	LoopTmp   map[*lang.ForStmt]int32
+	SpillBase int32
+	Size      int32
+}
+
+// NumSpillSlots is the number of expression spill slots per frame; deep
+// expressions across calls spill live temporaries here.
+const NumSpillSlots = 12
+
+// NewLayout computes the storage layout of a program. wideStrings
+// stores string constants one character per word — required by the
+// condition-code machine, which has no byte insert/extract.
+func NewLayout(p *lang.Program, mode lang.AllocMode, wideStrings bool) *Layout {
+	l := &Layout{
+		Mode:       mode,
+		DataBase:   4096,
+		StackTop:   1<<16 - 64,
+		GlobalAddr: make(map[*lang.Object]int32),
+		StringAddr: make(map[*lang.Object]int32),
+		Init:       make(map[int32]uint32),
+		Frames:     make(map[*lang.ProcDecl]*Frame),
+	}
+	// Scalars first: they are the frequently touched globals, and small
+	// gp-relative displacements fit the packable field.
+	addr := l.DataBase
+	for _, g := range p.Globals {
+		if g.Type.Scalar() {
+			l.GlobalAddr[g] = addr
+			addr += mode.SizeWords(g.Type)
+		}
+	}
+	for _, g := range p.Globals {
+		if !g.Type.Scalar() {
+			l.GlobalAddr[g] = addr
+			addr += mode.SizeWords(g.Type)
+		}
+	}
+	for _, c := range p.Consts {
+		if !c.IsStr {
+			continue
+		}
+		l.StringAddr[c] = addr
+		if wideStrings {
+			for i := 0; i < len(c.StrVal); i++ {
+				l.Init[addr] = uint32(c.StrVal[i])
+				addr++
+			}
+		} else {
+			addr += packString(l.Init, addr, c.StrVal)
+		}
+	}
+	l.DataEnd = addr
+
+	for _, proc := range p.Procs {
+		l.Frames[proc] = buildFrame(proc, mode)
+	}
+	l.Frames[nil] = buildMainFrame(p, mode)
+	return l
+}
+
+// packString stores a string byte-packed (byte 0 most significant) at
+// addr and returns the number of words used. No terminator: Pasqual
+// string constants carry their length in the type.
+func packString(init map[int32]uint32, addr int32, s string) int32 {
+	words := (int32(len(s)) + 3) / 4
+	for w := int32(0); w < words; w++ {
+		var v uint32
+		for b := int32(0); b < 4; b++ {
+			v <<= 8
+			if i := w*4 + b; i < int32(len(s)) {
+				v |= uint32(s[i])
+			}
+		}
+		init[addr+w] = v
+	}
+	return words
+}
+
+func buildFrame(proc *lang.ProcDecl, mode lang.AllocMode) *Frame {
+	f := &Frame{
+		Proc:    proc,
+		Offsets: make(map[*lang.Object]int32),
+		LoopTmp: make(map[*lang.ForStmt]int32),
+	}
+	off := int32(1) // slot 0: saved return address
+	for _, p := range proc.Params {
+		f.Offsets[p] = off
+		if p.ByRef {
+			off++ // an address
+		} else {
+			off += mode.SizeWords(p.Type)
+		}
+	}
+	for _, loc := range proc.Locals {
+		f.Offsets[loc] = off
+		off += mode.SizeWords(loc.Type)
+	}
+	if proc.ResultObj != nil {
+		f.Offsets[proc.ResultObj] = off
+		off++
+	}
+	off = addLoopTemps(f, proc.Body, off)
+	f.SpillBase = off
+	f.Size = off + NumSpillSlots
+	return f
+}
+
+func buildMainFrame(p *lang.Program, mode lang.AllocMode) *Frame {
+	f := &Frame{
+		Offsets: make(map[*lang.Object]int32),
+		LoopTmp: make(map[*lang.ForStmt]int32),
+	}
+	off := addLoopTemps(f, p.Body, 1)
+	f.SpillBase = off
+	f.Size = off + NumSpillSlots
+	return f
+}
+
+// addLoopTemps assigns one frame slot per for statement (the loop limit
+// is evaluated once, before the loop, per Pascal semantics).
+func addLoopTemps(f *Frame, stmts []lang.Stmt, off int32) int32 {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *lang.ForStmt:
+			f.LoopTmp[st] = off
+			off++
+			off = addLoopTemps(f, st.Body, off)
+		case *lang.IfStmt:
+			off = addLoopTemps(f, st.Then, off)
+			off = addLoopTemps(f, st.Else, off)
+		case *lang.WhileStmt:
+			off = addLoopTemps(f, st.Body, off)
+		case *lang.RepeatStmt:
+			off = addLoopTemps(f, st.Body, off)
+		case *lang.BlockStmt:
+			off = addLoopTemps(f, st.Stmts, off)
+		}
+	}
+	return off
+}
+
+// exprPure reports whether evaluating the expression has no side
+// effects and cannot fault, making early-out elision of its evaluation
+// legal. Function calls are impure (they may write output or diverge);
+// everything else in Pasqual is pure.
+func exprPure(e lang.Expr) bool {
+	switch ex := e.(type) {
+	case *lang.CallExpr:
+		return false
+	case *lang.BinExpr:
+		return exprPure(ex.L) && exprPure(ex.R)
+	case *lang.UnExpr:
+		return exprPure(ex.E)
+	case *lang.IndexExpr:
+		return exprPure(ex.Arr) && exprPure(ex.Idx)
+	case *lang.FieldExpr:
+		return exprPure(ex.Rec)
+	}
+	return true
+}
+
+// genError is the panic payload for code generation failures; the
+// public entry points recover it into an error.
+type genError struct{ err error }
+
+func fail(pos lang.Pos, format string, args ...any) {
+	panic(genError{fmt.Errorf("codegen: %s: %s", pos, fmt.Sprintf(format, args...))})
+}
+
+func catch(err *error) {
+	if r := recover(); r != nil {
+		if ge, ok := r.(genError); ok {
+			*err = ge.err
+			return
+		}
+		panic(r)
+	}
+}

@@ -1,0 +1,84 @@
+package codegen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mips/internal/asm"
+	"mips/internal/cpu"
+	"mips/internal/isa"
+	"mips/internal/lang"
+	"mips/internal/mem"
+	"mips/internal/reorg"
+)
+
+// CompileMIPS runs the full tool chain: Pasqual source → naive pieces →
+// reorganizer → assembler → loadable image. It returns the image and
+// the reorganizer's statistics (the Table 11 quantities).
+func CompileMIPS(src string, mopt MIPSOptions, ropt reorg.Options) (*isa.Image, reorg.Stats, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, reorg.Stats{}, err
+	}
+	unit, err := GenMIPS(prog, mopt)
+	if err != nil {
+		return nil, reorg.Stats{}, err
+	}
+	ro, st := reorg.Reorganize(unit, ropt)
+	im, err := asm.Assemble(ro)
+	if err != nil {
+		return nil, st, fmt.Errorf("assemble: %w", err)
+	}
+	return im, st, nil
+}
+
+// RunResult is the outcome of executing a compiled program on the bare
+// machine.
+type RunResult struct {
+	Output  string
+	Stats   cpu.Stats
+	Hazards []cpu.Hazard
+}
+
+// RunMIPS executes an image on a bare machine (no kernel): monitor
+// calls are serviced by a host-side trap hook, exactly the environment
+// of the paper's dynamic simulations.
+func RunMIPS(im *isa.Image, maxSteps uint64) (RunResult, error) {
+	return RunMIPSOn(im, maxSteps, false)
+}
+
+// RunMIPSOn is RunMIPS with the hardware-interlock counterfactual
+// selectable, for the ablation experiments.
+func RunMIPSOn(im *isa.Image, maxSteps uint64, interlocked bool) (RunResult, error) {
+	var res RunResult
+	phys := mem.NewPhysical(1 << 16)
+	c := cpu.New(cpu.NewBus(phys))
+	c.Interlocked = interlocked
+	var out strings.Builder
+	c.SetTrapHook(func(code uint16) {
+		switch code {
+		case trapHalt:
+			c.Halt()
+		case trapPutChar:
+			out.WriteByte(byte(c.Regs[regResult]))
+		case trapPutInt:
+			out.WriteString(strconv.FormatInt(int64(int32(c.Regs[regResult])), 10))
+			out.WriteByte('\n')
+		}
+	})
+	c.SetAudit(func(h cpu.Hazard) { res.Hazards = append(res.Hazards, h) })
+	if err := c.LoadImage(im); err != nil {
+		return res, err
+	}
+	// Monitor calls vector through the exception path to physical
+	// address zero; the bare machine's whole "kernel" is one rfe that
+	// resumes after the trap (the host hook already did the work).
+	// Compiled images start at BareTextBase to leave room for it.
+	c.IMem[0] = isa.Word(isa.RFE())
+	c.SetPC(uint32(im.Entry))
+	_, err := c.Run(maxSteps)
+	res.Output = out.String()
+	res.Stats = c.Stats
+	return res, err
+}

@@ -1,0 +1,246 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mips/internal/ccarch"
+	"mips/internal/lang"
+	"mips/internal/reorg"
+)
+
+// progGen emits random but well-formed, terminating Pasqual programs:
+// the property harness for the whole tool chain. Loops are bounded by
+// construction, divisors are always nonzero, and array indexes are
+// reduced into range, so every generated program has defined behavior.
+type progGen struct {
+	r     *rand.Rand
+	b     strings.Builder
+	depth int
+	loops int // nesting level: each while gets its own counter i<n>
+}
+
+func (g *progGen) pick(n int) int { return g.r.Intn(n) }
+
+// intExpr emits an integer expression.
+func (g *progGen) intExpr(depth int) string {
+	if depth <= 0 {
+		switch g.pick(8) {
+		case 0:
+			return fmt.Sprint(g.r.Intn(16)) // 4-bit band
+		case 1:
+			return fmt.Sprint(16 + g.r.Intn(240)) // 8-bit band
+		case 2:
+			return fmt.Sprint(256 + g.r.Intn(100000)) // long immediates
+		case 3:
+			// Parenthesized: Pascal allows a sign only at the head of a
+			// simple expression.
+			return fmt.Sprintf("(-%d)", g.r.Intn(300)) // reverse-operator band
+		case 4, 5:
+			return string(rune('a' + g.pick(4))) // a..d
+		case 6:
+			return fmt.Sprintf("arr[%d]", g.pick(8))
+		default:
+			return fmt.Sprintf("i%d", g.pick(3)) // some loop counter
+		}
+	}
+	l := g.intExpr(depth - 1)
+	r := g.intExpr(depth - 1)
+	switch g.pick(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", l, r)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", l, r)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", l, r)
+	case 3:
+		// Divisor forced into 2..18.
+		return fmt.Sprintf("(%s div ((%s) mod 9 + 10))", l, r)
+	case 4:
+		return fmt.Sprintf("(%s mod ((%s) mod 9 + 10))", l, r)
+	default:
+		return fmt.Sprintf("(-%s)", l)
+	}
+}
+
+// boolExpr emits a boolean expression.
+func (g *progGen) boolExpr(depth int) string {
+	if depth <= 0 {
+		rel := []string{"=", "<>", "<", "<=", ">", ">="}[g.pick(6)]
+		return fmt.Sprintf("(%s %s %s)", g.intExpr(1), rel, g.intExpr(1))
+	}
+	l := g.boolExpr(depth - 1)
+	r := g.boolExpr(depth - 1)
+	switch g.pick(3) {
+	case 0:
+		return fmt.Sprintf("(%s and %s)", l, r)
+	case 1:
+		return fmt.Sprintf("(%s or %s)", l, r)
+	default:
+		return fmt.Sprintf("(not %s)", l)
+	}
+}
+
+// index emits an always-in-range array index expression.
+func (g *progGen) index() string {
+	return fmt.Sprintf("(((%s) mod 8 + 8) mod 8)", g.intExpr(1))
+}
+
+func (g *progGen) stmt(depth int) {
+	ind := strings.Repeat("  ", g.depth+1)
+	switch g.pick(7) {
+	case 0, 1:
+		v := string(rune('a' + g.pick(4)))
+		fmt.Fprintf(&g.b, "%s%s := %s;\n", ind, v, g.intExpr(2))
+	case 2:
+		fmt.Fprintf(&g.b, "%sarr[%s] := %s;\n", ind, g.index(), g.intExpr(2))
+	case 3:
+		fmt.Fprintf(&g.b, "%sf := %s;\n", ind, g.boolExpr(2))
+	case 4:
+		if depth <= 0 {
+			fmt.Fprintf(&g.b, "%swriteint(%s);\n", ind, g.intExpr(1))
+			return
+		}
+		fmt.Fprintf(&g.b, "%sif %s then begin\n", ind, g.boolExpr(1))
+		g.depth++
+		g.stmts(depth-1, 1+g.pick(3))
+		g.depth--
+		if g.pick(2) == 0 {
+			fmt.Fprintf(&g.b, "%send else begin\n", ind)
+			g.depth++
+			g.stmts(depth-1, 1+g.pick(2))
+			g.depth--
+		}
+		fmt.Fprintf(&g.b, "%send;\n", ind)
+	case 5:
+		if depth <= 0 {
+			fmt.Fprintf(&g.b, "%swriteint(%s);\n", ind, g.intExpr(1))
+			return
+		}
+		// A bounded counting loop with its own counter: always
+		// terminates even when loops nest.
+		if g.loops >= 3 {
+			fmt.Fprintf(&g.b, "%swriteint(%s);\n", ind, g.intExpr(1))
+			return
+		}
+		v := fmt.Sprintf("i%d", g.loops)
+		n := 1 + g.pick(6)
+		fmt.Fprintf(&g.b, "%s%s := 0;\n", ind, v)
+		fmt.Fprintf(&g.b, "%swhile %s < %d do begin\n", ind, v, n)
+		g.depth++
+		g.loops++
+		g.stmts(depth-1, 1+g.pick(2))
+		g.loops--
+		fmt.Fprintf(&g.b, "%s  %s := %s + 1;\n", ind, v, v)
+		g.depth--
+		fmt.Fprintf(&g.b, "%send;\n", ind)
+	default:
+		fmt.Fprintf(&g.b, "%swriteint(%s);\n", ind, g.intExpr(2))
+	}
+}
+
+func (g *progGen) stmts(depth, n int) {
+	for k := 0; k < n; k++ {
+		g.stmt(depth)
+	}
+}
+
+// generate produces one random program.
+func generate(seed int64) string {
+	g := &progGen{r: rand.New(rand.NewSource(seed))}
+	g.b.WriteString("program fuzz;\nvar a, b, c, d, i, i0, i1, i2: integer;\n")
+	g.b.WriteString("var arr: array[0..7] of integer;\nvar f: boolean;\nbegin\n")
+	g.b.WriteString("  a := 3; b := 7; c := 11; d := 1;\n")
+	g.stmts(2, 6+g.pick(6))
+	// Make all state observable at the end.
+	g.b.WriteString("  writeint(a); writeint(b); writeint(c); writeint(d);\n")
+	g.b.WriteString("  if f then writeint(1) else writeint(0);\n")
+	g.b.WriteString("  i := 0;\n  while i < 8 do begin writeint(arr[i]); i := i + 1 end\nend.\n")
+	return g.b.String()
+}
+
+// TestFuzzDifferential runs generated programs through every execution
+// path and demands identical output: reference interpreter, MIPS under
+// four reorganizer stages (with the hazard auditor armed), the
+// hardware-interlock counterfactual, and the CC machine under three
+// policy/strategy pairings.
+func TestFuzzDifferential(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		src := generate(seed)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		want, err := (&lang.Interp{Fuel: 100_000_000}).Run(prog)
+		if err != nil {
+			t.Fatalf("seed %d: interp: %v\n%s", seed, err, src)
+		}
+
+		stages := map[string]reorg.Options{
+			"none":  {},
+			"reorg": {Reorganize: true},
+			"full":  reorg.All(),
+		}
+		for name, ropt := range stages {
+			im, _, err := CompileMIPS(src, MIPSOptions{}, ropt)
+			if err != nil {
+				t.Fatalf("seed %d/%s: compile: %v\n%s", seed, name, err, src)
+			}
+			res, err := RunMIPS(im, 200_000_000)
+			if err != nil {
+				t.Fatalf("seed %d/%s: run: %v\n%s", seed, name, err, src)
+			}
+			if len(res.Hazards) > 0 {
+				t.Fatalf("seed %d/%s: hazard %v\n%s", seed, name, res.Hazards[0], src)
+			}
+			if res.Output != want {
+				t.Fatalf("seed %d/%s: output mismatch\n got %q\nwant %q\n%s",
+					seed, name, res.Output, want, src)
+			}
+		}
+
+		// Hardware-interlock counterfactual with interlock-assuming code.
+		hwOpt := reorg.All()
+		hwOpt.AssumeInterlocks = true
+		im, _, err := CompileMIPS(src, MIPSOptions{}, hwOpt)
+		if err != nil {
+			t.Fatalf("seed %d/hw: compile: %v", seed, err)
+		}
+		res, err := RunMIPSOn(im, 200_000_000, true)
+		if err != nil {
+			t.Fatalf("seed %d/hw: run: %v\n%s", seed, err, src)
+		}
+		if res.Output != want {
+			t.Fatalf("seed %d/hw: output mismatch\n got %q\nwant %q\n%s", seed, res.Output, want, src)
+		}
+
+		ccCombos := []struct {
+			pol   ccarch.Policy
+			strat BoolStrategy
+		}{
+			{ccarch.PolicyVAX, BoolEarlyOut},
+			{ccarch.Policy360, BoolFullEval},
+			{ccarch.PolicyM68000, BoolCondSet},
+		}
+		for _, cc := range ccCombos {
+			ccres, err := GenCC(prog, CCOptions{Policy: cc.pol, Strategy: cc.strat, Eliminate: true})
+			if err != nil {
+				t.Fatalf("seed %d/%s: gen: %v", seed, cc.pol.Name, err)
+			}
+			out, _, err := RunCC(ccres, cc.pol, 200_000_000)
+			if err != nil {
+				t.Fatalf("seed %d/%s: run: %v\n%s", seed, cc.pol.Name, err, src)
+			}
+			if out != want {
+				t.Fatalf("seed %d/%s/%s: output mismatch\n got %q\nwant %q\n%s",
+					seed, cc.pol.Name, cc.strat, out, want, src)
+			}
+		}
+	}
+}

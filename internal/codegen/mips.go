@@ -1,0 +1,459 @@
+package codegen
+
+import (
+	"fmt"
+
+	"mips/internal/asm"
+	"mips/internal/isa"
+	"mips/internal/lang"
+)
+
+// Register conventions for compiled code. The hardware attaches no
+// meaning to general registers; this is pure software convention.
+const (
+	regResult  = isa.Reg(1) // function results and runtime-routine arguments
+	regTmpLo   = isa.Reg(1)
+	regTmpHi   = isa.Reg(11)
+	regGP      = isa.Reg(12) // global pointer: globals are gp-relative, the packable displacement mode
+	regScratch = isa.Reg(13) // address-arithmetic scratch, never allocated
+	regSP      = isa.RegSP
+	regRA      = isa.RegLink
+)
+
+// Monitor-call codes used by compiled programs (matching package kernel).
+const (
+	trapHalt    = 0
+	trapPutChar = 1
+	trapPutInt  = 2
+)
+
+// MIPSOptions configures the MIPS backend.
+type MIPSOptions struct {
+	// Mode selects word or byte allocation for arrays of characters and
+	// booleans (Tables 7-10).
+	Mode lang.AllocMode
+	// NoSetCond disables the set-conditionally instruction, forcing
+	// branchy boolean evaluation — the ablation for Tables 5/6.
+	NoSetCond bool
+	// StackTop overrides the initial stack pointer. Zero selects the
+	// bare-machine default (just under 64K words of physical memory).
+	// Programs run as kernel processes should use KernelStackTop, which
+	// lies in the upper valid region of the segmented address space.
+	StackTop int32
+}
+
+// KernelStackTop is a stack origin in the top region of every process
+// address space (it is a small negative word address, which the
+// segmentation unit maps to the top of the 32-bit space).
+const KernelStackTop = -256
+
+// BareTextBase is the text origin of compiled images: word 0 is left
+// for the bare machine's exception handler (a single rfe).
+const BareTextBase = 16
+
+// GenMIPS compiles a program to naive MIPS instruction pieces in
+// sequential semantics: one piece per operation, no delay slots, no
+// packing. Run the result through reorg.Reorganize and asm.Assemble to
+// get a loadable image.
+func GenMIPS(p *lang.Program, opt MIPSOptions) (u *asm.Unit, err error) {
+	defer catch(&err)
+	g := &mipsGen{
+		prog: p,
+		lay:  NewLayout(p, opt.Mode, false),
+		opt:  opt,
+		unit: &asm.Unit{DataLabels: make(map[string]int32), TextBase: BareTextBase},
+	}
+	if opt.StackTop != 0 {
+		g.lay.StackTop = opt.StackTop
+	}
+	g.gen()
+	return g.unit, nil
+}
+
+type mipsGen struct {
+	prog *lang.Program
+	lay  *Layout
+	opt  MIPSOptions
+	unit *asm.Unit
+
+	pending []string
+	inUse   [isa.NumRegs]bool
+	frame   *Frame
+	labelN  int
+
+	needMul, needDiv, needMod bool
+}
+
+// emit appends one piece as a statement, attaching pending labels.
+func (g *mipsGen) emit(p isa.Piece) {
+	g.unit.Stmts = append(g.unit.Stmts, asm.Stmt{Labels: g.pending, Pieces: []isa.Piece{p}})
+	g.pending = nil
+}
+
+// label binds a label to the next emitted piece.
+func (g *mipsGen) label(name string) { g.pending = append(g.pending, name) }
+
+func (g *mipsGen) newLabel() string {
+	g.labelN++
+	return fmt.Sprintf(".L%d", g.labelN)
+}
+
+// alloc claims a free temporary register.
+func (g *mipsGen) alloc(pos lang.Pos) isa.Reg {
+	for r := regTmpLo; r <= regTmpHi; r++ {
+		if !g.inUse[r] {
+			g.inUse[r] = true
+			return r
+		}
+	}
+	fail(pos, "expression too deep: out of temporary registers")
+	return 0
+}
+
+func (g *mipsGen) free(r isa.Reg) { g.inUse[r] = false }
+
+// gen drives whole-program generation: entry stub, main body,
+// procedures, runtime routines, and the data section.
+func (g *mipsGen) gen() {
+	g.frame = g.lay.Frames[nil]
+	g.unit.Entry = "main"
+	g.label("main")
+	g.emit(isa.LoadImm32(regSP, g.lay.StackTop))
+	g.emit(isa.LoadImm32(regGP, g.lay.DataBase))
+	g.adjustSP(-g.frame.Size)
+	for _, s := range g.prog.Body {
+		g.stmt(s)
+	}
+	g.emit(isa.Trap(trapHalt))
+
+	for _, proc := range g.prog.Procs {
+		g.genProc(proc)
+	}
+	g.genRuntime()
+
+	for addr, val := range g.lay.Init {
+		g.unit.Data = append(g.unit.Data, asm.DataItem{Addr: addr, Value: val})
+	}
+}
+
+func (g *mipsGen) genProc(proc *lang.ProcDecl) {
+	g.frame = g.lay.Frames[proc]
+	g.label("p$" + proc.Name)
+	g.emit(isa.StoreDisp(regRA, regSP, 0))
+	for _, s := range proc.Body {
+		g.stmt(s)
+	}
+	if proc.ResultObj != nil {
+		g.emit(isa.LoadDisp(regResult, regSP, g.frame.Offsets[proc.ResultObj]))
+	}
+	g.emit(isa.LoadDisp(regRA, regSP, 0))
+	g.emit(isa.JumpInd(regRA))
+}
+
+// adjustSP adds a (possibly large) constant to the stack pointer.
+func (g *mipsGen) adjustSP(delta int32) {
+	switch {
+	case delta == 0:
+	case delta > 0 && delta <= isa.Imm4Max:
+		g.emit(isa.ALU(isa.OpAdd, regSP, isa.R(regSP), isa.Imm(delta)))
+	case delta < 0 && -delta <= isa.Imm4Max:
+		g.emit(isa.ALU(isa.OpSub, regSP, isa.R(regSP), isa.Imm(-delta)))
+	default:
+		g.emit(isa.LoadImm32(regScratch, delta))
+		g.emit(isa.ALU(isa.OpAdd, regSP, isa.R(regSP), isa.R(regScratch)))
+	}
+}
+
+// loadConst materializes a constant, using the shortest form: 4-bit
+// constants ride in operand fields (callers use constOperand first),
+// 8-bit constants use move-immediate, everything else a long immediate
+// (the Table 1 hierarchy).
+func (g *mipsGen) loadConst(v int32, pos lang.Pos) isa.Reg {
+	r := g.alloc(pos)
+	switch {
+	case v >= 0 && v <= isa.Imm8Max:
+		g.emit(isa.Mov(r, isa.Imm(v)))
+	case v < 0 && -v <= isa.Imm8Max:
+		// Reverse subtract from zero expresses small negatives without
+		// sign-extension hardware (paper §2.2).
+		g.emit(isa.Mov(r, isa.Imm(-v)))
+		g.emit(isa.ALU(isa.OpRSub, r, isa.R(r), isa.Imm(0)))
+	default:
+		g.emit(isa.LoadImm32(r, v))
+	}
+	return r
+}
+
+// constOperand returns an immediate operand if the expression is a
+// constant fitting the 4-bit field.
+func constOperand(e lang.Expr) (isa.Operand, bool) {
+	v, ok := constValue(e)
+	if ok && v >= 0 && v <= isa.Imm4Max {
+		return isa.Imm(v), true
+	}
+	return isa.Operand{}, false
+}
+
+func constValue(e lang.Expr) (int32, bool) {
+	switch ex := e.(type) {
+	case *lang.IntExpr:
+		return ex.Val, true
+	case *lang.CharExpr:
+		return ex.Val, true
+	case *lang.BoolExpr:
+		if ex.Val {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// operand evaluates an expression as an instruction operand: a 4-bit
+// immediate when possible, otherwise a temporary register (which the
+// caller must free via freeOperand).
+func (g *mipsGen) operand(e lang.Expr) isa.Operand {
+	if op, ok := constOperand(e); ok {
+		return op
+	}
+	return isa.R(g.eval(e))
+}
+
+func (g *mipsGen) freeOperand(o isa.Operand) {
+	if !o.IsImm {
+		g.free(o.Reg)
+	}
+}
+
+// eval generates code computing the expression into a fresh temporary.
+func (g *mipsGen) eval(e lang.Expr) isa.Reg {
+	switch ex := e.(type) {
+	case *lang.IntExpr:
+		return g.loadConst(ex.Val, ex.ExprPos())
+	case *lang.CharExpr:
+		return g.loadConst(ex.Val, ex.ExprPos())
+	case *lang.BoolExpr:
+		v := int32(0)
+		if ex.Val {
+			v = 1
+		}
+		return g.loadConst(v, ex.ExprPos())
+
+	case *lang.VarExpr:
+		if ex.Obj.Kind == lang.ObjConst && !ex.Obj.IsStr {
+			return g.loadConst(ex.Obj.ConstVal, ex.ExprPos())
+		}
+		return g.loadScalar(ex)
+
+	case *lang.IndexExpr, *lang.FieldExpr:
+		return g.loadScalar(e)
+
+	case *lang.UnExpr:
+		switch ex.Op {
+		case lang.OpOrd, lang.OpChr:
+			return g.eval(ex.E) // free at the machine level
+		case lang.OpNeg:
+			r := g.eval(ex.E)
+			g.emit(isa.ALU(isa.OpNeg, r, isa.R(r), isa.Operand{}))
+			return r
+		case lang.OpNot:
+			r := g.eval(ex.E)
+			g.emit(isa.ALU(isa.OpXor, r, isa.R(r), isa.Imm(1)))
+			return r
+		}
+
+	case *lang.BinExpr:
+		return g.evalBin(ex)
+
+	case *lang.CallExpr:
+		return g.genCall(ex)
+	}
+	fail(e.ExprPos(), "cannot evaluate %T", e)
+	return 0
+}
+
+func (g *mipsGen) evalBin(ex *lang.BinExpr) isa.Reg {
+	if ex.Op.Relational() {
+		return g.evalRelation(ex)
+	}
+	switch ex.Op {
+	case lang.OpAnd, lang.OpOr:
+		// Value context: full evaluation with bitwise ops over 0/1
+		// (branch-free, the §2.3.2 set-conditionally style). Both
+		// operands are evaluated, matching the language semantics.
+		l := g.eval(ex.L)
+		r := g.operand(ex.R)
+		op := isa.OpAnd
+		if ex.Op == lang.OpOr {
+			op = isa.OpOr
+		}
+		g.emit(isa.ALU(op, l, isa.R(l), r))
+		g.freeOperand(r)
+		return l
+
+	case lang.OpMul:
+		if v, ok := constValue(ex.R); ok {
+			l := g.eval(ex.L)
+			g.mulConst(l, v, ex.ExprPos())
+			return l
+		}
+		if v, ok := constValue(ex.L); ok {
+			r := g.eval(ex.R)
+			g.mulConst(r, v, ex.ExprPos())
+			return r
+		}
+		g.needMul = true
+		return g.genRuntimeCall("$mul", ex)
+	case lang.OpDiv:
+		g.needDiv = true
+		return g.genRuntimeCall("$div", ex)
+	case lang.OpMod:
+		g.needMod = true
+		return g.genRuntimeCall("$mod", ex)
+	}
+
+	// Add and subtract, with the reverse-operator trick for constants.
+	l := ex.L
+	r := ex.R
+	op := isa.OpAdd
+	if ex.Op == lang.OpSub {
+		op = isa.OpSub
+	}
+	// const - x  =>  reverse subtract: dst = s2 - s1 with the constant
+	// as s2, the paper's reverse-operator idiom (§2.2).
+	if lv, ok := constOperand(l); ok && ex.Op == lang.OpSub {
+		rr := g.eval(r)
+		g.emit(isa.ALU(isa.OpRSub, rr, isa.R(rr), lv))
+		return rr
+	}
+	// x + negative-const => x - |const|, and vice versa.
+	if rv, ok := constValue(r); ok && rv < 0 && -rv <= isa.Imm4Max {
+		if op == isa.OpAdd {
+			op = isa.OpSub
+		} else {
+			op = isa.OpAdd
+		}
+		lr := g.eval(l)
+		g.emit(isa.ALU(op, lr, isa.R(lr), isa.Imm(-rv)))
+		return lr
+	}
+	lr := g.eval(l)
+	ro := g.operand(r)
+	g.emit(isa.ALU(op, lr, isa.R(lr), ro))
+	g.freeOperand(ro)
+	return lr
+}
+
+// evalRelation computes a 0/1 boolean from a comparison: a single
+// set-conditionally instruction (paper Figure 3), or a branchy sequence
+// under the NoSetCond ablation.
+func (g *mipsGen) evalRelation(ex *lang.BinExpr) isa.Reg {
+	if !g.opt.NoSetCond {
+		l := g.eval(ex.L)
+		r := g.operand(ex.R)
+		g.emit(isa.SetCond(relCmp(ex.Op), l, isa.R(l), r))
+		g.freeOperand(r)
+		return l
+	}
+	// Ablation: no conditional set — load 0, branch, load 1 (Figure 1).
+	d := g.alloc(ex.ExprPos())
+	g.emit(isa.Mov(d, isa.Imm(0)))
+	skip := g.newLabel()
+	g.condBranch(ex, skip, false)
+	g.emit(isa.Mov(d, isa.Imm(1)))
+	g.label(skip)
+	g.emit(isa.Nop()) // label anchor; removed by the reorganizer's packer
+	return d
+}
+
+func relCmp(op lang.BinOp) isa.Cmp {
+	switch op {
+	case lang.OpEq:
+		return isa.CmpEQ
+	case lang.OpNE:
+		return isa.CmpNE
+	case lang.OpLT:
+		return isa.CmpLT
+	case lang.OpLE:
+		return isa.CmpLE
+	case lang.OpGT:
+		return isa.CmpGT
+	case lang.OpGE:
+		return isa.CmpGE
+	}
+	return isa.CmpNev
+}
+
+// mulConst multiplies a register by a compile-time constant with shifts
+// and adds.
+func (g *mipsGen) mulConst(r isa.Reg, c int32, pos lang.Pos) {
+	neg := false
+	if c < 0 {
+		neg = true
+		c = -c
+	}
+	switch c {
+	case 0:
+		g.emit(isa.Mov(r, isa.Imm(0)))
+		return
+	case 1:
+	default:
+		if c&(c-1) == 0 {
+			g.emit(isa.ALU(isa.OpSll, r, isa.R(r), shiftAmount(log2(c), g, pos)))
+		} else {
+			// Binary decomposition into a scratch accumulator.
+			acc := g.alloc(pos)
+			g.emit(isa.Mov(acc, isa.Imm(0)))
+			first := true
+			for bit := 0; bit < 31; bit++ {
+				if c&(1<<bit) == 0 {
+					continue
+				}
+				if bit > 0 {
+					// Shift the source up to this bit position.
+					g.emit(isa.ALU(isa.OpSll, r, isa.R(r), shiftAmount(bit-prevBit(c, bit), g, pos)))
+				}
+				if first {
+					g.emit(isa.Mov(acc, isa.R(r)))
+					first = false
+				} else {
+					g.emit(isa.ALU(isa.OpAdd, acc, isa.R(acc), isa.R(r)))
+				}
+			}
+			g.emit(isa.Mov(r, isa.R(acc)))
+			g.free(acc)
+		}
+	}
+	if neg {
+		g.emit(isa.ALU(isa.OpNeg, r, isa.R(r), isa.Operand{}))
+	}
+}
+
+// shiftAmount yields a shift-count operand; counts above the 4-bit
+// immediate limit go through the scratch register.
+func shiftAmount(n int, g *mipsGen, pos lang.Pos) isa.Operand {
+	if n <= isa.Imm4Max {
+		return isa.Imm(int32(n))
+	}
+	g.emit(isa.Mov(regScratch, isa.Imm(int32(n))))
+	return isa.R(regScratch)
+}
+
+func log2(c int32) int {
+	n := 0
+	for c > 1 {
+		c >>= 1
+		n++
+	}
+	return n
+}
+
+// prevBit returns the position of the set bit below `bit` in c, or 0.
+func prevBit(c int32, bit int) int {
+	for b := bit - 1; b >= 0; b-- {
+		if c&(1<<b) != 0 {
+			return b
+		}
+	}
+	return 0
+}

@@ -1,0 +1,465 @@
+package codegen
+
+import (
+	"mips/internal/isa"
+	"mips/internal/lang"
+)
+
+// place describes where an lvalue lives.
+type place struct {
+	// Word-addressed cases: base register plus displacement (globals
+	// are gp-relative, locals sp-relative), or a computed address in an
+	// owned register.
+	base    isa.Reg
+	disp    int32
+	hasDisp bool
+	addrReg isa.Reg // word address in a register (owned)
+	hasReg  bool
+
+	// Byte-addressed case: word base register plus byte index register.
+	byteBase isa.Reg
+	byteIdx  isa.Reg
+	isByte   bool
+}
+
+func (g *mipsGen) freePlace(p place) {
+	if p.hasReg {
+		g.free(p.addrReg)
+	}
+	if p.isByte {
+		g.free(p.byteBase)
+		g.free(p.byteIdx)
+	}
+}
+
+// loadScalar loads the value of an addressable scalar expression.
+func (g *mipsGen) loadScalar(e lang.Expr) isa.Reg {
+	p := g.lvalue(e)
+	switch {
+	case p.isByte:
+		d := g.alloc(e.ExprPos())
+		g.emit(isa.LoadShift(d, p.byteBase, p.byteIdx, 2))
+		g.emit(isa.ALU(isa.OpXC, d, isa.R(p.byteIdx), isa.R(d)))
+		g.freePlace(p)
+		return d
+	case p.hasDisp:
+		d := g.alloc(e.ExprPos())
+		g.emit(isa.LoadDisp(d, p.base, p.disp))
+		return d
+	default:
+		// Reuse the address register as the destination.
+		g.emit(isa.LoadDisp(p.addrReg, p.addrReg, 0))
+		return p.addrReg
+	}
+}
+
+// storeScalar stores a register into an addressable scalar expression.
+func (g *mipsGen) storeScalar(e lang.Expr, v isa.Reg) {
+	p := g.lvalue(e)
+	switch {
+	case p.isByte:
+		// The paper's store-byte sequence: fetch the word, insert the
+		// byte, store it back (§4.1).
+		t := g.alloc(e.ExprPos())
+		g.emit(isa.LoadShift(t, p.byteBase, p.byteIdx, 2))
+		g.emit(isa.ALU(isa.OpMovLo, 0, isa.R(p.byteIdx), isa.Operand{}))
+		g.emit(isa.ALU(isa.OpIC, t, isa.R(v), isa.R(t)))
+		g.emit(isa.StoreShift(t, p.byteBase, p.byteIdx, 2))
+		g.free(t)
+	case p.hasDisp:
+		g.emit(isa.StoreDisp(v, p.base, p.disp))
+	default:
+		g.emit(isa.StoreDisp(v, p.addrReg, 0))
+	}
+	g.freePlace(p)
+}
+
+// lvalue resolves an addressable expression to a place.
+func (g *mipsGen) lvalue(e lang.Expr) place {
+	switch ex := e.(type) {
+	case *lang.VarExpr:
+		o := ex.Obj
+		switch {
+		case o.Kind == lang.ObjConst && o.IsStr:
+			r := g.alloc(ex.ExprPos())
+			g.emit(isa.LoadImm32(r, g.lay.StringAddr[o]))
+			return place{addrReg: r, hasReg: true}
+		case o.Kind == lang.ObjGlobal:
+			// Globals are gp-relative: the displacement(base) mode that
+			// packs when the offset is small.
+			return place{hasDisp: true, base: regGP, disp: g.lay.GlobalAddr[o] - g.lay.DataBase}
+		case o.ByRef:
+			r := g.alloc(ex.ExprPos())
+			g.emit(isa.LoadDisp(r, regSP, g.frame.Offsets[o]))
+			return place{addrReg: r, hasReg: true}
+		default:
+			off, ok := g.frame.Offsets[o]
+			if !ok {
+				fail(ex.ExprPos(), "no frame slot for %s", o.Name)
+			}
+			return place{hasDisp: true, base: regSP, disp: off}
+		}
+
+	case *lang.IndexExpr:
+		arrT := ex.Arr.ExprType()
+		base := g.containerAddr(ex.Arr)
+		idx := g.eval(ex.Idx)
+		if arrT.Lo != 0 {
+			g.addConst(idx, -arrT.Lo, ex.ExprPos())
+		}
+		if g.lay.Mode.ElemBytePacked(arrT) {
+			return place{isByte: true, byteBase: base, byteIdx: idx}
+		}
+		if w := g.lay.Mode.SizeWords(arrT.Elem); w != 1 {
+			g.mulConst(idx, w, ex.ExprPos())
+		}
+		g.emit(isa.ALU(isa.OpAdd, base, isa.R(base), isa.R(idx)))
+		g.free(idx)
+		return place{addrReg: base, hasReg: true}
+
+	case *lang.FieldExpr:
+		recT := ex.Rec.ExprType()
+		base := g.containerAddr(ex.Rec)
+		off := g.lay.Mode.FieldOffsetWords(recT, ex.FieldIndex)
+		if off != 0 {
+			g.addConst(base, off, ex.ExprPos())
+		}
+		return place{addrReg: base, hasReg: true}
+	}
+	fail(e.ExprPos(), "not an lvalue: %T", e)
+	return place{}
+}
+
+// containerAddr materializes the word address of an array or record
+// expression into a register.
+func (g *mipsGen) containerAddr(e lang.Expr) isa.Reg {
+	p := g.lvalue(e)
+	switch {
+	case p.isByte:
+		fail(e.ExprPos(), "array of packed byte arrays is not addressable")
+	case p.hasDisp:
+		r := g.alloc(e.ExprPos())
+		if p.base == regGP && (p.disp < 0 || p.disp > isa.Imm4Max) {
+			// A distant global: one long immediate beats gp arithmetic.
+			g.emit(isa.LoadImm32(r, g.lay.DataBase+p.disp))
+		} else {
+			g.addrOfBase(r, p.base, p.disp)
+		}
+		return r
+	}
+	return p.addrReg
+}
+
+// addrOfBase computes base+off into r.
+func (g *mipsGen) addrOfBase(r, base isa.Reg, off int32) {
+	if off >= 0 && off <= isa.Imm4Max {
+		g.emit(isa.ALU(isa.OpAdd, r, isa.R(base), isa.Imm(off)))
+		return
+	}
+	g.emit(isa.LoadImm32(regScratch, off))
+	g.emit(isa.ALU(isa.OpAdd, r, isa.R(base), isa.R(regScratch)))
+}
+
+// addConst adds a constant to a register in place.
+func (g *mipsGen) addConst(r isa.Reg, c int32, pos lang.Pos) {
+	switch {
+	case c == 0:
+	case c > 0 && c <= isa.Imm4Max:
+		g.emit(isa.ALU(isa.OpAdd, r, isa.R(r), isa.Imm(c)))
+	case c < 0 && -c <= isa.Imm4Max:
+		g.emit(isa.ALU(isa.OpSub, r, isa.R(r), isa.Imm(-c)))
+	default:
+		g.emit(isa.LoadImm32(regScratch, c))
+		g.emit(isa.ALU(isa.OpAdd, r, isa.R(r), isa.R(regScratch)))
+	}
+}
+
+// Statements.
+
+func (g *mipsGen) stmts(list []lang.Stmt) {
+	for _, s := range list {
+		g.stmt(s)
+	}
+}
+
+func (g *mipsGen) stmt(s lang.Stmt) {
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		g.stmts(st.Stmts)
+
+	case *lang.AssignStmt:
+		v := g.eval(st.RHS)
+		g.storeScalar(st.LHS, v)
+		g.free(v)
+
+	case *lang.IfStmt:
+		elseL, endL := g.newLabel(), g.newLabel()
+		target := endL
+		if len(st.Else) > 0 {
+			target = elseL
+		}
+		g.condBranch(st.Cond, target, false)
+		g.stmts(st.Then)
+		if len(st.Else) > 0 {
+			g.emit(isa.Jump(endL))
+			g.label(elseL)
+			g.stmts(st.Else)
+		}
+		g.label(endL)
+		g.emit(isa.Nop())
+
+	case *lang.WhileStmt:
+		top, endL := g.newLabel(), g.newLabel()
+		g.label(top)
+		g.condBranch(st.Cond, endL, false)
+		g.stmts(st.Body)
+		g.emit(isa.Jump(top))
+		g.label(endL)
+		g.emit(isa.Nop())
+
+	case *lang.RepeatStmt:
+		top := g.newLabel()
+		g.label(top)
+		g.stmts(st.Body)
+		g.condBranch(st.Cond, top, false)
+
+	case *lang.ForStmt:
+		g.genFor(st)
+
+	case *lang.CallStmt:
+		if r := g.genCall(st.Call); r != 0 {
+			g.free(r)
+		}
+	}
+}
+
+func (g *mipsGen) genFor(st *lang.ForStmt) {
+	limitOff, ok := g.frame.LoopTmp[st]
+	if !ok {
+		fail(st.Pos, "no loop-limit slot")
+	}
+	from := g.eval(st.From)
+	g.storeScalar(st.Var, from)
+	g.free(from)
+	lim := g.eval(st.To)
+	g.emit(isa.StoreDisp(lim, regSP, limitOff))
+	g.free(lim)
+
+	top, endL := g.newLabel(), g.newLabel()
+	g.label(top)
+	// Test: exit when var > limit (or < for downto).
+	v := g.loadScalar(st.Var)
+	l := g.alloc(st.Pos)
+	g.emit(isa.LoadDisp(l, regSP, limitOff))
+	exitCmp := isa.CmpGT
+	if st.Down {
+		exitCmp = isa.CmpLT
+	}
+	g.emit(isa.Branch(exitCmp, isa.R(v), isa.R(l), endL))
+	g.free(v)
+	g.free(l)
+	g.stmts(st.Body)
+	// Step the loop variable.
+	v = g.loadScalar(st.Var)
+	op := isa.OpAdd
+	if st.Down {
+		op = isa.OpSub
+	}
+	g.emit(isa.ALU(op, v, isa.R(v), isa.Imm(1)))
+	g.storeScalar(st.Var, v)
+	g.free(v)
+	g.emit(isa.Jump(top))
+	g.label(endL)
+	g.emit(isa.Nop())
+}
+
+// condBranch branches to target when the condition's truth equals
+// want. Pure subexpressions short-circuit (early-out); impure ones are
+// fully evaluated so output side effects are preserved.
+func (g *mipsGen) condBranch(e lang.Expr, target string, want bool) {
+	switch ex := e.(type) {
+	case *lang.BoolExpr:
+		if ex.Val == want {
+			g.emit(isa.Jump(target))
+		}
+		return
+
+	case *lang.UnExpr:
+		if ex.Op == lang.OpNot {
+			g.condBranch(ex.E, target, !want)
+			return
+		}
+
+	case *lang.BinExpr:
+		if ex.Op.Relational() {
+			cmp := relCmp(ex.Op)
+			if !want {
+				cmp = cmp.Negate()
+			}
+			l := g.eval(ex.L)
+			r := g.operand(ex.R)
+			g.emit(isa.Branch(cmp, isa.R(l), r, target))
+			g.free(l)
+			g.freeOperand(r)
+			return
+		}
+		if (ex.Op == lang.OpAnd || ex.Op == lang.OpOr) && exprPure(ex.R) {
+			isAnd := ex.Op == lang.OpAnd
+			if isAnd == want {
+				// Branch only if both (and) / either (or) hold: test the
+				// first; on failure skip, else test the second.
+				skip := g.newLabel()
+				g.condBranch(ex.L, skip, !want)
+				g.condBranch(ex.R, target, want)
+				g.label(skip)
+				g.emit(isa.Nop())
+			} else {
+				// and-false / or-true: either operand decides alone.
+				g.condBranch(ex.L, target, want)
+				g.condBranch(ex.R, target, want)
+			}
+			return
+		}
+	}
+	// General case: evaluate to 0/1 and test.
+	v := g.eval(e)
+	cmp := isa.CmpNE0
+	if !want {
+		cmp = isa.CmpEQ0
+	}
+	g.emit(isa.Branch(cmp, isa.R(v), isa.Imm(0), target))
+	g.free(v)
+}
+
+// genCall compiles builtins, procedure calls, and function calls. For
+// functions it returns the temporary holding the result; for procedures
+// and builtins it returns 0 (nothing to free).
+func (g *mipsGen) genCall(c *lang.CallExpr) isa.Reg {
+	switch c.Builtin {
+	case lang.BWriteInt, lang.BWriteChar:
+		code := uint16(trapPutInt)
+		if c.Builtin == lang.BWriteChar {
+			code = trapPutChar
+		}
+		v := g.eval(c.Args[0])
+		// The monitor call takes its argument in r1.
+		saved := g.shuffleToR1(v, c.ExprPos())
+		g.emit(isa.Trap(code))
+		g.unshuffleR1(saved)
+		return 0
+	case lang.BHalt:
+		g.emit(isa.Trap(trapHalt))
+		return 0
+	}
+
+	proc := c.Proc
+	frame := g.lay.Frames[proc]
+
+	// Evaluate arguments first (they may contain calls themselves).
+	argRegs := make([]isa.Reg, len(c.Args))
+	for i, a := range c.Args {
+		if proc.Params[i].ByRef {
+			argRegs[i] = g.addressOf(a)
+		} else {
+			argRegs[i] = g.eval(a)
+		}
+	}
+
+	// Spill every other live temporary across the call.
+	spilled := g.spillLive(argRegs)
+
+	g.adjustSP(-frame.Size)
+	off := int32(1)
+	for i, r := range argRegs {
+		g.emit(isa.StoreDisp(r, regSP, off))
+		if proc.Params[i].ByRef {
+			off++
+		} else {
+			off += g.lay.Mode.SizeWords(proc.Params[i].Type)
+		}
+		g.free(r)
+	}
+	g.emit(isa.Call("p$"+proc.Name, regRA))
+	g.adjustSP(frame.Size)
+
+	var result isa.Reg
+	if proc.Result != nil {
+		result = g.alloc(c.ExprPos())
+		if result != regResult {
+			g.emit(isa.Mov(result, isa.R(regResult)))
+		}
+	}
+	g.restoreSpilled(spilled)
+	return result
+}
+
+// addressOf computes the word address of an lvalue for a var parameter.
+func (g *mipsGen) addressOf(e lang.Expr) isa.Reg {
+	p := g.lvalue(e)
+	switch {
+	case p.isByte:
+		fail(e.ExprPos(), "cannot pass a packed byte element by reference")
+	case p.hasDisp:
+		r := g.alloc(e.ExprPos())
+		g.addrOfBase(r, p.base, p.disp)
+		return r
+	}
+	return p.addrReg
+}
+
+// spillLive saves all in-use temporaries except the given ones to the
+// frame's spill slots, freeing them for the callee.
+func (g *mipsGen) spillLive(except []isa.Reg) map[isa.Reg]int32 {
+	keep := map[isa.Reg]bool{}
+	for _, r := range except {
+		keep[r] = true
+	}
+	spilled := map[isa.Reg]int32{}
+	slot := g.frame.SpillBase
+	for r := regTmpLo; r <= regTmpHi; r++ {
+		if !g.inUse[r] || keep[r] {
+			continue
+		}
+		if slot >= g.frame.SpillBase+NumSpillSlots {
+			fail(lang.Pos{}, "out of spill slots")
+		}
+		g.emit(isa.StoreDisp(r, regSP, slot))
+		spilled[r] = slot
+		slot++
+		// The register stays reserved in the allocator: its value will
+		// be restored after the call, so nothing else may claim it.
+	}
+	return spilled
+}
+
+func (g *mipsGen) restoreSpilled(spilled map[isa.Reg]int32) {
+	for r := regTmpLo; r <= regTmpHi; r++ {
+		if slot, ok := spilled[r]; ok {
+			g.emit(isa.LoadDisp(r, regSP, slot))
+		}
+	}
+}
+
+// shuffleToR1 moves a value into r1 for a monitor call, spilling r1's
+// current occupant if needed. It returns the spill slot, or -1.
+func (g *mipsGen) shuffleToR1(v isa.Reg, pos lang.Pos) int32 {
+	if v == regResult {
+		return -1
+	}
+	saved := int32(-1)
+	if g.inUse[regResult] {
+		saved = g.frame.SpillBase + NumSpillSlots - 1
+		g.emit(isa.StoreDisp(regResult, regSP, saved))
+	}
+	g.emit(isa.Mov(regResult, isa.R(v)))
+	g.free(v)
+	return saved
+}
+
+func (g *mipsGen) unshuffleR1(saved int32) {
+	if saved >= 0 {
+		g.emit(isa.LoadDisp(regResult, regSP, saved))
+	} else {
+		g.free(regResult)
+	}
+}

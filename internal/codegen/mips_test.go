@@ -1,0 +1,414 @@
+package codegen
+
+import (
+	"testing"
+
+	"mips/internal/isa"
+	"mips/internal/lang"
+	"mips/internal/reorg"
+)
+
+// diffTest compiles src for MIPS under every reorganizer stage and
+// checks output equality with the reference interpreter plus zero
+// hazards.
+func diffTest(t *testing.T, src string, mopt MIPSOptions) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want, err := (&lang.Interp{Mode: mopt.Mode}).Run(prog)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	stages := map[string]reorg.Options{
+		"none":  {},
+		"reorg": {Reorganize: true},
+		"pack":  {Reorganize: true, Pack: true},
+		"full":  reorg.All(),
+	}
+	for name, ropt := range stages {
+		im, _, err := CompileMIPS(src, mopt, ropt)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		res, err := RunMIPS(im, 50_000_000)
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		if len(res.Hazards) > 0 {
+			t.Fatalf("%s: hazardous code: %v", name, res.Hazards[0])
+		}
+		if res.Output != want {
+			t.Errorf("%s: output = %q, want %q", name, res.Output, want)
+		}
+	}
+}
+
+func TestMIPSHelloWorld(t *testing.T) {
+	diffTest(t, `
+program hello;
+begin
+  writechar('h'); writechar('i'); writeint(42)
+end.`, MIPSOptions{})
+}
+
+func TestMIPSArithmetic(t *testing.T) {
+	diffTest(t, `
+program arith;
+var i, sum: integer;
+begin
+  sum := 0;
+  for i := 1 to 10 do sum := sum + i;
+  writeint(sum);
+  writeint(1000 - 7);
+  writeint(7 - 1000);
+  writeint(2 + 3 * 4);
+  writeint((2 + 3) * 4);
+  writeint(-5 + 3)
+end.`, MIPSOptions{})
+}
+
+func TestMIPSMulDivMod(t *testing.T) {
+	diffTest(t, `
+program muldiv;
+var a, b: integer;
+begin
+  a := 37; b := 5;
+  writeint(a * b);
+  writeint(a div b);
+  writeint(a mod b);
+  a := -37;
+  writeint(a * b);
+  writeint(a div b);
+  writeint(a mod b);
+  b := -5;
+  writeint(a div b);
+  writeint(a mod b);
+  writeint(a * a);
+  writeint(0 div 7);
+  writeint(123 * 0)
+end.`, MIPSOptions{})
+}
+
+func TestMIPSMulByConstants(t *testing.T) {
+	diffTest(t, `
+program mulconst;
+var x: integer;
+begin
+  x := 7;
+  writeint(x * 2);
+  writeint(x * 8);
+  writeint(x * 10);
+  writeint(x * 100);
+  writeint(x * 1);
+  writeint(x * 0);
+  writeint(3 * x);
+  writeint(x * 511)
+end.`, MIPSOptions{})
+}
+
+func TestMIPSControlFlow(t *testing.T) {
+	diffTest(t, `
+program flow;
+var i, n: integer;
+begin
+  n := 0;
+  i := 10;
+  while i > 0 do begin
+    if i mod 2 = 0 then n := n + i else n := n - 1;
+    i := i - 1
+  end;
+  writeint(n);
+  repeat n := n + 1 until n >= 28;
+  writeint(n);
+  for i := 3 downto 1 do writeint(i);
+  if (n = 28) and (i >= 0) then writeint(1);
+  if (n = 99) or (i < 100) then writeint(2)
+end.`, MIPSOptions{})
+}
+
+func TestMIPSBooleans(t *testing.T) {
+	diffTest(t, `
+program bools;
+var found, b: boolean; rec, key, i: integer;
+begin
+  rec := 5; key := 5; i := 12;
+  found := (rec = key) or (i = 13);
+  if found then writeint(1) else writeint(0);
+  b := not found;
+  if b then writeint(1) else writeint(0);
+  found := (rec <> key) and (i < 13);
+  if found = b then writeint(7);
+  if true then writeint(8);
+  if not false then writeint(9)
+end.`, MIPSOptions{})
+}
+
+func TestMIPSBooleansNoSetCond(t *testing.T) {
+	diffTest(t, `
+program bools2;
+var x: boolean; a: integer;
+begin
+  a := 3;
+  x := a > 2;
+  if x then writeint(1);
+  x := (a = 3) and (a < 10) or (a = 99);
+  if x then writeint(2)
+end.`, MIPSOptions{NoSetCond: true})
+}
+
+func TestMIPSImpureBooleanOperands(t *testing.T) {
+	// The right operand writes output; full evaluation must keep it.
+	diffTest(t, `
+program impure;
+var x: boolean;
+function noisy: boolean;
+begin
+  writechar('n');
+  noisy := true
+end;
+begin
+  x := false and noisy;      { n must still print }
+  if x then writeint(1) else writeint(0);
+  if true or noisy then writeint(2)   { n prints again: full eval }
+end.`, MIPSOptions{})
+}
+
+func TestMIPSFunctionsRecursion(t *testing.T) {
+	diffTest(t, `
+program fib;
+function fib(n: integer): integer;
+begin
+  if n < 2 then fib := n
+  else fib := fib(n - 1) + fib(n - 2)
+end;
+begin
+  writeint(fib(12))
+end.`, MIPSOptions{})
+}
+
+func TestMIPSVarParams(t *testing.T) {
+	diffTest(t, `
+program vp;
+var a, b: integer; arr: array[0..4] of integer;
+procedure bump(var x: integer; by: integer);
+begin
+  x := x + by
+end;
+procedure swap(var x, y: integer);
+var t: integer;
+begin
+  t := x; x := y; y := t
+end;
+begin
+  a := 1; b := 2;
+  swap(a, b);
+  writeint(a); writeint(b);
+  bump(a, 10);
+  writeint(a);
+  arr[3] := 7;
+  bump(arr[3], 5);
+  writeint(arr[3])
+end.`, MIPSOptions{})
+}
+
+func TestMIPSArraysRecords(t *testing.T) {
+	diffTest(t, `
+program structs;
+type pt = record x, y: integer end;
+var
+  v: array[1..5] of integer;
+  grid: array[0..3] of pt;
+  p: pt;
+  i: integer;
+begin
+  for i := 1 to 5 do v[i] := i * i;
+  writeint(v[1] + v[5]);
+  p.x := 3; p.y := 4;
+  writeint(p.x * p.y);
+  for i := 0 to 3 do begin
+    grid[i].x := i; grid[i].y := i + 1
+  end;
+  writeint(grid[2].x + grid[3].y)
+end.`, MIPSOptions{})
+}
+
+func TestMIPSCharArraysBothModes(t *testing.T) {
+	src := `
+program chars;
+var
+  pbuf: packed array[0..9] of char;
+  ubuf: array[0..9] of char;
+  i: integer;
+begin
+  for i := 0 to 9 do begin
+    pbuf[i] := chr(ord('a') + i);
+    ubuf[i] := pbuf[i]
+  end;
+  for i := 0 to 9 do writechar(ubuf[i]);
+  for i := 9 downto 0 do writechar(pbuf[i])
+end.`
+	diffTest(t, src, MIPSOptions{Mode: lang.WordAlloc})
+	diffTest(t, src, MIPSOptions{Mode: lang.ByteAlloc})
+}
+
+func TestMIPSStringConstants(t *testing.T) {
+	diffTest(t, `
+program msg;
+const greeting = 'hello mips';
+var i: integer;
+begin
+  for i := 0 to 9 do writechar(greeting[i])
+end.`, MIPSOptions{})
+}
+
+func TestMIPSNegativeArrayBounds(t *testing.T) {
+	diffTest(t, `
+program negidx;
+var a: array[-3..3] of integer; i: integer;
+begin
+  for i := -3 to 3 do a[i] := i * 10;
+  writeint(a[-3] + a[3] + a[0])
+end.`, MIPSOptions{})
+}
+
+func TestMIPSDeepExpressions(t *testing.T) {
+	diffTest(t, `
+program deep;
+var a, b, c, d: integer;
+begin
+  a := 1; b := 2; c := 3; d := 4;
+  writeint(((a + b) * (c + d)) - ((a - b) * (c - d)));
+  writeint((a + (b * (c + (d * 2)))) * 2)
+end.`, MIPSOptions{})
+}
+
+func TestMIPSCallsInsideExpressions(t *testing.T) {
+	diffTest(t, `
+program callexpr;
+function sq(x: integer): integer;
+begin
+  sq := x * x
+end;
+function add3(a, b, c: integer): integer;
+begin
+  add3 := a + b + c
+end;
+begin
+  writeint(sq(3) + sq(4));
+  writeint(add3(sq(2), sq(3), sq(4)));
+  writeint(sq(sq(2)))
+end.`, MIPSOptions{})
+}
+
+func TestMIPSGlobalByteArrayVarParam(t *testing.T) {
+	// Whole arrays pass by reference; element addressing happens in the
+	// callee against the passed base.
+	diffTest(t, `
+program arrparam;
+type buf = array[0..7] of integer;
+var b: buf;
+procedure fill(var x: buf; v: integer);
+var i: integer;
+begin
+  for i := 0 to 7 do x[i] := v + i
+end;
+begin
+  fill(b, 10);
+  writeint(b[0] + b[7])
+end.`, MIPSOptions{})
+}
+
+func TestMIPSHaltMidProgram(t *testing.T) {
+	diffTest(t, `
+program stopper;
+begin
+  writeint(1);
+  halt;
+  writeint(2)
+end.`, MIPSOptions{})
+}
+
+func TestMIPSStaticCountsShrinkWithStages(t *testing.T) {
+	src := `
+program work;
+var i, s: integer; buf: packed array[0..15] of char;
+begin
+  s := 0;
+  for i := 0 to 15 do buf[i] := chr(64 + i);
+  for i := 0 to 15 do s := s + ord(buf[i]);
+  writeint(s)
+end.`
+	var prev int
+	for i, ropt := range []reorg.Options{{}, {Reorganize: true}, {Reorganize: true, Pack: true}, reorg.All()} {
+		im, _, err := CompileMIPS(src, MIPSOptions{}, ropt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(im.Words)
+		if i > 0 && n > prev {
+			t.Errorf("stage %d grew the program: %d -> %d", i, prev, n)
+		}
+		prev = n
+	}
+	// Full optimization must beat the naive translation noticeably.
+	imNone, _, _ := CompileMIPS(src, MIPSOptions{}, reorg.Options{})
+	imFull, _, _ := CompileMIPS(src, MIPSOptions{}, reorg.All())
+	if len(imFull.Words) >= len(imNone.Words) {
+		t.Errorf("full = %d words, none = %d", len(imFull.Words), len(imNone.Words))
+	}
+}
+
+func TestCompiledImagesEncodeToBits(t *testing.T) {
+	// Every compiled corpus-style program must fit the 32-bit binary
+	// encoding exactly — one uint32 per instruction word — and the
+	// decoded program must run identically.
+	srcs := []string{`
+program enc1;
+var i, s: integer; buf: packed array[0..15] of char;
+begin
+  s := 0;
+  for i := 0 to 15 do buf[i] := chr(64 + i);
+  for i := 0 to 15 do s := s + ord(buf[i]);
+  writeint(s * 3 div 7)
+end.`, `
+program enc2;
+function fact(n: integer): integer;
+begin
+  if n <= 1 then fact := 1 else fact := n * fact(n - 1)
+end;
+begin
+  writeint(fact(10))
+end.`}
+	for _, src := range srcs {
+		im, _, err := CompileMIPS(src, MIPSOptions{}, reorg.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits, err := isa.EncodeProgram(im.Words, im.TextBase)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if len(bits) != len(im.Words) {
+			t.Fatalf("encoded %d words to %d bit-words", len(im.Words), len(bits))
+		}
+		decoded, err := isa.DecodeProgram(bits, im.TextBase)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		want, err := RunMIPS(im, 50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im2 := *im
+		im2.Words = decoded
+		got, err := RunMIPS(&im2, 50_000_000)
+		if err != nil {
+			t.Fatalf("decoded image run: %v", err)
+		}
+		if got.Output != want.Output {
+			t.Fatalf("decoded image output %q, want %q", got.Output, want.Output)
+		}
+	}
+}

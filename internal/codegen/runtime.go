@@ -1,0 +1,145 @@
+package codegen
+
+import (
+	"mips/internal/isa"
+	"mips/internal/lang"
+)
+
+// The runtime routines implement multiply, divide, and modulo in
+// software: the MIPS hardware offers only the multiply-step primitive
+// plus shifts and adds — "For intensive floating point applications, the
+// use of a numeric coprocessor ... is envisioned" (paper §2.3.3); plain
+// integer multiply likewise lives in a short library loop. Routines take
+// arguments in r1/r2, return in r1, clobber r1..r8, and must not call
+// anything (the caller's return address register is live only at the
+// caller's entry, where it was saved to the frame).
+
+const (
+	regArg1 = isa.Reg(1)
+	regArg2 = isa.Reg(2)
+)
+
+// genRuntimeCall evaluates a binary operation through one of the
+// runtime routines.
+func (g *mipsGen) genRuntimeCall(name string, ex *lang.BinExpr) isa.Reg {
+	l := g.eval(ex.L)
+	r := g.eval(ex.R)
+	spilled := g.spillLive([]isa.Reg{l, r})
+
+	// Shuffle l into r1 and r into r2.
+	mov := func(d, s isa.Reg) {
+		if d != s {
+			g.emit(isa.Mov(d, isa.R(s)))
+		}
+	}
+	switch {
+	case l == regArg1:
+		mov(regArg2, r)
+	case r == regArg2:
+		mov(regArg1, l)
+	case l == regArg2 && r == regArg1:
+		g.emit(isa.Mov(regScratch, isa.R(regArg2)))
+		g.emit(isa.Mov(regArg2, isa.R(regArg1)))
+		g.emit(isa.Mov(regArg1, isa.R(regScratch)))
+	case l == regArg2:
+		mov(regArg1, l)
+		mov(regArg2, r)
+	case r == regArg1:
+		mov(regArg2, r)
+		mov(regArg1, l)
+	default:
+		mov(regArg1, l)
+		mov(regArg2, r)
+	}
+	g.free(l)
+	g.free(r)
+
+	g.emit(isa.Call(name, regRA))
+
+	res := g.alloc(ex.ExprPos())
+	if res != regArg1 {
+		g.emit(isa.Mov(res, isa.R(regArg1)))
+	}
+	g.restoreSpilled(spilled)
+	return res
+}
+
+// genRuntime appends the bodies of the runtime routines the program
+// actually uses.
+func (g *mipsGen) genRuntime() {
+	if g.needMul {
+		g.genMulRoutine()
+	}
+	if g.needDiv {
+		g.genDivModRoutine("$div", false)
+	}
+	if g.needMod {
+		g.genDivModRoutine("$mod", true)
+	}
+}
+
+// genMulRoutine: r1 = r1 * r2 via multiply-step — accumulate r1 into r3
+// whenever the low bit of r2 is set, shifting each iteration. Two's
+// complement makes the result correct for signed operands mod 2^32.
+func (g *mipsGen) genMulRoutine() {
+	g.label("$mul")
+	g.emit(isa.Mov(3, isa.Imm(0)))
+	g.label("$mul.loop")
+	g.emit(isa.Branch(isa.CmpEQ0, isa.R(2), isa.Imm(0), "$mul.done"))
+	g.emit(isa.ALU(isa.OpMStep, 3, isa.R(1), isa.R(2)))
+	g.emit(isa.ALU(isa.OpSll, 1, isa.R(1), isa.Imm(1)))
+	g.emit(isa.ALU(isa.OpSrl, 2, isa.R(2), isa.Imm(1)))
+	g.emit(isa.Jump("$mul.loop"))
+	g.label("$mul.done")
+	g.emit(isa.Mov(1, isa.R(3)))
+	g.emit(isa.JumpInd(regRA))
+}
+
+// genDivModRoutine: restoring long division with sign fixups. Pasqual
+// follows Pascal/C truncation: the quotient truncates toward zero and
+// the remainder takes the dividend's sign. Division by zero yields an
+// unspecified result, as on the real machine.
+func (g *mipsGen) genDivModRoutine(name string, wantMod bool) {
+	lbl := func(s string) string { return name + "." + s }
+	g.label(name)
+	// r5 = dividend sign, r6 = divisor sign; take absolute values.
+	g.emit(isa.SetCond(isa.CmpLT, 5, isa.R(1), isa.Imm(0)))
+	g.emit(isa.SetCond(isa.CmpLT, 6, isa.R(2), isa.Imm(0)))
+	g.emit(isa.Branch(isa.CmpEQ0, isa.R(5), isa.Imm(0), lbl("p1")))
+	g.emit(isa.ALU(isa.OpNeg, 1, isa.R(1), isa.Operand{}))
+	g.label(lbl("p1"))
+	g.emit(isa.Branch(isa.CmpEQ0, isa.R(6), isa.Imm(0), lbl("p2")))
+	g.emit(isa.ALU(isa.OpNeg, 2, isa.R(2), isa.Operand{}))
+	g.label(lbl("p2"))
+	// Unsigned long division: r3 = quotient, r4 = remainder, r7 = count.
+	g.emit(isa.Mov(3, isa.Imm(0)))
+	g.emit(isa.Mov(4, isa.Imm(0)))
+	g.emit(isa.Mov(7, isa.Imm(32)))
+	g.label(lbl("loop"))
+	g.emit(isa.ALU(isa.OpSll, 4, isa.R(4), isa.Imm(1)))
+	g.emit(isa.SetCond(isa.CmpLT, 8, isa.R(1), isa.Imm(0))) // top bit of r1
+	g.emit(isa.ALU(isa.OpOr, 4, isa.R(4), isa.R(8)))
+	g.emit(isa.ALU(isa.OpSll, 1, isa.R(1), isa.Imm(1)))
+	g.emit(isa.ALU(isa.OpSll, 3, isa.R(3), isa.Imm(1)))
+	g.emit(isa.Branch(isa.CmpLTU, isa.R(4), isa.R(2), lbl("skip")))
+	g.emit(isa.ALU(isa.OpSub, 4, isa.R(4), isa.R(2)))
+	g.emit(isa.ALU(isa.OpOr, 3, isa.R(3), isa.Imm(1)))
+	g.label(lbl("skip"))
+	g.emit(isa.ALU(isa.OpSub, 7, isa.R(7), isa.Imm(1)))
+	g.emit(isa.Branch(isa.CmpNE0, isa.R(7), isa.Imm(0), lbl("loop")))
+	if wantMod {
+		// Remainder sign follows the dividend.
+		g.emit(isa.Branch(isa.CmpEQ0, isa.R(5), isa.Imm(0), lbl("done")))
+		g.emit(isa.ALU(isa.OpNeg, 4, isa.R(4), isa.Operand{}))
+		g.label(lbl("done"))
+		g.emit(isa.Mov(1, isa.R(4)))
+	} else {
+		// Quotient sign is the xor of the operand signs.
+		g.emit(isa.ALU(isa.OpXor, 5, isa.R(5), isa.R(6)))
+		g.emit(isa.Branch(isa.CmpEQ0, isa.R(5), isa.Imm(0), lbl("done")))
+		g.emit(isa.ALU(isa.OpNeg, 3, isa.R(3), isa.Operand{}))
+		g.label(lbl("done"))
+		g.emit(isa.Mov(1, isa.R(3)))
+	}
+	g.emit(isa.JumpInd(regRA))
+}

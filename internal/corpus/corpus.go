@@ -1,0 +1,190 @@
+// Package corpus is the workload suite standing in for the paper's
+// measurement corpus: "a collection of Pascal programs including
+// compilers, optimizers, and VLSI design aid software; the programs are
+// reasonably involved with text handling, and little or no compute
+// intensive tasks" (§4.1), plus the named C benchmarks of Table 11 —
+// Fibonacci and two implementations of Baskett's Puzzle.
+//
+// Every program is written in Pasqual, deterministic, self-contained
+// (inputs are embedded constants), and produces output that the test
+// suite verifies identically across the reference interpreter, the MIPS
+// simulator, and the condition-code machine.
+package corpus
+
+import "fmt"
+
+// Program is one corpus entry.
+type Program struct {
+	// Name is the registry key.
+	Name string
+	// Role describes what the program stands in for.
+	Role string
+	// Source is the Pasqual text.
+	Source string
+	// Output is the expected console output (golden, verified in tests
+	// against the reference interpreter).
+	Output string
+	// Heavy marks programs too slow for routine differential testing on
+	// all backends; they still run on the reference interpreter.
+	Heavy bool
+}
+
+// All returns the corpus in a stable order.
+func All() []Program {
+	return []Program{
+		fib, puzzle0, puzzle1,
+		tokenizer, stringlib, netcheck, sortbench, queens, calc,
+		formatter, matrix,
+	}
+}
+
+// Table11 returns the three Table 11 benchmarks: Fibonacci and the two
+// Puzzle variants.
+func Table11() []Program { return []Program{fib, puzzle0, puzzle1} }
+
+// Get returns the named program.
+func Get(name string) (Program, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Program{}, fmt.Errorf("corpus: no program %q", name)
+}
+
+// fib is the paper's "Fibbonacci" benchmark.
+var fib = Program{
+	Name:   "fib",
+	Role:   "Table 11 benchmark: recursive Fibonacci",
+	Output: "610\n",
+	Source: `
+program fib;
+function fib(n: integer): integer;
+begin
+  if n < 2 then fib := n
+  else fib := fib(n - 1) + fib(n - 2)
+end;
+begin
+  writeint(fib(15))
+end.
+`,
+}
+
+// queens counts the 92 eight-queens solutions: boolean-expression and
+// recursion heavy.
+var queens = Program{
+	Name:   "queens",
+	Role:   "boolean-heavy backtracking (Tables 4-6 material)",
+	Output: "92\n",
+	Source: `
+program queens;
+var
+  used: array[0..7] of boolean;
+  d1: array[0..14] of boolean;
+  d2: array[0..14] of boolean;
+  count, i: integer;
+
+procedure place(row: integer);
+var c: integer;
+begin
+  if row = 8 then
+    count := count + 1
+  else
+    for c := 0 to 7 do
+      if not used[c] and not d1[row + c] and not d2[row - c + 7] then begin
+        used[c] := true; d1[row + c] := true; d2[row - c + 7] := true;
+        place(row + 1);
+        used[c] := false; d1[row + c] := false; d2[row - c + 7] := false
+      end
+end;
+
+begin
+  count := 0;
+  for i := 0 to 7 do used[i] := false;
+  for i := 0 to 14 do begin d1[i] := false; d2[i] := false end;
+  place(0);
+  writeint(count)
+end.
+`,
+}
+
+// sortbench sorts a pseudo-random array twice (insertion sort and
+// recursive quicksort) and prints checksums.
+var sortbench = Program{
+	Name:   "sort",
+	Role:   "array-heavy sorting with recursion",
+	Output: "1\n1\n6681660\n",
+	Source: `
+program sortbench;
+const n = 200;
+var
+  a, b: array[0..199] of integer;
+  seed, i, sum: integer;
+  ok: boolean;
+
+function rnd: integer;
+begin
+  seed := (seed * 1309 + 13849) mod 65536;
+  rnd := seed
+end;
+
+procedure insertion;
+var i, j, v: integer; going: boolean;
+begin
+  for i := 1 to n - 1 do begin
+    v := a[i];
+    j := i - 1;
+    going := true;
+    while going do begin
+      if j < 0 then going := false
+      else if a[j] <= v then going := false
+      else begin
+        a[j + 1] := a[j];
+        j := j - 1
+      end
+    end;
+    a[j + 1] := v
+  end
+end;
+
+procedure quick(lo, hi: integer);
+var i, j, pivot, t: integer;
+begin
+  if lo < hi then begin
+    pivot := b[(lo + hi) div 2];
+    i := lo; j := hi;
+    repeat
+      while b[i] < pivot do i := i + 1;
+      while b[j] > pivot do j := j - 1;
+      if i <= j then begin
+        t := b[i]; b[i] := b[j]; b[j] := t;
+        i := i + 1; j := j - 1
+      end
+    until i > j;
+    quick(lo, j);
+    quick(i, hi)
+  end
+end;
+
+begin
+  seed := 7;
+  for i := 0 to n - 1 do begin
+    a[i] := rnd;
+    b[i] := a[i]
+  end;
+  insertion;
+  quick(0, n - 1);
+  ok := true;
+  for i := 1 to n - 1 do
+    if a[i - 1] > a[i] then ok := false;
+  if ok then writeint(1) else writeint(0);
+  ok := true;
+  for i := 0 to n - 1 do
+    if a[i] <> b[i] then ok := false;
+  if ok then writeint(1) else writeint(0);
+  sum := 0;
+  for i := 0 to n - 1 do sum := sum + a[i];
+  writeint(sum)
+end.
+`,
+}

@@ -1,0 +1,113 @@
+package corpus
+
+// Additional workloads broadening the reference mix: a text formatter
+// (byte traffic and character stores, the §4.1 profile) and dense
+// integer matrix arithmetic (pure word traffic).
+
+var formatter = Program{
+	Name: "formatter",
+	Role: "text formatter: word wrap + case fold over packed buffers",
+	Source: `
+program formatter;
+const
+  text = 'the mips processor gains performance by moving complexity from hardware into the compiler';
+  textlen = 89;
+  width = 24;
+var
+  inbuf, outbuf: packed array[0..127] of char;
+  i, outlen, col, wordstart, wordlen, lines: integer;
+
+procedure emit(c: char);
+begin
+  outbuf[outlen] := c;
+  outlen := outlen + 1
+end;
+
+function toupper(c: char): char;
+begin
+  if (c >= 'a') and (c <= 'z') then
+    toupper := chr(ord(c) - 32)
+  else
+    toupper := c
+end;
+
+procedure flushword(fromidx, len: integer);
+var k: integer;
+begin
+  if len > 0 then begin
+    if col + len + 1 > width then begin
+      emit(chr(10));
+      lines := lines + 1;
+      col := 0
+    end else if col > 0 then begin
+      emit(' ');
+      col := col + 1
+    end;
+    { capitalize the first letter of every line }
+    if col = 0 then begin
+      emit(toupper(inbuf[fromidx]));
+      for k := fromidx + 1 to fromidx + len - 1 do emit(inbuf[k])
+    end else
+      for k := fromidx to fromidx + len - 1 do emit(inbuf[k]);
+    col := col + len
+  end
+end;
+
+begin
+  for i := 0 to textlen - 1 do inbuf[i] := text[i];
+  outlen := 0; col := 0; lines := 1;
+  wordstart := 0; wordlen := 0;
+  for i := 0 to textlen - 1 do begin
+    if inbuf[i] = ' ' then begin
+      flushword(wordstart, wordlen);
+      wordstart := i + 1;
+      wordlen := 0
+    end else
+      wordlen := wordlen + 1
+  end;
+  flushword(wordstart, wordlen);
+  for i := 0 to outlen - 1 do writechar(outbuf[i]);
+  writechar(chr(10));
+  writeint(lines);
+  writeint(outlen)
+end.
+`,
+}
+
+var matrix = Program{
+	Name: "matrix",
+	Role: "dense integer matrix product and trace (pure word traffic)",
+	Source: `
+program matrix;
+const n = 12;
+type mat = array[0..143] of integer;
+var
+  a, b, c: mat;
+  i, j, k, s, trace: integer;
+
+begin
+  for i := 0 to n - 1 do
+    for j := 0 to n - 1 do begin
+      a[i * n + j] := i + 2 * j;
+      b[i * n + j] := i - j
+    end;
+  for i := 0 to n - 1 do
+    for j := 0 to n - 1 do begin
+      s := 0;
+      for k := 0 to n - 1 do
+        s := s + a[i * n + k] * b[k * n + j];
+      c[i * n + j] := s
+    end;
+  trace := 0;
+  for i := 0 to n - 1 do
+    trace := trace + c[i * n + i];
+  writeint(trace);
+  writeint(c[0]);
+  writeint(c[n * n - 1]);
+  s := 0;
+  for i := 0 to n * n - 1 do
+    if c[i] < 0 then s := s + 1;
+  writeint(s)
+end.
+`,
+}

@@ -1,0 +1,238 @@
+package corpus
+
+// The Puzzle benchmark (Forest Baskett's "informal compute bound
+// benchmark", paper reference [2]) in two implementations, as in
+// Table 11. The original fills a 5x5x5 region of an 8x8x8 cube with
+// pieces; this reproduction keeps the exact program structure —
+// fit/place/remove/trial over boolean occupancy arrays with a trial
+// counter — on a 3x3x3 region of a 5x5x5 cube so dynamic runs stay
+// short. puzzle0 indexes two-dimensional arrays (the subscript
+// version); puzzle1 flattens them with explicit offset arithmetic (the
+// pointer-style version).
+
+var puzzle0 = Program{
+	Name:   "puzzle0",
+	Role:   "Table 11 benchmark: Puzzle, subscript version",
+	Output: "10\n1\n",
+	Source: `
+program puzzle0;
+const
+  d = 5;
+  size = 124;        { d*d*d - 1 }
+  typemax = 3;
+  classmax = 1;
+var
+  puzzle: array[0..124] of boolean;
+  p: array[0..3] of array[0..124] of boolean;
+  piececount: array[0..1] of integer;
+  pclass: array[0..3] of integer;
+  piecemax: array[0..3] of integer;
+  kount, i, j, k, x, y, z: integer;
+  solved: boolean;
+
+function pos(x, y, z: integer): integer;
+begin
+  pos := x + d * (y + d * z)
+end;
+
+function fit(i, j: integer): boolean;
+var k: integer; ok: boolean;
+begin
+  ok := true;
+  for k := 0 to piecemax[i] do
+    if p[i][k] then
+      if puzzle[j + k] then ok := false;
+  fit := ok
+end;
+
+function place(i, j: integer): integer;
+var k, res: integer; looking: boolean;
+begin
+  for k := 0 to piecemax[i] do
+    if p[i][k] then puzzle[j + k] := true;
+  piececount[pclass[i]] := piececount[pclass[i]] - 1;
+  res := 0;
+  k := j;
+  looking := true;
+  while looking and (k <= size) do begin
+    if not puzzle[k] then begin
+      res := k;
+      looking := false
+    end;
+    k := k + 1
+  end;
+  place := res
+end;
+
+procedure unplace(i, j: integer);
+var k: integer;
+begin
+  for k := 0 to piecemax[i] do
+    if p[i][k] then puzzle[j + k] := false;
+  piececount[pclass[i]] := piececount[pclass[i]] + 1
+end;
+
+function trial(j: integer): boolean;
+var i, k: integer; done: boolean;
+begin
+  done := false;
+  kount := kount + 1;
+  i := 0;
+  while (i <= typemax) and not done do begin
+    if piececount[pclass[i]] <> 0 then
+      if fit(i, j) then begin
+        k := place(i, j);
+        if trial(k) or (k = 0) then done := true
+        else unplace(i, j)
+      end;
+    i := i + 1
+  end;
+  trial := done
+end;
+
+begin
+  { Everything outside the 3x3x3 region is occupied. }
+  for i := 0 to size do puzzle[i] := true;
+  for x := 0 to 2 do
+    for y := 0 to 2 do
+      for z := 0 to 2 do
+        puzzle[pos(x, y, z)] := false;
+
+  for i := 0 to typemax do begin
+    piecemax[i] := 0;
+    for k := 0 to size do p[i][k] := false
+  end;
+  { Type 0: three-cell bar along x; 1: along y; 2: along z. }
+  for k := 0 to 2 do p[0][pos(k, 0, 0)] := true;
+  piecemax[0] := pos(2, 0, 0);
+  for k := 0 to 2 do p[1][pos(0, k, 0)] := true;
+  piecemax[1] := pos(0, 2, 0);
+  for k := 0 to 2 do p[2][pos(0, 0, k)] := true;
+  piecemax[2] := pos(0, 0, 2);
+  { Type 3: four-cell bar that can never fit. }
+  for k := 0 to 3 do p[3][pos(k, 0, 0)] := true;
+  piecemax[3] := pos(3, 0, 0);
+
+  pclass[0] := 0; pclass[1] := 0; pclass[2] := 0; pclass[3] := 1;
+  piececount[0] := 9;
+  piececount[1] := 2;
+
+  kount := 0;
+  solved := trial(pos(0, 0, 0));
+  writeint(kount);
+  if solved then writeint(1) else writeint(0)
+end.
+`,
+}
+
+var puzzle1 = Program{
+	Name:   "puzzle1",
+	Role:   "Table 11 benchmark: Puzzle, flattened-offset version",
+	Output: "10\n1\n",
+	Source: `
+program puzzle1;
+const
+  d = 5;
+  size = 124;
+  width = 125;
+  typemax = 3;
+var
+  puzzle: array[0..124] of boolean;
+  pflat: array[0..499] of boolean;    { 4 pieces * 125 cells, flattened }
+  piececount: array[0..1] of integer;
+  pclass: array[0..3] of integer;
+  piecemax: array[0..3] of integer;
+  kount, i, j, k, x, y, z: integer;
+  solved: boolean;
+
+function pos(x, y, z: integer): integer;
+begin
+  pos := x + d * (y + d * z)
+end;
+
+function fit(i, j: integer): boolean;
+var k, base: integer; ok: boolean;
+begin
+  ok := true;
+  base := i * width;
+  for k := 0 to piecemax[i] do
+    if pflat[base + k] then
+      if puzzle[j + k] then ok := false;
+  fit := ok
+end;
+
+function place(i, j: integer): integer;
+var k, res, base: integer; looking: boolean;
+begin
+  base := i * width;
+  for k := 0 to piecemax[i] do
+    if pflat[base + k] then puzzle[j + k] := true;
+  piececount[pclass[i]] := piececount[pclass[i]] - 1;
+  res := 0;
+  k := j;
+  looking := true;
+  while looking and (k <= size) do begin
+    if not puzzle[k] then begin
+      res := k;
+      looking := false
+    end;
+    k := k + 1
+  end;
+  place := res
+end;
+
+procedure unplace(i, j: integer);
+var k, base: integer;
+begin
+  base := i * width;
+  for k := 0 to piecemax[i] do
+    if pflat[base + k] then puzzle[j + k] := false;
+  piececount[pclass[i]] := piececount[pclass[i]] + 1
+end;
+
+function trial(j: integer): boolean;
+var i, k: integer; done: boolean;
+begin
+  done := false;
+  kount := kount + 1;
+  i := 0;
+  while (i <= typemax) and not done do begin
+    if piececount[pclass[i]] <> 0 then
+      if fit(i, j) then begin
+        k := place(i, j);
+        if trial(k) or (k = 0) then done := true
+        else unplace(i, j)
+      end;
+    i := i + 1
+  end;
+  trial := done
+end;
+
+begin
+  for i := 0 to size do puzzle[i] := true;
+  for x := 0 to 2 do
+    for y := 0 to 2 do
+      for z := 0 to 2 do
+        puzzle[pos(x, y, z)] := false;
+
+  for i := 0 to 499 do pflat[i] := false;
+  for k := 0 to 2 do pflat[0 * width + pos(k, 0, 0)] := true;
+  piecemax[0] := pos(2, 0, 0);
+  for k := 0 to 2 do pflat[1 * width + pos(0, k, 0)] := true;
+  piecemax[1] := pos(0, 2, 0);
+  for k := 0 to 2 do pflat[2 * width + pos(0, 0, k)] := true;
+  piecemax[2] := pos(0, 0, 2);
+  for k := 0 to 3 do pflat[3 * width + pos(k, 0, 0)] := true;
+  piecemax[3] := pos(3, 0, 0);
+
+  pclass[0] := 0; pclass[1] := 0; pclass[2] := 0; pclass[3] := 1;
+  piececount[0] := 9;
+  piececount[1] := 2;
+
+  kount := 0;
+  solved := trial(pos(0, 0, 0));
+  writeint(kount);
+  if solved then writeint(1) else writeint(0)
+end.
+`,
+}

@@ -1,0 +1,282 @@
+package corpus
+
+// The text-handling programs: the corpus description in §4.1 calls for
+// compiler-like, string-heavy workloads (tokenizers, parsers, string
+// utilities, VLSI design aids).
+
+// tokenizer scans an embedded program text and counts token classes —
+// the "compiler front end" style workload.
+var tokenizer = Program{
+	Name:   "tokenizer",
+	Role:   "compiler-style lexical scanner over embedded text",
+	Output: "",
+	Source: `
+program tokenizer;
+const
+  text = 'begin x := x + 42; while x < 500 do begin y := y * 2; call fn(x, y) end; if done then halt end';
+  textlen = 94;
+var
+  buf: array[0..127] of char;
+  i, idents, numbers, symbols, keywords, total: integer;
+
+function isletter(c: char): boolean;
+begin
+  isletter := (c >= 'a') and (c <= 'z')
+end;
+
+function isdigit(c: char): boolean;
+begin
+  isdigit := (c >= '0') and (c <= '9')
+end;
+
+function iskeyword(fromidx, toidx: integer): boolean;
+var len: integer; kw: boolean;
+begin
+  len := toidx - fromidx;
+  kw := false;
+  if len = 5 then
+    if (buf[fromidx] = 'b') and (buf[fromidx+1] = 'e') and (buf[fromidx+2] = 'g')
+       and (buf[fromidx+3] = 'i') and (buf[fromidx+4] = 'n') then kw := true;
+  if len = 5 then
+    if (buf[fromidx] = 'w') and (buf[fromidx+1] = 'h') and (buf[fromidx+2] = 'i')
+       and (buf[fromidx+3] = 'l') and (buf[fromidx+4] = 'e') then kw := true;
+  if len = 3 then
+    if (buf[fromidx] = 'e') and (buf[fromidx+1] = 'n') and (buf[fromidx+2] = 'd') then kw := true;
+  if len = 2 then
+    if (buf[fromidx] = 'i') and (buf[fromidx+1] = 'f') then kw := true;
+  if len = 2 then
+    if (buf[fromidx] = 'd') and (buf[fromidx+1] = 'o') then kw := true;
+  if len = 4 then
+    if (buf[fromidx] = 'h') and (buf[fromidx+1] = 'a') and (buf[fromidx+2] = 'l')
+       and (buf[fromidx+3] = 't') then kw := true;
+  if len = 4 then
+    if (buf[fromidx] = 't') and (buf[fromidx+1] = 'h') and (buf[fromidx+2] = 'e')
+       and (buf[fromidx+3] = 'n') then kw := true;
+  iskeyword := kw
+end;
+
+begin
+  for i := 0 to textlen - 1 do buf[i] := text[i];
+  idents := 0; numbers := 0; symbols := 0; keywords := 0;
+  i := 0;
+  while i < textlen do begin
+    if buf[i] = ' ' then
+      i := i + 1
+    else if isletter(buf[i]) then begin
+      total := i;
+      while (i < textlen) and isletter(buf[i]) do i := i + 1;
+      if iskeyword(total, i) then keywords := keywords + 1
+      else idents := idents + 1
+    end
+    else if isdigit(buf[i]) then begin
+      while (i < textlen) and isdigit(buf[i]) do i := i + 1;
+      numbers := numbers + 1
+    end
+    else begin
+      symbols := symbols + 1;
+      i := i + 1
+    end
+  end;
+  writeint(keywords);
+  writeint(idents);
+  writeint(numbers);
+  writeint(symbols)
+end.
+`,
+}
+
+// stringlib exercises the byte-access paths: copy, reverse, compare,
+// and search over packed character buffers (§4.1's character-at-a-time
+// processing).
+var stringlib = Program{
+	Name: "strings",
+	Role: "string copy/compare/search over packed byte arrays",
+	Source: `
+program strings;
+const
+  src = 'the quick brown fox jumps over the lazy dog';
+  srclen = 43;
+var
+  a, b: packed array[0..63] of char;
+  i, n, matches: integer;
+  same: boolean;
+
+procedure copystr;
+var i: integer;
+begin
+  for i := 0 to srclen - 1 do a[i] := src[i]
+end;
+
+procedure reversestr;
+var i: integer;
+begin
+  for i := 0 to srclen - 1 do b[i] := a[srclen - 1 - i]
+end;
+
+function countchar(c: char): integer;
+var i, n: integer;
+begin
+  n := 0;
+  for i := 0 to srclen - 1 do
+    if a[i] = c then n := n + 1;
+  countchar := n
+end;
+
+begin
+  copystr;
+  reversestr;
+  same := true;
+  for i := 0 to srclen - 1 do
+    if a[i] <> b[srclen - 1 - i] then same := false;
+  if same then writeint(1) else writeint(0);
+  writeint(countchar('o'));
+  writeint(countchar(' '));
+  { checksum of the copy }
+  n := 0;
+  for i := 0 to srclen - 1 do n := n + ord(a[i]);
+  writeint(n);
+  { count positions where 'the' occurs }
+  matches := 0;
+  for i := 0 to srclen - 3 do
+    if (a[i] = 't') and (a[i+1] = 'h') and (a[i+2] = 'e') then
+      matches := matches + 1;
+  writeint(matches)
+end.
+`,
+}
+
+// netcheck is the VLSI-design-aid stand-in: a netlist rule checker over
+// arrays of records.
+var netcheck = Program{
+	Name: "netcheck",
+	Role: "VLSI design-aid style: netlist fanout/width rule checks",
+	Source: `
+program netcheck;
+const
+  nets = 40;
+  maxfanout = 3;
+  minwidth = 2;
+var
+  from, tonode, width: array[0..39] of integer;
+  fanout: array[0..19] of integer;
+  seed, i, violations, totalwidth: integer;
+
+function rnd(range: integer): integer;
+begin
+  seed := (seed * 1309 + 13849) mod 65536;
+  rnd := seed mod range
+end;
+
+begin
+  seed := 11;
+  for i := 0 to nets - 1 do begin
+    from[i] := rnd(20);
+    tonode[i] := rnd(20);
+    width[i] := 1 + rnd(4)
+  end;
+  for i := 0 to 19 do fanout[i] := 0;
+  for i := 0 to nets - 1 do
+    fanout[from[i]] := fanout[from[i]] + 1;
+
+  violations := 0;
+  for i := 0 to 19 do
+    if fanout[i] > maxfanout then violations := violations + 1;
+  for i := 0 to nets - 1 do begin
+    if width[i] < minwidth then violations := violations + 1;
+    if from[i] = tonode[i] then violations := violations + 1
+  end;
+  totalwidth := 0;
+  for i := 0 to nets - 1 do totalwidth := totalwidth + width[i];
+  writeint(violations);
+  writeint(totalwidth)
+end.
+`,
+}
+
+// calc is a table-driven expression evaluator: the "parser" workload.
+// It evaluates an embedded expression with precedence by recursive
+// descent over a character buffer.
+var calc = Program{
+	Name: "calc",
+	Role: "recursive-descent expression evaluator (parser workload)",
+	Source: `
+program calc;
+const
+  expr = '12+3*45-100/5+(7-2)*30';
+  exprlen = 22;
+var
+  buf: packed array[0..31] of char;
+  pos, i: integer;
+
+function peek: char;
+begin
+  if pos < exprlen then peek := buf[pos]
+  else peek := '$'
+end;
+
+function parsenum: integer;
+var v: integer;
+begin
+  v := 0;
+  while (peek >= '0') and (peek <= '9') do begin
+    v := v * 10 + (ord(peek) - ord('0'));
+    pos := pos + 1
+  end;
+  parsenum := v
+end;
+
+function parsefactor: integer;
+var v, start: integer; c: char;
+begin
+  if peek = '(' then begin
+    { Pasqual has no forward declarations, so parenthesized groups are
+      evaluated inline left-to-right (the embedded expression keeps its
+      groups in that form). }
+    pos := pos + 1;
+    v := parsenum;
+    c := peek;
+    while (c = '+') or (c = '-') or (c = '*') do begin
+      pos := pos + 1;
+      start := parsenum;
+      if c = '+' then v := v + start
+      else if c = '-' then v := v - start
+      else v := v * start;
+      c := peek
+    end;
+    pos := pos + 1   { closing paren }
+  end else
+    v := parsenum;
+  parsefactor := v
+end;
+
+function parseterm: integer;
+var v: integer; c: char;
+begin
+  v := parsefactor;
+  c := peek;
+  while (c = '*') or (c = '/') do begin
+    pos := pos + 1;
+    if c = '*' then v := v * parsefactor
+    else v := v div parsefactor;
+    c := peek
+  end;
+  parseterm := v
+end;
+
+begin
+  for i := 0 to exprlen - 1 do buf[i] := expr[i];
+  pos := 0;
+  i := parseterm;
+  while (peek = '+') or (peek = '-') do begin
+    if peek = '+' then begin
+      pos := pos + 1;
+      i := i + parseterm
+    end else begin
+      pos := pos + 1;
+      i := i - parseterm
+    end
+  end;
+  writeint(i)
+end.
+`,
+}

@@ -1,0 +1,107 @@
+package cpu
+
+import (
+	"mips/internal/mem"
+)
+
+// Device is a memory-mapped peripheral on the physical address bus.
+// The paper's protection scheme relies on peripherals living on the
+// virtual address bus where user-level processes cannot reach them
+// unmapped (paper §3.2); in this model devices claim physical word
+// addresses and the kernel reaches them with mapping disabled.
+type Device interface {
+	// Contains reports whether the device claims the physical address.
+	Contains(phys uint32) bool
+	// ReadWord returns the device register at the address.
+	ReadWord(phys uint32) uint32
+	// WriteWord stores to the device register at the address.
+	WriteWord(phys, val uint32)
+}
+
+// Bus is the processor's data-memory interface: the MMU (segmentation
+// unit, page map, physical RAM) plus memory-mapped devices and the DMA
+// engine that consumes free memory cycles.
+type Bus struct {
+	MMU     *mem.MMU
+	DMA     *mem.DMA
+	devices []Device
+	tickers []Ticker
+
+	// LastFault is the external mapping unit's fault latch: the most
+	// recent translation fault, which the page-fault handler reads
+	// through the fault-register device to learn the faulting address.
+	LastFault *mem.Fault
+}
+
+// Ticker is implemented by devices that advance with machine cycles
+// (timers). The CPU ticks the bus once per executed instruction.
+type Ticker interface {
+	Tick()
+}
+
+// NewBus builds a bus over the given physical memory.
+func NewBus(phys *mem.Physical) *Bus {
+	return &Bus{MMU: mem.NewMMU(phys)}
+}
+
+// Attach adds a memory-mapped device. Devices that also implement
+// Ticker advance once per executed instruction.
+func (b *Bus) Attach(d Device) {
+	b.devices = append(b.devices, d)
+	if t, ok := d.(Ticker); ok {
+		b.tickers = append(b.tickers, t)
+	}
+}
+
+// Tick advances time-driven devices by one machine cycle.
+func (b *Bus) Tick() {
+	for _, t := range b.tickers {
+		t.Tick()
+	}
+}
+
+func (b *Bus) device(phys uint32) Device {
+	for _, d := range b.devices {
+		if d.Contains(phys) {
+			return d
+		}
+	}
+	return nil
+}
+
+// Read fetches a data word. mapped selects whether the segmentation and
+// page map translate the address.
+func (b *Bus) Read(addr uint32, mapped bool) (uint32, *mem.Fault) {
+	pa, f := b.MMU.Translate(addr, false, mapped)
+	if f != nil {
+		b.LastFault = f
+		return 0, f
+	}
+	if d := b.device(pa); d != nil {
+		return d.ReadWord(pa), nil
+	}
+	return b.MMU.Phys.Read(pa)
+}
+
+// Write stores a data word.
+func (b *Bus) Write(addr, val uint32, mapped bool) *mem.Fault {
+	pa, f := b.MMU.Translate(addr, true, mapped)
+	if f != nil {
+		b.LastFault = f
+		return f
+	}
+	if d := b.device(pa); d != nil {
+		d.WriteWord(pa, val)
+		return nil
+	}
+	return b.MMU.Phys.Write(pa, val)
+}
+
+// OfferFreeCycle forwards an unused data-memory cycle to the DMA engine,
+// if one is attached. It reports whether the cycle was consumed.
+func (b *Bus) OfferFreeCycle() bool {
+	if b.DMA == nil {
+		return false
+	}
+	return b.DMA.OfferFreeCycle()
+}

@@ -1,0 +1,380 @@
+// Package cpu is a cycle-level simulator of the MIPS processor: a
+// single-issue, five-stage, word-addressed pipeline with no hardware
+// interlocks. The architectural consequences the paper builds on are
+// modeled exactly:
+//
+//   - the instruction after a load reads the loaded register's old value
+//     (load delay 1);
+//   - the instruction after any branch, jump, or call always executes
+//     (branch delay 1), and two instructions execute after an indirect
+//     jump (delay 2);
+//   - a faulting memory reference suppresses all register writes of its
+//     instruction word, so instructions restart cleanly;
+//   - on an exception the machine saves three return addresses, packs the
+//     cause into the surprise register, disables mapping and interrupts,
+//     and dispatches to physical address zero;
+//   - every instruction word without a load/store piece leaves its data
+//     memory cycle free, announced to the DMA engine.
+//
+// Correct code comes from the package reorg scheduler; an optional
+// auditor (SetAudit) records load-use violations so tests can prove
+// schedules legal.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"mips/internal/isa"
+	"mips/internal/mem"
+)
+
+// ErrHalted is returned by Step and Run once the processor has halted.
+var ErrHalted = errors.New("cpu: halted")
+
+// CPU is the processor state.
+type CPU struct {
+	// Regs are the sixteen general registers.
+	Regs [isa.NumRegs]uint32
+	// Lo is the byte-selector special register.
+	Lo uint32
+	// Sur is the surprise register.
+	Sur isa.Surprise
+	// Ret are the three return addresses saved on exception entry.
+	Ret [3]uint32
+
+	// IMem is the instruction memory, indexed by physical word address
+	// (the dual instruction/data memory interface of §3.2).
+	IMem []isa.Instr
+	// Bus is the data-memory interface.
+	Bus *Bus
+
+	// Stats accumulates dynamic measurements.
+	Stats Stats
+
+	// Interlocked switches on the counterfactual the paper argues
+	// against (§4.2.1): hardware load interlocks. Reading a register
+	// with a pending load stalls the pipe until the value arrives
+	// instead of returning the stale value. Delayed branches remain
+	// architectural. Used by the ablation experiments only.
+	Interlocked bool
+
+	// Halted is set by the halt device hook or Halt.
+	Halted bool
+
+	// pcq is the fetch queue: pcq[0] is the next instruction to execute,
+	// and the top three entries are exactly the three return addresses an
+	// exception must save (delayed branches put future targets here).
+	pcq []uint32
+
+	// pending holds load results not yet visible in the register file.
+	pending []delayedWrite
+
+	// lastWrite tracks the sequence number of the latest architectural
+	// write to each register, so a delayed load commit never clobbers a
+	// younger ALU result.
+	lastWrite [isa.NumRegs]uint64
+
+	seq     uint64
+	intLine bool
+
+	audit  func(Hazard)
+	onTrap func(code uint16)
+	onStep func(pc uint32, in isa.Instr)
+}
+
+type delayedWrite struct {
+	reg      isa.Reg
+	val      uint32
+	issuedAt uint64
+	commitAt uint64
+}
+
+// New builds a CPU over the given bus, starting at word address 0 in
+// supervisor state with mapping and interrupts disabled — the power-up
+// reset condition.
+func New(bus *Bus) *CPU {
+	c := &CPU{Bus: bus}
+	c.Sur = c.Sur.SetSupervisor(true)
+	c.pcq = []uint32{0}
+	return c
+}
+
+// Reset re-enters the power-up state at word address 0.
+func (c *CPU) Reset() {
+	c.Regs = [isa.NumRegs]uint32{}
+	c.Lo = 0
+	c.Sur = isa.Surprise(0).SetSupervisor(true).WithCauses(isa.CauseReset, isa.CauseNone)
+	c.Ret = [3]uint32{}
+	c.pcq = []uint32{0}
+	c.pending = c.pending[:0]
+	c.lastWrite = [isa.NumRegs]uint64{}
+	c.Halted = false
+	c.intLine = false
+}
+
+// PC returns the address of the next instruction to execute.
+func (c *CPU) PC() uint32 { return c.pcq[0] }
+
+// SetPC replaces the fetch stream, discarding any pending delayed
+// branches. Loaders use it to start execution at an image entry point.
+func (c *CPU) SetPC(pc uint32) { c.pcq = append(c.pcq[:0], pc) }
+
+// SetAudit installs a hazard auditor invoked on every load-use
+// violation. Pass nil to disable.
+func (c *CPU) SetAudit(fn func(Hazard)) { c.audit = fn }
+
+// SetTrapHook installs a callback invoked (in addition to the
+// architectural exception) whenever a software trap executes. Harnesses
+// use it to observe monitor calls without a full kernel.
+func (c *CPU) SetTrapHook(fn func(code uint16)) { c.onTrap = fn }
+
+// SetStepHook installs a tracer invoked before each executed
+// instruction word with its address. Pass nil to disable.
+func (c *CPU) SetStepHook(fn func(pc uint32, in isa.Instr)) { c.onStep = fn }
+
+// Interrupt drives the single external interrupt line (paper §3.3:
+// "There is a single interrupt line onto the chip"). The level is held
+// until released; the processor takes the interrupt before the next
+// instruction once interrupts are enabled.
+func (c *CPU) Interrupt(level bool) { c.intLine = level }
+
+// Halt stops the processor; Step returns ErrHalted afterwards.
+func (c *CPU) Halt() { c.Halted = true }
+
+// LoadImage copies an image into instruction memory and initialized data
+// into physical memory, and sets the PC to the entry point.
+func (c *CPU) LoadImage(im *isa.Image) error {
+	if err := im.Validate(); err != nil {
+		return err
+	}
+	end := int(im.TextBase) + len(im.Words)
+	if end > len(c.IMem) {
+		grown := make([]isa.Instr, end)
+		copy(grown, c.IMem)
+		c.IMem = grown
+	}
+	copy(c.IMem[im.TextBase:], im.Words)
+	for addr, val := range im.Data {
+		c.Bus.MMU.Phys.Poke(uint32(addr), val)
+	}
+	c.SetPC(uint32(im.Entry))
+	return nil
+}
+
+// fill extends the fetch queue with sequential addresses so that three
+// entries are always present.
+func (c *CPU) fill() {
+	for len(c.pcq) < 3 {
+		c.pcq = append(c.pcq, c.pcq[len(c.pcq)-1]+1)
+	}
+}
+
+// scheduleBranch installs a delayed control transfer: after delay more
+// sequential instructions, execution continues at target. The queue
+// currently holds the instructions after the branch.
+func (c *CPU) scheduleBranch(target uint32, delay int) {
+	c.fill()
+	c.pcq = append(c.pcq[:delay], target)
+}
+
+// commitLoads applies pending load results that have reached their
+// commit time, unless a younger write already replaced the register.
+func (c *CPU) commitLoads() {
+	kept := c.pending[:0]
+	for _, w := range c.pending {
+		if w.commitAt > c.seq {
+			kept = append(kept, w)
+			continue
+		}
+		if c.lastWrite[w.reg] <= w.issuedAt {
+			c.Regs[w.reg] = w.val
+			c.lastWrite[w.reg] = w.issuedAt
+		}
+	}
+	c.pending = kept
+}
+
+// readReg reads a register for operand use. Without interlocks a
+// pending load is a hazard: the stale value is returned and the auditor
+// notified. With interlocks the pipe stalls until the load commits.
+func (c *CPU) readReg(r isa.Reg, pc uint32) uint32 {
+	if c.Interlocked {
+		kept := c.pending[:0]
+		stalled := false
+		for _, w := range c.pending {
+			if w.reg != r {
+				kept = append(kept, w)
+				continue
+			}
+			// Stall: the value arrives now, one bubble charged.
+			if c.lastWrite[w.reg] <= w.issuedAt {
+				c.Regs[w.reg] = w.val
+				c.lastWrite[w.reg] = w.issuedAt
+			}
+			stalled = true
+		}
+		if stalled {
+			c.pending = kept
+			c.Stats.StallCycles++
+			c.Stats.Cycles++
+		}
+		return c.Regs[r]
+	}
+	if c.audit != nil {
+		for _, w := range c.pending {
+			if w.reg == r {
+				c.audit(Hazard{Seq: c.seq, PC: pc, Reg: r})
+			}
+		}
+	}
+	return c.Regs[r]
+}
+
+func (c *CPU) operand(o isa.Operand, pc uint32) uint32 {
+	if o.IsImm {
+		return uint32(o.Imm)
+	}
+	return c.readReg(o.Reg, pc)
+}
+
+// writeReg performs an immediate architectural register write.
+func (c *CPU) writeReg(r isa.Reg, v uint32) {
+	c.Regs[r] = v
+	c.lastWrite[r] = c.seq
+}
+
+// writeLoad schedules a load result: invisible to the next instruction,
+// visible to the one after (load delay 1).
+func (c *CPU) writeLoad(r isa.Reg, v uint32) {
+	c.pending = append(c.pending, delayedWrite{
+		reg: r, val: v, issuedAt: c.seq, commitAt: c.seq + 1 + isa.LoadDelay,
+	})
+}
+
+// flushPending completes all in-flight load writes immediately — the
+// pipeline drain of exception entry: "an attempt is made to complete
+// any unfinished instructions" (paper §3.3).
+func (c *CPU) flushPending() {
+	for _, w := range c.pending {
+		if c.lastWrite[w.reg] <= w.issuedAt {
+			c.Regs[w.reg] = w.val
+			c.lastWrite[w.reg] = w.issuedAt
+		}
+	}
+	c.pending = c.pending[:0]
+}
+
+// exception performs the architectural exception sequence (paper §3.3).
+// If restart is true the current instruction has not completed and the
+// fetch queue still has it at the head, so it becomes the first return
+// address and will re-execute on return.
+func (c *CPU) exception(primary, secondary isa.Cause, trapCode uint16) {
+	c.flushPending()
+	c.fill()
+	c.Ret[0], c.Ret[1], c.Ret[2] = c.pcq[0], c.pcq[1], c.pcq[2]
+	c.Sur = c.Sur.Enter(primary, secondary)
+	if primary == isa.CauseTrap {
+		c.Sur = c.Sur.WithTrapCode(trapCode)
+	}
+	c.pcq = append(c.pcq[:0], 0)
+	c.Stats.Exceptions[primary]++
+	// Completing in-flight instructions and refilling the pipe costs a
+	// pipeline's worth of cycles.
+	c.Stats.Cycles += isa.PipeStages
+}
+
+// Step executes one instruction word. It returns ErrHalted once the
+// processor stops; architectural faults are not errors — they vector
+// through the exception mechanism.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return ErrHalted
+	}
+	c.seq++
+	c.commitLoads()
+	c.fill()
+
+	// The single interrupt line is sampled between instructions; the
+	// interrupted instruction has not started, so it is return address 0.
+	// Supervisor code runs with interrupts deferred until it returns to
+	// user level, so the dispatch ROM's save area cannot be clobbered.
+	if c.intLine && c.Sur.InterruptsEnabled() && !c.Sur.Supervisor() {
+		c.exception(isa.CauseInterrupt, isa.CauseNone, 0)
+		return nil
+	}
+
+	pc := c.pcq[0]
+	in, fault := c.fetch(pc)
+	if fault != nil {
+		c.Bus.LastFault = fault
+		c.exception(fault.Cause, isa.CauseNone, 0)
+		return nil
+	}
+
+	// Privilege is enforced at decode.
+	for _, p := range in.Pieces(nil) {
+		if p.Privileged() && !c.Sur.Supervisor() {
+			c.exception(isa.CausePrivilege, isa.CauseNone, 0)
+			return nil
+		}
+	}
+
+	c.pcq = c.pcq[1:]
+	if c.onStep != nil {
+		c.onStep(pc, in)
+	}
+	c.execWord(in, pc)
+	c.Bus.Tick()
+	return nil
+}
+
+// Mapped reports whether addresses currently translate through the
+// segmentation unit and page map. The privilege level selects the
+// address space (paper §3.2: "the current privilege level and mapping
+// state are available to the rest of the system as part of the virtual
+// address"): supervisor code always runs physical, which is how the
+// return-from-exception sequence alternates between the two spaces.
+func (c *CPU) Mapped() bool {
+	return c.Sur.MappingEnabled() && !c.Sur.Supervisor()
+}
+
+// fetch translates the PC and reads instruction memory.
+func (c *CPU) fetch(pc uint32) (isa.Instr, *mem.Fault) {
+	pa := pc
+	if c.Mapped() {
+		var f *mem.Fault
+		pa, f = c.Bus.MMU.Translate(pc, false, true)
+		if f != nil {
+			return isa.Instr{}, f
+		}
+	}
+	if pa >= uint32(len(c.IMem)) {
+		return isa.Instr{}, &mem.Fault{Cause: isa.CausePageFault, Addr: pa}
+	}
+	in := c.IMem[pa]
+	if in.ALU == nil && in.Mem == nil {
+		// Unprogrammed instruction memory decodes as illegal.
+		return isa.Instr{}, &mem.Fault{Cause: isa.CauseIllegal, Addr: pa}
+	}
+	return in, nil
+}
+
+// Run executes until the processor halts or the step limit is reached.
+// It returns the number of instructions executed and nil on a clean
+// halt, or an error describing why execution stopped.
+func (c *CPU) Run(maxSteps uint64) (uint64, error) {
+	start := c.Stats.Instructions
+	for i := uint64(0); i < maxSteps; i++ {
+		if err := c.Step(); err != nil {
+			if errors.Is(err, ErrHalted) {
+				return c.Stats.Instructions - start, nil
+			}
+			return c.Stats.Instructions - start, err
+		}
+	}
+	if c.Halted {
+		return c.Stats.Instructions - start, nil
+	}
+	return c.Stats.Instructions - start, fmt.Errorf("cpu: step limit %d exceeded at pc=%d", maxSteps, c.PC())
+}

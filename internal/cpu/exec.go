@@ -1,0 +1,372 @@
+package cpu
+
+import (
+	"mips/internal/isa"
+	"mips/internal/mem"
+)
+
+// regWrite is a register write staged during word execution. All writes
+// are staged and applied only after the word's memory reference commits,
+// implementing the restartability rule of §3.3: "requiring an
+// instruction that calls for a memory reference to not allow register
+// writes to take place until after the reference has been committed".
+type regWrite struct {
+	reg     isa.Reg
+	val     uint32
+	delayed bool // load result: visible only after the load delay
+}
+
+// execWord executes one instruction word: reads all sources, performs
+// the memory reference, computes ALU results, then commits writes. A
+// memory fault or enabled overflow suppresses every write and vectors
+// through the exception sequence.
+func (c *CPU) execWord(in isa.Instr, pc uint32) {
+	c.Stats.Instructions++
+	c.Stats.Cycles++
+	if in.IsNop() {
+		c.Stats.Nops++
+		c.Stats.FreeCycles++
+		c.Bus.offerFree(&c.Stats)
+		return
+	}
+
+	var writes []regWrite
+	var loWrite *uint32
+	overflow := false
+	var memFault *mem.Fault
+	var trapCode = -1
+
+	// ALU-class piece: compute but do not write yet.
+	if p := in.ALU; p != nil && !p.IsNop() {
+		c.Stats.Pieces++
+		switch p.Kind {
+		case isa.PieceALU:
+			v, lo, ovf := c.evalALU(p, pc)
+			if ovf && c.Sur.OverflowEnabled() {
+				overflow = true
+			}
+			if p.Op == isa.OpMovLo {
+				loWrite = &lo
+			} else {
+				writes = append(writes, regWrite{reg: p.Dst, val: v})
+			}
+		case isa.PieceSetCond:
+			a := c.operand(p.Src1, pc)
+			b := c.operand(p.Src2, pc)
+			var v uint32
+			if p.Cmp.Eval(a, b) {
+				v = 1
+			}
+			writes = append(writes, regWrite{reg: p.Dst, val: v})
+		}
+	}
+
+	// Memory/control piece.
+	usedDataCycle := false
+	if p := in.Mem; p != nil && !p.IsNop() {
+		c.Stats.Pieces++
+		switch p.Kind {
+		case isa.PieceLoad:
+			usedDataCycle = true
+			if p.Mode == isa.AModeLongImm {
+				// The long immediate comes from the instruction stream,
+				// not the data port: no data cycle and no load delay.
+				usedDataCycle = false
+				writes = append(writes, regWrite{reg: p.Data, val: uint32(p.Disp)})
+				break
+			}
+			addr := c.effectiveAddr(p, pc)
+			v, f := c.Bus.Read(addr, c.Mapped())
+			if f != nil {
+				memFault = f
+				break
+			}
+			c.Stats.Loads++
+			writes = append(writes, regWrite{reg: p.Data, val: v, delayed: true})
+		case isa.PieceStore:
+			usedDataCycle = true
+			addr := c.effectiveAddr(p, pc)
+			val := c.readReg(p.Data, pc)
+			if f := c.Bus.Write(addr, val, c.Mapped()); f != nil {
+				memFault = f
+				break
+			}
+			c.Stats.Stores++
+		case isa.PieceBranch:
+			c.Stats.Branches++
+			a := c.operand(p.Src1, pc)
+			b := c.operand(p.Src2, pc)
+			if p.Cmp.Eval(a, b) {
+				c.Stats.TakenBranches++
+				c.scheduleBranch(uint32(p.Target), isa.BranchDelay)
+			}
+		case isa.PieceJump:
+			c.Stats.Branches++
+			c.Stats.TakenBranches++
+			c.scheduleBranch(uint32(p.Target), isa.BranchDelay)
+		case isa.PieceCall:
+			c.Stats.Branches++
+			c.Stats.TakenBranches++
+			// The link value is the address the subroutine returns to:
+			// past the call and its delay slot.
+			writes = append(writes, regWrite{reg: p.Dst, val: pc + 1 + isa.BranchDelay})
+			c.scheduleBranch(uint32(p.Target), isa.BranchDelay)
+		case isa.PieceJumpInd:
+			c.Stats.Branches++
+			c.Stats.TakenBranches++
+			c.scheduleBranch(c.operand(p.Src1, pc), isa.IndirectJumpDelay)
+		case isa.PieceTrap:
+			trapCode = int(p.TrapCode)
+		case isa.PieceSpecial:
+			c.execSpecial(p, &writes)
+		}
+	}
+
+	// Account the data-memory slot.
+	if usedDataCycle {
+		c.Stats.DataCycles++
+	} else {
+		c.Stats.FreeCycles++
+		c.Bus.offerFree(&c.Stats)
+	}
+
+	// Exception priority within one word: the ALU piece is logically
+	// first (paper §3.3 orders an overflow ahead of a younger mapping
+	// error), so overflow is the primary cause with any memory fault
+	// secondary. Either suppresses all writes.
+	if overflow || memFault != nil {
+		primary, secondary := isa.CauseNone, isa.CauseNone
+		switch {
+		case overflow && memFault != nil:
+			primary, secondary = isa.CauseOverflow, memFault.Cause
+		case overflow:
+			primary = isa.CauseOverflow
+		default:
+			primary = memFault.Cause
+		}
+		// The word did not complete: put it back at the head of the
+		// fetch queue so it is return address zero and restarts.
+		c.pcq = append([]uint32{pc}, c.pcq...)
+		c.exception(primary, secondary, 0)
+		return
+	}
+
+	// Commit.
+	for _, w := range writes {
+		if w.delayed {
+			c.writeLoad(w.reg, w.val)
+		} else {
+			c.writeReg(w.reg, w.val)
+		}
+	}
+	if loWrite != nil {
+		c.Lo = *loWrite
+	}
+
+	// A software trap completes before the exception is taken, so the
+	// saved return addresses resume after it.
+	if trapCode >= 0 {
+		// The hook observes the register file as the monitor routine
+		// would — after the exception's pipeline drain.
+		c.flushPending()
+		if c.onTrap != nil {
+			c.onTrap(uint16(trapCode))
+			if c.Halted {
+				// The hook stopped the machine (a halt monitor call);
+				// no exception is taken and the saved state stands.
+				return
+			}
+		}
+		c.exception(isa.CauseTrap, isa.CauseNone, uint16(trapCode))
+	}
+}
+
+// offerFree hands the free data cycle to the DMA engine and accounts it.
+func (b *Bus) offerFree(s *Stats) {
+	if b.OfferFreeCycle() {
+		s.DMACycles++
+	}
+}
+
+// evalALU computes an ALU piece: the result value, the byte-selector
+// value for movlo, and whether signed overflow occurred.
+func (c *CPU) evalALU(p *isa.Piece, pc uint32) (val, lo uint32, overflow bool) {
+	a := c.operand(p.Src1, pc)
+	var b uint32
+	if !p.Op.Unary() {
+		b = c.operand(p.Src2, pc)
+	}
+	switch p.Op {
+	case isa.OpAdd:
+		val = a + b
+		overflow = addOverflows(a, b, val)
+	case isa.OpSub:
+		val = a - b
+		overflow = subOverflows(a, b, val)
+	case isa.OpRSub:
+		val = b - a
+		overflow = subOverflows(b, a, val)
+	case isa.OpAnd:
+		val = a & b
+	case isa.OpOr:
+		val = a | b
+	case isa.OpXor:
+		val = a ^ b
+	case isa.OpBic:
+		val = a &^ b
+	case isa.OpSll:
+		val = shiftL(a, b)
+	case isa.OpSrl:
+		val = shiftR(a, b)
+	case isa.OpSra:
+		val = shiftRA(a, b)
+	case isa.OpRSll:
+		val = shiftL(b, a)
+	case isa.OpRSrl:
+		val = shiftR(b, a)
+	case isa.OpRSra:
+		val = shiftRA(b, a)
+	case isa.OpMov:
+		val = a
+	case isa.OpNot:
+		val = ^a
+	case isa.OpNeg:
+		val = -a
+		overflow = a == 1<<31 // negating the minimum integer overflows
+	case isa.OpXC:
+		// Extract byte: the low two bits of the byte pointer select the
+		// byte; byte 0 is the most significant (text reads left to right).
+		val = ExtractByte(b, a)
+	case isa.OpIC:
+		// Insert byte: replace byte (lo mod 4) of the word with the low
+		// byte of the source.
+		val = InsertByte(b, c.Lo, a)
+	case isa.OpMovLo:
+		lo = a
+	case isa.OpMStep:
+		// Multiply step: conditionally accumulate. dst += s1 when the low
+		// bit of s2 is set; the shift-and-add multiply loop is built from
+		// this plus plain shifts.
+		val = c.readReg(p.Dst, pc)
+		if b&1 != 0 {
+			val += a
+		}
+	case isa.OpDStep:
+		// Divide step: shift the accumulator left, inserting the top bit
+		// of s2.
+		val = c.readReg(p.Dst, pc)<<1 | b>>31
+		_ = a
+	}
+	return val, lo, overflow
+}
+
+// execSpecial executes a special-register piece. Privilege was already
+// checked at decode.
+func (c *CPU) execSpecial(p *isa.Piece, writes *[]regWrite) {
+	switch p.SpecOp {
+	case isa.SpecRead:
+		var v uint32
+		switch p.SpecReg {
+		case isa.SpecLo:
+			v = c.Lo
+		case isa.SpecSurprise:
+			v = uint32(c.Sur)
+		case isa.SpecSegBase:
+			v, _ = c.Bus.MMU.Seg.Registers()
+		case isa.SpecSegLimit:
+			_, v = c.Bus.MMU.Seg.Registers()
+		case isa.SpecRet0:
+			v = c.Ret[0]
+		case isa.SpecRet1:
+			v = c.Ret[1]
+		case isa.SpecRet2:
+			v = c.Ret[2]
+		}
+		*writes = append(*writes, regWrite{reg: p.Dst, val: v})
+	case isa.SpecWrite:
+		v := c.Regs[p.Src1.Reg]
+		switch p.SpecReg {
+		case isa.SpecLo:
+			c.Lo = v
+		case isa.SpecSurprise:
+			c.Sur = isa.Surprise(v)
+		case isa.SpecSegBase:
+			_, limit := c.Bus.MMU.Seg.Registers()
+			c.Bus.MMU.Seg = mem.SetRegisters(v, limit)
+		case isa.SpecSegLimit:
+			base, _ := c.Bus.MMU.Seg.Registers()
+			c.Bus.MMU.Seg = mem.SetRegisters(base, v)
+		case isa.SpecRet0:
+			c.Ret[0] = v
+		case isa.SpecRet1:
+			c.Ret[1] = v
+		case isa.SpecRet2:
+			c.Ret[2] = v
+		}
+	case isa.SpecRFE:
+		// Return from exception: restore the previous privilege level and
+		// resume at the three saved return addresses — the offending
+		// instruction, its successor, then the pending branch target.
+		c.Sur = c.Sur.Leave()
+		c.pcq = append(c.pcq[:0], c.Ret[0], c.Ret[1], c.Ret[2])
+	}
+}
+
+// effectiveAddr computes a load/store address.
+func (c *CPU) effectiveAddr(p *isa.Piece, pc uint32) uint32 {
+	switch p.Mode {
+	case isa.AModeAbs:
+		return uint32(p.Disp)
+	case isa.AModeDisp:
+		return c.readReg(p.Base, pc) + uint32(p.Disp)
+	case isa.AModeIndex:
+		return c.readReg(p.Base, pc) + c.readReg(p.Index, pc)
+	case isa.AModeShift:
+		return c.readReg(p.Base, pc) + c.readReg(p.Index, pc)>>p.Shift
+	}
+	return 0
+}
+
+func shiftL(v, by uint32) uint32 {
+	if by >= 32 {
+		return 0
+	}
+	return v << by
+}
+
+func shiftR(v, by uint32) uint32 {
+	if by >= 32 {
+		return 0
+	}
+	return v >> by
+}
+
+func shiftRA(v, by uint32) uint32 {
+	if by >= 32 {
+		by = 31
+	}
+	return uint32(int32(v) >> by)
+}
+
+func addOverflows(a, b, sum uint32) bool {
+	return (a^b)&(1<<31) == 0 && (a^sum)&(1<<31) != 0
+}
+
+func subOverflows(a, b, diff uint32) bool {
+	return (a^b)&(1<<31) != 0 && (a^diff)&(1<<31) != 0
+}
+
+// ExtractByte returns byte (ptr mod 4) of the word, zero extended. Byte
+// zero is the most significant byte.
+func ExtractByte(word, ptr uint32) uint32 {
+	sel := ptr & 3
+	return word >> (8 * (3 - sel)) & 0xFF
+}
+
+// InsertByte returns the word with byte (sel mod 4) replaced by the low
+// byte of src.
+func InsertByte(word, sel, src uint32) uint32 {
+	s := sel & 3
+	shift := 8 * (3 - s)
+	return word&^(0xFF<<shift) | (src&0xFF)<<shift
+}

@@ -1,0 +1,83 @@
+package cpu
+
+import (
+	"fmt"
+
+	"mips/internal/isa"
+)
+
+// Stats accumulates the dynamic measurements the paper's evaluation
+// draws on: instruction and piece counts, memory-port utilization (the
+// free-memory-cycle provision of §3.1), branch behavior, and exception
+// activity.
+type Stats struct {
+	// Instructions counts executed instruction words; with the
+	// single-issue five-stage pipe, each costs one cycle.
+	Instructions uint64
+	// Pieces counts executed non-nop pieces (a packed word contributes two).
+	Pieces uint64
+	// Nops counts executed no-op words: the explicit cost of
+	// software-imposed interlocks.
+	Nops uint64
+	// Cycles is total machine cycles: instructions plus pipeline refill
+	// penalties for exceptions (and interlock stalls when enabled).
+	Cycles uint64
+	// StallCycles counts hardware-interlock bubbles (Interlocked mode
+	// only; always zero on the real no-interlock machine).
+	StallCycles uint64
+	// DataCycles counts cycles whose data-memory slot carried a load or
+	// store; FreeCycles counts the rest ("wasted bandwidth came close to
+	// 40% of the available bandwidth", §3.1); DMACycles counts free
+	// cycles actually consumed by the DMA engine.
+	DataCycles uint64
+	FreeCycles uint64
+	DMACycles  uint64
+	// Loads and Stores count data references.
+	Loads, Stores uint64
+	// Branches counts executed control-flow pieces; TakenBranches those
+	// that transferred control.
+	Branches      uint64
+	TakenBranches uint64
+	// Exceptions counts exception entries by primary cause.
+	Exceptions [isa.NumCauses]uint64
+}
+
+// TotalExceptions sums exception entries over all causes.
+func (s *Stats) TotalExceptions() uint64 {
+	var n uint64
+	for _, c := range s.Exceptions {
+		n += c
+	}
+	return n
+}
+
+// FreeBandwidthFraction returns the fraction of data-memory cycles left
+// free, the quantity behind the paper's ~40% observation.
+func (s *Stats) FreeBandwidthFraction() float64 {
+	total := s.DataCycles + s.FreeCycles
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FreeCycles) / float64(total)
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("instr=%d pieces=%d nops=%d cycles=%d loads=%d stores=%d free=%.1f%% branches=%d/%d exc=%d",
+		s.Instructions, s.Pieces, s.Nops, s.Cycles, s.Loads, s.Stores,
+		100*s.FreeBandwidthFraction(), s.TakenBranches, s.Branches, s.TotalExceptions())
+}
+
+// Hazard records one software-interlock violation observed by the
+// auditor: an instruction read a register whose load had not yet
+// committed. On the real machine this silently reads the stale value;
+// the auditor exists so tests can prove the reorganizer never emits such
+// code.
+type Hazard struct {
+	Seq uint64  // dynamic instruction sequence number
+	PC  uint32  // word address of the offending instruction
+	Reg isa.Reg // register read too early
+}
+
+func (h Hazard) String() string {
+	return fmt.Sprintf("load-use hazard at pc=%d (seq %d): %s read before load committed", h.PC, h.Seq, h.Reg)
+}

@@ -1,0 +1,176 @@
+package isa
+
+import "fmt"
+
+// Cmp is one of the sixteen comparison codes shared by the
+// compare-and-branch and set-conditionally instructions (paper §2.3.1:
+// "one of 16 possible comparisons ... both signed and unsigned
+// arithmetic"). The set includes signed and unsigned orderings, equality,
+// bit tests, and the trivial always/never codes that give unconditional
+// branches and constant sets for free.
+type Cmp uint8
+
+const (
+	CmpEQ   Cmp = iota // equal
+	CmpNE              // not equal
+	CmpLT              // signed less than
+	CmpLE              // signed less or equal
+	CmpGT              // signed greater than
+	CmpGE              // signed greater or equal
+	CmpLTU             // unsigned less than
+	CmpLEU             // unsigned less or equal
+	CmpGTU             // unsigned greater than
+	CmpGEU             // unsigned greater or equal
+	CmpAny             // any common set bit: (a AND b) != 0
+	CmpNone            // no common set bit: (a AND b) == 0
+	CmpEQ0             // first operand zero (second ignored)
+	CmpNE0             // first operand nonzero (second ignored)
+	CmpAlw             // always true
+	CmpNev             // never true
+
+	NumCmps = 16
+)
+
+var cmpNames = [NumCmps]string{
+	"eq", "ne", "lt", "le", "gt", "ge",
+	"ltu", "leu", "gtu", "geu",
+	"any", "none", "eq0", "ne0", "alw", "nev",
+}
+
+func (c Cmp) String() string {
+	if c < NumCmps {
+		return cmpNames[c]
+	}
+	return fmt.Sprintf("cmp%d", uint8(c))
+}
+
+// ParseCmp returns the comparison code with the given mnemonic.
+func ParseCmp(s string) (Cmp, bool) {
+	for i, n := range cmpNames {
+		if n == s {
+			return Cmp(i), true
+		}
+	}
+	return 0, false
+}
+
+// Valid reports whether c is one of the sixteen defined codes.
+func (c Cmp) Valid() bool { return c < NumCmps }
+
+// Eval applies the comparison to two 32-bit values.
+func (c Cmp) Eval(a, b uint32) bool {
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return int32(a) < int32(b)
+	case CmpLE:
+		return int32(a) <= int32(b)
+	case CmpGT:
+		return int32(a) > int32(b)
+	case CmpGE:
+		return int32(a) >= int32(b)
+	case CmpLTU:
+		return a < b
+	case CmpLEU:
+		return a <= b
+	case CmpGTU:
+		return a > b
+	case CmpGEU:
+		return a >= b
+	case CmpAny:
+		return a&b != 0
+	case CmpNone:
+		return a&b == 0
+	case CmpEQ0:
+		return a == 0
+	case CmpNE0:
+		return a != 0
+	case CmpAlw:
+		return true
+	case CmpNev:
+		return false
+	}
+	return false
+}
+
+// Negate returns the comparison with the opposite truth value:
+// c.Negate().Eval(a, b) == !c.Eval(a, b) for all operands.
+func (c Cmp) Negate() Cmp {
+	// Codes are laid out in complementary pairs.
+	switch c {
+	case CmpEQ:
+		return CmpNE
+	case CmpNE:
+		return CmpEQ
+	case CmpLT:
+		return CmpGE
+	case CmpLE:
+		return CmpGT
+	case CmpGT:
+		return CmpLE
+	case CmpGE:
+		return CmpLT
+	case CmpLTU:
+		return CmpGEU
+	case CmpLEU:
+		return CmpGTU
+	case CmpGTU:
+		return CmpLEU
+	case CmpGEU:
+		return CmpLTU
+	case CmpAny:
+		return CmpNone
+	case CmpNone:
+		return CmpAny
+	case CmpEQ0:
+		return CmpNE0
+	case CmpNE0:
+		return CmpEQ0
+	case CmpAlw:
+		return CmpNev
+	case CmpNev:
+		return CmpAlw
+	}
+	return c
+}
+
+// Swap returns the comparison that holds when the operands are exchanged:
+// c.Swap().Eval(b, a) == c.Eval(a, b). Equality codes and bit tests are
+// symmetric; orderings reverse; the unary and trivial codes are their own
+// swap only where that is sound, so EQ0/NE0 are reported unswappable.
+func (c Cmp) Swap() (Cmp, bool) {
+	switch c {
+	case CmpEQ, CmpNE, CmpAny, CmpNone, CmpAlw, CmpNev:
+		return c, true
+	case CmpLT:
+		return CmpGT, true
+	case CmpLE:
+		return CmpGE, true
+	case CmpGT:
+		return CmpLT, true
+	case CmpGE:
+		return CmpLE, true
+	case CmpLTU:
+		return CmpGTU, true
+	case CmpLEU:
+		return CmpGEU, true
+	case CmpGTU:
+		return CmpLTU, true
+	case CmpGEU:
+		return CmpLEU, true
+	}
+	return c, false
+}
+
+// Signed reports whether the comparison interprets its operands as signed
+// two's-complement values.
+func (c Cmp) Signed() bool {
+	switch c {
+	case CmpLT, CmpLE, CmpGT, CmpGE:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCmpEval(t *testing.T) {
+	cases := []struct {
+		c    Cmp
+		a, b uint32
+		want bool
+	}{
+		{CmpEQ, 5, 5, true},
+		{CmpEQ, 5, 6, false},
+		{CmpNE, 5, 6, true},
+		{CmpLT, 0xFFFFFFFF, 0, true},   // -1 < 0 signed
+		{CmpLTU, 0xFFFFFFFF, 0, false}, // max > 0 unsigned
+		{CmpLE, 7, 7, true},
+		{CmpGT, 0, 0xFFFFFFFF, true}, // 0 > -1 signed
+		{CmpGTU, 0, 0xFFFFFFFF, false},
+		{CmpGE, math.MaxInt32, math.MaxInt32, true},
+		{CmpLEU, 3, 4, true},
+		{CmpGEU, 4, 3, true},
+		{CmpAny, 0b1100, 0b0100, true},
+		{CmpAny, 0b1100, 0b0011, false},
+		{CmpNone, 0b1100, 0b0011, true},
+		{CmpEQ0, 0, 99, true},
+		{CmpEQ0, 1, 0, false},
+		{CmpNE0, 1, 0, true},
+		{CmpAlw, 0, 0, true},
+		{CmpNev, 0, 0, false},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Eval(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s.Eval(%#x, %#x) = %t, want %t", tc.c, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCmpNegateProperty(t *testing.T) {
+	f := func(code uint8, a, b uint32) bool {
+		c := Cmp(code % NumCmps)
+		return c.Negate().Eval(a, b) == !c.Eval(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpNegateInvolution(t *testing.T) {
+	for c := Cmp(0); c < NumCmps; c++ {
+		if c.Negate().Negate() != c {
+			t.Errorf("%s: negate is not an involution", c)
+		}
+	}
+}
+
+func TestCmpSwapProperty(t *testing.T) {
+	f := func(code uint8, a, b uint32) bool {
+		c := Cmp(code % NumCmps)
+		s, ok := c.Swap()
+		if !ok {
+			return true
+		}
+		return s.Eval(b, a) == c.Eval(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpSwapUnswappable(t *testing.T) {
+	for _, c := range []Cmp{CmpEQ0, CmpNE0} {
+		if _, ok := c.Swap(); ok {
+			t.Errorf("%s: unary comparison reported swappable", c)
+		}
+	}
+}
+
+func TestParseCmpRoundTrip(t *testing.T) {
+	for c := Cmp(0); c < NumCmps; c++ {
+		got, ok := ParseCmp(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseCmp(%q) = %v, %t", c.String(), got, ok)
+		}
+	}
+	if _, ok := ParseCmp("bogus"); ok {
+		t.Error("ParseCmp accepted bogus mnemonic")
+	}
+}
+
+func TestSixteenComparisons(t *testing.T) {
+	// The paper specifies exactly sixteen comparison codes.
+	if NumCmps != 16 {
+		t.Fatalf("NumCmps = %d, want 16", NumCmps)
+	}
+	seen := map[string]bool{}
+	for c := Cmp(0); c < NumCmps; c++ {
+		if seen[c.String()] {
+			t.Errorf("duplicate mnemonic %q", c.String())
+		}
+		seen[c.String()] = true
+	}
+}
+
+func TestCmpSigned(t *testing.T) {
+	signed := map[Cmp]bool{CmpLT: true, CmpLE: true, CmpGT: true, CmpGE: true}
+	for c := Cmp(0); c < NumCmps; c++ {
+		if c.Signed() != signed[c] {
+			t.Errorf("%s.Signed() = %t", c, c.Signed())
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package isa
+
+// CostModel assigns cycle weights to instruction classes. The paper uses
+// two weightings in its evaluation: Table 6 weights boolean-expression
+// code with register operations at 1, compares at 2, and branches at 4;
+// Table 9 weights addressing sequences with memory-reference instructions
+// at 4 cycles and ALU instructions at 2. Both are captured here so every
+// harness states its weights explicitly.
+type CostModel struct {
+	RegOp   float64 // plain ALU operation (including set conditionally as a register op producer)
+	Compare float64 // an explicit comparison (set conditionally, or a CC machine compare)
+	Branch  float64 // any control-flow break
+	Mem     float64 // a load or store
+}
+
+// BooleanCosts is the Table 6 weighting: "register operations take time
+// 1, compares take time 2, and branches take time 4".
+func BooleanCosts() CostModel {
+	return CostModel{RegOp: 1, Compare: 2, Branch: 4, Mem: 4}
+}
+
+// AddressingCosts is the Table 9 weighting: memory-reference pieces cost
+// 4 cycles and ALU pieces 2 (derived from the paper's per-sequence
+// costs: ld+xc = 6, ld+movlo+ic+st = 12).
+func AddressingCosts() CostModel {
+	return CostModel{RegOp: 2, Compare: 2, Branch: 4, Mem: 4}
+}
+
+// PieceCost returns the weight of one piece under the model.
+func (m CostModel) PieceCost(p *Piece) float64 {
+	switch p.Kind {
+	case PieceNop:
+		return m.RegOp
+	case PieceALU:
+		return m.RegOp
+	case PieceSetCond:
+		return m.Compare
+	case PieceLoad, PieceStore:
+		return m.Mem
+	case PieceBranch, PieceJump, PieceCall, PieceJumpInd, PieceTrap:
+		return m.Branch
+	case PieceSpecial:
+		return m.RegOp
+	}
+	return m.RegOp
+}
+
+// SequenceCost sums the weights of a piece sequence.
+func (m CostModel) SequenceCost(ps []Piece) float64 {
+	var total float64
+	for i := range ps {
+		total += m.PieceCost(&ps[i])
+	}
+	return total
+}

@@ -1,0 +1,464 @@
+package isa
+
+import "fmt"
+
+// Binary instruction encoding: every instruction word — packed or not —
+// fits exactly 32 bits, substantiating the paper's "packs instruction
+// pieces into one 32-bit word". The packed halves are the reason for
+// the packing constraints CanPack enforces: a 15-bit ALU half forces
+// the two-address form, and a 14-bit memory half holds only short
+// displacements or a nearby direct jump.
+//
+// Word layout, by the top three bits:
+//
+//	0 packed   [28:14] ALU half, [13:0] memory half
+//	1 alu      op(5) dst(4) s1f(1) s1(8) s2f(1) s2(4)
+//	2 load     li(1)=1: data(4) imm(24 signed), or
+//	           li(1)=0: mode(2) data(4) payload(22)
+//	3 store    as load without the long-immediate form
+//	4 branch   cmp(4) s1f(1) s1(4) s2f(1) s2(4) rel(14 signed)
+//	5 control  sub(2): 0 jump target(24), 1 call link(4) target(23),
+//	           2 jumpind reg(4), 3 trap code(12)
+//	6 setcond  cmp(4) dst(4) s1f(1) s1(4) s2f(1) s2(4)
+//	7 system   sub(2): 0 nop, 1 rdspec dst(4) spec(3),
+//	           2 wrspec src(4) spec(3), 3 rfe
+//
+// Load/store payloads by mode: absolute = unsigned 22-bit address;
+// displacement = base(4) + signed 18-bit displacement; index = base(4)
+// index(4); shift = base(4) index(4) shift(3). The long immediate is a
+// signed 24-bit constant; EncodeProgram rejects larger literals, which
+// a code generator targeting the binary form must build from the 8-bit
+// move immediate and shifts. (The simulator executes the structural
+// Instr form, so programs with wider literals still run; encoding is
+// the bit-level fidelity check.)
+//
+// ALU half (15 bits): setcond(1) op-or-cmp(5) dst(4) s2f(1) s2(4), with
+// the destination doubling as the first source. Memory half (14 bits):
+// kind(2: load, store, jump) then data(4) base(4) disp(4) for memory or
+// a signed 12-bit relative target for a jump.
+//
+// Branch and packed-jump targets are PC-relative; EncodeProgram needs
+// each word's address and rejects out-of-range targets.
+
+const (
+	tagPacked  = 0
+	tagALU     = 1
+	tagLoad    = 2
+	tagStore   = 3
+	tagBranch  = 4
+	tagControl = 5
+	tagSetCond = 6
+	tagSystem  = 7
+)
+
+// EncodeError reports an instruction that does not fit its encoding.
+type EncodeError struct {
+	Addr int32
+	In   Instr
+	Msg  string
+}
+
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("encode: word %d (%s): %s", e.Addr, e.In, e.Msg)
+}
+
+// EncodeProgram encodes instruction words; words[i] sits at word
+// address base+i (needed for the PC-relative branch fields).
+func EncodeProgram(words []Instr, base int32) ([]uint32, error) {
+	out := make([]uint32, len(words))
+	for i, w := range words {
+		bits, err := encodeWord(w, base+int32(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = bits
+	}
+	return out, nil
+}
+
+// DecodeProgram reverses EncodeProgram.
+func DecodeProgram(bits []uint32, base int32) ([]Instr, error) {
+	out := make([]Instr, len(bits))
+	for i, b := range bits {
+		w, err := decodeWord(b, base+int32(i))
+		if err != nil {
+			return nil, fmt.Errorf("decode: word %d: %w", base+int32(i), err)
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// field packs v into width bits with a range check.
+func field(v uint32, width uint) (uint32, bool) {
+	return v & (1<<width - 1), v < 1<<width
+}
+
+// sfield packs a signed value into width bits two's complement.
+func sfield(v int32, width uint) (uint32, bool) {
+	lim := int32(1) << (width - 1)
+	return uint32(v) & (1<<width - 1), v >= -lim && v < lim
+}
+
+// sext sign-extends the low width bits.
+func sext(v uint32, width uint) int32 {
+	shift := 32 - width
+	return int32(v<<shift) >> shift
+}
+
+func encodeWord(in Instr, addr int32) (uint32, error) {
+	bad := func(msg string) (uint32, error) {
+		return 0, &EncodeError{Addr: addr, In: in, Msg: msg}
+	}
+	if in.Packed() {
+		alu, ok := encodeALUHalf(in.ALU)
+		if !ok {
+			return bad("ALU piece does not fit the packed half")
+		}
+		mem, ok := encodeMemHalf(in.Mem, addr)
+		if !ok {
+			return bad("memory piece does not fit the packed half")
+		}
+		return uint32(tagPacked)<<29 | alu<<14 | mem, nil
+	}
+	p := in.ALU
+	if p == nil {
+		p = in.Mem
+	}
+	if p == nil {
+		return bad("empty word")
+	}
+	switch p.Kind {
+	case PieceNop:
+		return uint32(tagSystem) << 29, nil
+
+	case PieceALU:
+		if p.Op == OpMovLo {
+			// The byte-selector write rides the system format's
+			// special-register-write encoding.
+			if p.Src1.IsImm {
+				return bad("movlo takes a register source")
+			}
+			return uint32(tagSystem)<<29 | 2<<27 | uint32(p.Src1.Reg)<<4 | uint32(SpecLo), nil
+		}
+		s1v, s1f, ok := operandField(p.Src1, 8)
+		if !ok {
+			return bad("first source exceeds the 8-bit field")
+		}
+		var s2v, s2f uint32
+		if !p.Op.Unary() {
+			s2v, s2f, ok = operandField(p.Src2, 4)
+			if !ok {
+				return bad("second source exceeds the 4-bit field")
+			}
+		}
+		return uint32(tagALU)<<29 | uint32(p.Op)<<24 | uint32(p.Dst)<<20 |
+			s1f<<19 | s1v<<11 | s2f<<10 | s2v<<6, nil
+
+	case PieceSetCond:
+		s1v, s1f, ok := operandField(p.Src1, 4)
+		if !ok {
+			return bad("first source exceeds the 4-bit field")
+		}
+		s2v, s2f, ok := operandField(p.Src2, 4)
+		if !ok {
+			return bad("second source exceeds the 4-bit field")
+		}
+		return uint32(tagSetCond)<<29 | uint32(p.Cmp)<<25 | uint32(p.Dst)<<21 |
+			s1f<<20 | s1v<<16 | s2f<<15 | s2v<<11, nil
+
+	case PieceLoad, PieceStore:
+		tag := uint32(tagLoad)
+		if p.Kind == PieceStore {
+			tag = tagStore
+		}
+		if p.Mode == AModeLongImm {
+			v, ok := sfield(p.Disp, 24)
+			if !ok {
+				return bad("long immediate exceeds the signed 24-bit field")
+			}
+			return tag<<29 | 1<<28 | uint32(p.Data)<<24 | v, nil
+		}
+		// mode2: abs=0, disp=1, index=2, shift=3.
+		head := tag<<29 | uint32(p.Mode-AModeAbs)<<26 | uint32(p.Data)<<22
+		switch p.Mode {
+		case AModeAbs:
+			v, ok := field(uint32(p.Disp), 22)
+			if !ok || p.Disp < 0 {
+				return bad("absolute address exceeds the 22-bit field")
+			}
+			return head | v, nil
+		case AModeDisp:
+			v, ok := sfield(p.Disp, 18)
+			if !ok {
+				return bad("displacement exceeds the signed 18-bit field")
+			}
+			return head | uint32(p.Base)<<18 | v, nil
+		case AModeIndex:
+			return head | uint32(p.Base)<<18 | uint32(p.Index)<<14, nil
+		case AModeShift:
+			return head | uint32(p.Base)<<18 | uint32(p.Index)<<14 | uint32(p.Shift)<<11, nil
+		}
+		return bad("unknown addressing mode")
+
+	case PieceBranch:
+		s1v, s1f, ok := operandField(p.Src1, 4)
+		if !ok {
+			return bad("first source exceeds the 4-bit field")
+		}
+		s2v, s2f, ok := operandField(p.Src2, 4)
+		if !ok {
+			return bad("second source exceeds the 4-bit field")
+		}
+		rel, ok := sfield(p.Target-addr, 14)
+		if !ok {
+			return bad("branch target out of the 14-bit relative range")
+		}
+		return uint32(tagBranch)<<29 | uint32(p.Cmp)<<25 | s1f<<24 | s1v<<20 |
+			s2f<<19 | s2v<<15 | rel, nil
+
+	case PieceJump:
+		v, ok := field(uint32(p.Target), 24)
+		if !ok || p.Target < 0 {
+			return bad("jump target exceeds the 24-bit field")
+		}
+		return uint32(tagControl)<<29 | 0<<27 | v, nil
+	case PieceCall:
+		v, ok := field(uint32(p.Target), 23)
+		if !ok || p.Target < 0 {
+			return bad("call target exceeds the 23-bit field")
+		}
+		return uint32(tagControl)<<29 | 1<<27 | uint32(p.Dst)<<23 | v, nil
+	case PieceJumpInd:
+		return uint32(tagControl)<<29 | 2<<27 | uint32(p.Src1.Reg)<<23, nil
+	case PieceTrap:
+		return uint32(tagControl)<<29 | 3<<27 | uint32(p.TrapCode)<<15, nil
+
+	case PieceSpecial:
+		switch p.SpecOp {
+		case SpecRead:
+			return uint32(tagSystem)<<29 | 1<<27 | uint32(p.Dst)<<23 | uint32(p.SpecReg)<<20, nil
+		case SpecWrite:
+			return uint32(tagSystem)<<29 | 2<<27 | uint32(p.Src1.Reg)<<4 | uint32(p.SpecReg), nil
+		case SpecRFE:
+			return uint32(tagSystem)<<29 | 3<<27, nil
+		}
+	}
+	return bad("unencodable piece")
+}
+
+// operandField encodes an operand as (value, immediate-flag).
+func operandField(o Operand, width uint) (v, f uint32, ok bool) {
+	if o.IsImm {
+		v, ok = field(uint32(o.Imm), width)
+		if o.Imm < 0 {
+			ok = false
+		}
+		return v, 1, ok
+	}
+	return uint32(o.Reg), 0, true
+}
+
+// encodeALUHalf packs a two-address ALU or set-conditionally piece into
+// 15 bits: set(1) op(5) dst(4) s2f(1) s2(4).
+func encodeALUHalf(p *Piece) (uint32, bool) {
+	var set, op uint32
+	switch p.Kind {
+	case PieceALU:
+		if p.Op == OpMovLo || p.Src1.IsImm || p.Src1.Reg != p.Dst {
+			return 0, false
+		}
+		op = uint32(p.Op)
+	case PieceSetCond:
+		if p.Src1.IsImm || p.Src1.Reg != p.Dst {
+			return 0, false
+		}
+		set = 1
+		op = uint32(p.Cmp)
+	default:
+		return 0, false
+	}
+	var s2v, s2f uint32
+	if p.Kind == PieceSetCond || !p.Op.Unary() {
+		var ok bool
+		s2v, s2f, ok = operandField(p.Src2, 4)
+		if !ok {
+			return 0, false
+		}
+	}
+	return set<<14 | op<<9 | uint32(p.Dst)<<5 | s2f<<4 | s2v, true
+}
+
+// encodeMemHalf packs a short load/store or nearby jump into 14 bits:
+// kind(2) then data(4) base(4) disp(4), or rel(12).
+func encodeMemHalf(p *Piece, addr int32) (uint32, bool) {
+	switch p.Kind {
+	case PieceLoad, PieceStore:
+		if p.Mode != AModeDisp || p.Disp < 0 || p.Disp > packedDispMax {
+			return 0, false
+		}
+		kind := uint32(0)
+		if p.Kind == PieceStore {
+			kind = 1
+		}
+		return kind<<12 | uint32(p.Data)<<8 | uint32(p.Base)<<4 | uint32(p.Disp), true
+	case PieceJump:
+		rel, ok := sfield(p.Target-addr, 12)
+		if !ok {
+			return 0, false
+		}
+		return 2<<12 | rel, true
+	}
+	return 0, false
+}
+
+func decodeWord(bits uint32, addr int32) (Instr, error) {
+	tag := bits >> 29
+	get := func(shift, width uint) uint32 { return bits >> shift & (1<<width - 1) }
+	operand := func(fShift, vShift, width uint) Operand {
+		if get(fShift, 1) == 1 {
+			return Imm(int32(get(vShift, width)))
+		}
+		return R(Reg(get(vShift, 4)))
+	}
+	switch tag {
+	case tagPacked:
+		alu, err := decodeALUHalf(get(14, 15))
+		if err != nil {
+			return Instr{}, err
+		}
+		mem, err := decodeMemHalf(get(0, 14), addr)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{ALU: &alu, Mem: &mem}, nil
+
+	case tagALU:
+		p := Piece{
+			Kind: PieceALU,
+			Op:   ALUOp(get(24, 5)),
+			Dst:  Reg(get(20, 4)),
+			Src1: operand(19, 11, 8),
+		}
+		if !p.Op.Unary() {
+			p.Src2 = operand(10, 6, 4)
+		}
+		return Word(p), nil
+
+	case tagSetCond:
+		p := Piece{
+			Kind: PieceSetCond,
+			Cmp:  Cmp(get(25, 4)),
+			Dst:  Reg(get(21, 4)),
+			Src1: operand(20, 16, 4),
+			Src2: operand(15, 11, 4),
+		}
+		return Word(p), nil
+
+	case tagLoad, tagStore:
+		if get(28, 1) == 1 {
+			if tag == tagStore {
+				return Instr{}, fmt.Errorf("long-immediate store")
+			}
+			p := Piece{Kind: PieceLoad, Mode: AModeLongImm,
+				Data: Reg(get(24, 4)), Disp: sext(get(0, 24), 24)}
+			return Word(p), nil
+		}
+		p := Piece{Kind: PieceLoad, Mode: AddrMode(get(26, 2)) + AModeAbs, Data: Reg(get(22, 4))}
+		if tag == tagStore {
+			p.Kind = PieceStore
+		}
+		switch p.Mode {
+		case AModeAbs:
+			p.Disp = int32(get(0, 22))
+		case AModeDisp:
+			p.Base = Reg(get(18, 4))
+			p.Disp = sext(get(0, 18), 18)
+		case AModeIndex:
+			p.Base = Reg(get(18, 4))
+			p.Index = Reg(get(14, 4))
+		case AModeShift:
+			p.Base = Reg(get(18, 4))
+			p.Index = Reg(get(14, 4))
+			p.Shift = uint8(get(11, 3))
+		default:
+			return Instr{}, fmt.Errorf("bad addressing mode %d", p.Mode)
+		}
+		return Word(p), nil
+
+	case tagBranch:
+		p := Piece{
+			Kind: PieceBranch,
+			Cmp:  Cmp(get(25, 4)),
+			Src1: operand(24, 20, 4),
+			Src2: operand(19, 15, 4),
+		}
+		p.Target = addr + sext(get(0, 14), 14)
+		return Word(p), nil
+
+	case tagControl:
+		switch get(27, 2) {
+		case 0:
+			p := Piece{Kind: PieceJump, Target: int32(get(0, 24))}
+			return Word(p), nil
+		case 1:
+			p := Piece{Kind: PieceCall, Dst: Reg(get(23, 4)), Target: int32(get(0, 23))}
+			return Word(p), nil
+		case 2:
+			return Word(JumpInd(Reg(get(23, 4)))), nil
+		default:
+			return Word(Trap(uint16(get(15, 12)))), nil
+		}
+
+	case tagSystem:
+		switch get(27, 2) {
+		case 0:
+			return NopWord(), nil
+		case 1:
+			return Word(ReadSpecial(Reg(get(23, 4)), SpecialReg(get(20, 3)))), nil
+		case 2:
+			if SpecialReg(get(0, 3)) == SpecLo {
+				src := Reg(get(4, 4))
+				return Word(Piece{Kind: PieceALU, Op: OpMovLo, Src1: R(src)}), nil
+			}
+			return Word(WriteSpecial(SpecialReg(get(0, 3)), Reg(get(4, 4)))), nil
+		default:
+			return Word(RFE()), nil
+		}
+	}
+	return Instr{}, fmt.Errorf("bad tag %d", tag)
+}
+
+func decodeALUHalf(h uint32) (Piece, error) {
+	get := func(shift, width uint) uint32 { return h >> shift & (1<<width - 1) }
+	dst := Reg(get(5, 4))
+	var s2 Operand
+	if get(4, 1) == 1 {
+		s2 = Imm(int32(get(0, 4)))
+	} else {
+		s2 = R(Reg(get(0, 4)))
+	}
+	if get(14, 1) == 1 {
+		return SetCond(Cmp(get(9, 5)), dst, R(dst), s2), nil
+	}
+	op := ALUOp(get(9, 5))
+	p := ALU(op, dst, R(dst), s2)
+	if op.Unary() {
+		p.Src2 = Operand{}
+	}
+	return p, nil
+}
+
+func decodeMemHalf(h uint32, addr int32) (Piece, error) {
+	get := func(shift, width uint) uint32 { return h >> shift & (1<<width - 1) }
+	switch get(12, 2) {
+	case 0:
+		return LoadDisp(Reg(get(8, 4)), Reg(get(4, 4)), int32(get(0, 4))), nil
+	case 1:
+		return StoreDisp(Reg(get(8, 4)), Reg(get(4, 4)), int32(get(0, 4))), nil
+	case 2:
+		p := Piece{Kind: PieceJump, Target: addr + sext(get(0, 12), 12)}
+		return p, nil
+	}
+	return Piece{}, fmt.Errorf("bad packed memory half")
+}

@@ -1,0 +1,194 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip encodes and decodes one word at an address and compares the
+// rendering (String is injective over the fields that matter).
+func roundTrip(t *testing.T, in Instr, addr int32) {
+	t.Helper()
+	bits, err := EncodeProgram([]Instr{in}, addr)
+	if err != nil {
+		t.Fatalf("encode %s: %v", in, err)
+	}
+	out, err := DecodeProgram(bits, addr)
+	if err != nil {
+		t.Fatalf("decode %s: %v", in, err)
+	}
+	if out[0].String() != in.String() {
+		t.Fatalf("round trip %q -> %q (bits %#08x)", in, out[0], bits[0])
+	}
+}
+
+func TestEncodeSinglePieces(t *testing.T) {
+	br := Branch(CmpLE, R(0), Imm(1), "")
+	br.Target = 90
+	brBack := Branch(CmpGEU, R(3), R(4), "")
+	brBack.Target = 2
+	jmp := Jump("")
+	jmp.Target = 500
+	call := Call("", RegLink)
+	call.Target = 1000
+	words := []Instr{
+		NopWord(),
+		Word(ALU(OpAdd, 1, R(2), R(3))),
+		Word(ALU(OpSub, 1, R(2), Imm(15))),
+		Word(ALU(OpRSub, 2, R(7), Imm(0))),
+		Word(Mov(4, Imm(255))),
+		Word(Mov(4, R(5))),
+		Word(ALU(OpNot, 3, R(9), Operand{})),
+		Word(ALU(OpXC, 1, R(0), R(1))),
+		Word(ALU(OpIC, 2, R(3), R(2))),
+		Word(Piece{Kind: PieceALU, Op: OpMovLo, Src1: R(1)}),
+		Word(SetCond(CmpGTU, 5, R(1), Imm(9))),
+		Word(SetCond(CmpNE0, 5, R(1), R(0))),
+		Word(LoadDisp(1, 14, 2)),
+		Word(LoadDisp(1, 14, 130000)),
+		Word(LoadDisp(1, 14, -5)),
+		Word(StoreDisp(1, 14, 2)),
+		Word(LoadAbs(2, 4194303)),
+		Word(StoreAbs(2, 100)),
+		Word(LoadIndex(1, 2, 3)),
+		Word(StoreIndex(1, 2, 3)),
+		Word(LoadShift(1, 2, 0, 2)),
+		Word(StoreShift(1, 2, 0, 5)),
+		Word(LoadImm32(3, -99999)),
+		Word(LoadImm32(3, 2097151)),
+		Word(br),
+		Word(brBack),
+		Word(jmp),
+		Word(call),
+		Word(JumpInd(RegLink)),
+		Word(Trap(4095)),
+		Word(Trap(0)),
+		Word(ReadSpecial(1, SpecSurprise)),
+		Word(ReadSpecial(2, SpecRet2)),
+		Word(WriteSpecial(SpecSegBase, 2)),
+		Word(RFE()),
+	}
+	for _, w := range words {
+		roundTrip(t, w, 64)
+	}
+}
+
+func TestEncodePackedWords(t *testing.T) {
+	jmp := Jump("")
+	jmp.Target = 80
+	pairs := [][2]Piece{
+		{ALU(OpAdd, 4, R(4), Imm(1)), StoreDisp(2, RegSP, 2)},
+		{ALU(OpSub, 2, R(2), R(9)), LoadDisp(7, 3, 15)},
+		{SetCond(CmpLT, 5, R(5), Imm(9)), StoreDisp(1, RegSP, 0)},
+		{ALU(OpNot, 3, R(3), Operand{}), LoadDisp(8, 2, 1)},
+		{ALU(OpAdd, 4, R(4), Imm(1)), jmp},
+	}
+	for _, pr := range pairs {
+		in, ok := Pack(pr[0], pr[1])
+		if !ok {
+			t.Fatalf("pack failed: %s | %s", &pr[0], &pr[1])
+		}
+		roundTrip(t, in, 64)
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	farBranch := Branch(CmpEQ, R(1), R(2), "")
+	farBranch.Target = 100000
+	hugeImm := LoadImm32(1, 1<<24)
+	negAbs := LoadAbs(1, -1)
+	movloImm := Piece{Kind: PieceALU, Op: OpMovLo, Src1: Imm(3)}
+	for _, in := range []Instr{
+		Word(farBranch),
+		Word(hugeImm),
+		Word(negAbs),
+		Word(movloImm),
+	} {
+		if _, err := EncodeProgram([]Instr{in}, 0); err == nil {
+			t.Errorf("EncodeProgram(%s) accepted an out-of-range field", in)
+		}
+	}
+}
+
+func TestEncodeBranchRelativity(t *testing.T) {
+	// The same branch word decodes to different absolute targets at
+	// different addresses — it is PC-relative on the wire.
+	br := Branch(CmpEQ, R(1), R(2), "")
+	br.Target = 120
+	bits, err := EncodeProgram([]Instr{Word(br)}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeProgram(bits, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Mem.Target != 220 {
+		t.Errorf("relocated target = %d, want 220", out[0].Mem.Target)
+	}
+}
+
+func TestEncodeQuickALU(t *testing.T) {
+	f := func(op8, dst8, s1reg, s2imm uint8, s2IsImm bool) bool {
+		op := ALUOp(op8 % uint8(NumALUOps))
+		if op == OpMovLo {
+			op = OpAdd
+		}
+		dst := Reg(dst8 % NumRegs)
+		var s2 Operand
+		if s2IsImm {
+			s2 = Imm(int32(s2imm % 16))
+		} else {
+			s2 = R(Reg(s2imm % NumRegs))
+		}
+		p := ALU(op, dst, R(Reg(s1reg%NumRegs)), s2)
+		if op.Unary() {
+			p.Src2 = Operand{}
+		}
+		in := Word(p)
+		bits, err := EncodeProgram([]Instr{in}, 10)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeProgram(bits, 10)
+		if err != nil {
+			return false
+		}
+		return out[0].String() == in.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeQuickBranch(t *testing.T) {
+	f := func(cmp8, s1, s2 uint8, s1Imm, s2Imm bool, rel int16) bool {
+		p := Piece{Kind: PieceBranch, Cmp: Cmp(cmp8 % NumCmps)}
+		mk := func(isImm bool, raw uint8) Operand {
+			if isImm {
+				return Imm(int32(raw % 16))
+			}
+			return R(Reg(raw % NumRegs))
+		}
+		p.Src1 = mk(s1Imm, s1)
+		p.Src2 = mk(s2Imm, s2)
+		addr := int32(9000)
+		p.Target = addr + int32(rel%8000)
+		if p.Target < 0 {
+			p.Target = 0
+		}
+		in := Word(p)
+		bits, err := EncodeProgram([]Instr{in}, addr)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeProgram(bits, addr)
+		if err != nil {
+			return false
+		}
+		return out[0].String() == in.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

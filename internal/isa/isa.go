@@ -1,0 +1,119 @@
+// Package isa defines the instruction set of the Stanford MIPS processor
+// as described in Hennessy et al., "Hardware/Software Tradeoffs for
+// Increased Performance" (ASPLOS 1982).
+//
+// The machine is a word-addressed, load/store architecture with no
+// condition codes. Conditional control flow uses compare-and-branch
+// instructions with one of sixteen comparison codes; boolean values are
+// produced with a "set conditionally" instruction over the same sixteen
+// codes. Every instruction word can hold up to two instruction "pieces":
+// an ALU piece and a memory or control-flow piece. The pipeline has no
+// hardware interlocks: the code reorganizer (package reorg) must schedule
+// around the load-use delay, the single-instruction branch delay, and the
+// two-instruction indirect-jump delay.
+package isa
+
+import "fmt"
+
+// WordBits is the machine word size in bits.
+const WordBits = 32
+
+// BytesPerWord is the number of 8-bit bytes packed into one machine word.
+// The machine itself is word addressed; bytes exist only as fields within
+// words, accessed with the insert/extract byte instructions.
+const BytesPerWord = 4
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 16
+
+// Reg names a general-purpose register r0..r15.
+type Reg uint8
+
+// Conventional register roles used by the compiler and kernel. The
+// hardware attaches no meaning to any general register; these are pure
+// software convention (the paper's code sequences use r0.. freely).
+const (
+	RegZeroScratch Reg = 0  // scratch; also byte-pointer temp in paper examples
+	RegSP          Reg = 14 // stack pointer (software convention)
+	RegLink        Reg = 15 // subroutine link register (software convention)
+)
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", r) }
+
+// Valid reports whether r names one of the sixteen general registers.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// SpecialReg names a non-general register accessible only to privileged
+// code (except Lo, which user code uses for byte insertion).
+type SpecialReg uint8
+
+const (
+	// SpecLo is the byte-selector register: the low-order two bits select
+	// which byte of a word an insert-byte instruction replaces.
+	SpecLo SpecialReg = iota
+	// SpecSurprise is the surprise register, the MIPS processor status
+	// word: privilege levels, enable bits, and two exception cause fields.
+	SpecSurprise
+	// SpecSegBase and SpecSegLimit are the on-chip segmentation registers:
+	// the process identifier inserted into the top bits of every virtual
+	// address, and the size of the process address space.
+	SpecSegBase
+	SpecSegLimit
+	// SpecRet0..SpecRet2 hold the three return addresses saved on an
+	// exception, allowing returns into sequences that include indirect
+	// jumps (branch delay of two).
+	SpecRet0
+	SpecRet1
+	SpecRet2
+)
+
+var specialNames = [...]string{"lo", "surprise", "segbase", "seglimit", "ret0", "ret1", "ret2"}
+
+func (s SpecialReg) String() string {
+	if int(s) < len(specialNames) {
+		return specialNames[s]
+	}
+	return fmt.Sprintf("spec%d", uint8(s))
+}
+
+// NumSpecialRegs is the number of special registers.
+const NumSpecialRegs = 7
+
+// Privileged reports whether accessing the register requires supervisor
+// privilege. Only the byte selector is accessible to user code; the
+// surprise and segmentation registers are the sole privileged state.
+func (s SpecialReg) Privileged() bool { return s != SpecLo }
+
+// Imm4Max is the largest value of the optional four-bit constant that may
+// replace a register field in any operation (paper §2.2: range 0-15).
+const Imm4Max = 15
+
+// Imm8Max is the largest constant loadable by the move-immediate
+// instruction (paper §2.2: an 8-bit constant into any register).
+const Imm8Max = 255
+
+// TrapCodeBits is the width of the software trap code field; 12 bits
+// allow 4096 distinct monitor calls (paper §3.3).
+const TrapCodeBits = 12
+
+// MaxTrapCode is the largest software trap code.
+const MaxTrapCode = 1<<TrapCodeBits - 1
+
+// Pipeline latencies exposed to software. There are no hardware
+// interlocks; code that violates these spacings reads stale values or
+// executes fall-through instructions (paper §4.2.1).
+const (
+	// LoadDelay is the number of instructions after a load during which
+	// the destination register still holds its old value.
+	LoadDelay = 1
+	// BranchDelay is the number of instructions after a taken branch,
+	// jump, or call that execute before control transfers.
+	BranchDelay = 1
+	// IndirectJumpDelay is the branch delay of an indirect (register)
+	// jump; the extra cycle covers the register read (paper §3.3: "indirect
+	// jumps, which have a branch delay of two").
+	IndirectJumpDelay = 2
+	// PipeStages is the depth of the pipeline; every instruction executes
+	// in exactly five pipe stages (paper §3.2).
+	PipeStages = 5
+)

@@ -1,0 +1,221 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPieceConstructorsValidate(t *testing.T) {
+	pieces := []Piece{
+		Nop(),
+		ALU(OpAdd, 1, R(2), R(3)),
+		ALU(OpSub, 1, R(2), Imm(15)),
+		ALU(OpRSub, 1, Imm(1), R(2)),
+		Mov(4, Imm(255)),
+		Mov(4, R(5)),
+		ALU(OpXC, 1, R(0), R(1)),
+		ALU(OpIC, 2, R(3), R(2)),
+		{Kind: PieceALU, Op: OpMovLo, Src1: R(1)},
+		SetCond(CmpEQ, 1, R(2), R(3)),
+		LoadDisp(1, 14, 2),
+		StoreDisp(1, 14, 2),
+		LoadAbs(1, 1000),
+		StoreAbs(1, 1000),
+		LoadIndex(1, 2, 3),
+		StoreIndex(1, 2, 3),
+		LoadShift(1, 2, 3, 2),
+		StoreShift(1, 2, 3, 2),
+		LoadImm32(1, -123456),
+		Branch(CmpLT, R(1), Imm(1), "L1"),
+		Jump("L2"),
+		Call("fib", RegLink),
+		JumpInd(RegLink),
+		Trap(42),
+		ReadSpecial(1, SpecSurprise),
+		WriteSpecial(SpecSegBase, 2),
+		RFE(),
+	}
+	for i := range pieces {
+		if err := pieces[i].Validate(); err != nil {
+			t.Errorf("piece %d (%s): %v", i, &pieces[i], err)
+		}
+	}
+}
+
+func TestPieceValidateRejects(t *testing.T) {
+	bad := []Piece{
+		ALU(OpAdd, 1, Imm(16), R(2)), // 4-bit immediate overflow
+		ALU(OpAdd, 1, R(2), Imm(-1)), // negative immediate
+		Mov(1, Imm(256)),             // 8-bit move immediate overflow
+		ALU(OpAdd, 20, R(1), R(2)),   // invalid destination
+		{Kind: PieceLoad, Mode: AModeDisp, Data: 1, Base: 99},
+		{Kind: PieceStore, Mode: AModeLongImm, Data: 1}, // store long-immediate
+		{Kind: PieceLoad, Mode: AModeShift, Data: 1, Base: 2, Index: 3, Shift: 6},
+		{Kind: PieceJumpInd, Src1: Imm(4)},
+		{Kind: PieceSpecial, SpecOp: SpecRead, Dst: 1, SpecReg: 99},
+		{Kind: PieceBranch, Cmp: 31, Src1: R(1), Src2: R(2)},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("piece %d (%s): expected validation error", i, &bad[i])
+		}
+	}
+}
+
+func TestPieceDefsUses(t *testing.T) {
+	cases := []struct {
+		p    Piece
+		def  int // -1 if none
+		uses []Reg
+	}{
+		{ALU(OpAdd, 1, R(2), R(3)), 1, []Reg{2, 3}},
+		{ALU(OpAdd, 1, R(2), Imm(5)), 1, []Reg{2}},
+		{Mov(1, R(2)), 1, []Reg{2}},
+		{Mov(1, Imm(7)), 1, nil},
+		{Piece{Kind: PieceALU, Op: OpMovLo, Src1: R(3)}, -1, []Reg{3}},
+		{SetCond(CmpLT, 4, R(5), R(6)), 4, []Reg{5, 6}},
+		{SetCond(CmpEQ0, 4, R(5), R(0)), 4, []Reg{5}},
+		{LoadDisp(1, 14, 0), 1, []Reg{14}},
+		{StoreDisp(1, 14, 0), -1, []Reg{14, 1}},
+		{LoadIndex(1, 2, 3), 1, []Reg{2, 3}},
+		{LoadShift(1, 2, 3, 2), 1, []Reg{2, 3}},
+		{LoadAbs(1, 9), 1, nil},
+		{LoadImm32(1, 1<<20), 1, nil},
+		{Branch(CmpEQ, R(1), R(2), "L"), -1, []Reg{1, 2}},
+		{Branch(CmpNE0, R(1), R(0), "L"), -1, []Reg{1}},
+		{Jump("L"), -1, nil},
+		{Call("f", 15), 15, nil},
+		{JumpInd(15), -1, []Reg{15}},
+		{WriteSpecial(SpecSegBase, 7), -1, []Reg{7}},
+		{ReadSpecial(7, SpecSurprise), 7, nil},
+	}
+	for i, tc := range cases {
+		d, ok := tc.p.Defs()
+		if tc.def < 0 {
+			if ok {
+				t.Errorf("case %d (%s): unexpected def %s", i, &tc.p, d)
+			}
+		} else if !ok || d != Reg(tc.def) {
+			t.Errorf("case %d (%s): def = %v,%t want r%d", i, &tc.p, d, ok, tc.def)
+		}
+		us := tc.p.Uses(nil)
+		if len(us) != len(tc.uses) {
+			t.Errorf("case %d (%s): uses = %v, want %v", i, &tc.p, us, tc.uses)
+			continue
+		}
+		for j := range us {
+			if us[j] != tc.uses[j] {
+				t.Errorf("case %d (%s): uses = %v, want %v", i, &tc.p, us, tc.uses)
+				break
+			}
+		}
+	}
+}
+
+func TestPieceLoSelector(t *testing.T) {
+	ic := ALU(OpIC, 2, R(3), R(2))
+	if !ic.ReadsLo() {
+		t.Error("insert byte must read the byte selector")
+	}
+	movlo := Piece{Kind: PieceALU, Op: OpMovLo, Src1: R(1)}
+	if !movlo.WritesLo() {
+		t.Error("movlo must write the byte selector")
+	}
+	if ic.WritesLo() || movlo.ReadsLo() {
+		t.Error("lo direction confused")
+	}
+}
+
+func TestPiecePrivileged(t *testing.T) {
+	priv := []Piece{
+		ReadSpecial(1, SpecSurprise),
+		WriteSpecial(SpecSegBase, 1),
+		WriteSpecial(SpecSegLimit, 1),
+		RFE(),
+	}
+	for i := range priv {
+		if !priv[i].Privileged() {
+			t.Errorf("%s should be privileged", &priv[i])
+		}
+	}
+	unpriv := []Piece{
+		ALU(OpAdd, 1, R(2), R(3)),
+		{Kind: PieceALU, Op: OpMovLo, Src1: R(1)},
+		ReadSpecial(1, SpecLo),
+		Trap(1),
+	}
+	for i := range unpriv {
+		if unpriv[i].Privileged() {
+			t.Errorf("%s should not be privileged", &unpriv[i])
+		}
+	}
+}
+
+func TestPieceDelay(t *testing.T) {
+	br := Branch(CmpEQ, R(1), R(2), "L")
+	if d := br.Delay(); d != 1 {
+		t.Errorf("branch delay = %d, want 1", d)
+	}
+	j := Jump("L")
+	if d := j.Delay(); d != 1 {
+		t.Errorf("jump delay = %d, want 1", d)
+	}
+	ji := JumpInd(15)
+	if d := ji.Delay(); d != 2 {
+		t.Errorf("indirect jump delay = %d, want 2", d)
+	}
+	add := ALU(OpAdd, 1, R(2), R(3))
+	if d := add.Delay(); d != 0 {
+		t.Errorf("alu delay = %d, want 0", d)
+	}
+}
+
+func TestPieceString(t *testing.T) {
+	cases := []struct {
+		p    Piece
+		want string
+	}{
+		{ALU(OpAdd, 1, R(2), Imm(3)), "add r2, #3, r1"},
+		{Mov(4, Imm(7)), "mov #7, r4"},
+		{SetCond(CmpEQ, 1, R(2), R(3)), "seteq r2, r3, r1"},
+		{LoadDisp(1, 14, 2), "ld 2(r14), r1"},
+		{StoreDisp(1, 14, 2), "st r1, 2(r14)"},
+		{LoadShift(1, 2, 0, 2), "ld (r2+r0>>2), r1"},
+		{LoadImm32(3, 99999), "ldi #99999, r3"},
+		{Branch(CmpLE, R(0), Imm(1), "L11"), "ble r0, #1, L11"},
+		{Jump("L3"), "jmp L3"},
+		{Trap(5), "trap #5"},
+		{Nop(), "nop"},
+	}
+	for _, tc := range cases {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestParseALUOpRoundTrip(t *testing.T) {
+	for op := ALUOp(0); op < NumALUOps; op++ {
+		got, ok := ParseALUOp(op.String())
+		if !ok || got != op {
+			t.Errorf("ParseALUOp(%q) = %v, %t", op.String(), got, ok)
+		}
+	}
+}
+
+func TestFormatPieces(t *testing.T) {
+	out := FormatPieces([]Piece{Nop(), Jump("L")})
+	if !strings.Contains(out, "nop\n") || !strings.Contains(out, "jmp L\n") {
+		t.Errorf("unexpected format output: %q", out)
+	}
+}
+
+func TestOverflowCapability(t *testing.T) {
+	// Only the signed add/subtract family can raise overflow traps.
+	for op := ALUOp(0); op < NumALUOps; op++ {
+		want := op == OpAdd || op == OpSub || op == OpRSub || op == OpNeg
+		if op.SetsOverflow() != want {
+			t.Errorf("%s.SetsOverflow() = %t, want %t", op, op.SetsOverflow(), want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package isa
+
+import "fmt"
+
+// Surprise is the surprise register, the MIPS equivalent of a processor
+// status word (paper §3.2): "The surprise register includes the current
+// and previous privilege levels, and enable bits for interrupts, overflow
+// traps and memory mapping. Finally, there are two fields that specify
+// the exact nature of the last exception."
+//
+// Bit layout (our model; the paper fixes the contents, not the bits):
+//
+//	bit  0     current privilege (1 = supervisor)
+//	bit  1     previous privilege
+//	bit  2     interrupt enable
+//	bit  3     overflow trap enable
+//	bit  4     memory mapping enable
+//	bits 8-11  primary exception cause
+//	bits 12-15 secondary exception cause
+//	bits 16-27 trap code of the last software trap (12 bits)
+type Surprise uint32
+
+const (
+	surCurPriv  Surprise = 1 << 0
+	surPrevPriv Surprise = 1 << 1
+	surIntEn    Surprise = 1 << 2
+	surOvfEn    Surprise = 1 << 3
+	surMapEn    Surprise = 1 << 4
+
+	surCause1Shift = 8
+	surCause2Shift = 12
+	surCauseMask   = 0xF
+	surTrapShift   = 16
+)
+
+// Cause identifies an exception source; it occupies one of the two
+// four-bit cause fields of the surprise register. The dispatch routine
+// extracts both fields and indexes a jump table (paper §3.3).
+type Cause uint8
+
+const (
+	CauseNone      Cause = iota
+	CauseReset           // power-up or external reset (unrecoverable class)
+	CauseInterrupt       // the single external interrupt line
+	CauseTrap            // software trap (monitor call)
+	CauseOverflow        // arithmetic overflow with detection enabled
+	CausePageFault       // mapping error: reference between the two valid regions
+	CauseSegFault        // reference outside the process segment bounds
+	CausePrivilege       // privileged instruction at user level
+	CauseIllegal         // undecodable instruction word
+
+	NumCauses
+)
+
+var causeNames = [NumCauses]string{
+	"none", "reset", "interrupt", "trap", "overflow",
+	"pagefault", "segfault", "privilege", "illegal",
+}
+
+func (c Cause) String() string {
+	if c < NumCauses {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("cause%d", uint8(c))
+}
+
+// Supervisor reports the current privilege level.
+func (s Surprise) Supervisor() bool { return s&surCurPriv != 0 }
+
+// PrevSupervisor reports the privilege level before the last exception.
+func (s Surprise) PrevSupervisor() bool { return s&surPrevPriv != 0 }
+
+// InterruptsEnabled reports whether the external interrupt line is honored.
+func (s Surprise) InterruptsEnabled() bool { return s&surIntEn != 0 }
+
+// OverflowEnabled reports whether arithmetic overflow traps.
+func (s Surprise) OverflowEnabled() bool { return s&surOvfEn != 0 }
+
+// MappingEnabled reports whether virtual address mapping is active.
+func (s Surprise) MappingEnabled() bool { return s&surMapEn != 0 }
+
+// SetSupervisor returns s with the current privilege level set.
+func (s Surprise) SetSupervisor(on bool) Surprise { return s.setBit(surCurPriv, on) }
+
+// SetPrevSupervisor returns s with the previous privilege level set.
+func (s Surprise) SetPrevSupervisor(on bool) Surprise { return s.setBit(surPrevPriv, on) }
+
+// SetInterrupts returns s with the interrupt enable set.
+func (s Surprise) SetInterrupts(on bool) Surprise { return s.setBit(surIntEn, on) }
+
+// SetOverflow returns s with the overflow trap enable set.
+func (s Surprise) SetOverflow(on bool) Surprise { return s.setBit(surOvfEn, on) }
+
+// SetMapping returns s with the mapping enable set.
+func (s Surprise) SetMapping(on bool) Surprise { return s.setBit(surMapEn, on) }
+
+func (s Surprise) setBit(b Surprise, on bool) Surprise {
+	if on {
+		return s | b
+	}
+	return s &^ b
+}
+
+// Causes returns the two exception cause fields, primary first.
+func (s Surprise) Causes() (Cause, Cause) {
+	return Cause(s >> surCause1Shift & surCauseMask), Cause(s >> surCause2Shift & surCauseMask)
+}
+
+// WithCauses returns s with both cause fields replaced.
+func (s Surprise) WithCauses(primary, secondary Cause) Surprise {
+	s &^= (surCauseMask << surCause1Shift) | (surCauseMask << surCause2Shift)
+	return s | Surprise(primary)<<surCause1Shift | Surprise(secondary)<<surCause2Shift
+}
+
+// TrapCode returns the 12-bit monitor-call code of the last software trap.
+func (s Surprise) TrapCode() uint16 { return uint16(s >> surTrapShift & MaxTrapCode) }
+
+// WithTrapCode returns s with the trap code field replaced.
+func (s Surprise) WithTrapCode(code uint16) Surprise {
+	s &^= MaxTrapCode << surTrapShift
+	return s | Surprise(code&MaxTrapCode)<<surTrapShift
+}
+
+// Enter returns the surprise register as transformed by exception entry:
+// the current privilege is saved into the previous field, the processor
+// enters supervisor state, and interrupts and mapping are disabled so the
+// dispatch ROM runs in physical address space (paper §3.3: "the current
+// status of the machine is saved, and subsequently changed to reflect
+// execution by the operating system in physical address space").
+func (s Surprise) Enter(primary, secondary Cause) Surprise {
+	s = s.SetPrevSupervisor(s.Supervisor())
+	s = s.SetSupervisor(true)
+	s = s.SetInterrupts(false)
+	s = s.SetMapping(false)
+	return s.WithCauses(primary, secondary)
+}
+
+// Leave returns the surprise register as transformed by return from
+// exception: the previous privilege level is restored.
+func (s Surprise) Leave() Surprise {
+	return s.SetSupervisor(s.PrevSupervisor())
+}
+
+func (s Surprise) String() string {
+	p1, p2 := s.Causes()
+	return fmt.Sprintf("sup=%t prev=%t int=%t ovf=%t map=%t cause=%s/%s trap=%d",
+		s.Supervisor(), s.PrevSupervisor(), s.InterruptsEnabled(),
+		s.OverflowEnabled(), s.MappingEnabled(), p1, p2, s.TrapCode())
+}

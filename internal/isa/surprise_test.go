@@ -1,0 +1,145 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSurpriseBits(t *testing.T) {
+	var s Surprise
+	s = s.SetSupervisor(true)
+	s = s.SetInterrupts(true)
+	s = s.SetOverflow(true)
+	s = s.SetMapping(true)
+	if !s.Supervisor() || !s.InterruptsEnabled() || !s.OverflowEnabled() || !s.MappingEnabled() {
+		t.Errorf("bits not set: %s", s)
+	}
+	s = s.SetSupervisor(false)
+	if s.Supervisor() {
+		t.Error("supervisor bit not cleared")
+	}
+	if !s.InterruptsEnabled() {
+		t.Error("clearing one bit disturbed another")
+	}
+}
+
+func TestSurpriseCauses(t *testing.T) {
+	var s Surprise
+	s = s.WithCauses(CauseOverflow, CausePageFault)
+	p1, p2 := s.Causes()
+	if p1 != CauseOverflow || p2 != CausePageFault {
+		t.Errorf("causes = %s/%s", p1, p2)
+	}
+	s = s.WithCauses(CauseInterrupt, CauseNone)
+	p1, p2 = s.Causes()
+	if p1 != CauseInterrupt || p2 != CauseNone {
+		t.Errorf("causes after rewrite = %s/%s", p1, p2)
+	}
+}
+
+func TestSurpriseTrapCode(t *testing.T) {
+	var s Surprise
+	s = s.WithTrapCode(4095)
+	if s.TrapCode() != 4095 {
+		t.Errorf("trap code = %d", s.TrapCode())
+	}
+	s = s.WithTrapCode(7)
+	if s.TrapCode() != 7 {
+		t.Errorf("trap code after rewrite = %d", s.TrapCode())
+	}
+	// The 12-bit field allows 4096 monitor calls and masks overflow.
+	s = s.WithTrapCode(0xFFFF)
+	if s.TrapCode() != 0xFFF {
+		t.Errorf("trap code not masked to 12 bits: %d", s.TrapCode())
+	}
+}
+
+func TestSurpriseEnterLeave(t *testing.T) {
+	var s Surprise
+	s = s.SetInterrupts(true).SetMapping(true).SetOverflow(true)
+	// User-level process takes a page fault.
+	entered := s.Enter(CausePageFault, CauseNone)
+	if !entered.Supervisor() {
+		t.Error("exception entry must raise privilege")
+	}
+	if entered.PrevSupervisor() {
+		t.Error("previous privilege should record user level")
+	}
+	if entered.InterruptsEnabled() || entered.MappingEnabled() {
+		t.Error("exception entry must disable interrupts and mapping")
+	}
+	if !entered.OverflowEnabled() {
+		t.Error("overflow enable should be untouched by entry")
+	}
+	p1, _ := entered.Causes()
+	if p1 != CausePageFault {
+		t.Errorf("primary cause = %s", p1)
+	}
+	// Return restores the previous privilege level.
+	left := entered.Leave()
+	if left.Supervisor() {
+		t.Error("leave must restore user privilege")
+	}
+
+	// Nested: supervisor takes an interrupt; leave stays supervisor.
+	sup := Surprise(0).SetSupervisor(true).SetInterrupts(true)
+	nested := sup.Enter(CauseInterrupt, CauseNone)
+	if !nested.PrevSupervisor() {
+		t.Error("previous privilege should record supervisor level")
+	}
+	if !nested.Leave().Supervisor() {
+		t.Error("leave from supervisor-entered exception must stay supervisor")
+	}
+}
+
+func TestSurpriseEnterPreservesUnrelatedState(t *testing.T) {
+	f := func(raw uint32, c1, c2 uint8) bool {
+		s := Surprise(raw)
+		e := s.Enter(Cause(c1%uint8(NumCauses)), Cause(c2%uint8(NumCauses)))
+		// Overflow enable and trap code must survive exception entry.
+		return e.OverflowEnabled() == s.OverflowEnabled() && e.TrapCode() == s.TrapCode()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCauseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Cause(0); c < NumCauses; c++ {
+		n := c.String()
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate cause name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	bc := BooleanCosts()
+	if bc.RegOp != 1 || bc.Compare != 2 || bc.Branch != 4 {
+		t.Errorf("Table 6 weights wrong: %+v", bc)
+	}
+	ac := AddressingCosts()
+	if ac.Mem != 4 || ac.RegOp != 2 {
+		t.Errorf("Table 9 weights wrong: %+v", ac)
+	}
+	// The paper's load-byte sequence on MIPS: ld + xc = 4 + 2 = 6.
+	seq := []Piece{
+		LoadShift(1, 0, 0, 2),
+		ALU(OpXC, 1, R(0), R(1)),
+	}
+	if got := ac.SequenceCost(seq); got != 6 {
+		t.Errorf("ld+xc cost = %v, want 6", got)
+	}
+	// The store-byte sequence: ld + movlo + ic + st = 4+2+2+4 = 12.
+	seq = []Piece{
+		LoadShift(2, 0, 0, 2),
+		{Kind: PieceALU, Op: OpMovLo, Src1: R(1)},
+		ALU(OpIC, 2, R(3), R(2)),
+		StoreShift(2, 0, 0, 2),
+	}
+	if got := ac.SequenceCost(seq); got != 12 {
+		t.Errorf("store-byte cost = %v, want 12", got)
+	}
+}

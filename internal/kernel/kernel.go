@@ -1,0 +1,369 @@
+// Package kernel is the minimal operating system of paper §3: the
+// dispatch routine resident in ROM at physical address zero, secondary
+// dispatch for the 4096 monitor calls, demand paging driven by the
+// external mapping unit's fault latch, and round-robin context switching
+// on timer interrupts with per-process register save areas.
+//
+// The kernel is written in MIPS assembly and put through the same
+// reorganizer/assembler chain as user code — "it must always be resident
+// (even on the power-up reset exception) it must be put in a ROM"
+// (paper §3.3). The Go side only wires devices and loads processes.
+package kernel
+
+import "fmt"
+
+// Kernel RAM layout (physical word addresses). The dispatch ROM occupies
+// [0, ROMLimit); the kernel's mutable state sits just above it.
+const (
+	kScratch0 = 2048 // r1..r4 saved by the dispatch routine
+	kSaveSur  = 2052 // saved surprise register
+	kSaveRet0 = 2053 // three saved return addresses
+	kCurrent  = 2056 // index of the running process
+	kNProc    = 2057 // number of loaded processes
+	kNAlive   = 2058 // processes not yet exited or killed
+	kFrameNxt = 2059 // next free physical frame number
+	kNSwitch  = 2060 // context-switch counter
+	kNFault   = 2061 // page-fault counter
+	kNEvict   = 2062 // eviction counter
+	kEvictPtr = 2063 // FIFO replacement pointer (next victim frame)
+	kProcTab  = 2112 // process table: slotWords words per process
+
+	slotWords = 32
+	slotSur   = 16
+	slotRet0  = 17
+	slotAlive = 20
+	slotPID   = 21
+	slotBits  = 22
+
+	causeTab = 1024 // jump table indexed by primary exception cause
+
+	// kFrameTab is the frame-to-virtual-page reverse map driving page
+	// replacement: one word per physical frame, occupying the frames
+	// between the kernel and the first user frame. Sized for the largest
+	// supported machine (4096 frames).
+	kFrameTab = 4096
+
+	// ROMLimit seals the dispatch routine and its tables; kernel RAM
+	// starts at kScratch0 above it.
+	ROMLimit = 2048
+
+	// FirstUserFrame is the first physical frame handed to demand
+	// paging; below it sit the kernel (frames 0-3) and the frame table
+	// (frames 4-7).
+	FirstUserFrame = 8
+
+	// MaxProcs bounds the process table.
+	MaxProcs = 8
+)
+
+// Monitor-call codes (the software trap's 12-bit field).
+const (
+	SysHalt    = 0 // stop the whole machine
+	SysPutChar = 1 // write the low byte of r1 to the console
+	SysPutInt  = 2 // write r1 to the console as a signed decimal
+	SysYield   = 3 // give up the processor to the next ready process
+	SysExit    = 4 // terminate the calling process
+)
+
+// kernelSource builds the kernel assembly. Device register addresses,
+// RAM layout constants, and the machine's frame count are interpolated;
+// everything else is literal MIPS assembly in sequential semantics —
+// the reorganizer schedules it for the pipeline like any other program.
+func kernelSource(maxFrames uint32) string {
+	return fmt.Sprintf(`
+; MIPS kernel: dispatch ROM, monitor calls, demand paging, context switch.
+	.text 0
+	.entry dispatch
+
+; --- primary dispatch (physical address 0) ----------------------------
+; Save the scratch registers and the three return addresses, then index
+; the cause table with the primary exception cause field.
+dispatch:
+	st r1, @%[1]d		; SCRATCH0
+	st r2, @%[2]d
+	st r3, @%[3]d
+	st r4, @%[4]d
+	rdspec surprise, r1
+	st r1, @%[5]d		; SAVESUR
+	rdspec ret0, r2
+	st r2, @%[6]d
+	rdspec ret1, r2
+	st r2, @%[7]d
+	rdspec ret2, r2
+	st r2, @%[8]d
+	srl r1, #8, r2		; primary cause field
+	and r2, #15, r2
+	ldi causetab, r3
+	ld (r3+r2), r4
+	jmpr r4
+
+; --- handlers ----------------------------------------------------------
+h_none:
+	jmp ret_simple
+
+h_reset:				; power-up boot
+	ld @%[10]d, r1		; NPROC
+	beq0 r1, #0, do_halt
+	mov #0, r1
+	st r1, @%[9]d		; CURRENT = 0
+	jmp proc_restore
+
+h_interrupt:
+	ldi #%[13]d, r1		; RegIntSource
+	ld (r1), r2
+	beq r2, #%[14]d, int_timer
+	jmp ret_simple		; unknown requester: ignore
+int_timer:
+	ldi #%[15]d, r1		; RegTimerAck
+	st r1, (r1)
+	jmp switch_save
+
+h_trap:
+	ld @%[5]d, r1		; saved surprise
+	srl r1, #8, r1
+	srl r1, #8, r1		; 12-bit trap code at bit 16
+	ldi #4095, r2
+	and r1, r2, r1
+	beq0 r1, #0, do_halt	; SysHalt
+	beq r1, #1, t_putch
+	beq r1, #2, t_putint
+	beq r1, #3, switch_save	; SysYield
+	beq r1, #4, kill	; SysExit
+	jmp kill		; unknown monitor call
+
+t_putch:
+	ld @%[1]d, r2		; user r1
+	ldi #%[16]d, r3		; RegConsoleCh
+	st r2, (r3)
+	jmp ret_simple
+t_putint:
+	ld @%[1]d, r2
+	ldi #%[17]d, r3		; RegConsoleInt
+	st r2, (r3)
+	jmp ret_simple
+
+h_overflow:
+	jmp kill
+h_segfault:
+	jmp kill
+h_privilege:
+	jmp kill
+h_illegal:
+	jmp kill
+
+; --- demand paging -----------------------------------------------------
+; Allocate a frame (free, or evicted FIFO with dirty write-back), fill
+; it from backing store, install the translation, and restart the
+; faulting instruction.
+h_pagefault:
+	ld @%[12]d, r1		; NFAULT++
+	add r1, #1, r1
+	st r1, @%[12]d
+	ldi #%[18]d, r1		; RegFaultAddr
+	ld (r1), r2
+	srl r2, #10, r2		; system virtual page
+	ld @%[11]d, r3		; FRAMENEXT
+	ldi #%[36]d, r4		; physical frame count
+	bltu r3, r4, pf_free
+	; No free frame: evict the FIFO victim.
+	ld @%[39]d, r1		; NEVICT++
+	add r1, #1, r1
+	st r1, @%[39]d
+	ld @%[40]d, r3		; victim frame from EVICTPTR
+	ldi #%[37]d, r1		; frame table base
+	ld (r1+r3), r4		; the page the victim holds
+	ldi #%[19]d, r1		; disk vpage := old page
+	st r4, (r1)
+	ldi #%[20]d, r1		; disk frame := victim
+	st r3, (r1)
+	ldi #%[38]d, r1		; disk write-back
+	st r3, (r1)
+	ldi #%[22]d, r1		; page map vpage := old page
+	st r4, (r1)
+	mov #2, r4
+	ldi #%[25]d, r1		; page map op = remove
+	st r4, (r1)
+	; Advance the FIFO pointer with wraparound.
+	add r3, #1, r4
+	ldi #%[36]d, r1
+	bltu r4, r1, pf_adv
+	mov #%[41]d, r4		; wrap to the first user frame
+pf_adv:	st r4, @%[40]d
+	jmp pf_fill
+pf_free:
+	add r3, #1, r4
+	st r4, @%[11]d
+pf_fill:
+	ldi #%[37]d, r1		; record frame -> page
+	st r2, (r1+r3)
+	ldi #%[19]d, r1		; disk vpage
+	st r2, (r1)
+	ldi #%[20]d, r1		; disk frame
+	st r3, (r1)
+	ldi #%[21]d, r1		; disk go
+	st r3, (r1)
+	ldi #%[22]d, r1		; page map vpage
+	st r2, (r1)
+	ldi #%[23]d, r1		; page map frame
+	st r3, (r1)
+	mov #1, r4
+	ldi #%[24]d, r1		; page map flags (writable)
+	st r4, (r1)
+	ldi #%[25]d, r1		; page map op = install
+	st r4, (r1)
+	jmp ret_simple
+
+; --- return to the interrupted context from the save area ---------------
+ret_simple:
+	ld @%[6]d, r1
+	wrspec r1, ret0
+	ld @%[7]d, r1
+	wrspec r1, ret1
+	ld @%[8]d, r1
+	wrspec r1, ret2
+	ld @%[5]d, r1
+	mov #20, r2		; re-enable mapping and interrupts (bits 4, 2)
+	or r1, r2, r1
+	wrspec r1, surprise
+	ld @%[2]d, r2
+	ld @%[3]d, r3
+	ld @%[4]d, r4
+	ld @%[1]d, r1
+	rfe
+
+; --- context switch ------------------------------------------------------
+; Save the full register state into the current process's table slot;
+; the dual instruction/data interface lets this store sequence saturate
+; the data port, which is why MIPS has no move-multiple instruction
+; (paper 3.2).
+switch_save:
+	ld @%[26]d, r1		; NSWITCH++
+	add r1, #1, r1
+	st r1, @%[26]d
+	ld @%[9]d, r1		; CURRENT
+	sll r1, #5, r2
+	ldi #%[27]d, r3		; PROCTAB
+	add r3, r2, r3
+	ld @%[1]d, r2
+	st r2, 1(r3)
+	ld @%[2]d, r2
+	st r2, 2(r3)
+	ld @%[3]d, r2
+	st r2, 3(r3)
+	ld @%[4]d, r2
+	st r2, 4(r3)
+	st r0, 0(r3)
+	st r5, 5(r3)
+	st r6, 6(r3)
+	st r7, 7(r3)
+	st r8, 8(r3)
+	st r9, 9(r3)
+	st r10, 10(r3)
+	st r11, 11(r3)
+	st r12, 12(r3)
+	st r13, 13(r3)
+	st r14, 14(r3)
+	st r15, 15(r3)
+	ld @%[5]d, r2
+	st r2, %[28]d(r3)	; surprise
+	ld @%[6]d, r2
+	st r2, %[29]d(r3)	; ret0
+	ld @%[7]d, r2
+	st r2, 18(r3)
+	ld @%[8]d, r2
+	st r2, 19(r3)
+	jmp pick
+
+; pick the next ready process, round robin
+pick:
+	ld @%[9]d, r1
+adv:	add r1, #1, r1
+	ld @%[10]d, r2		; NPROC
+	blt r1, r2, chk
+	mov #0, r1
+chk:	sll r1, #5, r2
+	ldi #%[27]d, r3
+	add r3, r2, r3
+	ld %[30]d(r3), r2	; alive flag
+	beq0 r2, #0, adv
+	st r1, @%[9]d		; CURRENT
+	jmp proc_restore
+
+; restore the full state of process CURRENT and return to it
+proc_restore:
+	ld @%[9]d, r1
+	sll r1, #5, r2
+	ldi #%[27]d, r3
+	add r3, r2, r3
+	ld %[31]d(r3), r2	; pid
+	wrspec r2, segbase
+	ld %[32]d(r3), r2	; address-space bits
+	wrspec r2, seglimit
+	ld %[29]d(r3), r2
+	wrspec r2, ret0
+	ld 18(r3), r2
+	wrspec r2, ret1
+	ld 19(r3), r2
+	wrspec r2, ret2
+	ld %[28]d(r3), r2
+	mov #20, r4		; mapping + interrupts
+	or r2, r4, r2
+	wrspec r2, surprise
+	ld 5(r3), r5
+	ld 6(r3), r6
+	ld 7(r3), r7
+	ld 8(r3), r8
+	ld 9(r3), r9
+	ld 10(r3), r10
+	ld 11(r3), r11
+	ld 12(r3), r12
+	ld 13(r3), r13
+	ld 14(r3), r14
+	ld 15(r3), r15
+	ld 1(r3), r1
+	ld 2(r3), r2
+	ld 4(r3), r4
+	ld 3(r3), r3
+	rfe
+
+; terminate the current process; halt when none remain
+kill:
+	ld @%[9]d, r1
+	sll r1, #5, r2
+	ldi #%[27]d, r3
+	add r3, r2, r3
+	mov #0, r2
+	st r2, %[30]d(r3)	; alive = 0
+	ld @%[33]d, r1		; NALIVE--
+	sub r1, #1, r1
+	st r1, @%[33]d
+	beq0 r1, #0, do_halt
+	jmp pick
+
+do_halt:
+	ldi #%[34]d, r1		; RegHalt
+	st r1, (r1)
+	jmp do_halt		; unreachable: the store stops the machine
+
+; --- cause jump table (in ROM, indexed by isa.Cause) --------------------
+	.data %[35]d
+causetab:
+	.word h_none, h_reset, h_interrupt, h_trap, h_overflow
+	.word h_pagefault, h_segfault, h_privilege, h_illegal
+	.word h_none, h_none, h_none, h_none, h_none, h_none, h_none
+`,
+		kScratch0, kScratch0+1, kScratch0+2, kScratch0+3, // 1-4
+		kSaveSur,                            // 5
+		kSaveRet0, kSaveRet0+1, kSaveRet0+2, // 6-8
+		kCurrent, kNProc, kFrameNxt, kNFault, // 9-12
+		RegIntSource, IntTimer, RegTimerAck, // 13-15
+		RegConsoleCh, RegConsoleInt, // 16-17
+		RegFaultAddr,                          // 18
+		RegDiskVPage, RegDiskFrame, RegDiskGo, // 19-21
+		RegPMVPage, RegPMFrame, RegPMFlags, RegPMOp, // 22-25
+		kNSwitch, kProcTab, slotSur, slotRet0, slotAlive, // 26-30
+		slotPID, slotBits, kNAlive, RegHalt, causeTab, // 31-35
+		maxFrames, kFrameTab, RegDiskWrite, // 36-38
+		kNEvict, kEvictPtr, FirstUserFrame, // 39-41
+	)
+}

@@ -1,0 +1,294 @@
+package lang
+
+// Expression parsing, with type checking inline.
+
+// parseExpr parses expr = simple [relop simple].
+func (p *Parser) parseExpr() (Expr, error) {
+	l, err := p.parseSimple()
+	if err != nil {
+		return nil, err
+	}
+	var op BinOp
+	switch p.tok().Kind {
+	case Eq:
+		op = OpEq
+	case NE:
+		op = OpNE
+	case LT:
+		op = OpLT
+	case LE:
+		op = OpLE
+	case GT:
+		op = OpGT
+	case GE:
+		op = OpGE
+	default:
+		return l, nil
+	}
+	t := p.next()
+	r, err := p.parseSimple()
+	if err != nil {
+		return nil, err
+	}
+	lt, rt := l.ExprType(), r.ExprType()
+	if !lt.Same(rt) || !lt.Scalar() {
+		return nil, errf(t.Pos, "cannot compare %s with %s", lt, rt)
+	}
+	if lt.Same(BoolType) && op != OpEq && op != OpNE {
+		return nil, errf(t.Pos, "booleans compare only with = and <>")
+	}
+	return &BinExpr{exprBase: exprBase{T: BoolType, Pos: t.Pos}, Op: op, L: l, R: r}, nil
+}
+
+// parseSimple parses ["+"|"-"] term { ("+"|"-"|"or") term }.
+func (p *Parser) parseSimple() (Expr, error) {
+	neg := false
+	if p.tok().Kind == Plus {
+		p.next()
+	} else if p.tok().Kind == Minus {
+		neg = true
+	}
+	var l Expr
+	var err error
+	if neg {
+		t := p.next()
+		l, err = p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if !l.ExprType().Same(IntType) {
+			return nil, errf(t.Pos, "cannot negate %s", l.ExprType())
+		}
+		// Fold literal negation so constants keep their magnitudes.
+		if lit, ok := l.(*IntExpr); ok {
+			lit.Val = -lit.Val
+		} else {
+			l = &UnExpr{exprBase: exprBase{T: IntType, Pos: t.Pos}, Op: OpNeg, E: l}
+		}
+	} else {
+		l, err = p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+	}
+	for {
+		var op BinOp
+		switch p.tok().Kind {
+		case Plus:
+			op = OpAdd
+		case Minus:
+			op = OpSub
+		case KwOr:
+			op = OpOr
+		default:
+			return l, nil
+		}
+		t := p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if op == OpOr {
+			if !l.ExprType().Same(BoolType) || !r.ExprType().Same(BoolType) {
+				return nil, errf(t.Pos, "or needs boolean operands")
+			}
+			l = &BinExpr{exprBase: exprBase{T: BoolType, Pos: t.Pos}, Op: op, L: l, R: r}
+		} else {
+			if !l.ExprType().Same(IntType) || !r.ExprType().Same(IntType) {
+				return nil, errf(t.Pos, "%s needs integer operands", op)
+			}
+			l = &BinExpr{exprBase: exprBase{T: IntType, Pos: t.Pos}, Op: op, L: l, R: r}
+		}
+	}
+}
+
+// parseTerm parses factor { ("*"|"div"|"mod"|"and") factor }.
+func (p *Parser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.tok().Kind {
+		case Star:
+			op = OpMul
+		case KwDiv:
+			op = OpDiv
+		case KwMod:
+			op = OpMod
+		case KwAnd:
+			op = OpAnd
+		default:
+			return l, nil
+		}
+		t := p.next()
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if op == OpAnd {
+			if !l.ExprType().Same(BoolType) || !r.ExprType().Same(BoolType) {
+				return nil, errf(t.Pos, "and needs boolean operands")
+			}
+			l = &BinExpr{exprBase: exprBase{T: BoolType, Pos: t.Pos}, Op: op, L: l, R: r}
+		} else {
+			if !l.ExprType().Same(IntType) || !r.ExprType().Same(IntType) {
+				return nil, errf(t.Pos, "%s needs integer operands", op)
+			}
+			l = &BinExpr{exprBase: exprBase{T: IntType, Pos: t.Pos}, Op: op, L: l, R: r}
+		}
+	}
+}
+
+func (p *Parser) parseFactor() (Expr, error) {
+	t := p.tok()
+	switch t.Kind {
+	case IntLit:
+		p.next()
+		return &IntExpr{exprBase: exprBase{T: IntType, Pos: t.Pos}, Val: t.Val}, nil
+	case CharLit:
+		p.next()
+		return &CharExpr{exprBase: exprBase{T: CharType, Pos: t.Pos}, Val: t.Val}, nil
+	case KwTrue:
+		p.next()
+		return &BoolExpr{exprBase: exprBase{T: BoolType, Pos: t.Pos}, Val: true}, nil
+	case KwFalse:
+		p.next()
+		return &BoolExpr{exprBase: exprBase{T: BoolType, Pos: t.Pos}, Val: false}, nil
+	case LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case KwNot:
+		p.next()
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if !e.ExprType().Same(BoolType) {
+			return nil, errf(t.Pos, "not needs a boolean operand")
+		}
+		return &UnExpr{exprBase: exprBase{T: BoolType, Pos: t.Pos}, Op: OpNot, E: e}, nil
+	case Ident:
+		// ord/chr conversions, function calls, or designators.
+		switch t.Text {
+		case "ord":
+			p.next()
+			if _, err := p.expect(LParen); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			if !e.ExprType().Scalar() {
+				return nil, errf(t.Pos, "ord needs a scalar")
+			}
+			return &UnExpr{exprBase: exprBase{T: IntType, Pos: t.Pos}, Op: OpOrd, E: e}, nil
+		case "chr":
+			p.next()
+			if _, err := p.expect(LParen); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			if !e.ExprType().Same(IntType) {
+				return nil, errf(t.Pos, "chr needs an integer")
+			}
+			return &UnExpr{exprBase: exprBase{T: CharType, Pos: t.Pos}, Op: OpChr, E: e}, nil
+		}
+		if proc, ok := p.procs[t.Text]; ok && proc.Result != nil {
+			// Function call — but inside the function itself, a bare
+			// reference to the name is the result variable.
+			if !(p.cur != nil && p.cur.Name == t.Text && p.toks[p.pos+1].Kind != LParen) {
+				p.next()
+				return p.parseCallArgs(t.Pos, proc, NotBuiltin)
+			}
+		}
+		return p.parseDesignator()
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", t)
+}
+
+// parseDesignator parses ident { "[" expr "]" | "." ident } as an
+// expression; the result is addressable unless it names a constant.
+func (p *Parser) parseDesignator() (Expr, error) {
+	name, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	var e Expr
+	if p.cur != nil && p.cur.ResultObj != nil && name.Text == p.cur.Name {
+		e = &VarExpr{exprBase: exprBase{T: p.cur.Result, Pos: name.Pos}, Obj: p.cur.ResultObj}
+	} else {
+		obj, ok := p.lookup(name.Text)
+		if !ok {
+			return nil, errf(name.Pos, "undefined identifier %s", name.Text)
+		}
+		if obj.Kind == ObjConst && !obj.IsStr && p.tok().Kind != LBrack {
+			// Scalar constants fold to literals.
+			switch obj.Type.Kind {
+			case TChar:
+				return &CharExpr{exprBase: exprBase{T: CharType, Pos: name.Pos}, Val: obj.ConstVal}, nil
+			case TBool:
+				return &BoolExpr{exprBase: exprBase{T: BoolType, Pos: name.Pos}, Val: obj.ConstVal != 0}, nil
+			default:
+				return &IntExpr{exprBase: exprBase{T: IntType, Pos: name.Pos}, Val: obj.ConstVal}, nil
+			}
+		}
+		e = &VarExpr{exprBase: exprBase{T: obj.Type, Pos: name.Pos}, Obj: obj}
+	}
+	for {
+		switch p.tok().Kind {
+		case LBrack:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if !idx.ExprType().Same(IntType) {
+				return nil, errf(idx.ExprPos(), "array index must be an integer")
+			}
+			at := e.ExprType()
+			if at.Kind != TArray {
+				return nil, errf(e.ExprPos(), "indexing a non-array %s", at)
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{exprBase: exprBase{T: at.Elem, Pos: name.Pos}, Arr: e, Idx: idx}
+		case Dot:
+			p.next()
+			fn, err := p.expect(Ident)
+			if err != nil {
+				return nil, err
+			}
+			rt := e.ExprType()
+			if rt.Kind != TRecord {
+				return nil, errf(fn.Pos, "selecting a field of non-record %s", rt)
+			}
+			f, idx, ok := rt.Field(fn.Text)
+			if !ok {
+				return nil, errf(fn.Pos, "no field %s in %s", fn.Text, rt)
+			}
+			e = &FieldExpr{exprBase: exprBase{T: f.Type, Pos: fn.Pos}, Rec: e, Field: fn.Text, FieldIndex: idx}
+		default:
+			return e, nil
+		}
+	}
+}

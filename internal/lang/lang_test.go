@@ -1,0 +1,464 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// runSrc interprets a program and returns its output.
+func runSrc(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ip := &Interp{}
+	out, err := ip.Run(prog)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := LexAll(`program P; { comment } (* another *)
+var x: integer;
+begin x := x + 'a'; if x <= 10 then x := 3 .. end.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []Kind{
+		KwProgram, Ident, Semi,
+		KwVar, Ident, Colon, Ident, Semi,
+		KwBegin, Ident, Assign, Ident, Plus, CharLit, Semi,
+		KwIf, Ident, LE, IntLit, KwThen, Ident, Assign, IntLit, DotDot, KwEnd, Dot,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerStringsAndEscapes(t *testing.T) {
+	toks, err := LexAll(`'x' 'it''s' ''''`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != CharLit || toks[0].Val != 'x' {
+		t.Errorf("char = %v", toks[0])
+	}
+	if toks[1].Kind != StrLit || toks[1].Text != "it's" {
+		t.Errorf("string = %v", toks[1])
+	}
+	if toks[2].Kind != CharLit || toks[2].Val != '\'' {
+		t.Errorf("quote = %v", toks[2])
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"{ unterminated", "'unterminated", "@", "99999999999"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("LexAll(%q) accepted bad input", src)
+		}
+	}
+}
+
+func TestHelloWorld(t *testing.T) {
+	out := runSrc(t, `
+program hello;
+begin
+  writechar('h'); writechar('i'); writeint(42)
+end.`)
+	if out != "hi42\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestArithmeticAndControl(t *testing.T) {
+	out := runSrc(t, `
+program arith;
+var i, sum: integer;
+begin
+  sum := 0;
+  for i := 1 to 10 do sum := sum + i;
+  writeint(sum);                      { 55 }
+  writeint(17 div 5); writeint(17 mod 5);
+  writeint(-3 * 4);
+  i := 0;
+  while i < 3 do i := i + 1;
+  writeint(i);
+  repeat i := i - 1 until i = 0;
+  writeint(i);
+  for i := 5 downto 3 do writeint(i)
+end.`)
+	want := "55\n3\n2\n-12\n3\n0\n5\n4\n3\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestBooleansFullEvaluation(t *testing.T) {
+	out := runSrc(t, `
+program bools;
+var found: boolean; rec, key, i: integer;
+begin
+  rec := 5; key := 5; i := 12;
+  found := (rec = key) or (i = 13);
+  if found then writeint(1) else writeint(0);
+  found := (rec <> key) and (i < 13);
+  if not found then writeint(2);
+  if true and (1 < 2) or false then writeint(3)
+end.`)
+	if out != "1\n2\n3\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	out := runSrc(t, `
+program fib;
+function fib(n: integer): integer;
+begin
+  if n < 2 then fib := n
+  else fib := fib(n - 1) + fib(n - 2)
+end;
+begin
+  writeint(fib(10))
+end.`)
+	if out != "55\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestVarParameters(t *testing.T) {
+	out := runSrc(t, `
+program swapper;
+var a, b: integer;
+procedure swap(var x, y: integer);
+var t: integer;
+begin
+  t := x; x := y; y := t
+end;
+begin
+  a := 1; b := 2;
+  swap(a, b);
+  writeint(a); writeint(b)
+end.`)
+	if out != "2\n1\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestArraysAndRecords(t *testing.T) {
+	out := runSrc(t, `
+program structs;
+type
+  vec = array[1..3] of integer;
+  pt = record x, y: integer end;
+var
+  v: vec;
+  p: pt;
+  grid: array[0..2] of pt;
+  i: integer;
+begin
+  for i := 1 to 3 do v[i] := i * i;
+  writeint(v[1] + v[2] + v[3]);     { 14 }
+  p.x := 7; p.y := 9;
+  writeint(p.x + p.y);              { 16 }
+  for i := 0 to 2 do begin
+    grid[i].x := i; grid[i].y := 2 * i
+  end;
+  writeint(grid[2].x + grid[2].y)   { 6 }
+end.`)
+	if out != "14\n16\n6\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestPackedArraysAndChars(t *testing.T) {
+	out := runSrc(t, `
+program chars;
+var
+  buf: packed array[0..7] of char;
+  i: integer;
+begin
+  buf[0] := 'o'; buf[1] := 'k';
+  for i := 0 to 1 do writechar(buf[i]);
+  writechar(chr(ord('a') + 1))
+end.`)
+	if out != "okb" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestStringConstants(t *testing.T) {
+	out := runSrc(t, `
+program msg;
+const greeting = 'hey';
+var i: integer;
+begin
+  for i := 0 to 2 do writechar(greeting[i])
+end.`)
+	if out != "hey" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestConstFolding(t *testing.T) {
+	out := runSrc(t, `
+program consts;
+const n = 4; m = n * 2 + 1; neg = -3;
+var a: array[0..m] of integer;
+begin
+  a[m] := n + neg;
+  writeint(a[m]); writeint(m)
+end.`)
+	if out != "1\n9\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestHaltBuiltin(t *testing.T) {
+	out := runSrc(t, `
+program stopper;
+begin
+  writeint(1);
+  halt;
+  writeint(2)
+end.`)
+	if out != "1\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIndexOutOfRangeCaught(t *testing.T) {
+	prog, err := Parse(`
+program oops;
+var a: array[0..3] of integer; i: integer;
+begin
+  i := 9;
+  a[i] := 1
+end.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := &Interp{}
+	if _, err := ip.Run(prog); err == nil {
+		t.Error("expected index range error")
+	}
+}
+
+func TestDivisionByZeroCaught(t *testing.T) {
+	prog, err := Parse(`
+program oops;
+var a, b: integer;
+begin
+  b := 0;
+  a := 1 div b
+end.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Interp{}).Run(prog); err == nil {
+		t.Error("expected division-by-zero error")
+	}
+}
+
+func TestFuelLimit(t *testing.T) {
+	prog, err := Parse(`
+program spin;
+var i: integer;
+begin
+  i := 1;
+  while i > 0 do i := i + 0
+end.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := &Interp{Fuel: 1000}
+	if _, err := ip.Run(prog); err != ErrFuel {
+		t.Errorf("err = %v, want fuel exhaustion", err)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	bad := []string{
+		`program p; var x: integer; begin x := 'a' end.`,                    // char to int
+		`program p; var x: boolean; begin x := 1 end.`,                      // int to bool
+		`program p; var x: integer; begin x := 1 and 2 end.`,                // and on ints
+		`program p; var x: integer; begin if x then x := 1 end.`,            // non-bool cond
+		`program p; var x: integer; begin x := y end.`,                      // undefined
+		`program p; var a: array[0..3] of integer; begin a := a end.`,       // composite assign
+		`program p; var x: integer; begin x[0] := 1 end.`,                   // index non-array
+		`program p; const c = 1; begin c := 2 end.`,                         // assign to const
+		`program p; var x: integer; begin x := 1 < 'a' end.`,                // mixed compare
+		`program p; function f: integer; begin f := 0 end; begin f(1) end.`, // arity
+		`program p; var x, x: integer; begin end.`,                          // duplicate
+		`program p; begin while 1 do halt end.`,                             // non-bool while
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted bad program: %s", src)
+		}
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	_, err := Parse("program p;\nvar x integer;\nbegin end.")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+func TestRefCountingWidths(t *testing.T) {
+	src := `
+program refs;
+var
+  c: char;
+  n: integer;
+  pbuf: packed array[0..3] of char;
+  ubuf: array[0..3] of char;
+begin
+  n := 1;          { 32-bit store }
+  c := 'x';        { char store: 32 word-alloc, 8 byte-alloc }
+  pbuf[0] := c;    { 8-bit store either way (packed), plus char load }
+  ubuf[0] := c;    { 32-bit word-alloc, 8-bit byte-alloc }
+end.`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(mode AllocMode) (stores8, stores32, loads8, loads32 int) {
+		ip := &Interp{Mode: mode}
+		ip.OnRef = func(ev RefEvent) {
+			switch {
+			case ev.Store && ev.Bits == 8:
+				stores8++
+			case ev.Store:
+				stores32++
+			case ev.Bits == 8:
+				loads8++
+			default:
+				loads32++
+			}
+		}
+		if _, err := ip.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	s8, s32, l8, l32 := count(WordAlloc)
+	if s8 != 1 || s32 != 3 {
+		t.Errorf("word-alloc stores: 8-bit %d (want 1), 32-bit %d (want 3)", s8, s32)
+	}
+	if l8 != 0 || l32 != 2 {
+		t.Errorf("word-alloc loads: 8-bit %d (want 0), 32-bit %d (want 2)", l8, l32)
+	}
+	s8, s32, l8, l32 = count(ByteAlloc)
+	if s8 != 3 || s32 != 1 {
+		t.Errorf("byte-alloc stores: 8-bit %d (want 3), 32-bit %d (want 1)", s8, s32)
+	}
+	if l8 != 2 || l32 != 0 {
+		t.Errorf("byte-alloc loads: 8-bit %d (want 2), 32-bit %d (want 0)", l8, l32)
+	}
+}
+
+func TestRefCountingCharness(t *testing.T) {
+	src := `
+program p;
+var c: char; b: boolean; n: integer;
+begin
+  c := 'a'; b := true; n := 1
+end.`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var charRefs, total int
+	ip := &Interp{Mode: ByteAlloc}
+	ip.OnRef = func(ev RefEvent) {
+		total++
+		if ev.Char {
+			charRefs++
+		}
+	}
+	if _, err := ip.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || charRefs != 1 {
+		t.Errorf("refs = %d, char refs = %d", total, charRefs)
+	}
+}
+
+func TestSizeWordsAndOffsets(t *testing.T) {
+	chars := &Type{Kind: TArray, Lo: 0, Hi: 9, Elem: CharType}
+	packed := &Type{Kind: TArray, Lo: 0, Hi: 9, Elem: CharType, Packed: true}
+	rec := &Type{Kind: TRecord, Fields: []Field{
+		{Name: "a", Type: IntType},
+		{Name: "b", Type: chars},
+		{Name: "c", Type: CharType},
+	}}
+	if n := WordAlloc.SizeWords(chars); n != 10 {
+		t.Errorf("word-alloc char array = %d words", n)
+	}
+	if n := ByteAlloc.SizeWords(chars); n != 3 {
+		t.Errorf("byte-alloc char array = %d words", n)
+	}
+	if n := WordAlloc.SizeWords(packed); n != 3 {
+		t.Errorf("packed char array = %d words", n)
+	}
+	if off := WordAlloc.FieldOffsetWords(rec, 2); off != 11 {
+		t.Errorf("word-alloc field offset = %d", off)
+	}
+	if off := ByteAlloc.FieldOffsetWords(rec, 2); off != 4 {
+		t.Errorf("byte-alloc field offset = %d", off)
+	}
+	// The paper: word-based global activation records average 20% larger.
+	if WordAlloc.SizeWords(rec) <= ByteAlloc.SizeWords(rec) {
+		t.Error("word allocation should be larger for char-heavy records")
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	out := runSrc(t, `
+PROGRAM Caps;
+VAR X: INTEGER;
+BEGIN
+  X := 5;
+  WriteInt(X)
+END.`)
+	if out != "5\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFunctionResultVariableIdiom(t *testing.T) {
+	// Inside max, "max := a" assigns the result; "max(...)" recurses.
+	out := runSrc(t, `
+program maxer;
+function max(a, b: integer): integer;
+begin
+  if a > b then max := a else max := b
+end;
+function max3(a, b, c: integer): integer;
+begin
+  max3 := max(max(a, b), c)
+end;
+begin
+  writeint(max3(3, 9, 5))
+end.`)
+	if out != "9\n" {
+		t.Errorf("out = %q", out)
+	}
+}

@@ -1,0 +1,215 @@
+package lang
+
+import "strings"
+
+// Lexer tokenizes Pasqual source. Comments are { ... } or (* ... *);
+// identifiers and keywords are case-insensitive, as in Pascal.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over the source.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '{':
+			start := lx.pos()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return errf(start, "unterminated comment")
+				}
+				if lx.advance() == '}' {
+					break
+				}
+			}
+		case c == '(' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return errf(start, "unterminated comment")
+				}
+				if lx.advance() == '*' && lx.peek() == ')' {
+					lx.advance()
+					break
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isDigit(c):
+		var v int64
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			v = v*10 + int64(lx.advance()-'0')
+			if v > 1<<31 {
+				return Token{}, errf(pos, "integer literal too large")
+			}
+		}
+		return Token{Kind: IntLit, Pos: pos, Val: int32(v)}, nil
+
+	case isLetter(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isLetter(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		word := lx.src[start:lx.off]
+		if k, ok := keywords[strings.ToLower(word)]; ok {
+			return Token{Kind: k, Pos: pos}, nil
+		}
+		return Token{Kind: Ident, Pos: pos, Text: strings.ToLower(word)}, nil
+
+	case c == '\'':
+		// Pascal string/char literal; '' escapes a quote.
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.off >= len(lx.src) {
+				return Token{}, errf(pos, "unterminated string")
+			}
+			ch := lx.advance()
+			if ch == '\'' {
+				if lx.peek() == '\'' {
+					lx.advance()
+					b.WriteByte('\'')
+					continue
+				}
+				break
+			}
+			if ch == '\n' {
+				return Token{}, errf(pos, "newline in string")
+			}
+			b.WriteByte(ch)
+		}
+		s := b.String()
+		if len(s) == 1 {
+			return Token{Kind: CharLit, Pos: pos, Val: int32(s[0])}, nil
+		}
+		return Token{Kind: StrLit, Pos: pos, Text: s}, nil
+	}
+
+	lx.advance()
+	two := func(k Kind) (Token, error) {
+		lx.advance()
+		return Token{Kind: k, Pos: pos}, nil
+	}
+	switch c {
+	case '+':
+		return Token{Kind: Plus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: Minus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '=':
+		return Token{Kind: Eq, Pos: pos}, nil
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBrack, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBrack, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semi, Pos: pos}, nil
+	case '<':
+		switch lx.peek() {
+		case '>':
+			return two(NE)
+		case '=':
+			return two(LE)
+		}
+		return Token{Kind: LT, Pos: pos}, nil
+	case '>':
+		if lx.peek() == '=' {
+			return two(GE)
+		}
+		return Token{Kind: GT, Pos: pos}, nil
+	case ':':
+		if lx.peek() == '=' {
+			return two(Assign)
+		}
+		return Token{Kind: Colon, Pos: pos}, nil
+	case '.':
+		if lx.peek() == '.' {
+			return two(DotDot)
+		}
+		return Token{Kind: Dot, Pos: pos}, nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", c)
+}
+
+// LexAll tokenizes the whole source (EOF token excluded).
+func LexAll(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

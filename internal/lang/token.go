@@ -1,0 +1,146 @@
+// Package lang is the front end for Pasqual, the small Pascal-like
+// language standing in for the paper's workload language. The authors
+// measured "a collection of Pascal programs including compilers,
+// optimizers, and VLSI design aid software"; package corpus provides
+// equivalent programs in Pasqual, and this package lexes, parses, and
+// type-checks them and provides a reference interpreter against which
+// the machine backends are differentially tested.
+package lang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	CharLit
+	StrLit
+
+	// Keywords.
+	KwProgram
+	KwConst
+	KwType
+	KwVar
+	KwArray
+	KwPacked
+	KwRecord
+	KwOf
+	KwFunction
+	KwProcedure
+	KwBegin
+	KwEnd
+	KwIf
+	KwThen
+	KwElse
+	KwWhile
+	KwDo
+	KwRepeat
+	KwUntil
+	KwFor
+	KwTo
+	KwDownto
+	KwAnd
+	KwOr
+	KwNot
+	KwDiv
+	KwMod
+	KwTrue
+	KwFalse
+
+	// Punctuation and operators.
+	Assign // :=
+	Plus   // +
+	Minus  // -
+	Star   // *
+	Eq     // =
+	NE     // <>
+	LT     // <
+	LE     // <=
+	GT     // >
+	GE     // >=
+	LParen // (
+	RParen // )
+	LBrack // [
+	RBrack // ]
+	Comma  // ,
+	Semi   // ;
+	Colon  // :
+	Dot    // .
+	DotDot // ..
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"EOF", "identifier", "integer", "character", "string",
+	"program", "const", "type", "var", "array", "packed", "record", "of",
+	"function", "procedure", "begin", "end", "if", "then", "else",
+	"while", "do", "repeat", "until", "for", "to", "downto",
+	"and", "or", "not", "div", "mod", "true", "false",
+	":=", "+", "-", "*", "=", "<>", "<", "<=", ">", ">=",
+	"(", ")", "[", "]", ",", ";", ":", ".", "..",
+}
+
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind%d", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"program": KwProgram, "const": KwConst, "type": KwType, "var": KwVar,
+	"array": KwArray, "packed": KwPacked, "record": KwRecord, "of": KwOf,
+	"function": KwFunction, "procedure": KwProcedure,
+	"begin": KwBegin, "end": KwEnd,
+	"if": KwIf, "then": KwThen, "else": KwElse,
+	"while": KwWhile, "do": KwDo, "repeat": KwRepeat, "until": KwUntil,
+	"for": KwFor, "to": KwTo, "downto": KwDownto,
+	"and": KwAnd, "or": KwOr, "not": KwNot,
+	"div": KwDiv, "mod": KwMod,
+	"true": KwTrue, "false": KwFalse,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // identifier spelling or string literal contents
+	Val  int32  // integer or character value
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident:
+		return t.Text
+	case IntLit:
+		return fmt.Sprintf("%d", t.Val)
+	case CharLit:
+		return fmt.Sprintf("%q", rune(t.Val))
+	case StrLit:
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Error is a front-end diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,90 @@
+// Package mem models the MIPS memory architecture (paper §3.1): a
+// word-addressed physical memory with a ROM region for the dispatch
+// routine, an on-chip segmentation unit that inserts a process identifier
+// into the top bits of every virtual address, an optional off-chip
+// page-level mapping unit, and a DMA engine that consumes the free memory
+// cycles the processor announces on its status pin.
+package mem
+
+import (
+	"fmt"
+
+	"mips/internal/isa"
+)
+
+// Fault describes a memory exception: the cause that will be written
+// into the surprise register and the offending address.
+type Fault struct {
+	Cause isa.Cause
+	Addr  uint32
+	Write bool
+}
+
+func (f *Fault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("%s fault: %s at word %#x", f.Cause, op, f.Addr)
+}
+
+// Physical is the physical word memory. The first RomWords words are the
+// dispatch ROM: "it must be put in a ROM on the virtual address bus"
+// (paper §3.3); writes to sealed ROM fail.
+type Physical struct {
+	words    []uint32
+	romLimit uint32
+}
+
+// NewPhysical allocates a physical memory of the given size in words.
+func NewPhysical(words int) *Physical {
+	return &Physical{words: make([]uint32, words)}
+}
+
+// Size returns the memory size in words.
+func (p *Physical) Size() uint32 { return uint32(len(p.words)) }
+
+// SealROM write-protects addresses below limit. The kernel loads the
+// dispatch routine first, then seals it.
+func (p *Physical) SealROM(limit uint32) { p.romLimit = limit }
+
+// ROMLimit returns the first writable address.
+func (p *Physical) ROMLimit() uint32 { return p.romLimit }
+
+// Read returns the word at a physical address.
+func (p *Physical) Read(addr uint32) (uint32, *Fault) {
+	if addr >= uint32(len(p.words)) {
+		return 0, &Fault{Cause: isa.CausePageFault, Addr: addr}
+	}
+	return p.words[addr], nil
+}
+
+// Write stores a word at a physical address. Writing sealed ROM is a
+// fault: the dispatch routine must always be resident and intact.
+func (p *Physical) Write(addr, val uint32) *Fault {
+	if addr >= uint32(len(p.words)) {
+		return &Fault{Cause: isa.CausePageFault, Addr: addr, Write: true}
+	}
+	if addr < p.romLimit {
+		return &Fault{Cause: isa.CausePageFault, Addr: addr, Write: true}
+	}
+	p.words[addr] = val
+	return nil
+}
+
+// Poke writes a word ignoring ROM protection; used only by loaders and
+// devices. Out-of-range pokes are dropped (a device writing past the end
+// of installed memory).
+func (p *Physical) Poke(addr, val uint32) {
+	if addr < uint32(len(p.words)) {
+		p.words[addr] = val
+	}
+}
+
+// Peek reads a word without fault semantics; used by tests and tools.
+func (p *Physical) Peek(addr uint32) uint32 {
+	if addr >= uint32(len(p.words)) {
+		return 0
+	}
+	return p.words[addr]
+}

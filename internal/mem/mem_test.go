@@ -1,0 +1,323 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mips/internal/isa"
+)
+
+func TestPhysicalReadWrite(t *testing.T) {
+	p := NewPhysical(64)
+	if err := p.Write(10, 0xABCD); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	v, err := p.Read(10)
+	if err != nil || v != 0xABCD {
+		t.Fatalf("read = %#x, %v", v, err)
+	}
+	if _, err := p.Read(64); err == nil {
+		t.Error("out-of-range read should fault")
+	}
+	if err := p.Write(64, 1); err == nil {
+		t.Error("out-of-range write should fault")
+	}
+}
+
+func TestPhysicalROM(t *testing.T) {
+	p := NewPhysical(64)
+	p.Poke(3, 42) // loader may write before sealing
+	p.SealROM(16)
+	if err := p.Write(3, 1); err == nil {
+		t.Error("write to sealed ROM should fault")
+	}
+	if v, _ := p.Read(3); v != 42 {
+		t.Errorf("ROM content = %d, want 42", v)
+	}
+	if err := p.Write(16, 1); err != nil {
+		t.Errorf("write above ROM limit: %v", err)
+	}
+	p.Poke(3, 43) // loaders bypass protection by design
+	if p.Peek(3) != 43 {
+		t.Error("Poke must bypass ROM protection")
+	}
+}
+
+func TestSegUnitBottomRegion(t *testing.T) {
+	// PID 5, 64K-word space: bottom region is [0, 32K).
+	s := NewSegUnit(5, 16)
+	sys, f := s.Translate(100)
+	if f != nil {
+		t.Fatalf("translate: %v", f)
+	}
+	want := uint32(5)<<16 | 100
+	if sys != want {
+		t.Errorf("sys = %#x, want %#x", sys, want)
+	}
+}
+
+func TestSegUnitTopRegion(t *testing.T) {
+	s := NewSegUnit(5, 16)
+	top := s.TopBase() // 2^32 - 32K
+	sys, f := s.Translate(top)
+	if f != nil {
+		t.Fatalf("translate top base: %v", f)
+	}
+	// Top region maps to the upper half of the 64K segment.
+	want := uint32(5)<<16 | 1<<15
+	if sys != want {
+		t.Errorf("sys = %#x, want %#x", sys, want)
+	}
+	// The very last word of the 32-bit space is the last word of the segment.
+	sys, f = s.Translate(0xFFFFFFFF)
+	if f != nil {
+		t.Fatalf("translate top: %v", f)
+	}
+	want = uint32(5)<<16 | (1<<16 - 1)
+	if sys != want {
+		t.Errorf("sys = %#x, want %#x", sys, want)
+	}
+}
+
+func TestSegUnitHoleFaults(t *testing.T) {
+	s := NewSegUnit(5, 16)
+	// A reference between the two valid regions is treated as a fault.
+	for _, addr := range []uint32{1 << 15, 1 << 20, 0x80000000, s.TopBase() - 1} {
+		if _, f := s.Translate(addr); f == nil {
+			t.Errorf("address %#x in the hole should fault", addr)
+		} else if f.Cause != isa.CauseSegFault {
+			t.Errorf("address %#x: cause = %s", addr, f.Cause)
+		}
+	}
+}
+
+func TestSegUnitFullSpace(t *testing.T) {
+	// A process may own the full 16M-word space; then there is no PID.
+	s := NewSegUnit(0, MappedSpaceBits)
+	if s.SpaceWords() != 1<<24 {
+		t.Errorf("space = %d words", s.SpaceWords())
+	}
+	sys, f := s.Translate(1 << 22)
+	if f != nil || sys != 1<<22 {
+		t.Errorf("translate = %#x, %v", sys, f)
+	}
+}
+
+func TestSegUnitClamping(t *testing.T) {
+	if s := NewSegUnit(0, 8); s.SpaceBits() != MinSpaceBits {
+		t.Errorf("small space not clamped: %d", s.SpaceBits())
+	}
+	if s := NewSegUnit(0, 30); s.SpaceBits() != MappedSpaceBits {
+		t.Errorf("large space not clamped: %d", s.SpaceBits())
+	}
+	// PID must be masked to the available bits.
+	s := NewSegUnit(0xFFFF, 20) // 4 PID bits available
+	if s.PID() != 0xF {
+		t.Errorf("PID not masked: %#x", s.PID())
+	}
+}
+
+func TestSegUnitRegistersRoundTrip(t *testing.T) {
+	s := NewSegUnit(9, 18)
+	base, limit := s.Registers()
+	got := SetRegisters(base, limit)
+	if got != s {
+		t.Errorf("round trip = %+v, want %+v", got, s)
+	}
+}
+
+func TestSegUnitDisjointProcesses(t *testing.T) {
+	// Two processes with different PIDs can never map to the same system
+	// virtual address — the property that lets one off-chip map serve
+	// many processes.
+	f := func(a16 uint16, pidA, pidB uint8) bool {
+		if pidA%16 == pidB%16 {
+			return true
+		}
+		sa := NewSegUnit(uint32(pidA%16), 20)
+		sb := NewSegUnit(uint32(pidB%16), 20)
+		addr := uint32(a16) % sa.SpaceWords() / 2
+		va, fa := sa.Translate(addr)
+		vb, fb := sb.Translate(addr)
+		if fa != nil || fb != nil {
+			return true
+		}
+		return va != vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageMapTranslate(t *testing.T) {
+	m := NewPageMap()
+	m.Map(3, 7, true)
+	pa, f := m.Translate(3<<PageBits|5, false)
+	if f != nil {
+		t.Fatalf("translate: %v", f)
+	}
+	if want := uint32(7<<PageBits | 5); pa != want {
+		t.Errorf("pa = %#x, want %#x", pa, want)
+	}
+}
+
+func TestPageMapFaults(t *testing.T) {
+	m := NewPageMap()
+	if _, f := m.Translate(123, false); f == nil || f.Cause != isa.CausePageFault {
+		t.Error("unmapped page should page-fault")
+	}
+	m.Map(0, 0, false) // read-only
+	if _, f := m.Translate(1, true); f == nil {
+		t.Error("write to read-only page should fault")
+	} else if !f.Write {
+		t.Error("fault should record the write")
+	}
+	if _, f := m.Translate(1, false); f != nil {
+		t.Errorf("read of read-only page: %v", f)
+	}
+}
+
+func TestPageMapReferencedDirty(t *testing.T) {
+	m := NewPageMap()
+	m.Map(1, 2, true)
+	e, _ := m.Entry(1)
+	if e.Referenced || e.Dirty {
+		t.Error("fresh entry should be clean")
+	}
+	m.Translate(1<<PageBits, false)
+	e, _ = m.Entry(1)
+	if !e.Referenced || e.Dirty {
+		t.Errorf("after read: %+v", e)
+	}
+	m.Translate(1<<PageBits, true)
+	e, _ = m.Entry(1)
+	if !e.Dirty {
+		t.Errorf("after write: %+v", e)
+	}
+}
+
+func TestPageMapUnmap(t *testing.T) {
+	m := NewPageMap()
+	m.Map(1, 2, true)
+	m.Unmap(1)
+	if _, f := m.Translate(1<<PageBits, false); f == nil {
+		t.Error("unmapped page should fault")
+	}
+	if m.Len() != 0 {
+		t.Errorf("len = %d", m.Len())
+	}
+}
+
+func TestMMUMappedAccess(t *testing.T) {
+	phys := NewPhysical(4 * PageWords)
+	mmu := NewMMU(phys)
+	mmu.Seg = NewSegUnit(1, 16)
+	// Map the process's first page (system virtual page for PID 1).
+	sysPage := uint32(1) << 16 >> PageBits
+	mmu.Map.Map(sysPage, 2, true)
+
+	if f := mmu.Write(5, 99, true); f != nil {
+		t.Fatalf("mapped write: %v", f)
+	}
+	v, f := mmu.Read(5, true)
+	if f != nil || v != 99 {
+		t.Fatalf("mapped read = %d, %v", v, f)
+	}
+	// The word landed in frame 2.
+	if phys.Peek(2<<PageBits|5) != 99 {
+		t.Error("word not in expected frame")
+	}
+}
+
+func TestMMUUnmappedBypasses(t *testing.T) {
+	phys := NewPhysical(64)
+	mmu := NewMMU(phys)
+	if f := mmu.Write(10, 7, false); f != nil {
+		t.Fatalf("physical write: %v", f)
+	}
+	if v, f := mmu.Read(10, false); f != nil || v != 7 {
+		t.Fatalf("physical read = %d, %v", v, f)
+	}
+}
+
+func TestMMUFaultPropagation(t *testing.T) {
+	phys := NewPhysical(64)
+	mmu := NewMMU(phys)
+	mmu.Seg = NewSegUnit(0, 16)
+	if _, f := mmu.Read(1<<20, true); f == nil || f.Cause != isa.CauseSegFault {
+		t.Error("hole reference should seg-fault")
+	}
+	if _, f := mmu.Read(1, true); f == nil || f.Cause != isa.CausePageFault {
+		t.Error("unmapped page should page-fault")
+	}
+}
+
+func TestDMAConsumesFreeCycles(t *testing.T) {
+	phys := NewPhysical(64)
+	for i := uint32(0); i < 8; i++ {
+		phys.Poke(i, i+100)
+	}
+	d := NewDMA(phys)
+	d.Queue(Transfer{Src: 0, Dst: 32, Words: 8})
+	if !d.Busy() {
+		t.Fatal("queued transfer not busy")
+	}
+	cycles := 0
+	for d.Busy() {
+		if !d.OfferFreeCycle() {
+			t.Fatal("busy engine refused a free cycle")
+		}
+		cycles++
+		if cycles > 100 {
+			t.Fatal("transfer did not complete")
+		}
+	}
+	if cycles != 16 {
+		t.Errorf("8-word move took %d cycles, want 16 (read+write each)", cycles)
+	}
+	for i := uint32(0); i < 8; i++ {
+		if phys.Peek(32+i) != i+100 {
+			t.Errorf("word %d not copied", i)
+		}
+	}
+	if d.Moved() != 8 {
+		t.Errorf("moved = %d", d.Moved())
+	}
+}
+
+func TestDMAIdle(t *testing.T) {
+	d := NewDMA(NewPhysical(8))
+	if d.OfferFreeCycle() {
+		t.Error("idle engine should not consume cycles")
+	}
+	d.Queue(Transfer{Words: 0}) // empty transfers are dropped
+	if d.Busy() {
+		t.Error("zero-length transfer should be ignored")
+	}
+}
+
+func TestDMAPending(t *testing.T) {
+	d := NewDMA(NewPhysical(64))
+	d.Queue(Transfer{Src: 0, Dst: 8, Words: 4})
+	d.Queue(Transfer{Src: 0, Dst: 16, Words: 2})
+	if d.Pending() != 6 {
+		t.Errorf("pending = %d, want 6", d.Pending())
+	}
+	d.OfferFreeCycle()
+	d.OfferFreeCycle() // one word moved
+	if d.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", d.Pending())
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Cause: isa.CausePageFault, Addr: 0x40, Write: true}
+	msg := f.Error()
+	if msg == "" {
+		t.Error("empty fault message")
+	}
+	r := &Fault{Cause: isa.CauseSegFault, Addr: 0x40}
+	if r.Error() == msg {
+		t.Error("read and write faults should render differently")
+	}
+}

@@ -1,0 +1,91 @@
+package mem
+
+import "mips/internal/isa"
+
+// MappedSpaceBits is the size of the system virtual address space shared
+// by all processes: "The sum of the sizes of all segments cannot exceed
+// the virtual address space of 16 million words" (paper §3.1).
+const MappedSpaceBits = 24
+
+// MinSpaceBits is the smallest per-process address space: 65K words.
+const MinSpaceBits = 16
+
+// SegUnit is the on-chip segmentation unit. It divides the 16M-word
+// system virtual space among processes by masking out the top n bits of
+// every user address and inserting an n-bit process identification
+// number. A process's own view is a 32-bit space with two valid regions:
+// the bottom half of its segment at the bottom of the 32-bit space, and
+// the top half at the very top; "any attempt to reference a word between
+// the two valid regions is treated as a page fault" (paper §3.1).
+type SegUnit struct {
+	rawPID uint32 // process identifier register, masked at translation
+	bits   uint8  // log2 of the process space size in words
+}
+
+// NewSegUnit returns a segmentation unit for the given process.
+// spaceBits is the log2 of the process address space in words, between
+// MinSpaceBits (65K words) and MappedSpaceBits (the full 16M words).
+// The PID register holds its raw value so the two registers may be
+// written in either order; translation masks it to the bits available
+// at the configured space size.
+func NewSegUnit(pid uint32, spaceBits uint8) SegUnit {
+	if spaceBits < MinSpaceBits {
+		spaceBits = MinSpaceBits
+	}
+	if spaceBits > MappedSpaceBits {
+		spaceBits = MappedSpaceBits
+	}
+	return SegUnit{rawPID: pid, bits: spaceBits}
+}
+
+// PID returns the effective process identifier: the PID register masked
+// to the bits the space size leaves available.
+func (s SegUnit) PID() uint32 {
+	pidBits := MappedSpaceBits - s.bits
+	return s.rawPID & (1<<uint32(pidBits) - 1)
+}
+
+// SpaceBits returns log2 of the process address space size in words.
+func (s SegUnit) SpaceBits() uint8 { return s.bits }
+
+// SpaceWords returns the process address space size in words.
+func (s SegUnit) SpaceWords() uint32 { return 1 << s.bits }
+
+// Registers returns the unit's state as the two privileged segmentation
+// registers (SpecSegBase holds the PID, SpecSegLimit the space size).
+func (s SegUnit) Registers() (base, limit uint32) { return s.rawPID, uint32(s.bits) }
+
+// SetRegisters replaces the unit's state from register writes.
+func SetRegisters(base, limit uint32) SegUnit {
+	return NewSegUnit(base, uint8(limit))
+}
+
+// Translate maps a user word address to a system virtual address in the
+// 16M-word mapped space, or faults if the address falls in the invalid
+// hole between the two valid regions.
+func (s SegUnit) Translate(addr uint32) (uint32, *Fault) {
+	half := uint32(1) << (s.bits - 1)
+	var offset uint32
+	switch {
+	case addr < half:
+		// Bottom region: offset is the address itself.
+		offset = addr
+	case addr >= -half: // addr >= 2^32 - half
+		// Top region maps to the upper half of the segment.
+		offset = addr - (-(uint32(1) << s.bits)) // addr - (2^32 - 2^bits)
+	default:
+		return 0, &Fault{Cause: isa.CauseSegFault, Addr: addr}
+	}
+	return s.PID()<<s.bits | offset, nil
+}
+
+// Contains reports whether the user address falls in a valid region.
+func (s SegUnit) Contains(addr uint32) bool {
+	_, f := s.Translate(addr)
+	return f == nil
+}
+
+// TopBase returns the lowest user address of the top valid region. The
+// compiler places the stack here so it can grow down from the top of the
+// 32-bit space.
+func (s SegUnit) TopBase() uint32 { return -(uint32(1) << (s.bits - 1)) }

@@ -1,0 +1,187 @@
+package reorg
+
+import (
+	"fmt"
+
+	"mips/internal/asm"
+	"mips/internal/isa"
+)
+
+// fillDelaysGlobal applies the cross-block branch-delay schemes (paper
+// §4.2.1, schemes 2 and 3) to delay slots scheme 1 left as no-ops:
+//
+//   - scheme 2: a backward (loop) branch duplicates the first word of
+//     the loop into its delay slot and retargets to the following word;
+//     legal when the duplicate is side-effect free and its result is
+//     dead on the fall-through (loop exit) path. Unconditional jumps and
+//     calls duplicate unconditionally — the slot executes exactly when
+//     the transfer happens, so any non-control word is legal.
+//   - scheme 3: a conditional branch hoists the next sequential word
+//     into its delay slot; legal when that word has no other
+//     predecessors (no label), is side-effect free, and its result is
+//     dead on the taken path.
+//
+// The pass iterates to a fixpoint since each fill changes the layout;
+// the bound is the number of delay slots, so it always terminates.
+func fillDelaysGlobal(u *asm.Unit, st *Stats) {
+	for pass := 0; pass <= len(u.Stmts); pass++ {
+		if !fillOnce(u, st) {
+			return
+		}
+	}
+}
+
+func fillOnce(u *asm.Unit, st *Stats) bool {
+	lv := computeLiveness(u)
+	for i := 0; i < len(u.Stmts); i++ {
+		s := &u.Stmts[i]
+		ctrl := stmtControl(s)
+		if ctrl == nil || ctrl.Delay() != 1 {
+			continue
+		}
+		if i+1 >= len(u.Stmts) || !isNopStmt(&u.Stmts[i+1]) || len(u.Stmts[i+1].Labels) > 0 {
+			continue
+		}
+		switch ctrl.Kind {
+		case isa.PieceJump, isa.PieceCall:
+			if duplicateTarget(u, i, ctrl, false, lv) {
+				st.DelayFilled++
+				st.SchemeLoop++
+				return true
+			}
+		case isa.PieceBranch:
+			if target, ok := lv.labelStmt[ctrl.Label]; ok && target <= i {
+				if duplicateTarget(u, i, ctrl, true, lv) {
+					st.DelayFilled++
+					st.SchemeLoop++
+					return true
+				}
+			}
+			if hoistFallThrough(u, i, ctrl, lv) {
+				st.DelayFilled++
+				st.SchemeHoist++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isNopStmt(s *asm.Stmt) bool {
+	return len(s.Pieces) == 1 && s.Pieces[0].IsNop()
+}
+
+// duplicateTarget implements scheme 2: copy the transfer target's first
+// word into the delay slot at branchIdx+1 and retarget the control piece
+// past it. For a conditional branch the duplicate also executes on the
+// fall-through path, so it must be side-effect free with a dead result
+// there; an unconditional transfer has no such path.
+func duplicateTarget(u *asm.Unit, branchIdx int, ctrl *isa.Piece, conditional bool, lv *liveness) bool {
+	ti, ok := lv.labelStmt[ctrl.Label]
+	if !ok || ti+1 >= len(u.Stmts) {
+		return false
+	}
+	w0 := &u.Stmts[ti]
+	if stmtControl(w0) != nil || isNopStmt(w0) {
+		return false
+	}
+	// Duplicating the word that is the branch itself or its slot would
+	// self-interfere.
+	if ti == branchIdx || ti == branchIdx+1 {
+		return false
+	}
+	if conditional {
+		for i := range w0.Pieces {
+			if !sideEffectFree(&w0.Pieces[i]) {
+				return false
+			}
+		}
+		// The result must be dead on the fall-through path, which begins
+		// right after the delay slot.
+		if stmtDefs(w0)&lv.liveAt(branchIdx+2) != 0 {
+			return false
+		}
+	}
+	// A load may not sit in the delay slot if the retargeted first word
+	// reads it in the very next cycle — the original code had the same
+	// adjacency, so it is already spaced; loads are still rejected for
+	// conditional duplicates by sideEffectFree above.
+
+	// Install the duplicate and retarget past it.
+	slot := &u.Stmts[branchIdx+1]
+	slot.Pieces = clonePieces(w0.Pieces)
+	newLabel := labelFor(u, ti+1)
+	// Find the control piece inside the statement and retarget it.
+	for i := range u.Stmts[branchIdx].Pieces {
+		if u.Stmts[branchIdx].Pieces[i].IsControl() {
+			u.Stmts[branchIdx].Pieces[i].Label = newLabel
+		}
+	}
+	return true
+}
+
+// hoistFallThrough implements scheme 3: move the word after the delay
+// slot into the slot. It then executes on both paths, so it must be
+// side-effect free, its result dead at the branch target, and it must
+// have no other predecessors.
+func hoistFallThrough(u *asm.Unit, branchIdx int, ctrl *isa.Piece, lv *liveness) bool {
+	fi := branchIdx + 2
+	if fi >= len(u.Stmts) {
+		return false
+	}
+	f0 := &u.Stmts[fi]
+	if len(f0.Labels) > 0 || stmtControl(f0) != nil || isNopStmt(f0) {
+		return false
+	}
+	for i := range f0.Pieces {
+		if !sideEffectFree(&f0.Pieces[i]) {
+			return false
+		}
+	}
+	ti, ok := lv.labelStmt[ctrl.Label]
+	if !ok {
+		return false
+	}
+	if stmtDefs(f0)&lv.liveAt(ti) != 0 {
+		return false
+	}
+	// Move: the slot takes f0's pieces; f0 is deleted.
+	u.Stmts[branchIdx+1].Pieces = f0.Pieces
+	u.Stmts = append(u.Stmts[:fi], u.Stmts[fi+1:]...)
+	return true
+}
+
+func clonePieces(ps []isa.Piece) []isa.Piece {
+	out := make([]isa.Piece, len(ps))
+	copy(out, ps)
+	return out
+}
+
+// labelFor returns a label bound to statement index i, creating a fresh
+// one if none exists.
+func labelFor(u *asm.Unit, i int) string {
+	if len(u.Stmts[i].Labels) > 0 {
+		return u.Stmts[i].Labels[0]
+	}
+	for n := 0; ; n++ {
+		name := fmt.Sprintf(".d2.%d", n)
+		if !labelExists(u, name) {
+			u.Stmts[i].Labels = append(u.Stmts[i].Labels, name)
+			return name
+		}
+	}
+}
+
+func labelExists(u *asm.Unit, name string) bool {
+	for i := range u.Stmts {
+		for _, l := range u.Stmts[i].Labels {
+			if l == name {
+				return true
+			}
+		}
+	}
+	if _, ok := u.DataLabels[name]; ok {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package reorg
+
+import (
+	"mips/internal/asm"
+	"mips/internal/isa"
+)
+
+// liveness holds per-statement register liveness over the scheduled
+// unit, used by the delay-filling schemes to prove a duplicated or
+// hoisted result dead on the path that should not observe it (the
+// paper's Figure 4 relies on exactly this: "r2 is 'dead' outside of the
+// section shown").
+type liveness struct {
+	in        []regMask
+	labelStmt map[string]int
+}
+
+// liveAt returns the registers live immediately before statement i.
+func (lv *liveness) liveAt(i int) regMask {
+	if i < 0 || i >= len(lv.in) {
+		return allRegs
+	}
+	return lv.in[i]
+}
+
+// computeLiveness runs a backward dataflow over the statement list,
+// honoring delay-slot control flow: the statement after a branch always
+// executes, and the transfer happens after it. Calls, traps, indirect
+// jumps, and returns-from-exception are treated conservatively (all
+// registers live).
+func computeLiveness(u *asm.Unit) *liveness {
+	n := len(u.Stmts)
+	lv := &liveness{
+		in:        make([]regMask, n),
+		labelStmt: make(map[string]int, n),
+	}
+	for i := range u.Stmts {
+		for _, l := range u.Stmts[i].Labels {
+			lv.labelStmt[l] = i
+		}
+	}
+
+	uses := make([]regMask, n)
+	defs := make([]regMask, n)
+	for i := range u.Stmts {
+		s := &u.Stmts[i]
+		uses[i] = stmtUses(s)
+		defs[i] = stmtDefs(s)
+		if c := stmtControl(s); c != nil {
+			switch c.Kind {
+			case isa.PieceCall, isa.PieceTrap:
+				// The callee or monitor routine may read anything.
+				uses[i] = allRegs
+			}
+		}
+	}
+
+	// outOf computes the live-out of statement i from current in[] state.
+	outOf := func(i int) regMask {
+		// A statement two after an indirect jump precedes an unknown
+		// target; the last statement precedes the end of the program.
+		if i == n-1 {
+			return allRegs
+		}
+		if i >= 2 {
+			if c := stmtControl(&u.Stmts[i-2]); c != nil && c.Delay() == 2 {
+				return allRegs
+			}
+		}
+		if s := stmtControl(&u.Stmts[i]); s != nil && s.SpecOp == isa.SpecRFE && s.Kind == isa.PieceSpecial {
+			return allRegs
+		}
+		// The statement one after a delayed transfer flows to the target
+		// (and, for conditional branches and calls, the fall-through).
+		if i >= 1 {
+			if c := stmtControl(&u.Stmts[i-1]); c != nil && c.Delay() == 1 {
+				var out regMask
+				if ti, ok := lv.labelStmt[c.Label]; ok {
+					out |= lv.in[ti]
+				} else {
+					out = allRegs // unresolved target: be safe
+				}
+				if c.Kind != isa.PieceJump {
+					out |= lv.in[i+1]
+				}
+				return out
+			}
+		}
+		return lv.in[i+1]
+	}
+
+	for pass := 0; pass < 4*n+8; pass++ {
+		changed := false
+		for i := n - 1; i >= 0; i-- {
+			in := uses[i] | (outOf(i) &^ defs[i])
+			if in != lv.in[i] {
+				lv.in[i] = in
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return lv
+}

@@ -1,0 +1,135 @@
+package tables
+
+import (
+	"fmt"
+
+	"mips/internal/asm"
+	"mips/internal/codegen"
+	"mips/internal/corpus"
+	"mips/internal/cpu"
+	"mips/internal/isa"
+	"mips/internal/kernel"
+	"mips/internal/mem"
+	"mips/internal/reorg"
+)
+
+// FreeCycles regenerates the §3.1 bandwidth observation: "Dynamic
+// simulations indicated that the wasted bandwidth came close to 40% of
+// the available bandwidth." Available bandwidth here is the data port;
+// a DMA engine shows the free cycles are usable.
+func FreeCycles() (*Table, error) {
+	t := &Table{
+		ID:     "Free memory cycles (§3.1)",
+		Title:  "Data-port utilization over the corpus (fully optimized code)",
+		Header: []string{"program", "instructions", "data cycles", "free cycles", "free fraction"},
+	}
+	var totalData, totalFree, totalInstr uint64
+	for _, p := range corpus.All() {
+		im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		res, err := codegen.RunMIPS(im, 500_000_000)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		st := res.Stats
+		t.AddRow(p.Name, num(st.Instructions), num(st.DataCycles), num(st.FreeCycles),
+			pct(st.FreeBandwidthFraction()))
+		totalData += st.DataCycles
+		totalFree += st.FreeCycles
+		totalInstr += st.Instructions
+	}
+	frac := float64(totalFree) / float64(totalData+totalFree)
+	t.AddRow("TOTAL", num(totalInstr), num(totalData), num(totalFree), pct(frac))
+	t.Note("paper: wasted bandwidth 'came close to 40%% of the available bandwidth'; counting both ports, the free share of total bandwidth is %s", pct(frac/2))
+	t.Note("free cycles are usable: see BenchmarkFreeCycleDMA, which drains them with the DMA engine")
+	return t, nil
+}
+
+// ContextSwitch measures the §3.2 claims: the dual-ported register save
+// sequence saturates the data port (one store per cycle, no microcoded
+// move-multiple needed), and the surprise register keeps the extra
+// state of a context switch to a single word.
+func ContextSwitch() (*Table, error) {
+	// Two compute-bound processes preempted by the timer.
+	loop := `
+	.entry main
+main:	mov #0, r1
+	ldi #2000, r2
+spin:	add r1, #1, r1
+	blt r1, r2, spin
+	trap #4
+`
+	m, err := kernel.NewMachine(kernel.Config{TimerPeriod: 150})
+	if err != nil {
+		return nil, err
+	}
+	build := func(src string) (*isa.Image, error) {
+		u, err := asm.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		ro, _ := reorg.Reorganize(u, reorg.All())
+		return asm.Assemble(ro)
+	}
+	im, err := build(loop)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.AddProcess(im, 16); err != nil {
+		return nil, err
+	}
+	if _, err := m.AddProcess(im, 16); err != nil {
+		return nil, err
+	}
+	before := m.CPU.Stats
+	_ = before
+	if _, err := m.Run(10_000_000); err != nil {
+		return nil, err
+	}
+	st := m.CPU.Stats
+	switches := m.ContextSwitches()
+
+	t := &Table{
+		ID:     "Context switch (§3.2)",
+		Title:  "Preemptive round-robin between two processes",
+		Header: []string{"measure", "value"},
+	}
+	t.AddRow("context switches", num(switches))
+	t.AddRow("total instructions", num(st.Instructions))
+	t.AddRow("page faults (demand load)", num(m.PageFaults()))
+	if switches > 0 {
+		// User work: 2 processes x ~3 instructions x 2000 iterations.
+		userApprox := uint64(2 * 3 * 2000)
+		kernelWork := st.Instructions - userApprox
+		t.AddRow("approx kernel instructions/switch", num(kernelWork/uint64(switches)))
+	}
+	t.AddRow("state beyond GPRs per process", "1 surprise word + 3 return addresses + 2 segment registers")
+	if sat, err := RegisterSaveSaturation(); err == nil {
+		t.AddRow("data-port utilization of a 16-store save", pct(sat))
+	}
+	t.Note("register save/restore is a straight store/load sequence; with the dual instruction/data ports it issues one data reference per cycle — the bandwidth a microcoded move-multiple would get (paper §3.2)")
+	t.Note("the on-chip segmentation means the switch reloads only the PID register; the shared page map keeps both processes' translations resident (resident pages now: %d)", m.ResidentPages())
+	return t, nil
+}
+
+// RegisterSaveSaturation verifies the §3.2 store-sequence claim
+// directly: a run of 16 stores keeps the data port busy every cycle.
+func RegisterSaveSaturation() (utilization float64, err error) {
+	var words []isa.Instr
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		words = append(words, isa.Word(isa.StoreAbs(r, int32(100+r))))
+	}
+	words = append(words, isa.Word(isa.Trap(0)))
+	phys := mem.NewPhysical(1 << 12)
+	c := cpu.New(cpu.NewBus(phys))
+	c.IMem = words
+	c.SetTrapHook(func(code uint16) { c.Halt() })
+	if _, err := c.Run(100); err != nil {
+		return 0, err
+	}
+	// Exclude the trap word itself.
+	busy := float64(c.Stats.DataCycles)
+	return busy / float64(c.Stats.Instructions-1), nil
+}

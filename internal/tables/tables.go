@@ -1,0 +1,109 @@
+// Package tables regenerates every table and figure of the paper's
+// evaluation. Each experiment returns a Table with measured values side
+// by side with the paper's published numbers; EXPERIMENTS.md records the
+// comparison. Absolute values differ (the corpus is a reconstruction —
+// see DESIGN.md), but each harness asserts the paper's qualitative
+// claim.
+package tables
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one rendered experiment.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment names one regenerable result.
+type Experiment struct {
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", Table1},
+		{"table2", Table2},
+		{"table3", Table3},
+		{"table4", Table4},
+		{"table5", Table5},
+		{"table6", Table6},
+		{"table7", Table7},
+		{"table8", Table8},
+		{"table9", Table9},
+		{"table10", Table10},
+		{"table11", Table11},
+		{"figure1", Figure1},
+		{"figure2", Figure2},
+		{"figure3", Figure3},
+		{"figure4", Figure4},
+		{"freecycles", FreeCycles},
+		{"ctxswitch", ContextSwitch},
+		{"ablation-interlocks", AblationInterlocks},
+		{"ablation-delayschemes", AblationDelaySchemes},
+		{"ablation-byteoverhead", AblationByteOverhead},
+		{"ablation-boolcross", AblationBoolCross},
+	}
+}
+
+func pct(f float64) string     { return fmt.Sprintf("%.1f%%", 100*f) }
+func f2(f float64) string      { return fmt.Sprintf("%.2f", f) }
+func num(n interface{}) string { return fmt.Sprint(n) }
