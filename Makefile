@@ -1,0 +1,30 @@
+# Build and verification entry points. `make check` is the full gate CI
+# runs; the other targets are conveniences over the go tool.
+
+GO ?= go
+
+.PHONY: all build test vet fmt check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_core.json

@@ -6,16 +6,18 @@
 //
 // Usage:
 //
-//	mipsas [-o out.img] [-none|-noreorg|-nopack|-nodelay] [-list] file.s
+//	mipsas [-o out.img] [-none|-noreorg|-nopack|-nodelay] [-list] [-sym] file.s
 //
 // Flags select reorganizer stages (default: all on). -list prints the
-// scheduled program instead of writing an image.
+// scheduled program instead of writing an image; -sym prints the symbol
+// table (the same table the profiler uses for attribution).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"mips/internal/asm"
 	"mips/internal/reorg"
@@ -28,6 +30,7 @@ func main() {
 	nopack := flag.Bool("nopack", false, "disable piece packing")
 	nodelay := flag.Bool("nodelay", false, "disable branch-delay filling")
 	list := flag.Bool("list", false, "print the scheduled program to stdout")
+	sym := flag.Bool("sym", false, "print the symbol table to stdout")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mipsas [flags] file.s")
@@ -68,10 +71,30 @@ func main() {
 	fmt.Fprintf(os.Stderr, "mipsas: %d pieces in, %d words out (%d no-ops, %d packed, %d/%d delay slots filled)\n",
 		st.InputPieces, st.OutputWords, st.Nops, st.PackedWords, st.DelayFilled, st.DelaySlots)
 
+	if *sym {
+		names := make([]string, 0, len(im.Symbols))
+		for name := range im.Symbols {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if im.Symbols[names[i]] != im.Symbols[names[j]] {
+				return im.Symbols[names[i]] < im.Symbols[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		for _, name := range names {
+			fmt.Printf("%6d  %s\n", im.Symbols[name], name)
+		}
+		if *list {
+			fmt.Println()
+		}
+	}
 	if *list {
 		for i, w := range im.Words {
 			fmt.Printf("%4d: %s\n", int(im.TextBase)+i, w)
 		}
+	}
+	if *list || *sym {
 		return
 	}
 	f, err := os.Create(*out)

@@ -17,8 +17,10 @@ import (
 
 	"mips/internal/ccarch"
 	"mips/internal/codegen"
+	"mips/internal/cpu"
 	"mips/internal/lang"
 	"mips/internal/reorg"
+	"mips/internal/trace"
 )
 
 func main() {
@@ -28,6 +30,7 @@ func main() {
 	useBytes := flag.Bool("bytes", false, "byte-allocate characters and booleans")
 	listing := flag.Bool("S", false, "print generated code")
 	forKernel := flag.Bool("kernel", false, "lay out the stack for running as a kernel process")
+	prof := flag.Bool("prof", false, "with -run on the mips target, print a flat cycle profile")
 	policy := flag.String("policy", "VAX", "cc target policy: VAX, 360, or M68000")
 	strategy := flag.String("bool", "early-out", "cc boolean strategy: full-eval, early-out, cond-set")
 	flag.Parse()
@@ -64,12 +67,25 @@ func main() {
 			return
 		}
 		if *run {
-			res, err := codegen.RunMIPS(im, 500_000_000)
+			var opt codegen.RunOptions
+			var profiler *trace.Profiler
+			if *prof {
+				profiler = trace.NewProfiler()
+				profiler.AddImage(im)
+				obs := &trace.Observer{Profiler: profiler}
+				opt.Attach = func(c *cpu.CPU) { obs.Attach(c) }
+			}
+			res, err := codegen.RunMIPSWith(im, 500_000_000, opt)
 			fmt.Print(res.Output)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "mipscc: %s\n", &res.Stats)
+			if profiler != nil {
+				if err := profiler.WriteReport(os.Stderr, 20); err != nil {
+					fatal(err)
+				}
+			}
 			return
 		}
 		f, err := os.Create(*out)

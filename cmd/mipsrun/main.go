@@ -2,25 +2,37 @@
 //
 // Usage:
 //
-//	mipsrun [-max N] [-stats] [-kernel] [-timer N] image.img ...
+//	mipsrun [-max N] [-stats] [-kernel] [-timer N]
+//	        [-prof] [-trace N] [-trace-json FILE] [-metrics FILE]
+//	        image.img ...
 //
 // By default images run on the bare machine with host-serviced monitor
 // calls. With -kernel, each image is loaded as a process of the full
 // machine: dispatch ROM, demand paging, and (with -timer) preemptive
 // round-robin scheduling.
+//
+// Observability (package trace):
+//
+//	-prof            print a flat cycle-attribution profile to stderr
+//	-prof-top N      number of hot instruction words in the profile (default 20)
+//	-trace N         print the first N executed instructions to stderr
+//	-trace-json FILE write the event ring as Chrome trace_event JSON
+//	                 (open with Perfetto or chrome://tracing)
+//	-trace-buf N     event ring capacity (default 65536)
+//	-metrics FILE    write a metrics-registry snapshot as JSON
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
 	"mips/internal/codegen"
 	"mips/internal/cpu"
 	"mips/internal/isa"
 	"mips/internal/kernel"
-	"mips/internal/mem"
+	"mips/internal/trace"
 )
 
 func main() {
@@ -28,7 +40,12 @@ func main() {
 	stats := flag.Bool("stats", false, "print execution statistics")
 	useKernel := flag.Bool("kernel", false, "run under the kernel with demand paging")
 	timer := flag.Uint("timer", 0, "timer period in user instructions (0 = off; implies -kernel)")
-	trace := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
+	traceN := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
+	traceJSON := flag.String("trace-json", "", "write Chrome trace_event JSON to this file")
+	traceBuf := flag.Int("trace-buf", trace.DefaultRingCap, "event ring capacity")
+	prof := flag.Bool("prof", false, "print a flat cycle-attribution profile to stderr")
+	profTop := flag.Int("prof-top", 20, "hot instruction words to list in the profile")
+	metricsOut := flag.String("metrics", "", "write a metrics snapshot as JSON to this file")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: mipsrun [flags] image.img ...")
@@ -49,12 +66,38 @@ func main() {
 		images = append(images, im)
 	}
 
+	// Assemble the observer from whatever the flags ask for; obs stays
+	// nil (and the simulator hook-free) when no observability is wanted.
+	var obs *trace.Observer
+	var tracer *trace.Tracer
+	var profiler *trace.Profiler
+	if *traceN > 0 || *traceJSON != "" {
+		tracer = trace.NewTracer(*traceBuf)
+		if *traceN > 0 {
+			tracer.StreamText(os.Stderr, *traceN)
+		}
+	}
+	if *prof {
+		profiler = trace.NewProfiler()
+		for _, im := range images {
+			profiler.AddImage(im)
+		}
+	}
+	if tracer != nil || profiler != nil {
+		obs = &trace.Observer{Tracer: tracer, Profiler: profiler}
+	}
+	registry := trace.NewRegistry()
+
+	var st *cpu.Stats
 	if *useKernel || *timer > 0 || len(images) > 1 {
 		m, err := kernel.NewMachine(kernel.Config{TimerPeriod: uint32(*timer)})
 		if err != nil {
 			fatal(err)
 		}
-		attachTrace(m.CPU, *trace)
+		if obs != nil {
+			obs.AttachMachine(m)
+		}
+		trace.RegisterMachine(registry, m)
 		for i, im := range images {
 			if _, err := m.AddProcess(im, 16); err != nil {
 				fatal(fmt.Errorf("%s: %w", flag.Arg(i), err))
@@ -64,67 +107,55 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(m.ConsoleOutput())
-		if *stats {
-			fmt.Fprintf(os.Stderr, "mipsrun: %s\n", &m.CPU.Stats)
-			fmt.Fprintf(os.Stderr, "mipsrun: %d page faults, %d context switches, %d resident pages\n",
-				m.PageFaults(), m.ContextSwitches(), m.ResidentPages())
+		st = &m.CPU.Stats
+	} else {
+		res, err := codegen.RunMIPSWith(images[0], *maxSteps, codegen.RunOptions{
+			Attach: func(c *cpu.CPU) {
+				if obs != nil {
+					obs.Attach(c)
+				}
+				trace.RegisterCPUStats(registry, "cpu.", &c.Stats)
+			},
+		})
+		fmt.Print(res.Output)
+		if err != nil {
+			fatal(err)
 		}
-		return
+		st = &res.Stats
 	}
 
-	res, err := runBareTraced(images[0], *maxSteps, *trace)
-	fmt.Print(res.Output)
-	if err != nil {
-		fatal(err)
-	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "mipsrun: %s\n", &res.Stats)
+		fmt.Fprintf(os.Stderr, "mipsrun: %s\n", st)
+	}
+	if profiler != nil {
+		if err := profiler.WriteReport(os.Stderr, *profTop); err != nil {
+			fatal(err)
+		}
+	}
+	if tracer != nil && *traceJSON != "" {
+		if err := writeFile(*traceJSON, tracer.WriteChromeJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mipsrun: wrote %d trace events to %s (%d dropped)\n",
+			tracer.Ring().Len(), *traceJSON, tracer.Ring().Dropped())
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, registry.Snapshot().WriteJSON); err != nil {
+			fatal(err)
+		}
 	}
 }
 
-// runBareTraced is RunMIPS with an optional instruction trace.
-func runBareTraced(im *isa.Image, maxSteps, trace uint64) (codegen.RunResult, error) {
-	if trace == 0 {
-		return codegen.RunMIPS(im, maxSteps)
+func writeFile(name string, write func(w io.Writer) error) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
 	}
-	// Rebuild the bare machine by hand so the tracer can attach.
-	phys := mem.NewPhysical(1 << 16)
-	c := cpu.New(cpu.NewBus(phys))
-	var res codegen.RunResult
-	var out strings.Builder
-	c.SetTrapHook(func(code uint16) {
-		switch code {
-		case 0:
-			c.Halt()
-		case 1:
-			out.WriteByte(byte(c.Regs[1]))
-		case 2:
-			fmt.Fprintf(&out, "%d\n", int32(c.Regs[1]))
-		}
-	})
-	attachTrace(c, trace)
-	if err := c.LoadImage(im); err != nil {
-		return res, err
+	if err := write(f); err != nil {
+		f.Close()
+		return err
 	}
-	c.IMem[0] = isa.Word(isa.RFE())
-	c.SetPC(uint32(im.Entry))
-	_, err := c.Run(maxSteps)
-	res.Output = out.String()
-	res.Stats = c.Stats
-	return res, err
-}
-
-func attachTrace(c *cpu.CPU, n uint64) {
-	if n == 0 {
-		return
-	}
-	var count uint64
-	c.SetStepHook(func(pc uint32, in isa.Instr) {
-		if count < n {
-			fmt.Fprintf(os.Stderr, "%8d  pc=%-6d %s\n", count, pc, in)
-		}
-		count++
-	})
+	return f.Close()
 }
 
 func fatal(err error) {

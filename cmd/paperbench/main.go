@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	paperbench [experiment ...]
+//	paperbench [-core-json FILE] [experiment ...]
 //
 // With no arguments every experiment runs in paper order. Experiment
-// names: table1..table11, figure1..figure4, freecycles, ctxswitch.
+// names: table1..table11, figure1..figure4, freecycles, ctxswitch,
+// ablation-*, corebench.
+//
+// The corebench experiment also writes BENCH_core.json (configurable
+// with -core-json): a machine-readable per-program record of cycles,
+// nops, and free-bandwidth fraction, collected through the metrics
+// registry.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -17,8 +24,10 @@ import (
 )
 
 func main() {
+	coreJSON := flag.String("core-json", "BENCH_core.json", "file for the corebench metrics JSON (empty to disable)")
+	flag.Parse()
 	want := map[string]bool{}
-	for _, a := range os.Args[1:] {
+	for _, a := range flag.Args() {
 		want[a] = true
 	}
 	failed := false
@@ -34,7 +43,39 @@ func main() {
 		}
 		fmt.Println(tab.Render())
 	}
+	if len(want) == 0 || want["corebench"] {
+		if err := runCoreBench(*coreJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "corebench: %v\n", err)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runCoreBench runs the corpus once, prints the rendered table, and
+// writes the same data machine-readably to jsonName.
+func runCoreBench(jsonName string) error {
+	bench, err := tables.CoreBench()
+	if err != nil {
+		return err
+	}
+	fmt.Println(tables.CoreBenchTable(bench).Render())
+	if jsonName == "" {
+		return nil
+	}
+	f, err := os.Create(jsonName)
+	if err != nil {
+		return err
+	}
+	if err := tables.WriteCoreBench(f, bench); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "paperbench: wrote %s\n", jsonName)
+	return nil
 }

@@ -45,16 +45,32 @@ type RunResult struct {
 // calls are serviced by a host-side trap hook, exactly the environment
 // of the paper's dynamic simulations.
 func RunMIPS(im *isa.Image, maxSteps uint64) (RunResult, error) {
-	return RunMIPSOn(im, maxSteps, false)
+	return RunMIPSWith(im, maxSteps, RunOptions{})
 }
 
 // RunMIPSOn is RunMIPS with the hardware-interlock counterfactual
 // selectable, for the ablation experiments.
 func RunMIPSOn(im *isa.Image, maxSteps uint64, interlocked bool) (RunResult, error) {
+	return RunMIPSWith(im, maxSteps, RunOptions{Interlocked: interlocked})
+}
+
+// RunOptions configures RunMIPSWith.
+type RunOptions struct {
+	// Interlocked enables the hardware-interlock counterfactual.
+	Interlocked bool
+	// Attach, if non-nil, is called with the constructed CPU after the
+	// bare machine is assembled and before execution begins — the hook
+	// point for tracers, profilers, and metrics registries.
+	Attach func(c *cpu.CPU)
+}
+
+// RunMIPSWith is RunMIPS with the bare machine exposed: observers
+// attach through opt.Attach instead of rebuilding the harness by hand.
+func RunMIPSWith(im *isa.Image, maxSteps uint64, opt RunOptions) (RunResult, error) {
 	var res RunResult
 	phys := mem.NewPhysical(1 << 16)
 	c := cpu.New(cpu.NewBus(phys))
-	c.Interlocked = interlocked
+	c.Interlocked = opt.Interlocked
 	var out strings.Builder
 	c.SetTrapHook(func(code uint16) {
 		switch code {
@@ -77,6 +93,9 @@ func RunMIPSOn(im *isa.Image, maxSteps uint64, interlocked bool) (RunResult, err
 	// Compiled images start at BareTextBase to leave room for it.
 	c.IMem[0] = isa.Word(isa.RFE())
 	c.SetPC(uint32(im.Entry))
+	if opt.Attach != nil {
+		opt.Attach(c)
+	}
 	_, err := c.Run(maxSteps)
 	res.Output = out.String()
 	res.Stats = c.Stats

@@ -78,9 +78,14 @@ type CPU struct {
 	seq     uint64
 	intLine bool
 
-	audit  func(Hazard)
-	onTrap func(code uint16)
-	onStep func(pc uint32, in isa.Instr)
+	audit    func(Hazard)
+	onTrap   func(code uint16)
+	onStep   func(pc uint32, in isa.Instr)
+	onMem    func(pc, addr uint32, store bool)
+	onBranch func(pc, target uint32, taken bool)
+	onExc    func(pc uint32, primary, secondary isa.Cause, trapCode uint16)
+	onRFE    func(pc uint32)
+	onStall  func(pc uint32)
 }
 
 type delayedWrite struct {
@@ -132,6 +137,35 @@ func (c *CPU) SetTrapHook(fn func(code uint16)) { c.onTrap = fn }
 // SetStepHook installs a tracer invoked before each executed
 // instruction word with its address. Pass nil to disable.
 func (c *CPU) SetStepHook(fn func(pc uint32, in isa.Instr)) { c.onStep = fn }
+
+// SetMemHook installs an observer invoked on every completed data-memory
+// reference with the issuing PC, the (virtual) address, and whether it
+// was a store. Faulting references do not report. Pass nil to disable.
+func (c *CPU) SetMemHook(fn func(pc, addr uint32, store bool)) { c.onMem = fn }
+
+// SetBranchHook installs an observer invoked on every executed
+// control-transfer piece with the branch PC, the target, and whether the
+// transfer was taken (jumps, calls, and indirect jumps always are).
+// Pass nil to disable.
+func (c *CPU) SetBranchHook(fn func(pc, target uint32, taken bool)) { c.onBranch = fn }
+
+// SetExcHook installs an observer invoked on every exception entry,
+// after the architectural state has been saved: pc is the first saved
+// return address (the instruction that will restart or resume),
+// trapCode is meaningful only when primary is CauseTrap. Pass nil to
+// disable.
+func (c *CPU) SetExcHook(fn func(pc uint32, primary, secondary isa.Cause, trapCode uint16)) {
+	c.onExc = fn
+}
+
+// SetRFEHook installs an observer invoked on every return from
+// exception with the PC execution resumes at. Pass nil to disable.
+func (c *CPU) SetRFEHook(fn func(pc uint32)) { c.onRFE = fn }
+
+// SetStallHook installs an observer invoked once per hardware-interlock
+// stall cycle (Interlocked mode only) with the PC of the stalled
+// instruction. Pass nil to disable.
+func (c *CPU) SetStallHook(fn func(pc uint32)) { c.onStall = fn }
 
 // Interrupt drives the single external interrupt line (paper §3.3:
 // "There is a single interrupt line onto the chip"). The level is held
@@ -218,6 +252,9 @@ func (c *CPU) readReg(r isa.Reg, pc uint32) uint32 {
 			c.pending = kept
 			c.Stats.StallCycles++
 			c.Stats.Cycles++
+			if c.onStall != nil {
+				c.onStall(pc)
+			}
 		}
 		return c.Regs[r]
 	}
@@ -282,6 +319,9 @@ func (c *CPU) exception(primary, secondary isa.Cause, trapCode uint16) {
 	// Completing in-flight instructions and refilling the pipe costs a
 	// pipeline's worth of cycles.
 	c.Stats.Cycles += isa.PipeStages
+	if c.onExc != nil {
+		c.onExc(c.Ret[0], primary, secondary, trapCode)
+	}
 }
 
 // Step executes one instruction word. It returns ErrHalted once the

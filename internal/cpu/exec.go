@@ -82,6 +82,9 @@ func (c *CPU) execWord(in isa.Instr, pc uint32) {
 				break
 			}
 			c.Stats.Loads++
+			if c.onMem != nil {
+				c.onMem(pc, addr, false)
+			}
 			writes = append(writes, regWrite{reg: p.Data, val: v, delayed: true})
 		case isa.PieceStore:
 			usedDataCycle = true
@@ -92,18 +95,28 @@ func (c *CPU) execWord(in isa.Instr, pc uint32) {
 				break
 			}
 			c.Stats.Stores++
+			if c.onMem != nil {
+				c.onMem(pc, addr, true)
+			}
 		case isa.PieceBranch:
 			c.Stats.Branches++
 			a := c.operand(p.Src1, pc)
 			b := c.operand(p.Src2, pc)
-			if p.Cmp.Eval(a, b) {
+			taken := p.Cmp.Eval(a, b)
+			if taken {
 				c.Stats.TakenBranches++
 				c.scheduleBranch(uint32(p.Target), isa.BranchDelay)
+			}
+			if c.onBranch != nil {
+				c.onBranch(pc, uint32(p.Target), taken)
 			}
 		case isa.PieceJump:
 			c.Stats.Branches++
 			c.Stats.TakenBranches++
 			c.scheduleBranch(uint32(p.Target), isa.BranchDelay)
+			if c.onBranch != nil {
+				c.onBranch(pc, uint32(p.Target), true)
+			}
 		case isa.PieceCall:
 			c.Stats.Branches++
 			c.Stats.TakenBranches++
@@ -111,10 +124,17 @@ func (c *CPU) execWord(in isa.Instr, pc uint32) {
 			// past the call and its delay slot.
 			writes = append(writes, regWrite{reg: p.Dst, val: pc + 1 + isa.BranchDelay})
 			c.scheduleBranch(uint32(p.Target), isa.BranchDelay)
+			if c.onBranch != nil {
+				c.onBranch(pc, uint32(p.Target), true)
+			}
 		case isa.PieceJumpInd:
 			c.Stats.Branches++
 			c.Stats.TakenBranches++
-			c.scheduleBranch(c.operand(p.Src1, pc), isa.IndirectJumpDelay)
+			target := c.operand(p.Src1, pc)
+			c.scheduleBranch(target, isa.IndirectJumpDelay)
+			if c.onBranch != nil {
+				c.onBranch(pc, target, true)
+			}
 		case isa.PieceTrap:
 			trapCode = int(p.TrapCode)
 		case isa.PieceSpecial:
@@ -309,6 +329,9 @@ func (c *CPU) execSpecial(p *isa.Piece, writes *[]regWrite) {
 		// instruction, its successor, then the pending branch target.
 		c.Sur = c.Sur.Leave()
 		c.pcq = append(c.pcq[:0], c.Ret[0], c.Ret[1], c.Ret[2])
+		if c.onRFE != nil {
+			c.onRFE(c.Ret[0])
+		}
 	}
 }
 

@@ -1,0 +1,214 @@
+package cpu
+
+import (
+	"testing"
+
+	"mips/internal/isa"
+)
+
+// The observability hooks must fire exactly once per architectural
+// event, with the PC of the word responsible, including around the
+// machine's irregular control flow: delayed branches and exception
+// entry/restart. The trace and profiler layers are built entirely on
+// these guarantees.
+
+func TestStepHookSeesDelayedBranchOrder(t *testing.T) {
+	br := isa.Branch(isa.CmpAlw, isa.R(0), isa.R(0), "")
+	br.Target = 4
+	c := newTestCPU(
+		w(br),                      // 0: branch to 4
+		w(isa.Mov(1, isa.Imm(11))), // 1: delay slot — executes
+		w(isa.Mov(2, isa.Imm(22))), // 2: skipped
+		w(isa.Mov(3, isa.Imm(33))), // 3: skipped
+		w(isa.Mov(4, isa.Imm(44))), // 4: target
+		halt,
+	)
+	var pcs []uint32
+	c.SetStepHook(func(pc uint32, in isa.Instr) { pcs = append(pcs, pc) })
+	run(t, c, 100)
+	want := []uint32{0, 1, 4, 5}
+	if len(pcs) != len(want) {
+		t.Fatalf("step hook fired at %v, want %v", pcs, want)
+	}
+	for i := range want {
+		if pcs[i] != want[i] {
+			t.Fatalf("step hook fired at %v, want %v", pcs, want)
+		}
+	}
+	if uint64(len(pcs)) != c.Stats.Instructions {
+		t.Errorf("step hook fired %d times, Stats.Instructions = %d", len(pcs), c.Stats.Instructions)
+	}
+}
+
+func TestBranchHookReportsTakenAndFallThrough(t *testing.T) {
+	notTaken := isa.Branch(isa.CmpNev, isa.R(0), isa.R(0), "")
+	notTaken.Target = 9
+	taken := isa.Branch(isa.CmpAlw, isa.R(0), isa.R(0), "")
+	taken.Target = 4
+	c := newTestCPU(
+		w(notTaken),  // 0: falls through
+		w(taken),     // 1: to 4
+		w(isa.Nop()), // 2: delay slot
+		w(isa.Nop()), // 3: skipped
+		halt,         // 4
+	)
+	type branch struct {
+		pc, target uint32
+		taken      bool
+	}
+	var got []branch
+	c.SetBranchHook(func(pc, target uint32, tk bool) { got = append(got, branch{pc, target, tk}) })
+	run(t, c, 100)
+	want := []branch{{0, 9, false}, {1, 4, true}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("branch hook got %v, want %v", got, want)
+	}
+}
+
+func TestMemHookReportsLoadsAndStores(t *testing.T) {
+	c := newTestCPU(
+		w(isa.Mov(1, isa.Imm(7))),
+		w(isa.Mov(2, isa.Imm(100))),
+		w(isa.StoreDisp(1, 2, 5)), // 2: mem[105] = r1
+		w(isa.LoadDisp(3, 2, 5)),  // 3: r3 = mem[105]
+		w(isa.Nop()),
+		halt,
+	)
+	type ref struct {
+		pc, addr uint32
+		store    bool
+	}
+	var got []ref
+	c.SetMemHook(func(pc, addr uint32, store bool) { got = append(got, ref{pc, addr, store}) })
+	run(t, c, 100)
+	want := []ref{{2, 105, true}, {3, 105, false}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("mem hook got %v, want %v", got, want)
+	}
+}
+
+func TestExcAndRFEHooksAcrossTrapRestart(t *testing.T) {
+	// Handler at 0 returns from exception; user code traps at 4 and
+	// continues at 5.
+	c := newTestCPU(
+		w(isa.RFE()),              // 0: handler
+		w(isa.Nop()),              // 1
+		w(isa.Nop()),              // 2
+		w(isa.Nop()),              // 3
+		w(isa.Trap(77)),           // 4: user trap
+		w(isa.Mov(2, isa.Imm(9))), // 5: resumed here
+		halt,                      // 6
+	)
+	c.SetTrapHook(func(code uint16) {
+		if code == 0 {
+			c.Halt()
+		}
+		// trap 77 is left to the "kernel" at address 0
+	})
+	c.SetPC(4)
+
+	var order []string
+	c.SetStepHook(func(pc uint32, in isa.Instr) { order = append(order, "step") })
+	var excPC uint32
+	var excPrimary isa.Cause
+	var excCode uint16
+	c.SetExcHook(func(pc uint32, primary, secondary isa.Cause, code uint16) {
+		order = append(order, "exc")
+		if excPrimary == isa.CauseNone { // record the first exception only
+			excPC, excPrimary, excCode = pc, primary, code
+		}
+	})
+	var rfePC uint32
+	c.SetRFEHook(func(pc uint32) {
+		order = append(order, "rfe")
+		if rfePC == 0 {
+			rfePC = pc
+		}
+	})
+	run(t, c, 100)
+
+	// trap step → exception entry → handler step → rfe → resumed steps
+	// (the final halt trap re-enters the handler, so check the prefix).
+	want := []string{"step", "exc", "step", "rfe", "step", "step"}
+	if len(order) < len(want) {
+		t.Fatalf("hook order = %v, want prefix %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hook order = %v, want prefix %v", order, want)
+		}
+	}
+	if excPC != 5 {
+		t.Errorf("exc hook restart pc = %d, want 5 (after the trap)", excPC)
+	}
+	if excPrimary != isa.CauseTrap || excCode != 77 {
+		t.Errorf("exc hook cause = %s code = %d, want trap 77", excPrimary, excCode)
+	}
+	if rfePC != 5 {
+		t.Errorf("rfe hook resume pc = %d, want 5", rfePC)
+	}
+	if c.Regs[2] != 9 {
+		t.Error("execution did not resume after the trap")
+	}
+}
+
+func TestStallHookFiresOnInterlock(t *testing.T) {
+	c := newTestCPU(
+		w(isa.Mov(1, isa.Imm(100))),
+		w(isa.LoadDisp(2, 1, 0)), // 1: load r2
+		w(isa.Mov(3, isa.R(2))),  // 2: immediate use — interlock stall
+		halt,
+	)
+	c.Interlocked = true
+	var stalls []uint32
+	c.SetStallHook(func(pc uint32) { stalls = append(stalls, pc) })
+	run(t, c, 100)
+	if len(stalls) == 0 {
+		t.Fatal("stall hook never fired on a load-use interlock")
+	}
+	if uint64(len(stalls)) != c.Stats.StallCycles {
+		t.Errorf("stall hook fired %d times, Stats.StallCycles = %d", len(stalls), c.Stats.StallCycles)
+	}
+	for _, pc := range stalls {
+		if pc != 2 {
+			t.Errorf("stall charged to pc %d, want 2 (the using word)", pc)
+		}
+	}
+}
+
+// TestHookCycleIdentity is the invariant the profiler is built on: every
+// machine cycle is visible through exactly one hook — one per step, one
+// per stall, PipeStages per exception.
+func TestHookCycleIdentity(t *testing.T) {
+	c := newTestCPU(
+		w(isa.RFE()),                // 0: handler
+		w(isa.Nop()),                // 1
+		w(isa.Nop()),                // 2
+		w(isa.Nop()),                // 3
+		w(isa.Mov(1, isa.Imm(100))), // 4
+		w(isa.LoadDisp(2, 1, 0)),    // 5
+		w(isa.Mov(3, isa.R(2))),     // 6: interlock stall
+		w(isa.Trap(9)),              // 7: exception
+		halt,                        // 8
+	)
+	c.SetTrapHook(func(code uint16) {
+		if code == 0 {
+			c.Halt()
+		}
+	})
+	c.Interlocked = true
+	c.SetPC(4)
+	var steps, stalls, excs uint64
+	c.SetStepHook(func(pc uint32, in isa.Instr) { steps++ })
+	c.SetStallHook(func(pc uint32) { stalls++ })
+	c.SetExcHook(func(pc uint32, p, s isa.Cause, code uint16) { excs++ })
+	run(t, c, 100)
+	got := steps + stalls + isa.PipeStages*excs
+	if got != c.Stats.Cycles {
+		t.Errorf("hooks account for %d cycles (%d steps + %d stalls + %d exc refills), Stats.Cycles = %d",
+			got, steps, stalls, excs, c.Stats.Cycles)
+	}
+	if excs == 0 || stalls == 0 {
+		t.Fatalf("test did not exercise all hook kinds: %d excs, %d stalls", excs, stalls)
+	}
+}

@@ -62,9 +62,9 @@ func (s *Stats) FreeBandwidthFraction() float64 {
 }
 
 func (s *Stats) String() string {
-	return fmt.Sprintf("instr=%d pieces=%d nops=%d cycles=%d loads=%d stores=%d free=%.1f%% branches=%d/%d exc=%d",
-		s.Instructions, s.Pieces, s.Nops, s.Cycles, s.Loads, s.Stores,
-		100*s.FreeBandwidthFraction(), s.TakenBranches, s.Branches, s.TotalExceptions())
+	return fmt.Sprintf("instr=%d pieces=%d nops=%d cycles=%d stalls=%d loads=%d stores=%d free=%.1f%% dma=%d branches=%d/%d exc=%d",
+		s.Instructions, s.Pieces, s.Nops, s.Cycles, s.StallCycles, s.Loads, s.Stores,
+		100*s.FreeBandwidthFraction(), s.DMACycles, s.TakenBranches, s.Branches, s.TotalExceptions())
 }
 
 // Hazard records one software-interlock violation observed by the

@@ -20,6 +20,7 @@ type Machine struct {
 	dev    *devices
 	disk   *disk
 	pmPort pmPort
+	kim    *isa.Image
 
 	nproc int
 }
@@ -71,6 +72,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err := m.CPU.LoadImage(im); err != nil {
 		return nil, fmt.Errorf("kernel: %w", err)
 	}
+	m.kim = im
 	phys.SealROM(ROMLimit)
 	m.Phys.Poke(kFrameNxt, FirstUserFrame)
 	m.Phys.Poke(kEvictPtr, FirstUserFrame)
@@ -168,6 +170,22 @@ func (m *Machine) Run(maxSteps uint64) (uint64, error) {
 
 // ConsoleOutput returns everything written through the console device.
 func (m *Machine) ConsoleOutput() string { return m.dev.console.String() }
+
+// KernelImage returns the assembled dispatch-ROM image, whose symbol
+// table names the kernel's handlers (for profiler symbolization).
+func (m *Machine) KernelImage() *isa.Image { return m.kim }
+
+// CurrentPID returns the process identifier of the process the kernel
+// scheduler currently runs (the segmentation PID of its address space),
+// or 0 before any process has been loaded. Observability code polls it
+// on exception returns to detect context switches.
+func (m *Machine) CurrentPID() uint32 {
+	if m.nproc == 0 {
+		return 0
+	}
+	idx := m.Phys.Peek(kCurrent)
+	return m.Phys.Peek(kProcTab + idx*slotWords + slotPID)
+}
 
 // PageFaults returns the kernel's demand-paging count.
 func (m *Machine) PageFaults() uint32 { return m.Phys.Peek(kNFault) }

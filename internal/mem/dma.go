@@ -21,7 +21,12 @@ type DMA struct {
 	moved   uint64
 	offered uint64
 	half    bool // a read half-cycle has been consumed
+	onMove  func(src, dst uint32)
 }
+
+// SetMoveHook installs an observer invoked after every word moved, with
+// the source and destination physical addresses. Pass nil to disable.
+func (d *DMA) SetMoveHook(fn func(src, dst uint32)) { d.onMove = fn }
 
 // NewDMA returns a DMA engine over the given physical memory.
 func NewDMA(phys *Physical) *DMA {
@@ -65,12 +70,16 @@ func (d *DMA) OfferFreeCycle() bool {
 	}
 	d.half = false
 	t := &d.queue[0]
-	v := d.phys.Peek(t.Src + t.done)
-	d.phys.Poke(t.Dst+t.done, v)
+	src, dst := t.Src+t.done, t.Dst+t.done
+	v := d.phys.Peek(src)
+	d.phys.Poke(dst, v)
 	t.done++
 	d.moved++
 	if t.done == t.Words {
 		d.queue = d.queue[1:]
+	}
+	if d.onMove != nil {
+		d.onMove(src, dst)
 	}
 	return true
 }

@@ -1,0 +1,95 @@
+package tables
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mips/internal/codegen"
+	"mips/internal/corpus"
+	"mips/internal/cpu"
+	"mips/internal/reorg"
+	"mips/internal/trace"
+)
+
+// CoreBenchEntry is the machine-readable record for one corpus program:
+// the full metrics-registry snapshot of its run plus the headline
+// derived ratios.
+type CoreBenchEntry struct {
+	// Metrics is the registry snapshot (cpu.* counters).
+	Metrics trace.Snapshot `json:"metrics"`
+	// NopFraction is nops / instructions.
+	NopFraction float64 `json:"nop_fraction"`
+	// FreeBandwidthFraction is free data-port cycles / total cycles —
+	// the §3.1 wasted-bandwidth quantity.
+	FreeBandwidthFraction float64 `json:"free_bandwidth_fraction"`
+}
+
+// CoreBench runs every non-heavy corpus program through the fully
+// optimized tool chain and collects each run's metrics through the
+// registry — the machine-readable companion to the rendered tables,
+// written by cmd/paperbench as BENCH_core.json.
+func CoreBench() (map[string]CoreBenchEntry, error) {
+	out := make(map[string]CoreBenchEntry)
+	for _, p := range corpus.All() {
+		if p.Heavy {
+			continue
+		}
+		im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		reg := trace.NewRegistry()
+		res, err := codegen.RunMIPSWith(im, 500_000_000, codegen.RunOptions{
+			Attach: func(c *cpu.CPU) { trace.RegisterCPUStats(reg, "cpu.", &c.Stats) },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		if p.Output != "" && res.Output != p.Output {
+			return nil, fmt.Errorf("%s: wrong output %q", p.Name, res.Output)
+		}
+		snap := reg.Snapshot()
+		nopFrac := 0.0
+		if n := snap["cpu.instructions"]; n > 0 {
+			nopFrac = float64(snap["cpu.nops"]) / float64(n)
+		}
+		out[p.Name] = CoreBenchEntry{
+			Metrics:               snap,
+			NopFraction:           nopFrac,
+			FreeBandwidthFraction: res.Stats.FreeBandwidthFraction(),
+		}
+	}
+	return out, nil
+}
+
+// WriteCoreBench writes the CoreBench result as indented JSON with
+// deterministic key order.
+func WriteCoreBench(w io.Writer, bench map[string]CoreBenchEntry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bench) // map keys are sorted by encoding/json
+}
+
+// CoreBenchTable renders the CoreBench result for the console, so the
+// JSON artifact and the printed experiments stay in sync.
+func CoreBenchTable(bench map[string]CoreBenchEntry) *Table {
+	t := &Table{
+		ID:     "corebench",
+		Title:  "Per-program core metrics (fully optimized; also written to BENCH_core.json)",
+		Header: []string{"program", "cycles", "instructions", "nops", "nop%", "free bw"},
+	}
+	names := make([]string, 0, len(bench))
+	for name := range bench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := bench[name]
+		t.AddRow(name,
+			num(e.Metrics["cpu.cycles"]), num(e.Metrics["cpu.instructions"]),
+			num(e.Metrics["cpu.nops"]), pct(e.NopFraction), pct(e.FreeBandwidthFraction))
+	}
+	return t
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mips/internal/isa"
+)
+
+// The Chrome trace_event export renders the event stream in Perfetto or
+// chrome://tracing. Machine cycles are presented as microseconds (the
+// format's time unit); one "thread" per kernel process makes the
+// round-robin schedule visible as alternating lanes, and exception
+// entry/exit become duration slices on a dedicated kernel lane.
+
+// chromeEvent is one trace_event record (the JSON Array Format).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Pid  uint32         `json:"pid"`
+	Tid  uint32         `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON Object Format wrapper.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+const (
+	chromePID = 1
+	// kernelTid is the synthetic lane carrying exception slices; real
+	// process lanes use the PID as tid (bare machine = 0).
+	kernelTid = 999
+)
+
+// WriteChromeJSON exports the tracer's retained events as Chrome
+// trace_event JSON.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	return WriteChromeJSON(w, t.Events())
+}
+
+// WriteChromeJSON exports events (oldest-first) as Chrome trace_event
+// JSON loadable by Perfetto and chrome://tracing.
+func WriteChromeJSON(w io.Writer, events []Event) error {
+	var out []chromeEvent
+
+	// Name the process and the kernel lane up front; process lanes are
+	// named as they first appear.
+	out = append(out,
+		chromeEvent{Name: "process_name", Ph: "M", Pid: chromePID, Tid: 0,
+			Args: map[string]any{"name": "mips"}},
+		chromeEvent{Name: "thread_name", Ph: "M", Pid: chromePID, Tid: kernelTid,
+			Args: map[string]any{"name": "kernel (exceptions)"}},
+	)
+	seenTid := map[uint32]bool{kernelTid: true}
+	lane := func(pid uint16) uint32 {
+		tid := uint32(pid)
+		if !seenTid[tid] {
+			seenTid[tid] = true
+			name := "machine"
+			if pid != 0 {
+				name = fmt.Sprintf("process %d", pid)
+			}
+			out = append(out, chromeEvent{Name: "thread_name", Ph: "M", Pid: chromePID, Tid: tid,
+				Args: map[string]any{"name": name}})
+		}
+		return tid
+	}
+
+	instant := func(e Event, name string, args map[string]any) {
+		out = append(out, chromeEvent{Name: name, Ph: "i", Ts: e.Cycle,
+			Pid: chromePID, Tid: lane(e.PID), S: "t", Args: args})
+	}
+
+	excDepth := 0
+	lastTs := uint64(0)
+	for _, e := range events {
+		if e.Cycle > lastTs {
+			lastTs = e.Cycle
+		}
+		switch e.Kind {
+		case KindRetire:
+			instant(e, "retire", map[string]any{"pc": e.PC})
+		case KindLoad:
+			instant(e, "load", map[string]any{"pc": e.PC, "addr": e.Addr})
+		case KindStore:
+			instant(e, "store", map[string]any{"pc": e.PC, "addr": e.Addr})
+		case KindBranch:
+			instant(e, "branch", map[string]any{"pc": e.PC, "target": e.Addr})
+		case KindExcEnter:
+			prim, sec, code := e.ExcCauses()
+			args := map[string]any{"return_pc": e.PC, "cause": isa.Cause(prim).String()}
+			if isa.Cause(sec) != isa.CauseNone {
+				args["secondary"] = isa.Cause(sec).String()
+			}
+			if isa.Cause(prim) == isa.CauseTrap {
+				args["trap_code"] = code
+			}
+			out = append(out, chromeEvent{Name: "exc:" + isa.Cause(prim).String(), Ph: "B",
+				Ts: e.Cycle, Pid: chromePID, Tid: kernelTid, Args: args})
+			excDepth++
+		case KindExcExit:
+			// An exit without a recorded entry (the entry fell off the
+			// ring) has no slice to close; demote it to an instant.
+			if excDepth == 0 {
+				instant(e, "exc-exit", map[string]any{"resume_pc": e.PC})
+				continue
+			}
+			excDepth--
+			out = append(out, chromeEvent{Name: "exc", Ph: "E",
+				Ts: e.Cycle, Pid: chromePID, Tid: kernelTid,
+				Args: map[string]any{"resume_pc": e.PC}})
+		case KindPageFault:
+			instant(e, "page-fault", map[string]any{"pc": e.PC, "addr": e.Addr})
+		case KindDMA:
+			instant(e, "dma", map[string]any{"src": e.Arg, "dst": e.Addr})
+		case KindSwitch:
+			instant(e, fmt.Sprintf("switch->pid%d", e.Arg), map[string]any{"pid": e.Arg})
+		case KindSyscall:
+			instant(e, fmt.Sprintf("syscall:%d", e.Arg), map[string]any{"pc": e.PC, "code": e.Arg})
+		}
+	}
+	// Close slices left open at the end of the trace (e.g. the machine
+	// halted inside the kernel), keeping B/E balanced for strict loaders.
+	for ; excDepth > 0; excDepth-- {
+		out = append(out, chromeEvent{Name: "exc", Ph: "E", Ts: lastTs,
+			Pid: chromePID, Tid: kernelTid})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"clock": "machine cycles as trace microseconds"},
+	})
+}

@@ -1,0 +1,351 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mips/internal/asm"
+	"mips/internal/codegen"
+	"mips/internal/corpus"
+	"mips/internal/cpu"
+	"mips/internal/isa"
+	"mips/internal/kernel"
+	"mips/internal/reorg"
+	"mips/internal/trace"
+)
+
+// runObserved compiles a corpus program and runs it on the bare machine
+// with a full observer (tracer + profiler) attached.
+func runObserved(t *testing.T, name string) (*trace.Observer, *trace.Registry, codegen.RunResult) {
+	t.Helper()
+	p, err := corpus.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiler := trace.NewProfiler()
+	profiler.AddImage(im)
+	// fib emits slightly more events than the default ring holds; size
+	// up so the whole-run event counts are exact.
+	obs := &trace.Observer{Tracer: trace.NewTracer(1 << 18), Profiler: profiler}
+	reg := trace.NewRegistry()
+	res, err := codegen.RunMIPSWith(im, 500_000_000, codegen.RunOptions{
+		Attach: func(c *cpu.CPU) {
+			obs.Attach(c)
+			trace.RegisterCPUStats(reg, "cpu.", &c.Stats)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != p.Output {
+		t.Fatalf("%s output = %q, want %q", name, res.Output, p.Output)
+	}
+	return obs, reg, res
+}
+
+// TestProfilerAccountsEveryCycle is the headline profiler guarantee:
+// running Puzzle with the profiler attached, the per-PC attribution and
+// the per-symbol flat profile both sum exactly to Stats.Cycles.
+func TestProfilerAccountsEveryCycle(t *testing.T) {
+	obs, reg, res := runObserved(t, "puzzle0")
+	p := obs.Profiler
+
+	if got := p.TotalCycles(); got != res.Stats.Cycles {
+		t.Errorf("profiler total = %d cycles, Stats.Cycles = %d", got, res.Stats.Cycles)
+	}
+	var flatSum, flatInstrs, flatNops uint64
+	for _, row := range p.Flat() {
+		flatSum += row.Cycles
+		flatInstrs += row.Instrs
+		flatNops += row.Nops
+	}
+	if flatSum != res.Stats.Cycles {
+		t.Errorf("flat profile sums to %d cycles, Stats.Cycles = %d", flatSum, res.Stats.Cycles)
+	}
+	if flatInstrs != res.Stats.Instructions {
+		t.Errorf("flat profile sums to %d instrs, Stats.Instructions = %d", flatInstrs, res.Stats.Instructions)
+	}
+	if flatNops != res.Stats.Nops {
+		t.Errorf("flat profile sums to %d nops, Stats.Nops = %d", flatNops, res.Stats.Nops)
+	}
+
+	// The registry sampled the same run.
+	snap := reg.Snapshot()
+	if snap["cpu.cycles"] != res.Stats.Cycles {
+		t.Errorf("metrics cpu.cycles = %d, want %d", snap["cpu.cycles"], res.Stats.Cycles)
+	}
+
+	// Puzzle's functions must be symbolized (not lumped as unknown).
+	names := map[string]bool{}
+	for _, row := range p.Flat() {
+		names[row.Name] = true
+	}
+	for _, want := range []string{"main", "p$place", "p$fit"} {
+		if !names[want] {
+			t.Errorf("flat profile missing symbol %q (have %v)", want, names)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := p.WriteReport(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "flat profile") || !strings.Contains(buf.String(), "load-use distance") {
+		t.Errorf("report missing sections:\n%s", buf.String())
+	}
+}
+
+func TestLoadUseHistogramObservesSchedule(t *testing.T) {
+	obs, _, res := runObserved(t, "fib")
+	hist := obs.Profiler.LoadUseHistogram()
+	var total uint64
+	for _, n := range hist {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no load-use distances recorded")
+	}
+	// The machine has no interlocks: the reorganizer must never emit a
+	// distance-1 (hazard) pair, and the simulator confirms it.
+	if hist[0] != 0 {
+		t.Errorf("%d distance-1 load-use pairs observed: reorganizer emitted a hazard", hist[0])
+	}
+	if total > res.Stats.Loads {
+		t.Errorf("%d load-use pairs from %d loads", total, res.Stats.Loads)
+	}
+}
+
+// chromeEvent mirrors the trace_event schema for validation.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *uint64        `json:"ts"`
+	Pid  *uint32        `json:"pid"`
+	Tid  *uint32        `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+// TestChromeJSONLoadableSchema validates the -trace-json output against
+// what Perfetto and chrome://tracing require of the JSON object format:
+// a traceEvents array whose records all carry name/ph/ts/pid/tid, with
+// only known phase codes, instants scoped, and B/E slices balanced.
+func TestChromeJSONLoadableSchema(t *testing.T) {
+	obs, _, _ := runObserved(t, "fib")
+
+	var buf bytes.Buffer
+	if err := obs.Tracer.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(top.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+
+	depth := 0
+	var lastTs uint64
+	kinds := map[string]int{}
+	for i, e := range top.TraceEvents {
+		if e.Name == "" {
+			t.Fatalf("event %d has no name", i)
+		}
+		if e.Ts == nil || e.Pid == nil || e.Tid == nil {
+			t.Fatalf("event %d (%s) missing ts/pid/tid", i, e.Name)
+		}
+		kinds[e.Ph]++
+		switch e.Ph {
+		case "M":
+			// metadata
+		case "i":
+			if e.S == "" {
+				t.Fatalf("instant event %d (%s) missing scope", i, e.Name)
+			}
+		case "B":
+			depth++
+		case "E":
+			depth--
+			if depth < 0 {
+				t.Fatalf("event %d: E without matching B", i)
+			}
+		default:
+			t.Fatalf("event %d has unknown phase %q", i, e.Ph)
+		}
+		if e.Ph != "M" {
+			if *e.Ts < lastTs {
+				t.Fatalf("event %d: timestamp %d goes backwards from %d", i, *e.Ts, lastTs)
+			}
+			lastTs = *e.Ts
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("%d B slices left unclosed", depth)
+	}
+	if kinds["i"] == 0 || kinds["M"] == 0 {
+		t.Fatalf("expected instants and metadata, got %v", kinds)
+	}
+}
+
+// TestTracerRecordsExpectedEventMix checks the event stream against the
+// run's own statistics.
+func TestTracerRecordsExpectedEventMix(t *testing.T) {
+	obs, _, res := runObserved(t, "fib")
+	counts := map[trace.Kind]uint64{}
+	for _, e := range obs.Tracer.Events() {
+		counts[e.Kind]++
+	}
+	dropped := obs.Tracer.Ring().Dropped()
+	if dropped != 0 {
+		t.Fatalf("fib overflowed the default ring: %d dropped", dropped)
+	}
+	if counts[trace.KindRetire] != res.Stats.Instructions {
+		t.Errorf("retire events = %d, instructions = %d", counts[trace.KindRetire], res.Stats.Instructions)
+	}
+	if counts[trace.KindLoad] != res.Stats.Loads {
+		t.Errorf("load events = %d, loads = %d", counts[trace.KindLoad], res.Stats.Loads)
+	}
+	if counts[trace.KindStore] != res.Stats.Stores {
+		t.Errorf("store events = %d, stores = %d", counts[trace.KindStore], res.Stats.Stores)
+	}
+	if counts[trace.KindBranch] != res.Stats.TakenBranches {
+		t.Errorf("branch events = %d, taken branches = %d", counts[trace.KindBranch], res.Stats.TakenBranches)
+	}
+}
+
+func TestLegacyStreamTextFormat(t *testing.T) {
+	p, err := corpus.Get("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := trace.NewTracer(64)
+	var buf bytes.Buffer
+	tracer.StreamText(&buf, 3)
+	obs := &trace.Observer{Tracer: tracer}
+	if _, err := codegen.RunMIPSWith(im, 500_000_000, codegen.RunOptions{
+		Attach: func(c *cpu.CPU) { obs.Attach(c) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("streamed %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		if !strings.Contains(line, "pc=") {
+			t.Errorf("line %d missing pc=: %q", i, line)
+		}
+	}
+}
+
+// TestKernelObserverSeesSwitchesAndFaults runs two processes under the
+// preemptive kernel and checks the observer against the kernel's own
+// counters: context-switch events, page-fault events, the metrics
+// registry, and the profiler's two-space cycle attribution.
+func TestKernelObserverSeesSwitchesAndFaults(t *testing.T) {
+	loop := `
+	.entry main
+main:	mov #0, r1
+	ldi #800, r2
+spin:	add r1, #1, r1
+	blt r1, r2, spin
+	trap #4
+`
+	build := func(src string) *isa.Image {
+		t.Helper()
+		u, err := asm.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, _ := reorg.Reorganize(u, reorg.All())
+		im, err := asm.Assemble(ro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return im
+	}
+	m, err := kernel.NewMachine(kernel.Config{TimerPeriod: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiler := trace.NewProfiler()
+	obs := &trace.Observer{Tracer: trace.NewTracer(0), Profiler: profiler}
+	obs.AttachMachine(m)
+	reg := trace.NewRegistry()
+	trace.RegisterMachine(reg, m)
+
+	for i := 0; i < 2; i++ {
+		if _, err := m.AddProcess(build(loop), 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := profiler.TotalCycles(); got != m.CPU.Stats.Cycles {
+		t.Errorf("profiler total = %d cycles, Stats.Cycles = %d", got, m.CPU.Stats.Cycles)
+	}
+
+	counts := map[trace.Kind]uint64{}
+	pids := map[uint16]bool{}
+	for _, e := range obs.Tracer.Events() {
+		counts[e.Kind]++
+		if e.Kind == trace.KindRetire {
+			pids[e.PID] = true
+		}
+	}
+	if m.ContextSwitches() == 0 {
+		t.Fatal("timer produced no context switches; test is vacuous")
+	}
+	if counts[trace.KindSwitch] == 0 {
+		t.Error("no switch events recorded despite kernel context switches")
+	}
+	if counts[trace.KindPageFault] != uint64(m.PageFaults()) {
+		t.Errorf("page-fault events = %d, kernel counted %d", counts[trace.KindPageFault], m.PageFaults())
+	}
+	if counts[trace.KindExcEnter] != m.CPU.Stats.TotalExceptions() {
+		t.Errorf("exc-enter events = %d, exceptions = %d", counts[trace.KindExcEnter], m.CPU.Stats.TotalExceptions())
+	}
+	// Both processes' user instructions must be attributed to their PIDs.
+	if !pids[1] || !pids[2] {
+		t.Errorf("retire events seen for pids %v, want both 1 and 2", pids)
+	}
+
+	snap := reg.Snapshot()
+	if snap["kernel.context_switches"] != uint64(m.ContextSwitches()) {
+		t.Errorf("metrics context_switches = %d, kernel says %d",
+			snap["kernel.context_switches"], m.ContextSwitches())
+	}
+	if snap["kernel.page_faults"] != uint64(m.PageFaults()) {
+		t.Errorf("metrics page_faults = %d, kernel says %d",
+			snap["kernel.page_faults"], m.PageFaults())
+	}
+	if snap["cpu.cycles"] != m.CPU.Stats.Cycles {
+		t.Errorf("metrics cpu.cycles = %d, want %d", snap["cpu.cycles"], m.CPU.Stats.Cycles)
+	}
+
+	// Kernel symbols must appear in the flat profile, in their own space.
+	var sawKernel bool
+	for _, row := range profiler.Flat() {
+		if row.Kernel && strings.HasPrefix(row.Name, "switch_save") {
+			sawKernel = true
+		}
+	}
+	if !sawKernel {
+		t.Error("flat profile has no kernel-space switch_save symbol")
+	}
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry is a set of named metrics: owned counters and sampled gauges.
+// The simulated layers (cpu, mem, kernel) are registered into one
+// registry, replacing scattered per-layer accessors with a uniform
+// snapshot/delta API. Sources are sampled only at Snapshot time, so a
+// registered machine pays nothing while running.
+type Registry struct {
+	mu      sync.Mutex
+	sources map[string]func() uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sources: make(map[string]func() uint64)}
+}
+
+// Counter is a registry-owned monotonic counter.
+type Counter struct{ n uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.n += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Counter registers and returns a new owned counter. Registering a
+// duplicate name panics: metric names identify series across runs.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.Gauge(name, c.Value)
+	return c
+}
+
+// Gauge registers a sampled metric: fn is called at every Snapshot.
+func (r *Registry) Gauge(name string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.sources[name]; dup {
+		panic(fmt.Sprintf("trace: duplicate metric %q", name))
+	}
+	r.sources[name] = fn
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.sources))
+	for n := range r.sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot samples every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := make(Snapshot, len(r.sources))
+	for n, fn := range r.sources {
+		s[n] = fn()
+	}
+	return s
+}
+
+// Snapshot is one sample of a registry: metric name to value.
+type Snapshot map[string]uint64
+
+// Delta returns the per-metric change since prev (s minus prev). Metrics
+// absent from prev are treated as starting at zero; metrics absent from
+// s are omitted.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := make(Snapshot, len(s))
+	for n, v := range s {
+		d[n] = v - prev[n]
+	}
+	return d
+}
+
+// WriteJSON serializes the snapshot as indented JSON with sorted keys,
+// so identical snapshots produce identical bytes.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadSnapshot deserializes a snapshot written by WriteJSON.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	var v uint64
+	r.Gauge("sampled", func() uint64 { return v })
+
+	c.Inc()
+	c.Add(4)
+	v = 7
+	got := r.Snapshot()
+	want := Snapshot{"events": 5, "sampled": 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot = %v, want %v", got, want)
+	}
+
+	// Snapshots are point-in-time: later changes don't alter them.
+	c.Inc()
+	v = 9
+	if got["events"] != 5 || got["sampled"] != 7 {
+		t.Fatal("snapshot mutated by later updates")
+	}
+	if names := r.Names(); !reflect.DeepEqual(names, []string{"events", "sampled"}) {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRegistryDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name did not panic")
+		}
+	}()
+	r.Counter("x")
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	prev := Snapshot{"a": 10, "b": 3}
+	cur := Snapshot{"a": 25, "b": 3, "new": 7}
+	d := cur.Delta(prev)
+	want := Snapshot{"a": 15, "b": 0, "new": 7}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("delta = %v, want %v", d, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := Snapshot{"cpu.cycles": 123456, "cpu.nops": 789, "kernel.page_faults": 0}
+	var buf1, buf2 bytes.Buffer
+	if err := s.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	// Identical snapshots serialize to identical bytes (sorted keys).
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("identical snapshots serialized differently")
+	}
+	got, err := ReadSnapshot(&buf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip = %v, want %v", got, s)
+	}
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"mips/internal/cpu"
+	"mips/internal/isa"
+	"mips/internal/kernel"
+	"mips/internal/mem"
+)
+
+// RegisterCPUStats registers every field of a CPU's Stats under the
+// given prefix (conventionally "cpu."). The registry samples the struct
+// at snapshot time; nothing is added to the execution path.
+func RegisterCPUStats(r *Registry, prefix string, st *cpu.Stats) {
+	g := func(name string, fn func() uint64) { r.Gauge(prefix+name, fn) }
+	g("instructions", func() uint64 { return st.Instructions })
+	g("pieces", func() uint64 { return st.Pieces })
+	g("nops", func() uint64 { return st.Nops })
+	g("cycles", func() uint64 { return st.Cycles })
+	g("stall_cycles", func() uint64 { return st.StallCycles })
+	g("data_cycles", func() uint64 { return st.DataCycles })
+	g("free_cycles", func() uint64 { return st.FreeCycles })
+	g("dma_cycles", func() uint64 { return st.DMACycles })
+	g("loads", func() uint64 { return st.Loads })
+	g("stores", func() uint64 { return st.Stores })
+	g("branches", func() uint64 { return st.Branches })
+	g("taken_branches", func() uint64 { return st.TakenBranches })
+	g("exceptions", st.TotalExceptions)
+	for c := isa.Cause(0); c < isa.NumCauses; c++ {
+		c := c
+		g("exceptions."+c.String(), func() uint64 { return st.Exceptions[c] })
+	}
+}
+
+// RegisterMachine registers a full kernel machine: the CPU stats under
+// "cpu." and the kernel's scheduling/paging counters under "kernel.".
+func RegisterMachine(r *Registry, m *kernel.Machine) {
+	RegisterCPUStats(r, "cpu.", &m.CPU.Stats)
+	g := func(name string, fn func() uint64) { r.Gauge("kernel."+name, fn) }
+	g("page_faults", func() uint64 { return uint64(m.PageFaults()) })
+	g("context_switches", func() uint64 { return uint64(m.ContextSwitches()) })
+	g("evictions", func() uint64 { return uint64(m.Evictions()) })
+	g("disk_reads", func() uint64 { return uint64(m.DiskReads()) })
+	g("disk_writes", func() uint64 { return uint64(m.DiskWrites()) })
+	g("resident_pages", func() uint64 { return uint64(m.ResidentPages()) })
+}
+
+// RegisterDMA registers a DMA engine's transfer counters under the
+// given prefix (conventionally "dma.").
+func RegisterDMA(r *Registry, prefix string, d *mem.DMA) {
+	g := func(name string, fn func() uint64) { r.Gauge(prefix+name, fn) }
+	g("words_moved", d.Moved)
+	g("cycles_offered", d.Offered)
+	g("words_pending", func() uint64 { return uint64(d.Pending()) })
+}

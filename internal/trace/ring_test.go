@@ -1,0 +1,64 @@
+package trace
+
+import "testing"
+
+func TestRingAppendAssignsSequence(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Append(Event{Kind: KindRetire, PC: uint32(i)})
+	}
+	if r.Len() != 5 || r.Total() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d total=%d dropped=%d, want 5/5/0", r.Len(), r.Total(), r.Dropped())
+	}
+	for i, e := range r.Events() {
+		if e.Seq != uint64(i) || e.PC != uint32(i) {
+			t.Fatalf("event %d: seq=%d pc=%d", i, e.Seq, e.PC)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewestInOrder(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 11; i++ {
+		r.Append(Event{Kind: KindRetire, PC: uint32(100 + i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want capacity 4", r.Len())
+	}
+	if r.Total() != 11 || r.Dropped() != 7 {
+		t.Fatalf("total=%d dropped=%d, want 11/7", r.Total(), r.Dropped())
+	}
+	events := r.Events()
+	// Oldest-first snapshot of the newest four appends: seq 7..10.
+	for i, e := range events {
+		wantSeq := uint64(7 + i)
+		if e.Seq != wantSeq || e.PC != uint32(100+7+i) {
+			t.Fatalf("event %d: seq=%d pc=%d, want seq=%d pc=%d",
+				i, e.Seq, e.PC, wantSeq, 100+7+i)
+		}
+	}
+}
+
+func TestRingSnapshotIsIndependent(t *testing.T) {
+	r := NewRing(4)
+	r.Append(Event{PC: 1})
+	events := r.Events()
+	r.Append(Event{PC: 2})
+	if len(events) != 1 || events[0].PC != 1 {
+		t.Fatal("snapshot changed after later appends")
+	}
+}
+
+func TestRingDefaultCapacity(t *testing.T) {
+	if got := NewRing(0).Cap(); got != DefaultRingCap {
+		t.Fatalf("default capacity = %d, want %d", got, DefaultRingCap)
+	}
+}
+
+func TestExcArgPackRoundTrip(t *testing.T) {
+	e := Event{Kind: KindExcEnter, Arg: PackExcArg(3, 5, 0x7FF)}
+	prim, sec, code := e.ExcCauses()
+	if prim != 3 || sec != 5 || code != 0x7FF {
+		t.Fatalf("unpacked %d/%d/%d, want 3/5/2047", prim, sec, code)
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"mips/internal/isa"
+)
+
+// Tracer records structured events into a ring buffer, optionally
+// streaming the first N retired instructions as text (the legacy
+// `mipsrun -trace N` format).
+type Tracer struct {
+	ring *Ring
+
+	stream   io.Writer
+	streamN  uint64
+	streamed uint64
+}
+
+// NewTracer returns a tracer over a fresh ring of the given capacity
+// (DefaultRingCap if capacity is not positive).
+func NewTracer(capacity int) *Tracer {
+	return &Tracer{ring: NewRing(capacity)}
+}
+
+// StreamText makes the tracer print the first n retired instructions to
+// w as they execute, one per line: sequence number, PC, disassembly.
+func (t *Tracer) StreamText(w io.Writer, n uint64) {
+	t.stream = w
+	t.streamN = n
+}
+
+// Ring returns the underlying event ring.
+func (t *Tracer) Ring() *Ring { return t.ring }
+
+// Events returns the retained events oldest-first.
+func (t *Tracer) Events() []Event { return t.ring.Events() }
+
+// Emit appends an event to the ring.
+func (t *Tracer) Emit(e Event) { t.ring.Append(e) }
+
+// retire records an instruction-retire event and feeds the text stream.
+func (t *Tracer) retire(pid uint16, cycle uint64, pc uint32, in isa.Instr) {
+	t.ring.Append(Event{Kind: KindRetire, Cycle: cycle, PC: pc, PID: pid})
+	if t.stream != nil && t.streamed < t.streamN {
+		fmt.Fprintf(t.stream, "%8d  pc=%-6d %s\n", t.streamed, pc, in)
+		t.streamed++
+	}
+}
+
+// WriteText dumps the retained events as human-readable text, one event
+// per line, oldest first.
+func (t *Tracer) WriteText(w io.Writer) error {
+	for _, e := range t.Events() {
+		if err := writeEventText(w, e); err != nil {
+			return err
+		}
+	}
+	if d := t.ring.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "... %d earlier events dropped (ring capacity %d)\n", d, t.ring.Cap()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeEventText(w io.Writer, e Event) error {
+	var err error
+	switch e.Kind {
+	case KindRetire:
+		_, err = fmt.Fprintf(w, "%10d cyc=%-10d pid=%-2d retire     pc=%d\n", e.Seq, e.Cycle, e.PID, e.PC)
+	case KindLoad, KindStore:
+		_, err = fmt.Fprintf(w, "%10d cyc=%-10d pid=%-2d %-10s pc=%d addr=%#x\n", e.Seq, e.Cycle, e.PID, e.Kind, e.PC, e.Addr)
+	case KindBranch:
+		taken := "not-taken"
+		if e.Arg != 0 {
+			taken = "taken"
+		}
+		_, err = fmt.Fprintf(w, "%10d cyc=%-10d pid=%-2d branch     pc=%d target=%d %s\n", e.Seq, e.Cycle, e.PID, e.PC, e.Addr, taken)
+	case KindExcEnter:
+		prim, sec, code := e.ExcCauses()
+		_, err = fmt.Fprintf(w, "%10d cyc=%-10d pid=%-2d exc-enter  ret=%d cause=%s/%s code=%d\n",
+			e.Seq, e.Cycle, e.PID, e.PC, isa.Cause(prim), isa.Cause(sec), code)
+	case KindExcExit:
+		_, err = fmt.Fprintf(w, "%10d cyc=%-10d pid=%-2d exc-exit   resume=%d\n", e.Seq, e.Cycle, e.PID, e.PC)
+	case KindPageFault:
+		_, err = fmt.Fprintf(w, "%10d cyc=%-10d pid=%-2d page-fault pc=%d addr=%#x\n", e.Seq, e.Cycle, e.PID, e.PC, e.Addr)
+	case KindDMA:
+		_, err = fmt.Fprintf(w, "%10d cyc=%-10d pid=%-2d dma        src=%#x dst=%#x\n", e.Seq, e.Cycle, e.PID, e.Arg, e.Addr)
+	case KindSwitch:
+		_, err = fmt.Fprintf(w, "%10d cyc=%-10d pid=%-2d switch     -> pid %d\n", e.Seq, e.Cycle, e.PID, e.Arg)
+	case KindSyscall:
+		_, err = fmt.Fprintf(w, "%10d cyc=%-10d pid=%-2d syscall    pc=%d code=%d\n", e.Seq, e.Cycle, e.PID, e.PC, e.Arg)
+	default:
+		_, err = fmt.Fprintf(w, "%10d cyc=%-10d pid=%-2d %s pc=%d addr=%#x arg=%d\n", e.Seq, e.Cycle, e.PID, e.Kind, e.PC, e.Addr, e.Arg)
+	}
+	return err
+}
