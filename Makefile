@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt check bench clean
+.PHONY: all build test vet fmt check bench bench-all clean
 
 all: build
 
@@ -22,7 +22,13 @@ fmt:
 check:
 	sh scripts/check.sh
 
+# bench runs the performance gate: core microbenchmarks with allocation
+# reporting, the zero-alloc steady-state assertion, and BENCH_core.json.
+# `make bench-all` is the old exhaustive per-table benchmark sweep.
 bench:
+	sh scripts/bench.sh
+
+bench-all:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
 clean:

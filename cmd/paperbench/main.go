@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	paperbench [-core-json FILE] [experiment ...]
+//	paperbench [-core-json FILE] [-j N] [experiment ...]
 //
 // With no arguments every experiment runs in paper order. Experiment
 // names: table1..table11, figure1..figure4, freecycles, ctxswitch,
 // ablation-*, corebench.
+//
+// -j runs the experiments across N workers (0 = one per CPU). The
+// experiments are independent simulations, and results are printed in
+// paper order regardless of which worker finishes first, so -j changes
+// only wall-clock time, never output.
 //
 // The corebench experiment also writes BENCH_core.json (configurable
 // with -core-json): a machine-readable per-program record of cycles,
@@ -25,26 +30,30 @@ import (
 
 func main() {
 	coreJSON := flag.String("core-json", "BENCH_core.json", "file for the corebench metrics JSON (empty to disable)")
+	workers := flag.Int("j", 1, "experiment worker count (0 = one per CPU)")
 	flag.Parse()
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[a] = true
 	}
-	failed := false
+	var exps []tables.Experiment
 	for _, e := range tables.All() {
 		if len(want) > 0 && !want[e.Name] {
 			continue
 		}
-		tab, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+		exps = append(exps, e)
+	}
+	failed := false
+	for _, r := range tables.RunAll(exps, *workers) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, r.Err)
 			failed = true
 			continue
 		}
-		fmt.Println(tab.Render())
+		fmt.Println(r.Table.Render())
 	}
 	if len(want) == 0 || want["corebench"] {
-		if err := runCoreBench(*coreJSON); err != nil {
+		if err := runCoreBench(*coreJSON, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "corebench: %v\n", err)
 			failed = true
 		}
@@ -56,8 +65,8 @@ func main() {
 
 // runCoreBench runs the corpus once, prints the rendered table, and
 // writes the same data machine-readably to jsonName.
-func runCoreBench(jsonName string) error {
-	bench, err := tables.CoreBench()
+func runCoreBench(jsonName string, workers int) error {
+	bench, err := tables.CoreBenchParallel(workers)
 	if err != nil {
 		return err
 	}

@@ -58,6 +58,9 @@ func RunMIPSOn(im *isa.Image, maxSteps uint64, interlocked bool) (RunResult, err
 type RunOptions struct {
 	// Interlocked enables the hardware-interlock counterfactual.
 	Interlocked bool
+	// Reference runs the CPU's reference execution path instead of the
+	// predecoded fast path; the differential tests compare the two.
+	Reference bool
 	// Attach, if non-nil, is called with the constructed CPU after the
 	// bare machine is assembled and before execution begins — the hook
 	// point for tracers, profilers, and metrics registries.
@@ -71,6 +74,9 @@ func RunMIPSWith(im *isa.Image, maxSteps uint64, opt RunOptions) (RunResult, err
 	phys := mem.NewPhysical(1 << 16)
 	c := cpu.New(cpu.NewBus(phys))
 	c.Interlocked = opt.Interlocked
+	if opt.Reference {
+		c.SetFastPath(false)
+	}
 	var out strings.Builder
 	c.SetTrapHook(func(code uint16) {
 		switch code {

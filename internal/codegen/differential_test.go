@@ -1,0 +1,195 @@
+package codegen
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"mips/internal/corpus"
+	"mips/internal/cpu"
+	"mips/internal/isa"
+	"mips/internal/kernel"
+	"mips/internal/reorg"
+)
+
+// The predecoded fast path and the reference interpreter must be one
+// machine with two dispatch mechanisms: same outputs, same statistics,
+// same final memory, and the same observer event stream, for every
+// corpus program. These tests pin that equivalence.
+
+// eventHasher folds every CPU observer callback into one FNV stream, so
+// two runs can be compared event-for-event with a single value. Any
+// divergence — an extra stall, a hook fired with different arguments, a
+// missing trap — changes the hash.
+type eventHasher struct {
+	h interface {
+		Write(p []byte) (int, error)
+		Sum64() uint64
+	}
+	buf [40]byte
+}
+
+func newEventHasher() *eventHasher { return &eventHasher{h: fnv.New64a()} }
+
+func (e *eventHasher) event(tag byte, args ...uint32) {
+	e.buf[0] = tag
+	n := 1
+	for _, a := range args {
+		binary.LittleEndian.PutUint32(e.buf[n:], a)
+		n += 4
+	}
+	e.h.Write(e.buf[:n])
+}
+
+// attach registers the hasher on every observer hook the CPU offers.
+func (e *eventHasher) attach(c *cpu.CPU) {
+	c.SetStepHook(func(pc uint32, in isa.Instr) { e.event('s', pc) })
+	c.SetMemHook(func(pc, addr uint32, store bool) { e.event('m', pc, addr, b2u(store)) })
+	c.SetBranchHook(func(pc, target uint32, taken bool) { e.event('b', pc, target, b2u(taken)) })
+	c.SetExcHook(func(pc uint32, primary, secondary isa.Cause, trapCode uint16) {
+		e.event('x', pc, uint32(primary), uint32(secondary), uint32(trapCode))
+	})
+	c.SetRFEHook(func(pc uint32) { e.event('r', pc) })
+	c.SetStallHook(func(pc uint32) { e.event('w', pc) })
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// machineImage is everything observable about one finished run.
+type machineImage struct {
+	output string
+	stats  cpu.Stats
+	events uint64 // event-stream hash
+	mem    uint64 // final data-memory hash
+	regs   [isa.NumRegs]uint32
+}
+
+// runImage executes a compiled image on the bare machine with full
+// observability and captures the run's observable state.
+func runImage(t *testing.T, im *isa.Image, reference bool) machineImage {
+	t.Helper()
+	eh := newEventHasher()
+	var cc *cpu.CPU
+	res, err := RunMIPSWith(im, 200_000_000, RunOptions{
+		Reference: reference,
+		Attach: func(c *cpu.CPU) {
+			cc = c
+			eh.attach(c)
+		},
+	})
+	if err != nil {
+		t.Fatalf("run (reference=%v): %v", reference, err)
+	}
+	mh := fnv.New64a()
+	var word [4]byte
+	phys := cc.Bus.MMU.Phys
+	for a := uint32(0); a < phys.Size(); a++ {
+		binary.LittleEndian.PutUint32(word[:], phys.Peek(a))
+		mh.Write(word[:])
+	}
+	img := machineImage{
+		output: res.Output,
+		stats:  res.Stats,
+		events: eh.h.Sum64(),
+		mem:    mh.Sum64(),
+	}
+	copy(img.regs[:], cc.Regs[:])
+	return img
+}
+
+// TestFastPathMatchesReference runs every non-heavy corpus program
+// through both execution engines and demands identical observable
+// machines: output, the whole Stats struct, the final register file and
+// physical memory, and the exact observer event stream.
+func TestFastPathMatchesReference(t *testing.T) {
+	for _, p := range corpus.All() {
+		if p.Heavy {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			im, _, err := CompileMIPS(p.Source, MIPSOptions{}, reorg.All())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			fast := runImage(t, im, false)
+			ref := runImage(t, im, true)
+			if fast.output != ref.output {
+				t.Errorf("output diverges:\n fast %q\n  ref %q", fast.output, ref.output)
+			}
+			if fast.stats != ref.stats {
+				t.Errorf("stats diverge:\n fast %+v\n  ref %+v", fast.stats, ref.stats)
+			}
+			if fast.regs != ref.regs {
+				t.Errorf("final registers diverge:\n fast %v\n  ref %v", fast.regs, ref.regs)
+			}
+			if fast.mem != ref.mem {
+				t.Error("final physical memory diverges")
+			}
+			if fast.events != ref.events {
+				t.Error("observer event streams diverge")
+			}
+		})
+	}
+}
+
+// TestFastPathMatchesReferenceKernel runs the same differential check
+// on the full kernel machine — demand paging, preemptive scheduling,
+// DMA, and the paging disk recycling frames under the predecode cache.
+func TestFastPathMatchesReferenceKernel(t *testing.T) {
+	src := `
+program diff;
+var i, acc: integer;
+var arr: array[0..63] of integer;
+begin
+  i := 0;
+  while i < 64 do begin arr[i] := i * 3; i := i + 1 end;
+  acc := 0;
+  i := 0;
+  while i < 64 do begin acc := acc + arr[i]; i := i + 2 end;
+  writeint(acc)
+end.
+`
+	im, _, err := CompileMIPS(src, MIPSOptions{}, reorg.All())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	type kernelImage struct {
+		console  string
+		faults   uint32
+		switches uint32
+		stats    cpu.Stats
+	}
+	run := func(reference bool) kernelImage {
+		m, err := kernel.NewMachine(kernel.Config{TimerPeriod: 1000})
+		if err != nil {
+			t.Fatalf("machine: %v", err)
+		}
+		m.CPU.SetFastPath(!reference)
+		if _, err := m.AddProcess(im, 16); err != nil {
+			t.Fatalf("add process: %v", err)
+		}
+		if _, err := m.AddProcess(im, 16); err != nil {
+			t.Fatalf("add process: %v", err)
+		}
+		if _, err := m.Run(50_000_000); err != nil {
+			t.Fatalf("run (reference=%v): %v", reference, err)
+		}
+		return kernelImage{
+			console:  m.ConsoleOutput(),
+			faults:   m.PageFaults(),
+			switches: m.ContextSwitches(),
+			stats:    m.CPU.Stats,
+		}
+	}
+	fast := run(false)
+	ref := run(true)
+	if fast != ref {
+		t.Errorf("kernel machines diverge:\n fast %+v\n  ref %+v", fast, ref)
+	}
+}

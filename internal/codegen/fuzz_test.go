@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"mips/internal/ccarch"
+	"mips/internal/cpu"
+	"mips/internal/isa"
 	"mips/internal/lang"
 	"mips/internal/reorg"
 )
@@ -241,6 +243,96 @@ func TestFuzzDifferential(t *testing.T) {
 				t.Fatalf("seed %d/%s/%s: output mismatch\n got %q\nwant %q\n%s",
 					seed, cc.pol.Name, cc.strat, out, want, src)
 			}
+		}
+	}
+}
+
+// rewriteWord replaces an instruction word with a semantically identical
+// copy built from fresh pieces. The new word compares unequal to the old
+// one (isa.Instr is two piece pointers), exactly what a store into
+// instruction memory looks like to the predecode cache — which must
+// re-decode the word instead of replaying the stale record.
+func rewriteWord(in isa.Instr) isa.Instr {
+	var out isa.Instr
+	if in.ALU != nil {
+		p := *in.ALU
+		out.ALU = &p
+	}
+	if in.Mem != nil {
+		p := *in.Mem
+		out.Mem = &p
+	}
+	return out
+}
+
+// TestFuzzSelfModifyDifferential runs generated programs while a step
+// hook keeps storing into instruction memory — rewriting words in a
+// deterministic pattern — on both execution engines. The rewrites are
+// semantic no-ops, so the reference interpreter is unaffected by
+// construction; a predecode cache that misses an invalidation executes
+// a stale record and diverges. Both paths must produce the interpreter's
+// output and identical statistics.
+func TestFuzzSelfModifyDifferential(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		src := generate(seed)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		want, err := (&lang.Interp{Fuel: 100_000_000}).Run(prog)
+		if err != nil {
+			t.Fatalf("seed %d: interp: %v\n%s", seed, err, src)
+		}
+		im, _, err := CompileMIPS(src, MIPSOptions{}, reorg.All())
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+
+		// The mutation schedule is a pure function of the step count, so
+		// both engines see the identical store sequence: every few steps,
+		// rewrite a window of words around the current PC — including the
+		// word about to execute.
+		run := func(reference bool) RunResult {
+			var steps uint64
+			res, err := RunMIPSWith(im, 200_000_000, RunOptions{
+				Reference: reference,
+				Attach: func(c *cpu.CPU) {
+					c.SetStepHook(func(pc uint32, in isa.Instr) {
+						steps++
+						if steps%3 != 0 {
+							return
+						}
+						for off := uint32(0); off < 4; off++ {
+							a := pc + off
+							if a < uint32(len(c.IMem)) {
+								c.IMem[a] = rewriteWord(c.IMem[a])
+							}
+						}
+					})
+				},
+			})
+			if err != nil {
+				t.Fatalf("seed %d (reference=%v): run: %v\n%s", seed, reference, err, src)
+			}
+			return res
+		}
+		fast := run(false)
+		ref := run(true)
+		if fast.Output != want {
+			t.Fatalf("seed %d: fast path diverged under self-modification\n got %q\nwant %q\n%s",
+				seed, fast.Output, want, src)
+		}
+		if ref.Output != want {
+			t.Fatalf("seed %d: reference path diverged under self-modification\n got %q\nwant %q\n%s",
+				seed, ref.Output, want, src)
+		}
+		if fast.Stats != ref.Stats {
+			t.Fatalf("seed %d: stats diverge under self-modification\n fast %+v\n  ref %+v\n%s",
+				seed, fast.Stats, ref.Stats, src)
 		}
 	}
 }

@@ -19,6 +19,15 @@
 // Correct code comes from the package reorg scheduler; an optional
 // auditor (SetAudit) records load-use violations so tests can prove
 // schedules legal.
+//
+// Execution has two observably identical engines: the reference
+// interpreter (execWord), which re-reads the instruction word's pieces
+// every cycle, and a predecoded fast path (predecode.go) that caches a
+// flat executable record per physical instruction address — the paper's
+// own move of hoisting work out of the dynamic hot path, applied to the
+// simulator itself. The fast path is the default; SetFastPath(false)
+// selects the reference engine, and the differential tests hold the two
+// to identical statistics, memory images, and trace event streams.
 package cpu
 
 import (
@@ -31,6 +40,11 @@ import (
 
 // ErrHalted is returned by Step and Run once the processor has halted.
 var ErrHalted = errors.New("cpu: halted")
+
+// pcqCap is the fetch-queue capacity: three live entries (the three
+// return addresses an exception saves) plus one slot for re-queuing a
+// faulted instruction word ahead of them.
+const pcqCap = 4
 
 // CPU is the processor state.
 type CPU struct {
@@ -64,8 +78,10 @@ type CPU struct {
 
 	// pcq is the fetch queue: pcq[0] is the next instruction to execute,
 	// and the top three entries are exactly the three return addresses an
-	// exception must save (delayed branches put future targets here).
-	pcq []uint32
+	// exception must save (delayed branches put future targets here). It
+	// is a fixed array so steady-state execution never allocates.
+	pcq [pcqCap]uint32
+	pcn int // number of valid entries in pcq
 
 	// pending holds load results not yet visible in the register file.
 	pending []delayedWrite
@@ -74,6 +90,19 @@ type CPU struct {
 	// write to each register, so a delayed load commit never clobbers a
 	// younger ALU result.
 	lastWrite [isa.NumRegs]uint64
+
+	// stage is the fixed staging area for the current word's register
+	// writes (the §3.3 restartability rule), applied by finishWord;
+	// nstage counts the staged entries. A fixed array keeps the commit
+	// path allocation-free.
+	stage  [maxStagedWrites]regWrite
+	nstage int
+
+	// fastpath selects the predecoded execution engine; pd is its cache
+	// of flat executable records, direct-mapped by physical word address.
+	fastpath bool
+	pd       []decoded
+	pdMask   uint32
 
 	seq     uint64
 	intLine bool
@@ -97,11 +126,13 @@ type delayedWrite struct {
 
 // New builds a CPU over the given bus, starting at word address 0 in
 // supervisor state with mapping and interrupts disabled — the power-up
-// reset condition.
+// reset condition. The predecoded fast path is enabled.
 func New(bus *Bus) *CPU {
-	c := &CPU{Bus: bus}
+	c := &CPU{Bus: bus, fastpath: true}
 	c.Sur = c.Sur.SetSupervisor(true)
-	c.pcq = []uint32{0}
+	c.pcq[0], c.pcn = 0, 1
+	c.pd = make([]decoded, pdMinEntries)
+	c.pdMask = pdMinEntries - 1
 	return c
 }
 
@@ -111,19 +142,51 @@ func (c *CPU) Reset() {
 	c.Lo = 0
 	c.Sur = isa.Surprise(0).SetSupervisor(true).WithCauses(isa.CauseReset, isa.CauseNone)
 	c.Ret = [3]uint32{}
-	c.pcq = []uint32{0}
+	c.pcq[0], c.pcn = 0, 1
 	c.pending = c.pending[:0]
 	c.lastWrite = [isa.NumRegs]uint64{}
 	c.Halted = false
 	c.intLine = false
 }
 
+// SetFastPath selects between the predecoded fast path (the default)
+// and the reference interpreter. The two engines are observably
+// identical; the reference path exists as the baseline the differential
+// tests compare against.
+func (c *CPU) SetFastPath(on bool) { c.fastpath = on }
+
+// FastPath reports whether the predecoded fast path is active.
+func (c *CPU) FastPath() bool { return c.fastpath }
+
 // PC returns the address of the next instruction to execute.
 func (c *CPU) PC() uint32 { return c.pcq[0] }
 
 // SetPC replaces the fetch stream, discarding any pending delayed
 // branches. Loaders use it to start execution at an image entry point.
-func (c *CPU) SetPC(pc uint32) { c.pcq = append(c.pcq[:0], pc) }
+func (c *CPU) SetPC(pc uint32) { c.pcq[0], c.pcn = pc, 1 }
+
+// setPCQueue replaces the fetch stream with three explicit entries (the
+// return-from-exception resume sequence).
+func (c *CPU) setPCQueue(a, b, d uint32) {
+	c.pcq[0], c.pcq[1], c.pcq[2] = a, b, d
+	c.pcn = 3
+}
+
+// popPC removes and returns the head of the fetch queue.
+func (c *CPU) popPC() uint32 {
+	pc := c.pcq[0]
+	copy(c.pcq[:], c.pcq[1:c.pcn])
+	c.pcn--
+	return pc
+}
+
+// pushPC re-queues a word address at the head of the fetch queue (the
+// restart of a faulted instruction).
+func (c *CPU) pushPC(pc uint32) {
+	copy(c.pcq[1:c.pcn+1], c.pcq[:c.pcn])
+	c.pcq[0] = pc
+	c.pcn++
+}
 
 // SetAudit installs a hazard auditor invoked on every load-use
 // violation. Pass nil to disable.
@@ -192,6 +255,7 @@ func (c *CPU) LoadImage(im *isa.Image) error {
 	for addr, val := range im.Data {
 		c.Bus.MMU.Phys.Poke(uint32(addr), val)
 	}
+	c.InvalidateDecoded()
 	c.SetPC(uint32(im.Entry))
 	return nil
 }
@@ -199,8 +263,9 @@ func (c *CPU) LoadImage(im *isa.Image) error {
 // fill extends the fetch queue with sequential addresses so that three
 // entries are always present.
 func (c *CPU) fill() {
-	for len(c.pcq) < 3 {
-		c.pcq = append(c.pcq, c.pcq[len(c.pcq)-1]+1)
+	for c.pcn < 3 {
+		c.pcq[c.pcn] = c.pcq[c.pcn-1] + 1
+		c.pcn++
 	}
 }
 
@@ -209,7 +274,8 @@ func (c *CPU) fill() {
 // currently holds the instructions after the branch.
 func (c *CPU) scheduleBranch(target uint32, delay int) {
 	c.fill()
-	c.pcq = append(c.pcq[:delay], target)
+	c.pcq[delay] = target
+	c.pcn = delay + 1
 }
 
 // commitLoads applies pending load results that have reached their
@@ -314,7 +380,7 @@ func (c *CPU) exception(primary, secondary isa.Cause, trapCode uint16) {
 	if primary == isa.CauseTrap {
 		c.Sur = c.Sur.WithTrapCode(trapCode)
 	}
-	c.pcq = append(c.pcq[:0], 0)
+	c.pcq[0], c.pcn = 0, 1
 	c.Stats.Exceptions[primary]++
 	// Completing in-flight instructions and refilling the pipe costs a
 	// pipeline's worth of cycles.
@@ -322,6 +388,15 @@ func (c *CPU) exception(primary, secondary isa.Cause, trapCode uint16) {
 	if c.onExc != nil {
 		c.onExc(c.Ret[0], primary, secondary, trapCode)
 	}
+}
+
+// privileged reports whether any piece of the word requires supervisor
+// privilege, without allocating.
+func privileged(in isa.Instr) bool {
+	if in.ALU != nil && in.ALU.Privileged() {
+		return true
+	}
+	return in.Mem != nil && in.Mem.Privileged()
 }
 
 // Step executes one instruction word. It returns ErrHalted once the
@@ -345,6 +420,11 @@ func (c *CPU) Step() error {
 	}
 
 	pc := c.pcq[0]
+	if c.fastpath {
+		c.stepFast(pc)
+		return nil
+	}
+
 	in, fault := c.fetch(pc)
 	if fault != nil {
 		c.Bus.LastFault = fault
@@ -353,14 +433,12 @@ func (c *CPU) Step() error {
 	}
 
 	// Privilege is enforced at decode.
-	for _, p := range in.Pieces(nil) {
-		if p.Privileged() && !c.Sur.Supervisor() {
-			c.exception(isa.CausePrivilege, isa.CauseNone, 0)
-			return nil
-		}
+	if privileged(in) && !c.Sur.Supervisor() {
+		c.exception(isa.CausePrivilege, isa.CauseNone, 0)
+		return nil
 	}
 
-	c.pcq = c.pcq[1:]
+	c.popPC()
 	if c.onStep != nil {
 		c.onStep(pc, in)
 	}

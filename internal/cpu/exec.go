@@ -16,10 +16,23 @@ type regWrite struct {
 	delayed bool // load result: visible only after the load delay
 }
 
-// execWord executes one instruction word: reads all sources, performs
-// the memory reference, computes ALU results, then commits writes. A
-// memory fault or enabled overflow suppresses every write and vectors
-// through the exception sequence.
+// maxStagedWrites bounds the register writes one instruction word can
+// stage: at most one from the ALU slot and one from the memory/control
+// slot, so the fixed staging array never spills to the heap.
+const maxStagedWrites = 4
+
+// stagePut stages one register write for commit at the end of the word.
+func (c *CPU) stagePut(r isa.Reg, v uint32, delayed bool) {
+	c.stage[c.nstage] = regWrite{reg: r, val: v, delayed: delayed}
+	c.nstage++
+}
+
+// execWord executes one instruction word on the reference path: reads
+// all sources, performs the memory reference, computes ALU results, then
+// commits writes. A memory fault or enabled overflow suppresses every
+// write and vectors through the exception sequence. The predecoded fast
+// path (execFast) must stay observably identical to this function; the
+// differential tests enforce it.
 func (c *CPU) execWord(in isa.Instr, pc uint32) {
 	c.Stats.Instructions++
 	c.Stats.Cycles++
@@ -30,8 +43,9 @@ func (c *CPU) execWord(in isa.Instr, pc uint32) {
 		return
 	}
 
-	var writes []regWrite
-	var loWrite *uint32
+	c.nstage = 0
+	var loVal uint32
+	hasLo := false
 	overflow := false
 	var memFault *mem.Fault
 	var trapCode = -1
@@ -46,9 +60,9 @@ func (c *CPU) execWord(in isa.Instr, pc uint32) {
 				overflow = true
 			}
 			if p.Op == isa.OpMovLo {
-				loWrite = &lo
+				loVal, hasLo = lo, true
 			} else {
-				writes = append(writes, regWrite{reg: p.Dst, val: v})
+				c.stagePut(p.Dst, v, false)
 			}
 		case isa.PieceSetCond:
 			a := c.operand(p.Src1, pc)
@@ -57,7 +71,7 @@ func (c *CPU) execWord(in isa.Instr, pc uint32) {
 			if p.Cmp.Eval(a, b) {
 				v = 1
 			}
-			writes = append(writes, regWrite{reg: p.Dst, val: v})
+			c.stagePut(p.Dst, v, false)
 		}
 	}
 
@@ -72,7 +86,7 @@ func (c *CPU) execWord(in isa.Instr, pc uint32) {
 				// The long immediate comes from the instruction stream,
 				// not the data port: no data cycle and no load delay.
 				usedDataCycle = false
-				writes = append(writes, regWrite{reg: p.Data, val: uint32(p.Disp)})
+				c.stagePut(p.Data, uint32(p.Disp), false)
 				break
 			}
 			addr := c.effectiveAddr(p, pc)
@@ -85,7 +99,7 @@ func (c *CPU) execWord(in isa.Instr, pc uint32) {
 			if c.onMem != nil {
 				c.onMem(pc, addr, false)
 			}
-			writes = append(writes, regWrite{reg: p.Data, val: v, delayed: true})
+			c.stagePut(p.Data, v, true)
 		case isa.PieceStore:
 			usedDataCycle = true
 			addr := c.effectiveAddr(p, pc)
@@ -122,7 +136,7 @@ func (c *CPU) execWord(in isa.Instr, pc uint32) {
 			c.Stats.TakenBranches++
 			// The link value is the address the subroutine returns to:
 			// past the call and its delay slot.
-			writes = append(writes, regWrite{reg: p.Dst, val: pc + 1 + isa.BranchDelay})
+			c.stagePut(p.Dst, pc+1+isa.BranchDelay, false)
 			c.scheduleBranch(uint32(p.Target), isa.BranchDelay)
 			if c.onBranch != nil {
 				c.onBranch(pc, uint32(p.Target), true)
@@ -138,10 +152,17 @@ func (c *CPU) execWord(in isa.Instr, pc uint32) {
 		case isa.PieceTrap:
 			trapCode = int(p.TrapCode)
 		case isa.PieceSpecial:
-			c.execSpecial(p, &writes)
+			c.execSpecial(p)
 		}
 	}
 
+	c.finishWord(pc, usedDataCycle, overflow, memFault, trapCode, loVal, hasLo)
+}
+
+// finishWord is the common tail of word execution, shared by the
+// reference and fast paths: data-slot accounting, the exception priority
+// rule, the staged-write commit, and software-trap entry.
+func (c *CPU) finishWord(pc uint32, usedDataCycle, overflow bool, memFault *mem.Fault, trapCode int, loVal uint32, hasLo bool) {
 	// Account the data-memory slot.
 	if usedDataCycle {
 		c.Stats.DataCycles++
@@ -166,21 +187,22 @@ func (c *CPU) execWord(in isa.Instr, pc uint32) {
 		}
 		// The word did not complete: put it back at the head of the
 		// fetch queue so it is return address zero and restarts.
-		c.pcq = append([]uint32{pc}, c.pcq...)
+		c.pushPC(pc)
 		c.exception(primary, secondary, 0)
 		return
 	}
 
 	// Commit.
-	for _, w := range writes {
+	for i := 0; i < c.nstage; i++ {
+		w := &c.stage[i]
 		if w.delayed {
 			c.writeLoad(w.reg, w.val)
 		} else {
 			c.writeReg(w.reg, w.val)
 		}
 	}
-	if loWrite != nil {
-		c.Lo = *loWrite
+	if hasLo {
+		c.Lo = loVal
 	}
 
 	// A software trap completes before the exception is taken, so the
@@ -208,15 +230,28 @@ func (b *Bus) offerFree(s *Stats) {
 	}
 }
 
-// evalALU computes an ALU piece: the result value, the byte-selector
-// value for movlo, and whether signed overflow occurred.
+// evalALU computes an ALU piece on the reference path: it reads the
+// operands in architectural order and defers the arithmetic to aluEval.
 func (c *CPU) evalALU(p *isa.Piece, pc uint32) (val, lo uint32, overflow bool) {
 	a := c.operand(p.Src1, pc)
 	var b uint32
 	if !p.Op.Unary() {
 		b = c.operand(p.Src2, pc)
 	}
-	switch p.Op {
+	var dstVal uint32
+	if p.Op == isa.OpMStep || p.Op == isa.OpDStep {
+		dstVal = c.readReg(p.Dst, pc)
+	}
+	return aluEval(p.Op, a, b, dstVal, c.Lo)
+}
+
+// aluEval is the pure ALU core shared by the reference and fast paths:
+// given the already-read operand values (a, b), the destination's
+// current value (multiply/divide steps only), and the byte selector, it
+// returns the result, the new byte-selector value for movlo, and whether
+// signed overflow occurred.
+func aluEval(op isa.ALUOp, a, b, dstVal, lo uint32) (val, loOut uint32, overflow bool) {
+	switch op {
 	case isa.OpAdd:
 		val = a + b
 		overflow = addOverflows(a, b, val)
@@ -260,33 +295,38 @@ func (c *CPU) evalALU(p *isa.Piece, pc uint32) (val, lo uint32, overflow bool) {
 	case isa.OpIC:
 		// Insert byte: replace byte (lo mod 4) of the word with the low
 		// byte of the source.
-		val = InsertByte(b, c.Lo, a)
+		val = InsertByte(b, lo, a)
 	case isa.OpMovLo:
-		lo = a
+		loOut = a
 	case isa.OpMStep:
 		// Multiply step: conditionally accumulate. dst += s1 when the low
 		// bit of s2 is set; the shift-and-add multiply loop is built from
 		// this plus plain shifts.
-		val = c.readReg(p.Dst, pc)
+		val = dstVal
 		if b&1 != 0 {
 			val += a
 		}
 	case isa.OpDStep:
 		// Divide step: shift the accumulator left, inserting the top bit
 		// of s2.
-		val = c.readReg(p.Dst, pc)<<1 | b>>31
-		_ = a
+		val = dstVal<<1 | b>>31
 	}
-	return val, lo, overflow
+	return val, loOut, overflow
 }
 
 // execSpecial executes a special-register piece. Privilege was already
 // checked at decode.
-func (c *CPU) execSpecial(p *isa.Piece, writes *[]regWrite) {
-	switch p.SpecOp {
+func (c *CPU) execSpecial(p *isa.Piece) {
+	c.doSpecial(p.SpecOp, p.SpecReg, p.Dst, p.Src1.Reg)
+}
+
+// doSpecial is the special-register core shared by the reference and
+// fast paths. src is the source register of a special-register write.
+func (c *CPU) doSpecial(op isa.SpecialOp, reg isa.SpecialReg, dst, src isa.Reg) {
+	switch op {
 	case isa.SpecRead:
 		var v uint32
-		switch p.SpecReg {
+		switch reg {
 		case isa.SpecLo:
 			v = c.Lo
 		case isa.SpecSurprise:
@@ -302,10 +342,10 @@ func (c *CPU) execSpecial(p *isa.Piece, writes *[]regWrite) {
 		case isa.SpecRet2:
 			v = c.Ret[2]
 		}
-		*writes = append(*writes, regWrite{reg: p.Dst, val: v})
+		c.stagePut(dst, v, false)
 	case isa.SpecWrite:
-		v := c.Regs[p.Src1.Reg]
-		switch p.SpecReg {
+		v := c.Regs[src]
+		switch reg {
 		case isa.SpecLo:
 			c.Lo = v
 		case isa.SpecSurprise:
@@ -328,7 +368,7 @@ func (c *CPU) execSpecial(p *isa.Piece, writes *[]regWrite) {
 		// resume at the three saved return addresses — the offending
 		// instruction, its successor, then the pending branch target.
 		c.Sur = c.Sur.Leave()
-		c.pcq = append(c.pcq[:0], c.Ret[0], c.Ret[1], c.Ret[2])
+		c.setPCQueue(c.Ret[0], c.Ret[1], c.Ret[2])
 		if c.onRFE != nil {
 			c.onRFE(c.Ret[0])
 		}

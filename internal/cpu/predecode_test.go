@@ -1,0 +1,168 @@
+package cpu
+
+import (
+	"testing"
+
+	"mips/internal/isa"
+	"mips/internal/mem"
+)
+
+// loopCPU builds a CPU running a small counted loop: r1 counts down
+// from n, r2 accumulates r3 each iteration, then trap 0 halts. The loop
+// body re-executes the same words, so it exercises predecode-cache hits.
+func loopCPU(n int32) *CPU {
+	br := isa.Branch(isa.CmpNE, isa.R(1), isa.Imm(0), "")
+	br.Target = 2
+	return newTestCPU(
+		w(isa.LoadImm32(1, n)),                         // 0
+		w(isa.Mov(3, isa.Imm(5))),                      // 1
+		w(isa.ALU(isa.OpAdd, 2, isa.R(2), isa.R(3))),   // 2: loop body
+		w(isa.ALU(isa.OpSub, 1, isa.R(1), isa.Imm(1))), // 3
+		w(br),        // 4: bne r1, #0, 2
+		w(isa.Nop()), // 5: branch delay
+		halt,         // 6
+	)
+}
+
+func TestFastPathLoopMatchesReference(t *testing.T) {
+	fast := loopCPU(100)
+	run(t, fast, 10_000)
+	ref := loopCPU(100)
+	ref.SetFastPath(false)
+	run(t, ref, 10_000)
+	if fast.Regs != ref.Regs {
+		t.Errorf("registers diverge:\n fast %v\n  ref %v", fast.Regs, ref.Regs)
+	}
+	if fast.Stats != ref.Stats {
+		t.Errorf("stats diverge:\n fast %+v\n  ref %+v", fast.Stats, ref.Stats)
+	}
+	if fast.Regs[2] != 500 {
+		t.Errorf("r2 = %d, want 500", fast.Regs[2])
+	}
+}
+
+// TestPredecodeSeesInstructionRewrite overwrites the loop body after the
+// predecode cache has executed it many times. The new word must take
+// effect on its next fetch: the cache validates each record against the
+// live instruction memory every time.
+func TestPredecodeSeesInstructionRewrite(t *testing.T) {
+	patchLoop := func(c *CPU) {
+		var patched bool
+		c.SetStepHook(func(pc uint32, in isa.Instr) {
+			// After 50 iterations the body at word 2 has long been
+			// cached; switch the accumulator step from +r3 (5) to +1.
+			// The hook fires after this instance was fetched, so the
+			// patch is seen from the next iteration on.
+			if !patched && pc == 2 && c.Regs[1] == 50 {
+				patched = true
+				c.IMem[2] = w(isa.ALU(isa.OpAdd, 2, isa.R(2), isa.Imm(1)))
+			}
+		})
+	}
+	c := loopCPU(100)
+	patchLoop(c)
+	run(t, c, 10_000)
+	// 51 iterations at +5 (the patching iteration was already fetched),
+	// then 49 at +1.
+	if want := uint32(51*5 + 49*1); c.Regs[2] != want {
+		t.Errorf("r2 = %d, want %d (stale predecode record executed)", c.Regs[2], want)
+	}
+	ref := loopCPU(100)
+	ref.SetFastPath(false)
+	patchLoop(ref)
+	run(t, ref, 10_000)
+	if ref.Regs != c.Regs || ref.Stats != c.Stats {
+		t.Errorf("paths diverge under rewrite:\n fast %v\n  ref %v", c.Regs, ref.Regs)
+	}
+}
+
+// TestPredecodeSurvivesLoadImageReuse reuses one CPU for two images that
+// place different instructions at the same addresses — the loader-reuse
+// pattern of the experiment harnesses.
+func TestPredecodeSurvivesLoadImageReuse(t *testing.T) {
+	c := loopCPU(10)
+	run(t, c, 10_000)
+	if c.Regs[2] != 50 {
+		t.Fatalf("first program: r2 = %d, want 50", c.Regs[2])
+	}
+
+	im := &isa.Image{Words: []isa.Instr{
+		w(isa.Mov(2, isa.Imm(9))),
+		halt,
+	}}
+	c.Reset()
+	if err := c.LoadImage(im); err != nil {
+		t.Fatal(err)
+	}
+	c.Halted = false
+	run(t, c, 100)
+	if c.Regs[2] != 9 {
+		t.Errorf("second program: r2 = %d, want 9 (stale predecode record executed)", c.Regs[2])
+	}
+}
+
+// TestSteadyStateZeroAlloc pins the allocation-free commit path: once
+// warm, stepping the loop must not allocate — on either engine. This is
+// the property that keeps the simulator's throughput allocation-bound
+// no more.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"reference", false}} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := loopCPU(2_000_000)
+			c.SetFastPath(tc.fast)
+			// Warm up: caches filled, pending-write slices at capacity.
+			for i := 0; i < 64; i++ {
+				if err := c.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(1000, func() {
+				if err := c.Step(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("steady-state Step allocates %v allocs/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestFastPathToggle switches engines mid-run; the machine state is
+// shared, so execution must continue seamlessly.
+func TestFastPathToggle(t *testing.T) {
+	c := loopCPU(100)
+	n := 0
+	c.SetStepHook(func(pc uint32, in isa.Instr) {
+		n++
+		if n%7 == 0 {
+			c.SetFastPath(!c.FastPath())
+		}
+	})
+	run(t, c, 10_000)
+	if c.Regs[2] != 500 {
+		t.Errorf("r2 = %d, want 500", c.Regs[2])
+	}
+}
+
+// TestPredecodeCacheGrows checks the decode cache's lazy growth: a
+// program whose text extends past the initial cache size must still
+// execute correctly (records beyond the mask share slots).
+func TestPredecodeCacheGrows(t *testing.T) {
+	words := make([]isa.Instr, 0, pdMinEntries*3)
+	for i := 0; i < pdMinEntries*3-2; i++ {
+		words = append(words, w(isa.ALU(isa.OpAdd, 2, isa.R(2), isa.Imm(1))))
+	}
+	words = append(words, halt)
+	phys := mem.NewPhysical(1 << 16)
+	c := New(NewBus(phys))
+	c.IMem = words
+	c.SetTrapHook(func(code uint16) { c.Halt() })
+	run(t, c, uint64(len(words))+10)
+	if want := uint32(pdMinEntries*3 - 2); c.Regs[2] != want {
+		t.Errorf("r2 = %d, want %d", c.Regs[2], want)
+	}
+}

@@ -25,6 +25,9 @@ type PTE struct {
 // with the PID already folded into the top bits.
 type PageMap struct {
 	entries map[uint32]PTE
+	// gen counts structural edits (Map/Unmap), so translation caches
+	// built over this map can detect staleness with one compare.
+	gen uint64
 }
 
 // NewPageMap returns an empty page map.
@@ -35,12 +38,18 @@ func NewPageMap() *PageMap {
 // Map installs a translation for the given system virtual page.
 func (m *PageMap) Map(vpage, frame uint32, writable bool) {
 	m.entries[vpage] = PTE{Frame: frame, Valid: true, Writable: writable}
+	m.gen++
 }
 
 // Unmap removes a translation.
 func (m *PageMap) Unmap(vpage uint32) {
 	delete(m.entries, vpage)
+	m.gen++
 }
+
+// Generation returns the map-edit counter; it advances on every Map and
+// Unmap, never on translation-time referenced/dirty updates.
+func (m *PageMap) Generation() uint64 { return m.gen }
 
 // Entry returns the entry for a page.
 func (m *PageMap) Entry(vpage uint32) (PTE, bool) {
@@ -84,11 +93,15 @@ func (m *PageMap) Translate(sysVirt uint32, write bool) (uint32, *Fault) {
 // MMU combines the on-chip segmentation unit, the off-chip page map, and
 // physical memory into the processor's view of storage. When mapping is
 // disabled (supervisor running in physical address space after an
-// exception) addresses bypass both units.
+// exception) addresses bypass both units. A small translation cache
+// (tlb.go) memoizes the seg+map walk per page; it revalidates its fill
+// context on every lookup, so Seg and Map may be reassigned freely.
 type MMU struct {
 	Seg  SegUnit
 	Map  *PageMap
 	Phys *Physical
+
+	tlb tlbState
 }
 
 // NewMMU builds an MMU over the given physical memory with an empty page
@@ -102,16 +115,26 @@ func NewMMU(phys *Physical) *MMU {
 }
 
 // Translate maps a user address to a physical address. mapped selects
-// whether the segmentation and page map are active.
+// whether the segmentation and page map are active. Repeated references
+// to the same page are served by the translation cache; misses walk the
+// segmentation unit and page map and memoize the result.
 func (m *MMU) Translate(addr uint32, write, mapped bool) (uint32, *Fault) {
 	if !mapped {
 		return addr, nil
+	}
+	if pa, ok := m.tlbLookup(addr, write); ok {
+		return pa, nil
 	}
 	sys, f := m.Seg.Translate(addr)
 	if f != nil {
 		return 0, f
 	}
-	return m.Map.Translate(sys, write)
+	pa, f := m.Map.Translate(sys, write)
+	if f != nil {
+		return 0, f
+	}
+	m.tlbFill(addr, pa, write)
+	return pa, nil
 }
 
 // Read fetches the word at a (possibly mapped) address.

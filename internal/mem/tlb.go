@@ -1,0 +1,103 @@
+package mem
+
+// The translation cache: a small direct-mapped TLB inside the MMU that
+// memoizes the segmentation-unit + page-map walk per (process, page).
+// The paper puts the mapping chain in dedicated hardware precisely so
+// it costs nothing per reference; the simulator follows suit so the
+// mapped hot path is an index, a tag compare, and an or — not a seg
+// range check plus a Go map lookup with referenced/dirty write-back.
+//
+// Coherence is by generation, not by per-entry bookkeeping:
+//
+//   - the page map counts every Map/Unmap in a generation number; a
+//     stale generation flushes the TLB before the next lookup;
+//   - the segmentation registers (PID, space size) are part of the TLB's
+//     fill context; any change — a context switch — flushes likewise,
+//     as does swapping the MMU's Seg or Map wholesale;
+//   - referenced/dirty bits stay exact: an entry is filled only after
+//     the slow path has set the referenced bit, and write hits are only
+//     served by entries whose page already had its dirty bit set (a
+//     write through a read-filled entry takes the slow path once).
+//
+// Within one user page, segment-region validity and page permissions
+// are uniform (regions and pages are both at least 2^10-word aligned),
+// so a per-page entry can stand in for every word of the page. Faults
+// are never cached.
+
+// TLB geometry: direct-mapped, power-of-two entries, indexed by the low
+// bits of the user virtual page number.
+const (
+	tlbBits = 7
+	// TLBEntries is the number of translation-cache entries.
+	TLBEntries = 1 << tlbBits
+	tlbMask    = TLBEntries - 1
+)
+
+// tlbEntry states.
+const (
+	tlbInvalid uint8 = iota
+	tlbClean         // filled by a read; the page's referenced bit is set
+	tlbDirty         // filled by a write; the page's dirty bit is also set
+)
+
+// tlbEntry caches one user-page translation under the fill-time
+// segmentation context.
+type tlbEntry struct {
+	vpage uint32 // user virtual page number (tag)
+	frame uint32 // physical frame number
+	state uint8
+}
+
+// tlbState is the translation cache embedded in the MMU, together with
+// the context it was filled under.
+type tlbState struct {
+	entries [TLBEntries]tlbEntry
+	seg     SegUnit  // segmentation state at fill time
+	pmap    *PageMap // page map identity at fill time
+	gen     uint64   // page-map generation at fill time
+}
+
+// FlushTLB invalidates every translation-cache entry. Translation
+// re-validates the fill context on every lookup, so explicit flushes
+// are needed only by code that mutates page-table entries behind the
+// page map's back (tests, mostly).
+func (m *MMU) FlushTLB() {
+	for i := range m.tlb.entries {
+		m.tlb.entries[i].state = tlbInvalid
+	}
+}
+
+// tlbLookup returns the cached physical address for a mapped reference,
+// if the cache can serve it exactly. The second result reports a hit.
+func (m *MMU) tlbLookup(addr uint32, write bool) (uint32, bool) {
+	if m.Seg != m.tlb.seg || m.Map != m.tlb.pmap || m.Map.gen != m.tlb.gen {
+		m.FlushTLB()
+		m.tlb.seg, m.tlb.pmap, m.tlb.gen = m.Seg, m.Map, m.Map.gen
+		return 0, false
+	}
+	vpage := addr >> PageBits
+	e := &m.tlb.entries[vpage&tlbMask]
+	if e.state == tlbInvalid || e.vpage != vpage {
+		return 0, false
+	}
+	if write && e.state != tlbDirty {
+		// The page's dirty bit may not be set yet: take the slow path
+		// once so the page map records the write.
+		return 0, false
+	}
+	return e.frame<<PageBits | addr&(PageWords-1), true
+}
+
+// tlbFill records a successful slow-path translation. The slow path has
+// already updated the page's referenced (and, for writes, dirty) bits.
+func (m *MMU) tlbFill(addr, pa uint32, write bool) {
+	vpage := addr >> PageBits
+	e := &m.tlb.entries[vpage&tlbMask]
+	e.vpage = vpage
+	e.frame = pa >> PageBits
+	if write {
+		e.state = tlbDirty
+	} else {
+		e.state = tlbClean
+	}
+}

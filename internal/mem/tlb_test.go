@@ -1,0 +1,142 @@
+package mem
+
+import "testing"
+
+// newTestMMU builds an MMU with one page of physical memory per mapped
+// page so translations are easy to predict.
+func newTestMMU(frames int) *MMU {
+	return NewMMU(NewPhysical(frames * PageWords))
+}
+
+func TestTLBServesRepeatedReferences(t *testing.T) {
+	m := newTestMMU(4)
+	m.Map.Map(0, 2, true)
+
+	pa, f := m.Translate(5, false, true)
+	if f != nil {
+		t.Fatalf("translate: %v", f)
+	}
+	if want := uint32(2)<<PageBits | 5; pa != want {
+		t.Fatalf("pa = %#x, want %#x", pa, want)
+	}
+	// Second reference must hit the cache and agree.
+	if pa2, ok := m.tlbLookup(5, false); !ok || pa2 != pa {
+		t.Errorf("tlbLookup = %#x, %v; want %#x hit", pa2, ok, pa)
+	}
+}
+
+func TestTLBInvalidatedByMapEdit(t *testing.T) {
+	m := newTestMMU(4)
+	m.Map.Map(0, 1, true)
+	if _, f := m.Translate(0, false, true); f != nil {
+		t.Fatalf("translate: %v", f)
+	}
+
+	// Remap page 0 to a different frame: the cached translation must not
+	// survive the edit.
+	m.Map.Map(0, 3, true)
+	pa, f := m.Translate(0, false, true)
+	if f != nil {
+		t.Fatalf("translate after remap: %v", f)
+	}
+	if want := uint32(3) << PageBits; pa != want {
+		t.Errorf("pa after remap = %#x, want %#x", pa, want)
+	}
+
+	// Unmap must likewise turn cached hits back into faults.
+	m.Map.Unmap(0)
+	if _, f := m.Translate(0, false, true); f == nil {
+		t.Error("translate after unmap should fault")
+	}
+}
+
+func TestTLBFlushedOnContextSwitch(t *testing.T) {
+	m := newTestMMU(8)
+	m.Seg = NewSegUnit(1, MinSpaceBits)
+	sys1, f := m.Seg.Translate(0)
+	if f != nil {
+		t.Fatalf("seg translate pid 1: %v", f)
+	}
+	m.Map.Map(sys1>>PageBits, 2, true)
+	if _, f := m.Translate(0, false, true); f != nil {
+		t.Fatalf("translate pid 1: %v", f)
+	}
+
+	// Same user address under a different PID lands in a different part
+	// of the system space; the PID-1 entry must not serve it.
+	m.Seg = NewSegUnit(3, MinSpaceBits)
+	sys3, _ := m.Seg.Translate(0)
+	m.Map.Map(sys3>>PageBits, 5, true)
+	pa, f := m.Translate(0, false, true)
+	if f != nil {
+		t.Fatalf("translate pid 3: %v", f)
+	}
+	if want := uint32(5) << PageBits; pa != want {
+		t.Errorf("pa under pid 3 = %#x, want %#x", pa, want)
+	}
+}
+
+func TestTLBDirtyBitExact(t *testing.T) {
+	m := newTestMMU(4)
+	m.Map.Map(0, 1, true)
+
+	// Fill via a read: referenced set, dirty clear.
+	if _, f := m.Translate(0, false, true); f != nil {
+		t.Fatalf("read translate: %v", f)
+	}
+	if e, _ := m.Map.Entry(0); !e.Referenced || e.Dirty {
+		t.Fatalf("after read: referenced=%v dirty=%v", e.Referenced, e.Dirty)
+	}
+	// A read-filled entry must not serve a write directly...
+	if _, ok := m.tlbLookup(0, true); ok {
+		t.Error("write served by clean entry; dirty bit would be lost")
+	}
+	// ...so the full translation takes the slow path once and records it.
+	if _, f := m.Translate(0, true, true); f != nil {
+		t.Fatalf("write translate: %v", f)
+	}
+	if e, _ := m.Map.Entry(0); !e.Dirty {
+		t.Error("dirty bit not set by cached-path write")
+	}
+	// Now the dirty entry serves further writes.
+	if _, ok := m.tlbLookup(0, true); !ok {
+		t.Error("write missed after dirty fill")
+	}
+}
+
+func TestTLBWriteProtectionNotCached(t *testing.T) {
+	m := newTestMMU(4)
+	m.Map.Map(0, 1, false) // read-only
+
+	if _, f := m.Translate(0, false, true); f != nil {
+		t.Fatalf("read translate: %v", f)
+	}
+	if f := m.Write(0, 42, true); f == nil {
+		t.Error("write to read-only page should fault despite cached read")
+	}
+}
+
+func TestTLBFaultsNeverCached(t *testing.T) {
+	m := newTestMMU(4)
+	if _, f := m.Translate(0, false, true); f == nil {
+		t.Fatal("unmapped translate should fault")
+	}
+	// Resolving the fault (demand paging) must make the address work
+	// immediately.
+	m.Map.Map(0, 2, true)
+	pa, f := m.Translate(0, false, true)
+	if f != nil {
+		t.Fatalf("translate after map: %v", f)
+	}
+	if want := uint32(2) << PageBits; pa != want {
+		t.Errorf("pa = %#x, want %#x", pa, want)
+	}
+}
+
+func TestTLBUnmappedBypass(t *testing.T) {
+	m := newTestMMU(4)
+	pa, f := m.Translate(1234, true, false)
+	if f != nil || pa != 1234 {
+		t.Errorf("unmapped translate = %#x, %v; want identity", pa, f)
+	}
+}

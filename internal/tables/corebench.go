@@ -29,39 +29,65 @@ type CoreBenchEntry struct {
 // CoreBench runs every non-heavy corpus program through the fully
 // optimized tool chain and collects each run's metrics through the
 // registry — the machine-readable companion to the rendered tables,
-// written by cmd/paperbench as BENCH_core.json.
+// written by cmd/paperbench as BENCH_core.json. It is shorthand for
+// CoreBenchParallel(1).
 func CoreBench() (map[string]CoreBenchEntry, error) {
-	out := make(map[string]CoreBenchEntry)
+	return CoreBenchParallel(1)
+}
+
+// CoreBenchParallel is CoreBench across a bounded worker pool: each
+// program's compile+run is independent (own CPU, own registry), so the
+// corpus fans out safely. workers <= 0 selects GOMAXPROCS. The result
+// is keyed by program name and thus identical regardless of workers.
+func CoreBenchParallel(workers int) (map[string]CoreBenchEntry, error) {
+	var progs []corpus.Program
 	for _, p := range corpus.All() {
-		if p.Heavy {
-			continue
-		}
-		im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
-		}
-		reg := trace.NewRegistry()
-		res, err := codegen.RunMIPSWith(im, 500_000_000, codegen.RunOptions{
-			Attach: func(c *cpu.CPU) { trace.RegisterCPUStats(reg, "cpu.", &c.Stats) },
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
-		}
-		if p.Output != "" && res.Output != p.Output {
-			return nil, fmt.Errorf("%s: wrong output %q", p.Name, res.Output)
-		}
-		snap := reg.Snapshot()
-		nopFrac := 0.0
-		if n := snap["cpu.instructions"]; n > 0 {
-			nopFrac = float64(snap["cpu.nops"]) / float64(n)
-		}
-		out[p.Name] = CoreBenchEntry{
-			Metrics:               snap,
-			NopFraction:           nopFrac,
-			FreeBandwidthFraction: res.Stats.FreeBandwidthFraction(),
+		if !p.Heavy {
+			progs = append(progs, p)
 		}
 	}
+	entries := make([]CoreBenchEntry, len(progs))
+	errs := make([]error, len(progs))
+	forEachIndexed(len(progs), workers, func(i int) {
+		entries[i], errs[i] = coreBenchOne(progs[i])
+	})
+	out := make(map[string]CoreBenchEntry, len(progs))
+	for i, p := range progs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[p.Name] = entries[i]
+	}
 	return out, nil
+}
+
+// coreBenchOne compiles and runs one corpus program, returning its
+// metrics record.
+func coreBenchOne(p corpus.Program) (CoreBenchEntry, error) {
+	im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
+	if err != nil {
+		return CoreBenchEntry{}, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	reg := trace.NewRegistry()
+	res, err := codegen.RunMIPSWith(im, 500_000_000, codegen.RunOptions{
+		Attach: func(c *cpu.CPU) { trace.RegisterCPUStats(reg, "cpu.", &c.Stats) },
+	})
+	if err != nil {
+		return CoreBenchEntry{}, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	if p.Output != "" && res.Output != p.Output {
+		return CoreBenchEntry{}, fmt.Errorf("%s: wrong output %q", p.Name, res.Output)
+	}
+	snap := reg.Snapshot()
+	nopFrac := 0.0
+	if n := snap["cpu.instructions"]; n > 0 {
+		nopFrac = float64(snap["cpu.nops"]) / float64(n)
+	}
+	return CoreBenchEntry{
+		Metrics:               snap,
+		NopFraction:           nopFrac,
+		FreeBandwidthFraction: res.Stats.FreeBandwidthFraction(),
+	}, nil
 }
 
 // WriteCoreBench writes the CoreBench result as indented JSON with

@@ -1,0 +1,66 @@
+package tables
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The experiments are independent simulations — each builds its own
+// machines from scratch and touches no shared state — so regenerating
+// the full evaluation parallelizes trivially. The pool below fans the
+// work out over a bounded number of goroutines while keeping the output
+// deterministic: results land in a slice indexed by input position, so
+// callers print them in exactly the order a serial run would.
+
+// Result is one experiment's outcome from a parallel run.
+type Result struct {
+	Name  string
+	Table *Table
+	Err   error
+}
+
+// RunAll executes the experiments across a bounded worker pool and
+// returns their results in input order. workers <= 0 selects
+// GOMAXPROCS workers.
+func RunAll(exps []Experiment, workers int) []Result {
+	results := make([]Result, len(exps))
+	forEachIndexed(len(exps), workers, func(i int) {
+		tab, err := exps[i].Run()
+		results[i] = Result{Name: exps[i].Name, Table: tab, Err: err}
+	})
+	return results
+}
+
+// forEachIndexed calls fn(i) for every i in [0, n) across a pool of the
+// given size. Each index is handled exactly once; fn must write only to
+// its own slot of any shared output.
+func forEachIndexed(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

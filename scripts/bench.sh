@@ -1,0 +1,24 @@
+#!/bin/sh
+# bench.sh — the performance gate: core microbenchmarks with allocation
+# reporting, the zero-allocation steady-state assertion, and the
+# machine-readable corebench artifact (BENCH_core.json).
+#
+#   sh scripts/bench.sh            # full run, writes BENCH_core.json
+#   BENCH_OUT=/tmp/b.json sh scripts/bench.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_core.json}
+
+echo "==> steady-state allocation check (must be 0 allocs/op)"
+go test ./internal/cpu/ -run TestSteadyStateZeroAlloc -count=1 -v
+
+echo "==> core microbenchmarks"
+go test -run '^$' -bench \
+    'PipelineSimulator|PipelineReference|KernelBoot|DemandPaging|PageReplacement|FreeCycleDMA' \
+    -benchmem -benchtime 1s .
+
+echo "==> corebench -> $out"
+go run ./cmd/paperbench -j 0 -core-json "$out" corebench > /dev/null
+
+echo "OK: wrote $out"
