@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt check bench bench-all clean
+.PHONY: all build test vet fmt check race bench bench-all benchgate serve clean
 
 all: build
 
@@ -22,6 +22,11 @@ fmt:
 check:
 	sh scripts/check.sh
 
+# race runs the suite under the race detector — the concurrency gate
+# for the tracer fan-out, the telemetry server, and the worker pools.
+race:
+	$(GO) test -race ./...
+
 # bench runs the performance gate: core microbenchmarks with allocation
 # reporting, the zero-alloc steady-state assertion, and BENCH_core.json.
 # `make bench-all` is the old exhaustive per-table benchmark sweep.
@@ -30,6 +35,19 @@ bench:
 
 bench-all:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# benchgate reruns corebench and diffs it against the committed
+# BENCH_baseline.json (cmd/benchdiff); non-zero exit on regression.
+# Refresh the baseline with `sh scripts/benchgate.sh -update`.
+benchgate:
+	sh scripts/benchgate.sh
+
+# serve runs a corpus program with the live telemetry server attached:
+# /metrics, /trace/stream, /profile/flame, /profile/top, /status.
+SERVE_ADDR ?= :9417
+SERVE_CORPUS ?= queens
+serve:
+	$(GO) run ./cmd/mipsrun -serve $(SERVE_ADDR) -prof -stats -corpus $(SERVE_CORPUS)
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,77 @@
+// Command benchdiff compares two BENCH_core.json artifacts and gates
+// on performance regressions.
+//
+// Usage:
+//
+//	benchdiff [-threshold PCT] [-q] old.json new.json
+//
+// It prints a per-benchmark delta table for cycles, nop fraction, and
+// free-bandwidth fraction, then exits non-zero if any benchmark's
+// cycle count grew by more than the threshold (default 2%) or
+// disappeared from the new artifact. The simulator is deterministic, so
+// identical code yields byte-identical artifacts and any delta is a
+// real behavioral change; CI runs this against the committed baseline
+// (scripts/benchgate.sh).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mips/internal/tables"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 2.0, "max allowed cycle growth in percent")
+	quiet := flag.Bool("q", false, "suppress the delta table; print only regressions")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := readArtifact(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := readArtifact(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	deltas := tables.DiffCoreBench(old, cur)
+	if !*quiet {
+		fmt.Println(tables.BenchDiffTable(deltas, *threshold).Render())
+	}
+	bad := tables.Regressions(deltas, *threshold)
+	if len(bad) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmarks within +%.1f%%\n", len(deltas), *threshold)
+		return
+	}
+	for _, d := range bad {
+		if d.OnlyOld {
+			fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: missing from %s\n", d.Name, flag.Arg(1))
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: cycles %d -> %d (%+.2f%% > +%.1f%%)\n",
+			d.Name, d.OldCycles, d.NewCycles, d.CyclesPct, *threshold)
+	}
+	os.Exit(1)
+}
+
+func readArtifact(name string) (map[string]tables.CoreBenchEntry, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	bench, err := tables.ReadCoreBenchFile(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return bench, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -2,16 +2,18 @@
 //
 // Usage:
 //
-//	mipsrun [-max N] [-stats] [-kernel] [-timer N]
+//	mipsrun [-max N] [-stats] [-kernel] [-timer N] [-reference]
 //	        [-prof] [-trace N] [-trace-json FILE] [-metrics FILE]
+//	        [-flame FILE] [-serve ADDR] [-corpus NAME]
 //	        image.img ...
 //
 // By default images run on the bare machine with host-serviced monitor
 // calls. With -kernel, each image is loaded as a process of the full
 // machine: dispatch ROM, demand paging, and (with -timer) preemptive
-// round-robin scheduling.
+// round-robin scheduling. -corpus NAME compiles and runs the named
+// built-in corpus program instead of reading image files.
 //
-// Observability (package trace):
+// Observability (packages trace and telemetry):
 //
 //	-prof            print a flat cycle-attribution profile to stderr
 //	-prof-top N      number of hot instruction words in the profile (default 20)
@@ -20,18 +22,31 @@
 //	                 (open with Perfetto or chrome://tracing)
 //	-trace-buf N     event ring capacity (default 65536)
 //	-metrics FILE    write a metrics-registry snapshot as JSON
+//	-flame FILE      write the profile as folded-stack flamegraph text
+//	-serve ADDR      serve live telemetry over HTTP while the program
+//	                 runs (/metrics, /trace/stream, /profile/flame,
+//	                 /profile/top, /status); after the run the process
+//	                 stays up so the final state remains inspectable —
+//	                 Ctrl-C to exit
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mips/internal/codegen"
+	"mips/internal/corpus"
 	"mips/internal/cpu"
 	"mips/internal/isa"
 	"mips/internal/kernel"
+	"mips/internal/reorg"
+	"mips/internal/telemetry"
 	"mips/internal/trace"
 )
 
@@ -40,19 +55,40 @@ func main() {
 	stats := flag.Bool("stats", false, "print execution statistics")
 	useKernel := flag.Bool("kernel", false, "run under the kernel with demand paging")
 	timer := flag.Uint("timer", 0, "timer period in user instructions (0 = off; implies -kernel)")
+	reference := flag.Bool("reference", false, "run the reference interpreter instead of the fast path")
 	traceN := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
 	traceJSON := flag.String("trace-json", "", "write Chrome trace_event JSON to this file")
 	traceBuf := flag.Int("trace-buf", trace.DefaultRingCap, "event ring capacity")
 	prof := flag.Bool("prof", false, "print a flat cycle-attribution profile to stderr")
 	profTop := flag.Int("prof-top", 20, "hot instruction words to list in the profile")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot as JSON to this file")
+	flameOut := flag.String("flame", "", "write a folded-stack flamegraph to this file (implies profiling)")
+	serve := flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :9417)")
+	corpusName := flag.String("corpus", "", "run the named built-in corpus program instead of image files")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mipsrun [flags] image.img ...")
+	if (flag.NArg() == 0) == (*corpusName == "") {
+		fmt.Fprintln(os.Stderr, "usage: mipsrun [flags] image.img ...  |  mipsrun [flags] -corpus NAME")
 		os.Exit(2)
 	}
 
 	var images []*isa.Image
+	var imageNames []string
+	if *corpusName != "" {
+		p, err := corpus.Get(*corpusName)
+		if err != nil {
+			fatal(err)
+		}
+		mopt := codegen.MIPSOptions{}
+		if *useKernel || *timer > 0 {
+			mopt.StackTop = codegen.KernelStackTop
+		}
+		im, _, err := codegen.CompileMIPS(p.Source, mopt, reorg.All())
+		if err != nil {
+			fatal(fmt.Errorf("corpus %s: %w", *corpusName, err))
+		}
+		images = append(images, im)
+		imageNames = append(imageNames, *corpusName)
+	}
 	for _, name := range flag.Args() {
 		f, err := os.Open(name)
 		if err != nil {
@@ -64,20 +100,23 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		images = append(images, im)
+		imageNames = append(imageNames, name)
 	}
 
 	// Assemble the observer from whatever the flags ask for; obs stays
 	// nil (and the simulator hook-free) when no observability is wanted.
+	// A live server implies a tracer (it backs /trace/stream) and keeps
+	// whatever profiler the flags created.
 	var obs *trace.Observer
 	var tracer *trace.Tracer
 	var profiler *trace.Profiler
-	if *traceN > 0 || *traceJSON != "" {
+	if *traceN > 0 || *traceJSON != "" || *serve != "" {
 		tracer = trace.NewTracer(*traceBuf)
 		if *traceN > 0 {
 			tracer.StreamText(os.Stderr, *traceN)
 		}
 	}
-	if *prof {
+	if *prof || *flameOut != "" {
 		profiler = trace.NewProfiler()
 		for _, im := range images {
 			profiler.AddImage(im)
@@ -88,19 +127,40 @@ func main() {
 	}
 	registry := trace.NewRegistry()
 
+	engine := "fast"
+	if *reference {
+		engine = "reference"
+	}
+	var srv *telemetry.Server
+	var liveURL string
+	if *serve != "" {
+		srv = telemetry.New(telemetry.Config{
+			Program: "mipsrun", Args: os.Args[1:], Engine: engine,
+			Tracer: tracer, Profiler: profiler,
+		})
+		srv.AddSource("", registry)
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fatal(err)
+		}
+		liveURL = displayURL(addr)
+		fmt.Fprintf(os.Stderr, "mipsrun: serving live telemetry at %s (metrics, trace/stream, profile/flame, profile/top, status)\n", liveURL)
+	}
+
 	var st *cpu.Stats
 	if *useKernel || *timer > 0 || len(images) > 1 {
 		m, err := kernel.NewMachine(kernel.Config{TimerPeriod: uint32(*timer)})
 		if err != nil {
 			fatal(err)
 		}
+		m.CPU.SetFastPath(!*reference)
 		if obs != nil {
 			obs.AttachMachine(m)
 		}
 		trace.RegisterMachine(registry, m)
 		for i, im := range images {
 			if _, err := m.AddProcess(im, 16); err != nil {
-				fatal(fmt.Errorf("%s: %w", flag.Arg(i), err))
+				fatal(fmt.Errorf("%s: %w", imageNames[i], err))
 			}
 		}
 		if _, err := m.Run(*maxSteps); err != nil {
@@ -110,6 +170,7 @@ func main() {
 		st = &m.CPU.Stats
 	} else {
 		res, err := codegen.RunMIPSWith(images[0], *maxSteps, codegen.RunOptions{
+			Reference: *reference,
 			Attach: func(c *cpu.CPU) {
 				if obs != nil {
 					obs.Attach(c)
@@ -127,10 +188,21 @@ func main() {
 	if *stats {
 		fmt.Fprintf(os.Stderr, "mipsrun: %s\n", st)
 	}
-	if profiler != nil {
+	if profiler != nil && *prof {
 		if err := profiler.WriteReport(os.Stderr, *profTop); err != nil {
 			fatal(err)
 		}
+		if srv != nil {
+			fmt.Fprintf(os.Stderr, "mipsrun: profile also live at %s/profile/flame and %s/profile/top\n", liveURL, liveURL)
+		}
+	}
+	if profiler != nil && *flameOut != "" {
+		if err := writeFile(*flameOut, func(w io.Writer) error {
+			return telemetry.WriteFolded(w, profiler)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mipsrun: wrote folded flamegraph to %s\n", *flameOut)
 	}
 	if tracer != nil && *traceJSON != "" {
 		if err := writeFile(*traceJSON, tracer.WriteChromeJSON); err != nil {
@@ -143,7 +215,32 @@ func main() {
 		if err := writeFile(*metricsOut, registry.Snapshot().WriteJSON); err != nil {
 			fatal(err)
 		}
+		if srv != nil {
+			fmt.Fprintf(os.Stderr, "mipsrun: metrics also live at %s/metrics (Prometheus exposition)\n", liveURL)
+		}
 	}
+
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "mipsrun: run complete; telemetry still served at %s — Ctrl-C to exit\n", liveURL)
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		<-ctx.Done()
+		cancel()
+		srv.Close()
+	}
+}
+
+// displayURL renders a bound address as a clickable URL, mapping
+// wildcard hosts to localhost.
+func displayURL(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "localhost"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }
 
 func writeFile(name string, write func(w io.Writer) error) error {

@@ -1,0 +1,120 @@
+package tables
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is the comparison half of the BENCH_core.json trajectory:
+// cmd/benchdiff loads two corebench artifacts (the committed baseline
+// and a fresh run) and diffs them per benchmark. The simulator is
+// deterministic, so identical code produces identical artifacts and
+// any cycle delta is a real behavioral change — which is what lets CI
+// gate on a small threshold instead of wrestling with noise.
+
+// BenchDelta is one benchmark's old-vs-new comparison.
+type BenchDelta struct {
+	Name string
+	// Cycles from metrics["cpu.cycles"]; CyclesPct is the relative
+	// change in percent ((new-old)/old * 100).
+	OldCycles, NewCycles uint64
+	CyclesPct            float64
+	// Headline derived ratios, as stored in the artifact.
+	OldNop, NewNop   float64
+	OldFree, NewFree float64
+	// OnlyOld marks a benchmark missing from the new artifact (it
+	// disappeared); OnlyNew marks a freshly added one.
+	OnlyOld, OnlyNew bool
+}
+
+// ReadCoreBenchFile decodes a BENCH_core.json artifact.
+func ReadCoreBenchFile(r io.Reader) (map[string]CoreBenchEntry, error) {
+	var bench map[string]CoreBenchEntry
+	if err := json.NewDecoder(r).Decode(&bench); err != nil {
+		return nil, err
+	}
+	return bench, nil
+}
+
+// DiffCoreBench compares two corebench artifacts per benchmark, sorted
+// by name.
+func DiffCoreBench(before, after map[string]CoreBenchEntry) []BenchDelta {
+	names := map[string]bool{}
+	for n := range before {
+		names[n] = true
+	}
+	for n := range after {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	deltas := make([]BenchDelta, 0, len(sorted))
+	for _, n := range sorted {
+		o, inOld := before[n]
+		w, inNew := after[n]
+		d := BenchDelta{Name: n, OnlyOld: !inNew, OnlyNew: !inOld}
+		if inOld {
+			d.OldCycles = o.Metrics["cpu.cycles"]
+			d.OldNop = o.NopFraction
+			d.OldFree = o.FreeBandwidthFraction
+		}
+		if inNew {
+			d.NewCycles = w.Metrics["cpu.cycles"]
+			d.NewNop = w.NopFraction
+			d.NewFree = w.FreeBandwidthFraction
+		}
+		if inOld && inNew && d.OldCycles > 0 {
+			d.CyclesPct = 100 * (float64(d.NewCycles) - float64(d.OldCycles)) / float64(d.OldCycles)
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Regressions filters the deltas that fail the gate: a cycle count
+// grown by more than thresholdPct percent, or a benchmark that
+// disappeared from the new artifact. New benchmarks never fail — adding
+// coverage is not a regression.
+func Regressions(deltas []BenchDelta, thresholdPct float64) []BenchDelta {
+	var bad []BenchDelta
+	for _, d := range deltas {
+		if d.OnlyOld || (!d.OnlyNew && d.CyclesPct > thresholdPct) {
+			bad = append(bad, d)
+		}
+	}
+	return bad
+}
+
+// BenchDiffTable renders the comparison for the console.
+func BenchDiffTable(deltas []BenchDelta, thresholdPct float64) *Table {
+	t := &Table{
+		ID:     "benchdiff",
+		Title:  fmt.Sprintf("BENCH_core.json delta (gate: cycles +%.1f%%)", thresholdPct),
+		Header: []string{"program", "cycles old", "cycles new", "Δcycles", "nop% old", "nop% new", "free bw old", "free bw new", "verdict"},
+	}
+	for _, d := range deltas {
+		switch {
+		case d.OnlyOld:
+			t.AddRow(d.Name, num(d.OldCycles), "-", "-", pct(d.OldNop), "-", pct(d.OldFree), "-", "MISSING")
+		case d.OnlyNew:
+			t.AddRow(d.Name, "-", num(d.NewCycles), "-", "-", pct(d.NewNop), "-", pct(d.NewFree), "new")
+		default:
+			verdict := "ok"
+			if d.CyclesPct > thresholdPct {
+				verdict = "REGRESSED"
+			} else if d.CyclesPct < 0 {
+				verdict = "improved"
+			}
+			t.AddRow(d.Name, num(d.OldCycles), num(d.NewCycles),
+				fmt.Sprintf("%+.2f%%", d.CyclesPct),
+				pct(d.OldNop), pct(d.NewNop), pct(d.OldFree), pct(d.NewFree), verdict)
+		}
+	}
+	return t
+}

@@ -1,0 +1,137 @@
+package tables
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"mips/internal/trace"
+)
+
+func benchFixture(cycles uint64) map[string]CoreBenchEntry {
+	return map[string]CoreBenchEntry{
+		"fib": {
+			Metrics:               trace.Snapshot{"cpu.cycles": cycles, "cpu.instructions": cycles - 5},
+			NopFraction:           0.20,
+			FreeBandwidthFraction: 0.40,
+		},
+		"puzzle0": {
+			Metrics:               trace.Snapshot{"cpu.cycles": 1000, "cpu.instructions": 995},
+			NopFraction:           0.10,
+			FreeBandwidthFraction: 0.35,
+		},
+	}
+}
+
+// TestBenchDiffIdentical is half of the acceptance criterion: identical
+// artifacts produce zero regressions.
+func TestBenchDiffIdentical(t *testing.T) {
+	old := benchFixture(50000)
+	deltas := DiffCoreBench(old, benchFixture(50000))
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	for _, d := range deltas {
+		if d.CyclesPct != 0 || d.OnlyOld || d.OnlyNew {
+			t.Errorf("identical inputs produced delta %+v", d)
+		}
+	}
+	if bad := Regressions(deltas, 2.0); len(bad) != 0 {
+		t.Fatalf("identical inputs flagged regressions: %v", bad)
+	}
+}
+
+// TestBenchDiffTenPercentRegression is the other half: a synthetic 10%
+// cycle regression must trip a 2% gate.
+func TestBenchDiffTenPercentRegression(t *testing.T) {
+	old := benchFixture(50000)
+	cur := benchFixture(55000) // fib +10%
+	deltas := DiffCoreBench(old, cur)
+	bad := Regressions(deltas, 2.0)
+	if len(bad) != 1 || bad[0].Name != "fib" {
+		t.Fatalf("regressions = %+v, want exactly fib", bad)
+	}
+	if bad[0].CyclesPct < 9.9 || bad[0].CyclesPct > 10.1 {
+		t.Errorf("fib delta = %.2f%%, want ~10%%", bad[0].CyclesPct)
+	}
+	// A 10% regression passes a 15% gate.
+	if loose := Regressions(deltas, 15.0); len(loose) != 0 {
+		t.Errorf("10%% regression tripped a 15%% gate: %v", loose)
+	}
+	// Improvements never trip the gate.
+	if better := Regressions(DiffCoreBench(old, benchFixture(45000)), 2.0); len(better) != 0 {
+		t.Errorf("improvement flagged as regression: %v", better)
+	}
+}
+
+func TestBenchDiffMissingAndNew(t *testing.T) {
+	old := benchFixture(50000)
+	cur := benchFixture(50000)
+	delete(cur, "puzzle0")
+	cur["fresh"] = CoreBenchEntry{Metrics: trace.Snapshot{"cpu.cycles": 10}}
+	deltas := DiffCoreBench(old, cur)
+	bad := Regressions(deltas, 2.0)
+	if len(bad) != 1 || bad[0].Name != "puzzle0" || !bad[0].OnlyOld {
+		t.Fatalf("regressions = %+v, want puzzle0 missing", bad)
+	}
+	table := BenchDiffTable(deltas, 2.0).Render()
+	if !strings.Contains(table, "MISSING") || !strings.Contains(table, "new") {
+		t.Errorf("rendered table lacks MISSING/new verdicts:\n%s", table)
+	}
+}
+
+// TestBenchDiffRoundTripsArtifact pins that the reader consumes exactly
+// what WriteCoreBench produces.
+func TestBenchDiffRoundTripsArtifact(t *testing.T) {
+	old := benchFixture(50000)
+	var buf bytes.Buffer
+	if err := WriteCoreBench(&buf, old); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCoreBenchFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := DiffCoreBench(old, got)
+	for _, d := range deltas {
+		if d.CyclesPct != 0 || d.OnlyOld || d.OnlyNew {
+			t.Errorf("artifact round trip produced delta %+v", d)
+		}
+	}
+}
+
+// TestCoreBenchParallelWithSink checks the telemetry hook: every
+// non-heavy corpus program's registry reaches the sink exactly once,
+// and the sink sees the same registry the entry was sampled from.
+func TestCoreBenchParallelWithSink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full corpus")
+	}
+	var mu sync.Mutex
+	regs := map[string]*trace.Registry{}
+	bench, err := CoreBenchParallelWith(2, func(name string, reg *trace.Registry) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := regs[name]; dup {
+			t.Errorf("sink called twice for %s", name)
+		}
+		regs[name] = reg
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != len(bench) {
+		t.Fatalf("sink saw %d registries, bench has %d entries", len(regs), len(bench))
+	}
+	for name, entry := range bench {
+		reg := regs[name]
+		if reg == nil {
+			t.Errorf("no registry for %s", name)
+			continue
+		}
+		if got := reg.Snapshot()["cpu.cycles"]; got != entry.Metrics["cpu.cycles"] {
+			t.Errorf("%s: sink registry cycles %d, entry %d", name, got, entry.Metrics["cpu.cycles"])
+		}
+	}
+}

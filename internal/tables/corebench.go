@@ -40,6 +40,16 @@ func CoreBench() (map[string]CoreBenchEntry, error) {
 // corpus fans out safely. workers <= 0 selects GOMAXPROCS. The result
 // is keyed by program name and thus identical regardless of workers.
 func CoreBenchParallel(workers int) (map[string]CoreBenchEntry, error) {
+	return CoreBenchParallelWith(workers, nil)
+}
+
+// CoreBenchParallelWith is CoreBenchParallel with a registry hook:
+// sink, if non-nil, receives each program's metrics registry right
+// before that program starts running, from the worker goroutine. The
+// telemetry server registers them as labeled sources, which is what
+// makes `paperbench -serve` show per-experiment counters climbing
+// while the corpus runs. The hook must be safe for concurrent calls.
+func CoreBenchParallelWith(workers int, sink func(name string, reg *trace.Registry)) (map[string]CoreBenchEntry, error) {
 	var progs []corpus.Program
 	for _, p := range corpus.All() {
 		if !p.Heavy {
@@ -49,7 +59,7 @@ func CoreBenchParallel(workers int) (map[string]CoreBenchEntry, error) {
 	entries := make([]CoreBenchEntry, len(progs))
 	errs := make([]error, len(progs))
 	forEachIndexed(len(progs), workers, func(i int) {
-		entries[i], errs[i] = coreBenchOne(progs[i])
+		entries[i], errs[i] = coreBenchOne(progs[i], sink)
 	})
 	out := make(map[string]CoreBenchEntry, len(progs))
 	for i, p := range progs {
@@ -63,12 +73,15 @@ func CoreBenchParallel(workers int) (map[string]CoreBenchEntry, error) {
 
 // coreBenchOne compiles and runs one corpus program, returning its
 // metrics record.
-func coreBenchOne(p corpus.Program) (CoreBenchEntry, error) {
+func coreBenchOne(p corpus.Program, sink func(name string, reg *trace.Registry)) (CoreBenchEntry, error) {
 	im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
 	if err != nil {
 		return CoreBenchEntry{}, fmt.Errorf("%s: %w", p.Name, err)
 	}
 	reg := trace.NewRegistry()
+	if sink != nil {
+		sink(p.Name, reg)
+	}
 	res, err := codegen.RunMIPSWith(im, 500_000_000, codegen.RunOptions{
 		Attach: func(c *cpu.CPU) { trace.RegisterCPUStats(reg, "cpu.", &c.Stats) },
 	})

@@ -23,10 +23,22 @@ type Result struct {
 // returns their results in input order. workers <= 0 selects
 // GOMAXPROCS workers.
 func RunAll(exps []Experiment, workers int) []Result {
+	return RunAllWith(exps, workers, nil)
+}
+
+// RunAllWith is RunAll with a completion hook: onDone, if non-nil, is
+// called with each result as its experiment finishes, from the worker
+// goroutine that ran it. The telemetry server uses it to expose live
+// experiment progress; the hook must therefore be safe for concurrent
+// calls (trace.Counter increments are).
+func RunAllWith(exps []Experiment, workers int, onDone func(Result)) []Result {
 	results := make([]Result, len(exps))
 	forEachIndexed(len(exps), workers, func(i int) {
 		tab, err := exps[i].Run()
 		results[i] = Result{Name: exps[i].Name, Table: tab, Err: err}
+		if onDone != nil {
+			onDone(results[i])
+		}
 	})
 	return results
 }

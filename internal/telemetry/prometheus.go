@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"mips/internal/trace"
+)
+
+// The /metrics endpoint speaks the Prometheus text exposition format
+// (version 0.0.4): for every metric name an optional HELP line, a TYPE
+// line, then one sample per source. Registry names like "cpu.cycles"
+// sanitize to "cpu_cycles"; a source's label appears as
+// {experiment="..."} so paperbench's aggregated registries stay
+// distinguishable while a single-run tool emits bare series.
+
+const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", prometheusContentType)
+	WriteExposition(w, s.Sources())
+}
+
+// WriteExposition renders the sources as Prometheus text. Output is
+// deterministic: metric names sort lexically and samples follow source
+// order (Sources sorts by label).
+func WriteExposition(w io.Writer, sources []Source) error {
+	type sample struct {
+		label string
+		value uint64
+	}
+	type series struct {
+		kind    trace.MetricKind
+		help    string
+		samples []sample
+	}
+	byName := map[string]*series{}
+	for _, src := range sources {
+		snap := src.Registry.Snapshot()
+		for name, v := range snap {
+			se := byName[name]
+			if se == nil {
+				kind, help := src.Registry.Meta(name)
+				se = &series{kind: kind, help: help}
+				byName[name] = se
+			}
+			se.samples = append(se.samples, sample{label: src.Label, value: v})
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		se := byName[name]
+		promName := SanitizeMetricName(name)
+		help := se.help
+		if help == "" {
+			help = "registry metric " + name
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			promName, escapeHelp(help), promName, se.kind); err != nil {
+			return err
+		}
+		for _, sm := range se.samples {
+			var err error
+			if sm.label == "" {
+				_, err = fmt.Fprintf(w, "%s %d\n", promName, sm.value)
+			} else {
+				_, err = fmt.Fprintf(w, "%s{experiment=\"%s\"} %d\n",
+					promName, escapeLabel(sm.label), sm.value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SanitizeMetricName maps a registry name onto the Prometheus metric
+// name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*. Distinct registry names that
+// sanitize identically would merge; the repo's dotted naming scheme
+// never does.
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			c = '_'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mips/internal/trace"
+)
+
+// goldenSources builds a small fixed pair of registries whose
+// exposition is pinned byte-for-byte in testdata/metrics.golden.
+func goldenSources() []Source {
+	a := trace.NewRegistry()
+	a.Counter("cpu.cycles").Add(1234)
+	a.Counter("cpu.nops").Add(56)
+	a.Describe("cpu.cycles", "total machine cycles")
+	a.Gauge("kernel.resident_pages", func() uint64 { return 12 })
+	a.Describe("kernel.resident_pages", "pages currently resident")
+
+	b := trace.NewRegistry()
+	b.Counter("cpu.cycles").Add(99)
+	b.CounterFunc("dma.words_moved", func() uint64 { return 7 })
+	return []Source{
+		{Label: "fib", Registry: a},
+		{Label: "puzzle0", Registry: b},
+	}
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, goldenSources()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from %s:\n--- got ---\n%s--- want ---\n%s",
+			golden, buf.String(), string(want))
+	}
+	// Determinism: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteExposition(&buf2, goldenSources()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two renders of the same sources differ")
+	}
+}
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{experiment="[^"\\]*"\})? ([0-9]+)$`)
+)
+
+// parsePrometheus validates text exposition structure line by line and
+// returns the samples as "name{labels}" -> value. It enforces the
+// format invariants a real scraper relies on: every sample is preceded
+// by a TYPE for its metric name, and all samples of a name are
+// consecutive.
+func parsePrometheus(t *testing.T, text string) map[string]uint64 {
+	t.Helper()
+	samples := map[string]uint64{}
+	var curName string
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if !helpRe.MatchString(line) {
+				t.Fatalf("bad HELP line: %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			if seen[m[1]] {
+				t.Fatalf("TYPE for %s appears twice (samples not consecutive)", m[1])
+			}
+			seen[m[1]] = true
+			curName = m[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("bad sample line: %q", line)
+		}
+		if m[1] != curName {
+			t.Fatalf("sample %q not under its TYPE (current %q)", m[1], curName)
+		}
+		var v uint64
+		fmt.Sscan(m[3], &v)
+		samples[m[1]+m[2]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestExpositionParsesAsPrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, goldenSources()); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePrometheus(t, buf.String())
+	if got := samples[`cpu_cycles{experiment="fib"}`]; got != 1234 {
+		t.Errorf("cpu_cycles{fib} = %d, want 1234", got)
+	}
+	if got := samples[`cpu_cycles{experiment="puzzle0"}`]; got != 99 {
+		t.Errorf("cpu_cycles{puzzle0} = %d, want 99", got)
+	}
+	if got := samples[`kernel_resident_pages{experiment="fib"}`]; got != 12 {
+		t.Errorf("resident pages = %d, want 12", got)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"cpu.cycles":               "cpu_cycles",
+		"cpu.exceptions.pagefault": "cpu_exceptions_pagefault",
+		"kernel.page_faults":       "kernel_page_faults",
+		"9leading":                 "_leading",
+		"weird-name":               "weird_name",
+		"":                         "_",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mips/internal/codegen"
+	"mips/internal/corpus"
+	"mips/internal/cpu"
+	"mips/internal/reorg"
+	"mips/internal/trace"
+)
+
+// runCorpus compiles and runs one corpus program with a registry,
+// tracer, and profiler attached, returning them at quiescence — the
+// acceptance setup: a finished run whose live exposition must agree
+// with the end-of-run snapshot exactly.
+func runCorpus(t *testing.T, name string) (*trace.Registry, *trace.Tracer, *trace.Profiler, codegen.RunResult) {
+	t.Helper()
+	p, err := corpus.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiler := trace.NewProfiler()
+	profiler.AddImage(im)
+	tracer := trace.NewTracer(1 << 12)
+	obs := &trace.Observer{Tracer: tracer, Profiler: profiler}
+	reg := trace.NewRegistry()
+	res, err := codegen.RunMIPSWith(im, 500_000_000, codegen.RunOptions{
+		Attach: func(c *cpu.CPU) {
+			obs.Attach(c)
+			trace.RegisterCPUStats(reg, "cpu.", &c.Stats)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Output != "" && res.Output != p.Output {
+		t.Fatalf("%s output = %q, want %q", name, res.Output, p.Output)
+	}
+	return reg, tracer, profiler, res
+}
+
+// TestMetricsMatchesSnapshot is the acceptance criterion: served
+// /metrics parses as Prometheus text and its cpu_cycles equals the
+// end-of-run registry snapshot exactly.
+func TestMetricsMatchesSnapshot(t *testing.T) {
+	reg, tracer, profiler, res := runCorpus(t, "calc")
+	srv := New(Config{Program: "test", Engine: "fast", Tracer: tracer, Profiler: profiler})
+	srv.AddSource("", reg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := get(t, ts.URL+"/metrics")
+	samples := parsePrometheus(t, body)
+	snap := reg.Snapshot()
+	if samples["cpu_cycles"] != snap["cpu.cycles"] {
+		t.Errorf("served cpu_cycles = %d, snapshot = %d", samples["cpu_cycles"], snap["cpu.cycles"])
+	}
+	if samples["cpu_cycles"] != res.Stats.Cycles {
+		t.Errorf("served cpu_cycles = %d, Stats.Cycles = %d", samples["cpu_cycles"], res.Stats.Cycles)
+	}
+	if samples["cpu_instructions"] != snap["cpu.instructions"] {
+		t.Errorf("served cpu_instructions = %d, snapshot = %d",
+			samples["cpu_instructions"], snap["cpu.instructions"])
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	reg, tracer, _, res := runCorpus(t, "calc")
+	srv := New(Config{
+		Program: "mipsrun", Args: []string{"-corpus", "calc"}, Engine: "fast",
+		Tracer: tracer, SampleInterval: 10 * time.Millisecond,
+	})
+	srv.AddSource("", reg)
+
+	// Drive the sampler by hand: two samples with work in between would
+	// show a rate; at quiescence the delta is zero, which must read as
+	// rate 0, not garbage.
+	srv.sample()
+	time.Sleep(15 * time.Millisecond)
+	srv.sample()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var st Status
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/status")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Program != "mipsrun" || st.Engine != "fast" {
+		t.Errorf("identity = %q/%q", st.Program, st.Engine)
+	}
+	if st.Totals.Cycles != res.Stats.Cycles {
+		t.Errorf("status cycles = %d, want %d", st.Totals.Cycles, res.Stats.Cycles)
+	}
+	if st.Rates.CyclesPerSec != 0 {
+		t.Errorf("quiescent rate = %f, want 0", st.Rates.CyclesPerSec)
+	}
+	if st.Trace == nil || st.Trace.Events == 0 {
+		t.Error("trace status missing or empty")
+	}
+}
+
+// TestStatusRates checks the sampler arithmetic on a hand-driven
+// counter: N increments over the sample window surface as a positive
+// rate.
+func TestStatusRates(t *testing.T) {
+	reg := trace.NewRegistry()
+	c := reg.Counter("cpu.instructions")
+	reg.Counter("cpu.cycles").Add(0)
+	srv := New(Config{Program: "test"})
+	srv.AddSource("", reg)
+	srv.sample()
+	c.Add(5000)
+	time.Sleep(20 * time.Millisecond)
+	srv.sample()
+	inst, _ := srv.rates()
+	if inst <= 0 {
+		t.Fatalf("instructions/sec = %f, want > 0", inst)
+	}
+}
+
+func TestServerStartServes(t *testing.T) {
+	reg, tracer, _, _ := runCorpus(t, "calc")
+	srv := New(Config{Program: "test", Tracer: tracer, SampleInterval: 20 * time.Millisecond})
+	srv.AddSource("", reg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body := get(t, "http://"+addr.String()+"/metrics")
+	if !strings.Contains(body, "cpu_cycles") {
+		t.Error("started server does not expose cpu_cycles")
+	}
+	if body := get(t, "http://"+addr.String()+"/"); !strings.Contains(body, "/trace/stream") {
+		t.Error("index does not list endpoints")
+	}
+}
+
+func TestProfileEndpointsWithoutProfiler(t *testing.T) {
+	srv := New(Config{Program: "test"})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/profile/flame", "/profile/top", "/trace/stream"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without backing = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"mips/internal/trace"
+)
+
+// The /trace/stream endpoint tails the trace ring as Server-Sent
+// Events. Each client gets its own bounded trace.Sink: the simulation
+// goroutine performs one non-blocking send per event, and when a slow
+// client falls behind, events are dropped and counted, never buffered
+// unboundedly and never allowed to stall the CPU. Drops surface on the
+// stream itself as `event: drops` frames at every heartbeat, so a
+// consumer always knows its view is partial.
+
+func (s *Server) handleTraceStream(w http.ResponseWriter, r *http.Request) {
+	t := s.cfg.Tracer
+	if t == nil {
+		http.Error(w, "tracer not attached (run with -serve and a trace flag)", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sink := t.Subscribe(s.cfg.SinkBuffer)
+	defer t.Unsubscribe(sink)
+
+	heartbeat := time.NewTicker(s.cfg.Heartbeat)
+	defer heartbeat.Stop()
+	var reported uint64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		case e := <-sink.Events():
+			if err := writeSSEEvent(w, e); err != nil {
+				return
+			}
+			// Drain whatever else is already buffered before flushing,
+			// so a fast producer amortizes the flush.
+		drain:
+			for i := 0; i < cap(sink.Events()); i++ {
+				select {
+				case e = <-sink.Events():
+					if err := writeSSEEvent(w, e); err != nil {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			if d := sink.Dropped(); d != reported {
+				reported = d
+				if _, err := fmt.Fprintf(w, "event: drops\ndata: {\"dropped\":%d}\n\n", d); err != nil {
+					return
+				}
+			} else if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSEEvent renders one trace event as an SSE frame with a JSON
+// payload. Fields mirror trace.Event; kind is the symbolic name.
+func writeSSEEvent(w http.ResponseWriter, e trace.Event) error {
+	_, err := fmt.Fprintf(w,
+		"event: trace\ndata: {\"seq\":%d,\"cycle\":%d,\"kind\":%q,\"pc\":%d,\"addr\":%d,\"arg\":%d,\"pid\":%d}\n\n",
+		e.Seq, e.Cycle, e.Kind.String(), e.PC, e.Addr, e.Arg, e.PID)
+	return err
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mips/internal/trace"
+)
+
+// sseClient opens /trace/stream and waits until the tracer sees the
+// subscription, so no emitted event can race past the subscribe.
+func sseClient(t *testing.T, url string, tr *trace.Tracer) (*http.Response, *bufio.Scanner) {
+	t.Helper()
+	resp, err := http.Get(url + "/trace/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream handler never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Fail the test rather than hang if the stream goes quiet.
+	timer := time.AfterFunc(10*time.Second, func() { resp.Body.Close() })
+	t.Cleanup(func() { timer.Stop(); resp.Body.Close() })
+	return resp, bufio.NewScanner(resp.Body)
+}
+
+func TestSSEStreamDeliversEvents(t *testing.T) {
+	tr := trace.NewTracer(64)
+	srv := New(Config{Program: "test", Tracer: tr, Heartbeat: 50 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close) // runs after sseClient's body-close cleanup
+	_, sc := sseClient(t, ts.URL, tr)
+
+	for i := 0; i < 5; i++ {
+		tr.Emit(trace.Event{Kind: trace.KindRetire, Cycle: uint64(100 + i), PC: uint32(i)})
+	}
+
+	type frame struct {
+		Seq   uint64 `json:"seq"`
+		Cycle uint64 `json:"cycle"`
+		Kind  string `json:"kind"`
+		PC    uint32 `json:"pc"`
+	}
+	var got []frame
+	var event string
+	for sc.Scan() && len(got) < 5 {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "trace":
+			var f frame
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err != nil {
+				t.Fatalf("bad frame %q: %v", line, err)
+			}
+			got = append(got, f)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d frames, want 5 (scan err %v)", len(got), sc.Err())
+	}
+	for i, f := range got {
+		if f.Seq != uint64(i) || f.Cycle != uint64(100+i) || f.Kind != "retire" || f.PC != uint32(i) {
+			t.Errorf("frame %d = %+v", i, f)
+		}
+	}
+}
+
+// TestSSEStreamReportsDrops is the bounded-backpressure criterion end
+// to end: a tiny sink buffer, a paused client, and a burst far larger
+// than every buffer in the path must surface a positive drop count on
+// the stream itself — and the emitting side must have completed the
+// whole burst without blocking.
+func TestSSEStreamReportsDrops(t *testing.T) {
+	tr := trace.NewTracer(64)
+	srv := New(Config{
+		Program: "test", Tracer: tr,
+		SinkBuffer: 4, Heartbeat: 20 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close) // runs after sseClient's body-close cleanup
+	_, sc := sseClient(t, ts.URL, tr)
+
+	// Burst without reading the stream: the client's socket fills, the
+	// handler blocks on write, the 4-slot sink overflows. If emission
+	// ever blocked on a slow consumer this loop would deadlock; its
+	// completion is itself part of the assertion.
+	const burst = 50000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < burst; i++ {
+			tr.Emit(trace.Event{Kind: trace.KindRetire, Cycle: uint64(i)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("emitter blocked: sink backpressure leaked into the hot path")
+	}
+
+	var drops uint64
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "drops":
+			var d struct {
+				Dropped uint64 `json:"dropped"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &d); err != nil {
+				t.Fatalf("bad drops frame %q: %v", line, err)
+			}
+			drops = d.Dropped
+		}
+		if drops > 0 {
+			break
+		}
+	}
+	if drops == 0 {
+		t.Fatalf("no drops reported after a %d-event burst into a 4-slot sink (scan err %v)", burst, sc.Err())
+	}
+}

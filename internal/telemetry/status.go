@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Status is the /status payload: who is running, how fast it is
+// retiring work (from the background sampler's snapshot deltas), and
+// how the trace stream is doing.
+type Status struct {
+	Program       string    `json:"program"`
+	Args          []string  `json:"args,omitempty"`
+	Engine        string    `json:"engine"`
+	Started       time.Time `json:"started"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+
+	Sources []string `json:"sources"`
+
+	Totals struct {
+		Instructions uint64 `json:"instructions"`
+		Cycles       uint64 `json:"cycles"`
+	} `json:"totals"`
+	Rates struct {
+		InstructionsPerSec float64 `json:"instructions_per_sec"`
+		CyclesPerSec       float64 `json:"cycles_per_sec"`
+	} `json:"rates"`
+
+	Trace *TraceStatus `json:"trace,omitempty"`
+}
+
+// TraceStatus summarizes the event ring and its live subscribers.
+type TraceStatus struct {
+	Events      uint64 `json:"events"`
+	Retained    int    `json:"retained"`
+	RingDropped uint64 `json:"ring_dropped"`
+	Subscribers int    `json:"subscribers"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := Status{
+		Program:       s.cfg.Program,
+		Args:          s.cfg.Args,
+		Engine:        s.cfg.Engine,
+		Started:       s.start,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	agg := s.aggregate()
+	st.Totals.Instructions = agg["cpu.instructions"]
+	st.Totals.Cycles = agg["cpu.cycles"]
+	st.Rates.InstructionsPerSec, st.Rates.CyclesPerSec = s.rates()
+	for _, src := range s.Sources() {
+		st.Sources = append(st.Sources, src.Label)
+	}
+	if t := s.cfg.Tracer; t != nil {
+		st.Trace = &TraceStatus{
+			Events:      t.Ring().Total(),
+			Retained:    t.Ring().Len(),
+			RingDropped: t.Ring().Dropped(),
+			Subscribers: t.Subscribers(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}

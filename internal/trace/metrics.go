@@ -6,51 +6,124 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
+
+// MetricKind classifies a registered metric for exposition (the
+// Prometheus TYPE line served by internal/telemetry).
+type MetricKind uint8
+
+const (
+	// MetricGauge is a level that may rise and fall (resident pages,
+	// pending DMA words).
+	MetricGauge MetricKind = iota
+	// MetricCounter is a monotonically non-decreasing total (cycles,
+	// instructions, page faults).
+	MetricCounter
+)
+
+func (k MetricKind) String() string {
+	if k == MetricCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// metricSource is one registered series: the sampling function plus the
+// exposition metadata.
+type metricSource struct {
+	fn   func() uint64
+	kind MetricKind
+	help string
+}
 
 // Registry is a set of named metrics: owned counters and sampled gauges.
 // The simulated layers (cpu, mem, kernel) are registered into one
 // registry, replacing scattered per-layer accessors with a uniform
 // snapshot/delta API. Sources are sampled only at Snapshot time, so a
 // registered machine pays nothing while running.
+//
+// Concurrency contract: each metric has a single writer — the goroutine
+// running the simulation it measures. Snapshot may be called from any
+// goroutine (the live telemetry server samples while the machine runs);
+// owned Counters are fully synchronized via atomics, and the standard
+// gauges registered by RegisterCPUStats read their fields with atomic
+// loads, so concurrent samples are never torn. Gauges that sample
+// through accessor methods (the kernel counters) are best-effort when
+// read mid-run: values are monotonic but may lag by an update.
 type Registry struct {
 	mu      sync.Mutex
-	sources map[string]func() uint64
+	sources map[string]metricSource
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{sources: make(map[string]func() uint64)}
+	return &Registry{sources: make(map[string]metricSource)}
 }
 
-// Counter is a registry-owned monotonic counter.
-type Counter struct{ n uint64 }
+// Counter is a registry-owned monotonic counter. It is safe for
+// concurrent use: increments are atomic, and Value (sampled by
+// Registry.Snapshot, possibly from the telemetry goroutine) is an
+// atomic load.
+type Counter struct{ n atomic.Uint64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Add adds n.
-func (c *Counter) Add(n uint64) { c.n += n }
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n }
+func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Counter registers and returns a new owned counter. Registering a
 // duplicate name panics: metric names identify series across runs.
 func (r *Registry) Counter(name string) *Counter {
 	c := &Counter{}
-	r.Gauge(name, c.Value)
+	r.register(name, metricSource{fn: c.Value, kind: MetricCounter})
 	return c
 }
 
-// Gauge registers a sampled metric: fn is called at every Snapshot.
+// Gauge registers a sampled level metric: fn is called at every
+// Snapshot.
 func (r *Registry) Gauge(name string, fn func() uint64) {
+	r.register(name, metricSource{fn: fn, kind: MetricGauge})
+}
+
+// CounterFunc registers a sampled metric that is semantically a
+// monotonic total — an externally-owned counter read at Snapshot time.
+// The distinction from Gauge is exposition metadata only.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	r.register(name, metricSource{fn: fn, kind: MetricCounter})
+}
+
+func (r *Registry) register(name string, src metricSource) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.sources[name]; dup {
 		panic(fmt.Sprintf("trace: duplicate metric %q", name))
 	}
-	r.sources[name] = fn
+	r.sources[name] = src
+}
+
+// Describe attaches help text to a registered metric, surfaced as the
+// HELP line of the Prometheus exposition. Describing an unregistered
+// name is a no-op.
+func (r *Registry) Describe(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if src, ok := r.sources[name]; ok {
+		src.help = help
+		r.sources[name] = src
+	}
+}
+
+// Meta returns a metric's kind and help text.
+func (r *Registry) Meta(name string) (MetricKind, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src := r.sources[name]
+	return src.kind, src.help
 }
 
 // Names returns the registered metric names, sorted.
@@ -70,8 +143,8 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := make(Snapshot, len(r.sources))
-	for n, fn := range r.sources {
-		s[n] = fn()
+	for n, src := range r.sources {
+		s[n] = src.fn()
 	}
 	return s
 }
@@ -79,13 +152,22 @@ func (r *Registry) Snapshot() Snapshot {
 // Snapshot is one sample of a registry: metric name to value.
 type Snapshot map[string]uint64
 
-// Delta returns the per-metric change since prev (s minus prev). Metrics
-// absent from prev are treated as starting at zero; metrics absent from
-// s are omitted.
+// Delta returns the per-metric change since prev (s minus prev). The
+// receiver is the newer snapshot; metrics absent from prev — counters
+// registered after prev was taken, such as a new experiment source
+// attached to a live telemetry server — are surfaced with their full
+// value (they started at zero). Metrics absent from s are omitted. A
+// metric that shrank reports 0 rather than a wrapped uint64: Delta is
+// meant for monotonic series, and a rate of "absurdly huge" is strictly
+// worse than "none" when a gauge dips between samples.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d := make(Snapshot, len(s))
 	for n, v := range s {
-		d[n] = v - prev[n]
+		if p := prev[n]; v >= p {
+			d[n] = v - p
+		} else {
+			d[n] = 0
+		}
 	}
 	return d
 }

@@ -53,6 +53,69 @@ func TestSnapshotDelta(t *testing.T) {
 	}
 }
 
+// TestSnapshotDeltaNewKeys pins the new-key contract the live telemetry
+// sampler depends on: counters present only in the newer snapshot —
+// sources registered between samples, e.g. a corebench registry
+// attached to a running server — surface with their full value, even
+// zero; counters that vanished are omitted; and a metric that shrank
+// clamps to 0 instead of wrapping.
+func TestSnapshotDeltaNewKeys(t *testing.T) {
+	prev := Snapshot{"old.gone": 5, "shrinks": 100}
+	cur := Snapshot{"appeared": 42, "appeared.zero": 0, "shrinks": 60}
+	d := cur.Delta(prev)
+	want := Snapshot{"appeared": 42, "appeared.zero": 0, "shrinks": 0}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("delta = %v, want %v", d, want)
+	}
+	if _, ok := d["old.gone"]; ok {
+		t.Fatal("metric absent from the newer snapshot must be omitted")
+	}
+}
+
+// TestCounterConcurrentSnapshot exercises the single-writer /
+// concurrent-sampler contract under the race detector: one goroutine
+// increments while another snapshots.
+func TestCounterConcurrentSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10000; i++ {
+			c.Inc()
+		}
+	}()
+	var last uint64
+	for i := 0; i < 100; i++ {
+		v := r.Snapshot()["events"]
+		if v < last {
+			t.Fatalf("counter went backwards: %d after %d", v, last)
+		}
+		last = v
+	}
+	<-done
+	if got := r.Snapshot()["events"]; got != 10000 {
+		t.Fatalf("final count = %d, want 10000", got)
+	}
+}
+
+func TestRegistryMeta(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits")
+	r.Gauge("level", func() uint64 { return 0 })
+	r.CounterFunc("sampled_total", func() uint64 { return 0 })
+	r.Describe("hits", "cache hits")
+	if k, h := r.Meta("hits"); k != MetricCounter || h != "cache hits" {
+		t.Fatalf("hits meta = %v %q", k, h)
+	}
+	if k, _ := r.Meta("level"); k != MetricGauge {
+		t.Fatalf("level kind = %v, want gauge", k)
+	}
+	if k, _ := r.Meta("sampled_total"); k != MetricCounter {
+		t.Fatalf("sampled_total kind = %v, want counter", k)
+	}
+}
+
 func TestSnapshotJSONRoundTrip(t *testing.T) {
 	s := Snapshot{"cpu.cycles": 123456, "cpu.nops": 789, "kernel.page_faults": 0}
 	var buf1, buf2 bytes.Buffer

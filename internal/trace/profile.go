@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"mips/internal/isa"
 )
@@ -44,6 +45,13 @@ type Profiler struct {
 	samples map[pcKey]*pcSample
 	loadUse [LoadUseMax + 1]uint64
 
+	// mu, when non-nil (Share), serializes the attribution hooks
+	// against concurrent readers — the live telemetry server's
+	// /profile endpoints walk the sample map while the simulation
+	// runs, and an unguarded map write under that walk would fault.
+	// Nil (the default) keeps the hot path lock-free.
+	mu *sync.Mutex
+
 	// pending[r] holds 1+seq of the youngest load into r whose first
 	// use has not been seen (0 = none).
 	pending [isa.NumRegs]uint64
@@ -65,6 +73,31 @@ type Symbol struct {
 // NewProfiler returns an empty profiler.
 func NewProfiler() *Profiler {
 	return &Profiler{samples: make(map[pcKey]*pcSample)}
+}
+
+// Share makes the profiler safe for concurrent readers: the attribution
+// hooks and the aggregate accessors (Flat, TotalCycles,
+// LoadUseHistogram, WriteReport) take a mutex. Call it before the run
+// starts — typically when a telemetry server is attached — and only
+// then: the lock costs one uncontended acquire per retired instruction,
+// which the default unshared profiler never pays. Symbol registration
+// (AddImage and friends) stays setup-time-only and is not guarded.
+func (p *Profiler) Share() {
+	if p.mu == nil {
+		p.mu = new(sync.Mutex)
+	}
+}
+
+func (p *Profiler) lock() {
+	if p.mu != nil {
+		p.mu.Lock()
+	}
+}
+
+func (p *Profiler) unlock() {
+	if p.mu != nil {
+		p.mu.Unlock()
+	}
 }
 
 // AddImage registers an image's symbols for per-function attribution of
@@ -129,6 +162,8 @@ func (p *Profiler) at(pc uint32, kernel bool) *pcSample {
 
 // step attributes one retired instruction word.
 func (p *Profiler) step(pc uint32, in isa.Instr, kernel bool) {
+	p.lock()
+	defer p.unlock()
 	p.seq++
 	s := p.at(pc, kernel)
 	s.cycles++
@@ -166,23 +201,29 @@ func (p *Profiler) step(pc uint32, in isa.Instr, kernel bool) {
 
 // stall attributes one interlock bubble.
 func (p *Profiler) stall(pc uint32, kernel bool) {
+	p.lock()
 	s := p.at(pc, kernel)
 	s.cycles++
 	s.stalls++
+	p.unlock()
 }
 
 // exception attributes a pipeline refill to the restart address in the
 // interrupted space.
 func (p *Profiler) exception(pc uint32, kernel bool) {
+	p.lock()
 	s := p.at(pc, kernel)
 	s.cycles += isa.PipeStages
 	s.excs++
+	p.unlock()
 }
 
 // TotalCycles sums the attributed cycles over every pc in both spaces.
 // With the profiler attached for a whole run it equals the CPU's
 // Stats.Cycles.
 func (p *Profiler) TotalCycles() uint64 {
+	p.lock()
+	defer p.unlock()
 	var n uint64
 	for _, s := range p.samples {
 		n += s.cycles
@@ -193,6 +234,8 @@ func (p *Profiler) TotalCycles() uint64 {
 // LoadUseHistogram returns the load-use distance counts: index i holds
 // distance i+1, and the final entry counts distances beyond LoadUseMax.
 func (p *Profiler) LoadUseHistogram() [LoadUseMax + 1]uint64 {
+	p.lock()
+	defer p.unlock()
 	return p.loadUse
 }
 
@@ -221,6 +264,8 @@ func (p *Profiler) Flat() []SymbolProfile {
 		kernel bool
 	}
 	agg := make(map[aggKey]*SymbolProfile)
+	p.lock()
+	defer p.unlock()
 	for k, s := range p.samples {
 		name, _, ok := p.Symbolize(k.pc, k.kernel)
 		if !ok {
@@ -290,12 +335,14 @@ func (p *Profiler) WriteReport(w io.Writer, topWords int) error {
 
 	type hot struct {
 		k pcKey
-		s *pcSample
+		s pcSample
 	}
+	p.lock()
 	words := make([]hot, 0, len(p.samples))
 	for k, s := range p.samples {
-		words = append(words, hot{k, s})
+		words = append(words, hot{k, *s})
 	}
+	p.unlock()
 	sort.Slice(words, func(i, j int) bool {
 		if words[i].s.cycles != words[j].s.cycles {
 			return words[i].s.cycles > words[j].s.cycles

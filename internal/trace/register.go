@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"sync/atomic"
+
 	"mips/internal/cpu"
 	"mips/internal/isa"
 	"mips/internal/kernel"
@@ -9,46 +11,67 @@ import (
 
 // RegisterCPUStats registers every field of a CPU's Stats under the
 // given prefix (conventionally "cpu."). The registry samples the struct
-// at snapshot time; nothing is added to the execution path.
+// at snapshot time; nothing is added to the execution path. The fields
+// are read with atomic loads so a live telemetry server sampling
+// mid-run never sees a torn value; the CPU goroutine remains the single
+// writer (see the Registry concurrency contract).
 func RegisterCPUStats(r *Registry, prefix string, st *cpu.Stats) {
-	g := func(name string, fn func() uint64) { r.Gauge(prefix+name, fn) }
-	g("instructions", func() uint64 { return st.Instructions })
-	g("pieces", func() uint64 { return st.Pieces })
-	g("nops", func() uint64 { return st.Nops })
-	g("cycles", func() uint64 { return st.Cycles })
-	g("stall_cycles", func() uint64 { return st.StallCycles })
-	g("data_cycles", func() uint64 { return st.DataCycles })
-	g("free_cycles", func() uint64 { return st.FreeCycles })
-	g("dma_cycles", func() uint64 { return st.DMACycles })
-	g("loads", func() uint64 { return st.Loads })
-	g("stores", func() uint64 { return st.Stores })
-	g("branches", func() uint64 { return st.Branches })
-	g("taken_branches", func() uint64 { return st.TakenBranches })
-	g("exceptions", st.TotalExceptions)
-	for c := isa.Cause(0); c < isa.NumCauses; c++ {
-		c := c
-		g("exceptions."+c.String(), func() uint64 { return st.Exceptions[c] })
+	c := func(name, help string, p *uint64) {
+		r.CounterFunc(prefix+name, func() uint64 { return atomic.LoadUint64(p) })
+		r.Describe(prefix+name, help)
+	}
+	c("instructions", "executed instruction words (one cycle each on the five-stage pipe)", &st.Instructions)
+	c("pieces", "executed non-nop pieces (a packed word contributes two)", &st.Pieces)
+	c("nops", "executed no-op words: the explicit cost of software interlocks", &st.Nops)
+	c("cycles", "total machine cycles: instructions plus refill and stall penalties", &st.Cycles)
+	c("stall_cycles", "hardware-interlock bubbles (interlocked counterfactual only)", &st.StallCycles)
+	c("data_cycles", "cycles whose data-memory slot carried a load or store", &st.DataCycles)
+	c("free_cycles", "cycles whose data-memory slot went unused (the paper's wasted bandwidth)", &st.FreeCycles)
+	c("dma_cycles", "free cycles actually consumed by the DMA engine", &st.DMACycles)
+	c("loads", "data-memory loads", &st.Loads)
+	c("stores", "data-memory stores", &st.Stores)
+	c("branches", "executed control-flow pieces", &st.Branches)
+	c("taken_branches", "control-flow pieces that transferred control", &st.TakenBranches)
+	r.CounterFunc(prefix+"exceptions", func() uint64 {
+		var n uint64
+		for i := range st.Exceptions {
+			n += atomic.LoadUint64(&st.Exceptions[i])
+		}
+		return n
+	})
+	r.Describe(prefix+"exceptions", "exception entries over all causes")
+	for cause := isa.Cause(0); cause < isa.NumCauses; cause++ {
+		c("exceptions."+cause.String(), "exception entries with primary cause "+cause.String(),
+			&st.Exceptions[cause])
 	}
 }
 
 // RegisterMachine registers a full kernel machine: the CPU stats under
 // "cpu." and the kernel's scheduling/paging counters under "kernel.".
+// The kernel counters sample through accessor methods and are
+// best-effort when read while the machine runs.
 func RegisterMachine(r *Registry, m *kernel.Machine) {
 	RegisterCPUStats(r, "cpu.", &m.CPU.Stats)
-	g := func(name string, fn func() uint64) { r.Gauge("kernel."+name, fn) }
-	g("page_faults", func() uint64 { return uint64(m.PageFaults()) })
-	g("context_switches", func() uint64 { return uint64(m.ContextSwitches()) })
-	g("evictions", func() uint64 { return uint64(m.Evictions()) })
-	g("disk_reads", func() uint64 { return uint64(m.DiskReads()) })
-	g("disk_writes", func() uint64 { return uint64(m.DiskWrites()) })
-	g("resident_pages", func() uint64 { return uint64(m.ResidentPages()) })
+	c := func(name, help string, fn func() uint64) {
+		r.CounterFunc("kernel."+name, fn)
+		r.Describe("kernel."+name, help)
+	}
+	c("page_faults", "demand-paging faults taken", func() uint64 { return uint64(m.PageFaults()) })
+	c("context_switches", "scheduler context switches", func() uint64 { return uint64(m.ContextSwitches()) })
+	c("evictions", "resident pages evicted", func() uint64 { return uint64(m.Evictions()) })
+	c("disk_reads", "pages read from the paging disk", func() uint64 { return uint64(m.DiskReads()) })
+	c("disk_writes", "pages written to the paging disk", func() uint64 { return uint64(m.DiskWrites()) })
+	r.Gauge("kernel.resident_pages", func() uint64 { return uint64(m.ResidentPages()) })
+	r.Describe("kernel.resident_pages", "pages currently resident in physical memory")
 }
 
 // RegisterDMA registers a DMA engine's transfer counters under the
 // given prefix (conventionally "dma.").
 func RegisterDMA(r *Registry, prefix string, d *mem.DMA) {
-	g := func(name string, fn func() uint64) { r.Gauge(prefix+name, fn) }
-	g("words_moved", d.Moved)
-	g("cycles_offered", d.Offered)
-	g("words_pending", func() uint64 { return uint64(d.Pending()) })
+	r.CounterFunc(prefix+"words_moved", d.Moved)
+	r.Describe(prefix+"words_moved", "words moved on stolen free memory cycles")
+	r.CounterFunc(prefix+"cycles_offered", d.Offered)
+	r.Describe(prefix+"cycles_offered", "free memory cycles offered to the DMA engine")
+	r.Gauge(prefix+"words_pending", func() uint64 { return uint64(d.Pending()) })
+	r.Describe(prefix+"words_pending", "words queued awaiting a free memory cycle")
 }

@@ -1,0 +1,58 @@
+package trace
+
+import "testing"
+
+// TestSinkBoundedDrop is the deterministic half of the SSE backpressure
+// guarantee: with no consumer draining, a sink holds exactly its buffer
+// and counts every overflow instead of blocking the emitter.
+func TestSinkBoundedDrop(t *testing.T) {
+	tr := NewTracer(16)
+	sink := tr.Subscribe(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: KindRetire, Cycle: uint64(i)})
+	}
+	if got := sink.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6 (10 emitted into a 4-slot buffer)", got)
+	}
+	if got := len(sink.ch); got != 4 {
+		t.Fatalf("buffered = %d, want 4", got)
+	}
+	// The buffered prefix arrives in order with ring-consistent Seq.
+	for i := 0; i < 4; i++ {
+		e := <-sink.Events()
+		if e.Seq != uint64(i) || e.Cycle != uint64(i) {
+			t.Fatalf("event %d = seq %d cycle %d", i, e.Seq, e.Cycle)
+		}
+	}
+	// The ring itself retained everything regardless of sink pressure.
+	if got := tr.Ring().Total(); got != 10 {
+		t.Fatalf("ring total = %d, want 10", got)
+	}
+}
+
+func TestSinkSubscribeUnsubscribe(t *testing.T) {
+	tr := NewTracer(16)
+	a := tr.Subscribe(8)
+	b := tr.Subscribe(8)
+	if got := tr.Subscribers(); got != 2 {
+		t.Fatalf("subscribers = %d, want 2", got)
+	}
+	tr.Emit(Event{Kind: KindRetire})
+	if len(a.ch) != 1 || len(b.ch) != 1 {
+		t.Fatal("both sinks should receive the event")
+	}
+	tr.Unsubscribe(a)
+	tr.Emit(Event{Kind: KindRetire})
+	if len(a.ch) != 1 {
+		t.Fatal("unsubscribed sink kept receiving")
+	}
+	if len(b.ch) != 2 {
+		t.Fatal("remaining sink missed an event")
+	}
+	tr.Unsubscribe(b)
+	if got := tr.Subscribers(); got != 0 {
+		t.Fatalf("subscribers = %d, want 0", got)
+	}
+	// Emitting with no subscribers is the zero-cost path.
+	tr.Emit(Event{Kind: KindRetire})
+}

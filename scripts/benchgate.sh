@@ -1,0 +1,35 @@
+#!/bin/sh
+# benchgate.sh — the benchmark regression gate: rerun the corebench
+# corpus and diff it against the committed baseline with cmd/benchdiff.
+# The simulator is deterministic, so any cycle delta is a real
+# behavioral change, and the gate can afford a tight threshold.
+#
+#   sh scripts/benchgate.sh            # gate against BENCH_baseline.json
+#   sh scripts/benchgate.sh -update    # rewrite the baseline in place
+#   BENCH_THRESHOLD=5 sh scripts/benchgate.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+base=${BENCH_BASELINE:-BENCH_baseline.json}
+threshold=${BENCH_THRESHOLD:-2}
+
+if [ "${1:-}" = "-update" ]; then
+    echo "==> corebench -> $base (baseline update)"
+    go run ./cmd/paperbench -j 0 -core-json "$base" corebench > /dev/null
+    echo "OK: baseline rewritten; commit $base with the change that moved it"
+    exit 0
+fi
+
+if [ ! -f "$base" ]; then
+    echo "benchgate: no baseline at $base — run 'sh scripts/benchgate.sh -update' and commit it" >&2
+    exit 1
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> corebench -> $tmp"
+go run ./cmd/paperbench -j 0 -core-json "$tmp" corebench > /dev/null
+
+echo "==> benchdiff -threshold $threshold $base (baseline) vs current"
+go run ./cmd/benchdiff -threshold "$threshold" "$base" "$tmp"
