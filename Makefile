@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt check race bench bench-all benchgate serve clean
+.PHONY: all build test vet fmt check race bench bench-all benchgate baseline serve clean
 
 all: build
 
@@ -41,6 +41,11 @@ bench-all:
 # Refresh the baseline with `sh scripts/benchgate.sh -update`.
 benchgate:
 	sh scripts/benchgate.sh
+
+# baseline rewrites BENCH_baseline.json from the current tree; commit
+# the result together with the change that moved it.
+baseline:
+	sh scripts/benchgate.sh -update
 
 # serve runs a corpus program with the live telemetry server attached:
 # /metrics, /trace/stream, /profile/flame, /profile/top, /status.

@@ -97,6 +97,31 @@ func BenchmarkPipelineSimulator(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
 }
 
+// BenchmarkPipelineFastPath measures the same workload on the
+// per-instruction predecoded fast path with the superblock engine off,
+// so the block engine's gain is one benchstat comparison away.
+func BenchmarkPipelineFastPath(b *testing.B) {
+	p, err := corpus.Get("fib")
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := codegen.RunMIPSWith(im, 100_000_000, codegen.RunOptions{NoBlocks: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Stats.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
 // BenchmarkPipelineReference measures the same workload on the
 // reference (non-predecoded) execution path, so the fast path's gain is
 // one benchstat comparison away.

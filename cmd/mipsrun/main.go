@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	mipsrun [-max N] [-stats] [-kernel] [-timer N] [-reference]
+//	mipsrun [-max N] [-stats] [-kernel] [-timer N] [-reference] [-blocks=false]
 //	        [-prof] [-trace N] [-trace-json FILE] [-metrics FILE]
 //	        [-flame FILE] [-serve ADDR] [-corpus NAME]
 //	        image.img ...
@@ -56,6 +56,7 @@ func main() {
 	useKernel := flag.Bool("kernel", false, "run under the kernel with demand paging")
 	timer := flag.Uint("timer", 0, "timer period in user instructions (0 = off; implies -kernel)")
 	reference := flag.Bool("reference", false, "run the reference interpreter instead of the fast path")
+	blocks := flag.Bool("blocks", true, "enable the superblock translation engine (cached basic blocks with chaining)")
 	traceN := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
 	traceJSON := flag.String("trace-json", "", "write Chrome trace_event JSON to this file")
 	traceBuf := flag.Int("trace-buf", trace.DefaultRingCap, "event ring capacity")
@@ -127,9 +128,12 @@ func main() {
 	}
 	registry := trace.NewRegistry()
 
-	engine := "fast"
-	if *reference {
+	engine := "blocks"
+	switch {
+	case *reference:
 		engine = "reference"
+	case !*blocks:
+		engine = "fast"
 	}
 	var srv *telemetry.Server
 	var liveURL string
@@ -148,16 +152,19 @@ func main() {
 	}
 
 	var st *cpu.Stats
+	var ts *cpu.TranslationStats
 	if *useKernel || *timer > 0 || len(images) > 1 {
 		m, err := kernel.NewMachine(kernel.Config{TimerPeriod: uint32(*timer)})
 		if err != nil {
 			fatal(err)
 		}
 		m.CPU.SetFastPath(!*reference)
+		m.CPU.SetBlocks(*blocks)
 		if obs != nil {
 			obs.AttachMachine(m)
 		}
 		trace.RegisterMachine(registry, m)
+		ts = &m.CPU.Trans
 		for i, im := range images {
 			if _, err := m.AddProcess(im, 16); err != nil {
 				fatal(fmt.Errorf("%s: %w", imageNames[i], err))
@@ -171,11 +178,14 @@ func main() {
 	} else {
 		res, err := codegen.RunMIPSWith(images[0], *maxSteps, codegen.RunOptions{
 			Reference: *reference,
+			NoBlocks:  !*blocks,
 			Attach: func(c *cpu.CPU) {
 				if obs != nil {
 					obs.Attach(c)
 				}
 				trace.RegisterCPUStats(registry, "cpu.", &c.Stats)
+				trace.RegisterTranslation(registry, "xlate.", &c.Trans)
+				ts = &c.Trans
 			},
 		})
 		fmt.Print(res.Output)
@@ -187,6 +197,9 @@ func main() {
 
 	if *stats {
 		fmt.Fprintf(os.Stderr, "mipsrun: %s\n", st)
+		if ts != nil {
+			fmt.Fprintf(os.Stderr, "mipsrun: %s\n", ts)
+		}
 	}
 	if profiler != nil && *prof {
 		if err := profiler.WriteReport(os.Stderr, *profTop); err != nil {

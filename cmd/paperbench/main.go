@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	paperbench [-core-json FILE] [-j N] [-serve ADDR] [experiment ...]
+//	paperbench [-core-json FILE] [-j N] [-serve ADDR] [-blocks=false]
+//	           [experiment ...]
 //
 // With no arguments every experiment runs in paper order. Experiment
 // names: table1..table11, figure1..figure4, freecycles, ctxswitch,
@@ -36,6 +37,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"mips/internal/cpu"
 	"mips/internal/tables"
 	"mips/internal/telemetry"
 	"mips/internal/trace"
@@ -45,7 +47,13 @@ func main() {
 	coreJSON := flag.String("core-json", "BENCH_core.json", "file for the corebench metrics JSON (empty to disable)")
 	workers := flag.Int("j", 1, "experiment worker count (0 = one per CPU)")
 	serve := flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :9417)")
+	blocks := flag.Bool("blocks", true, "run simulations on the superblock translation engine")
 	flag.Parse()
+	// The experiments build their machines deep inside the tables
+	// package; the process-wide default is the one knob that reaches
+	// every one of them. Results are engine-independent — this only
+	// changes how fast the evaluation runs.
+	cpu.SetDefaultBlocks(*blocks)
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[a] = true

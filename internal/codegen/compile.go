@@ -61,6 +61,10 @@ type RunOptions struct {
 	// Reference runs the CPU's reference execution path instead of the
 	// predecoded fast path; the differential tests compare the two.
 	Reference bool
+	// NoBlocks disables the superblock translation engine, leaving the
+	// per-instruction predecoded fast path. The differential tests
+	// compare block execution against it.
+	NoBlocks bool
 	// Attach, if non-nil, is called with the constructed CPU after the
 	// bare machine is assembled and before execution begins — the hook
 	// point for tracers, profilers, and metrics registries.
@@ -76,6 +80,9 @@ func RunMIPSWith(im *isa.Image, maxSteps uint64, opt RunOptions) (RunResult, err
 	c.Interlocked = opt.Interlocked
 	if opt.Reference {
 		c.SetFastPath(false)
+	}
+	if opt.NoBlocks {
+		c.SetBlocks(false)
 	}
 	var out strings.Builder
 	c.SetTrapHook(func(code uint16) {

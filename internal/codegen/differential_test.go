@@ -42,8 +42,14 @@ func (e *eventHasher) event(tag byte, args ...uint32) {
 }
 
 // attach registers the hasher on every observer hook the CPU offers.
-func (e *eventHasher) attach(c *cpu.CPU) {
-	c.SetStepHook(func(pc uint32, in isa.Instr) { e.event('s', pc) })
+// stepHook selects whether the per-instruction step hook is included: a
+// step hook forces the exact engine by design (the documented fallback
+// rule), so comparisons that must exercise the superblock engine attach
+// everything except it.
+func (e *eventHasher) attach(c *cpu.CPU, stepHook bool) {
+	if stepHook {
+		c.SetStepHook(func(pc uint32, in isa.Instr) { e.event('s', pc) })
+	}
 	c.SetMemHook(func(pc, addr uint32, store bool) { e.event('m', pc, addr, b2u(store)) })
 	c.SetBranchHook(func(pc, target uint32, taken bool) { e.event('b', pc, target, b2u(taken)) })
 	c.SetExcHook(func(pc uint32, primary, secondary isa.Cause, trapCode uint16) {
@@ -67,23 +73,22 @@ type machineImage struct {
 	events uint64 // event-stream hash
 	mem    uint64 // final data-memory hash
 	regs   [isa.NumRegs]uint32
+	trans  cpu.TranslationStats
 }
 
 // runImage executes a compiled image on the bare machine with full
 // observability and captures the run's observable state.
-func runImage(t *testing.T, im *isa.Image, reference bool) machineImage {
+func runImage(t *testing.T, im *isa.Image, opt RunOptions, stepHook bool) machineImage {
 	t.Helper()
 	eh := newEventHasher()
 	var cc *cpu.CPU
-	res, err := RunMIPSWith(im, 200_000_000, RunOptions{
-		Reference: reference,
-		Attach: func(c *cpu.CPU) {
-			cc = c
-			eh.attach(c)
-		},
-	})
+	opt.Attach = func(c *cpu.CPU) {
+		cc = c
+		eh.attach(c, stepHook)
+	}
+	res, err := RunMIPSWith(im, 200_000_000, opt)
 	if err != nil {
-		t.Fatalf("run (reference=%v): %v", reference, err)
+		t.Fatalf("run (reference=%v, noblocks=%v): %v", opt.Reference, opt.NoBlocks, err)
 	}
 	mh := fnv.New64a()
 	var word [4]byte
@@ -99,6 +104,7 @@ func runImage(t *testing.T, im *isa.Image, reference bool) machineImage {
 		mem:    mh.Sum64(),
 	}
 	copy(img.regs[:], cc.Regs[:])
+	img.trans = cc.Trans
 	return img
 }
 
@@ -117,8 +123,8 @@ func TestFastPathMatchesReference(t *testing.T) {
 			if err != nil {
 				t.Fatalf("compile: %v", err)
 			}
-			fast := runImage(t, im, false)
-			ref := runImage(t, im, true)
+			fast := runImage(t, im, RunOptions{}, true)
+			ref := runImage(t, im, RunOptions{Reference: true}, true)
 			if fast.output != ref.output {
 				t.Errorf("output diverges:\n fast %q\n  ref %q", fast.output, ref.output)
 			}
@@ -135,6 +141,55 @@ func TestFastPathMatchesReference(t *testing.T) {
 				t.Error("observer event streams diverge")
 			}
 		})
+	}
+}
+
+// TestBlocksMatchFastPath runs every non-heavy corpus program on the
+// superblock translation engine and on the per-instruction fast path
+// and demands identical observable machines. The step hook is omitted —
+// it forces the exact engine — so the event streams compare memory,
+// branch, exception, RFE, and stall events, all of which the block
+// engine must deliver with exact per-instruction arguments.
+func TestBlocksMatchFastPath(t *testing.T) {
+	var chained uint64
+	for _, p := range corpus.All() {
+		if p.Heavy {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			im, _, err := CompileMIPS(p.Source, MIPSOptions{}, reorg.All())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			blk := runImage(t, im, RunOptions{}, false)
+			fast := runImage(t, im, RunOptions{NoBlocks: true}, false)
+			if blk.output != fast.output {
+				t.Errorf("output diverges:\n blocks %q\n   fast %q", blk.output, fast.output)
+			}
+			if blk.stats != fast.stats {
+				t.Errorf("stats diverge:\n blocks %+v\n   fast %+v", blk.stats, fast.stats)
+			}
+			if blk.regs != fast.regs {
+				t.Errorf("final registers diverge:\n blocks %v\n   fast %v", blk.regs, fast.regs)
+			}
+			if blk.mem != fast.mem {
+				t.Error("final physical memory diverges")
+			}
+			if blk.events != fast.events {
+				t.Error("observer event streams diverge")
+			}
+			if blk.trans.BlockTranslations == 0 {
+				t.Error("block engine translated nothing; the comparison is vacuous")
+			}
+			if fast.trans.BlockTranslations != 0 {
+				t.Error("NoBlocks run built superblocks")
+			}
+			chained += blk.trans.BlockChained
+		})
+	}
+	if chained == 0 {
+		t.Error("no corpus program took a chained block entry")
 	}
 }
 
@@ -165,12 +220,13 @@ end.
 		switches uint32
 		stats    cpu.Stats
 	}
-	run := func(reference bool) kernelImage {
+	run := func(engine string) kernelImage {
 		m, err := kernel.NewMachine(kernel.Config{TimerPeriod: 1000})
 		if err != nil {
 			t.Fatalf("machine: %v", err)
 		}
-		m.CPU.SetFastPath(!reference)
+		m.CPU.SetFastPath(engine != "reference")
+		m.CPU.SetBlocks(engine == "blocks")
 		if _, err := m.AddProcess(im, 16); err != nil {
 			t.Fatalf("add process: %v", err)
 		}
@@ -178,7 +234,7 @@ end.
 			t.Fatalf("add process: %v", err)
 		}
 		if _, err := m.Run(50_000_000); err != nil {
-			t.Fatalf("run (reference=%v): %v", reference, err)
+			t.Fatalf("run (%s): %v", engine, err)
 		}
 		return kernelImage{
 			console:  m.ConsoleOutput(),
@@ -187,9 +243,13 @@ end.
 			stats:    m.CPU.Stats,
 		}
 	}
-	fast := run(false)
-	ref := run(true)
+	blocks := run("blocks")
+	fast := run("fast")
+	ref := run("reference")
 	if fast != ref {
 		t.Errorf("kernel machines diverge:\n fast %+v\n  ref %+v", fast, ref)
+	}
+	if blocks != fast {
+		t.Errorf("kernel machines diverge:\n blocks %+v\n   fast %+v", blocks, fast)
 	}
 }

@@ -265,6 +265,82 @@ func rewriteWord(in isa.Instr) isa.Instr {
 	return out
 }
 
+// TestFuzzBlocksSelfModify is the superblock engine's self-modification
+// property test. A step hook would force the exact engine, so the
+// mutation schedule rides the exception hook instead — it fires on
+// every monitor trap (writeint), which both engines deliver at
+// identical points. Each mutation follows the harness self-modification
+// contract: rewrite the IMem word (what the CPU executes and validates)
+// AND touch the physical word (what fires the write barrier). Chained
+// block entries skip per-entry revalidation by design, so an engine
+// that misses a barrier invalidation replays a stale block and
+// diverges.
+func TestFuzzBlocksSelfModify(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		src := generate(seed)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		want, err := (&lang.Interp{Fuel: 100_000_000}).Run(prog)
+		if err != nil {
+			t.Fatalf("seed %d: interp: %v\n%s", seed, err, src)
+		}
+		im, _, err := CompileMIPS(src, MIPSOptions{}, reorg.All())
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+
+		run := func(noBlocks bool) RunResult {
+			var excs uint64
+			res, err := RunMIPSWith(im, 200_000_000, RunOptions{
+				NoBlocks: noBlocks,
+				Attach: func(c *cpu.CPU) {
+					c.SetExcHook(func(pc uint32, primary, secondary isa.Cause, trapCode uint16) {
+						excs++
+						if excs%2 != 0 {
+							return
+						}
+						phys := c.Bus.MMU.Phys
+						for off := uint32(0); off < 6; off++ {
+							a := pc + off
+							if a < uint32(len(c.IMem)) {
+								c.IMem[a] = rewriteWord(c.IMem[a])
+								// Barrier-only touch: same value back, so
+								// data memory is unchanged but every block
+								// caching this word is dropped.
+								phys.Poke(a, phys.Peek(a))
+							}
+						}
+					})
+				},
+			})
+			if err != nil {
+				t.Fatalf("seed %d (noblocks=%v): run: %v\n%s", seed, noBlocks, err, src)
+			}
+			return res
+		}
+		blk := run(false)
+		fast := run(true)
+		if blk.Output != want {
+			t.Fatalf("seed %d: block engine diverged under self-modification\n got %q\nwant %q\n%s",
+				seed, blk.Output, want, src)
+		}
+		if fast.Output != want {
+			t.Fatalf("seed %d: fast path diverged under self-modification\n got %q\nwant %q\n%s",
+				seed, fast.Output, want, src)
+		}
+		if blk.Stats != fast.Stats {
+			t.Fatalf("seed %d: stats diverge under self-modification\n blocks %+v\n   fast %+v\n%s",
+				seed, blk.Stats, fast.Stats, src)
+		}
+	}
+}
+
 // TestFuzzSelfModifyDifferential runs generated programs while a step
 // hook keeps storing into instruction memory — rewriting words in a
 // deterministic pattern — on both execution engines. The rewrites are

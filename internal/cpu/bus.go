@@ -72,6 +72,13 @@ func (b *Bus) device(phys uint32) Device {
 // Read fetches a data word. mapped selects whether the segmentation and
 // page map translate the address.
 func (b *Bus) Read(addr uint32, mapped bool) (uint32, *mem.Fault) {
+	if !mapped && len(b.devices) == 0 {
+		// Unmapped access on a deviceless bus: translation is the
+		// identity and no device can claim the address. LastFault is
+		// only ever set by translation faults, so this path preserves
+		// it exactly.
+		return b.MMU.Phys.Read(addr)
+	}
 	pa, f := b.MMU.Translate(addr, false, mapped)
 	if f != nil {
 		b.LastFault = f
@@ -85,6 +92,9 @@ func (b *Bus) Read(addr uint32, mapped bool) (uint32, *mem.Fault) {
 
 // Write stores a data word.
 func (b *Bus) Write(addr, val uint32, mapped bool) *mem.Fault {
+	if !mapped && len(b.devices) == 0 {
+		return b.MMU.Phys.Write(addr, val)
+	}
 	pa, f := b.MMU.Translate(addr, true, mapped)
 	if f != nil {
 		b.LastFault = f

@@ -83,8 +83,16 @@ type CPU struct {
 	pcq [pcqCap]uint32
 	pcn int // number of valid entries in pcq
 
-	// pending holds load results not yet visible in the register file.
-	pending []delayedWrite
+	// pend holds load results not yet visible in the register file
+	// (pendN live entries, issue-ordered). A fixed array: the load
+	// delay bounds the in-flight count, and keeping it pointer-free
+	// spares the hot path any write-barrier traffic.
+	pend  [4]delayedWrite
+	pendN int
+
+	// excSeq counts exception entries; the block engine compares it
+	// across a block to notice a supervisor transition cheaply.
+	excSeq uint64
 
 	// lastWrite tracks the sequence number of the latest architectural
 	// write to each register, so a delayed load commit never clobbers a
@@ -103,6 +111,25 @@ type CPU struct {
 	fastpath bool
 	pd       []decoded
 	pdMask   uint32
+
+	// blocks selects the superblock engine layered above the fast path
+	// (block.go). bc is its direct-mapped cache of translated blocks,
+	// liveBlocks the dense list the write barrier walks, codeBits the
+	// coverage bitmap the barrier prefilters with, lastBlk the chain
+	// source for the next block entry, and barrierOn records that the
+	// physical-memory write barrier has been installed.
+	blocks     bool
+	bc         []*block
+	bcMask     uint32
+	liveBlocks []*block
+	codeBits   []uint64
+	lastBlk    *block
+	barrierOn  bool
+
+	// Trans counts translation-layer behavior (predecode and superblock
+	// caches). It lives outside Stats so the execution engines remain
+	// statistics-identical under the differential tests.
+	Trans TranslationStats
 
 	seq     uint64
 	intLine bool
@@ -124,11 +151,20 @@ type delayedWrite struct {
 	commitAt uint64
 }
 
+// defaultBlocks is the superblock-engine setting newly built CPUs
+// start with; SetDefaultBlocks lets command-line tools apply a -blocks
+// flag to machines they do not construct directly.
+var defaultBlocks = true
+
+// SetDefaultBlocks sets whether CPUs built by New start with the
+// superblock engine enabled.
+func SetDefaultBlocks(on bool) { defaultBlocks = on }
+
 // New builds a CPU over the given bus, starting at word address 0 in
 // supervisor state with mapping and interrupts disabled — the power-up
 // reset condition. The predecoded fast path is enabled.
 func New(bus *Bus) *CPU {
-	c := &CPU{Bus: bus, fastpath: true}
+	c := &CPU{Bus: bus, fastpath: true, blocks: defaultBlocks}
 	c.Sur = c.Sur.SetSupervisor(true)
 	c.pcq[0], c.pcn = 0, 1
 	c.pd = make([]decoded, pdMinEntries)
@@ -143,7 +179,7 @@ func (c *CPU) Reset() {
 	c.Sur = isa.Surprise(0).SetSupervisor(true).WithCauses(isa.CauseReset, isa.CauseNone)
 	c.Ret = [3]uint32{}
 	c.pcq[0], c.pcn = 0, 1
-	c.pending = c.pending[:0]
+	c.pendN = 0
 	c.lastWrite = [isa.NumRegs]uint64{}
 	c.Halted = false
 	c.intLine = false
@@ -157,6 +193,14 @@ func (c *CPU) SetFastPath(on bool) { c.fastpath = on }
 
 // FastPath reports whether the predecoded fast path is active.
 func (c *CPU) FastPath() bool { return c.fastpath }
+
+// SetBlocks selects whether the superblock engine may run. It layers
+// on the fast path, so SetFastPath(false) also disables it; per-step
+// tracers (SetStepHook) and Interlocked mode suspend it automatically.
+func (c *CPU) SetBlocks(on bool) { c.blocks = on }
+
+// Blocks reports whether the superblock engine is enabled.
+func (c *CPU) Blocks() bool { return c.blocks }
 
 // PC returns the address of the next instruction to execute.
 func (c *CPU) PC() uint32 { return c.pcq[0] }
@@ -172,10 +216,12 @@ func (c *CPU) setPCQueue(a, b, d uint32) {
 	c.pcn = 3
 }
 
-// popPC removes and returns the head of the fetch queue.
+// popPC removes and returns the head of the fetch queue. The shift
+// moves fixed slots (dead tail entries included) so it compiles to
+// register moves instead of a bounded memmove.
 func (c *CPU) popPC() uint32 {
 	pc := c.pcq[0]
-	copy(c.pcq[:], c.pcq[1:c.pcn])
+	c.pcq[0], c.pcq[1], c.pcq[2] = c.pcq[1], c.pcq[2], c.pcq[3]
 	c.pcn--
 	return pc
 }
@@ -183,7 +229,7 @@ func (c *CPU) popPC() uint32 {
 // pushPC re-queues a word address at the head of the fetch queue (the
 // restart of a faulted instruction).
 func (c *CPU) pushPC(pc uint32) {
-	copy(c.pcq[1:c.pcn+1], c.pcq[:c.pcn])
+	c.pcq[3], c.pcq[2], c.pcq[1] = c.pcq[2], c.pcq[1], c.pcq[0]
 	c.pcq[0] = pc
 	c.pcn++
 }
@@ -256,6 +302,7 @@ func (c *CPU) LoadImage(im *isa.Image) error {
 		c.Bus.MMU.Phys.Poke(uint32(addr), val)
 	}
 	c.InvalidateDecoded()
+	c.InvalidateBlocks()
 	c.SetPC(uint32(im.Entry))
 	return nil
 }
@@ -280,19 +327,27 @@ func (c *CPU) scheduleBranch(target uint32, delay int) {
 
 // commitLoads applies pending load results that have reached their
 // commit time, unless a younger write already replaced the register.
+// Entries are appended in issue order with a fixed delay, so the due
+// ones always form a prefix.
 func (c *CPU) commitLoads() {
-	kept := c.pending[:0]
-	for _, w := range c.pending {
-		if w.commitAt > c.seq {
-			kept = append(kept, w)
-			continue
-		}
+	i := 0
+	for i < c.pendN && c.pend[i].commitAt <= c.seq {
+		w := &c.pend[i]
 		if c.lastWrite[w.reg] <= w.issuedAt {
 			c.Regs[w.reg] = w.val
 			c.lastWrite[w.reg] = w.issuedAt
 		}
+		i++
 	}
-	c.pending = kept
+	if i == 0 {
+		return
+	}
+	n := 0
+	for j := i; j < c.pendN; j++ {
+		c.pend[n] = c.pend[j]
+		n++
+	}
+	c.pendN = n
 }
 
 // readReg reads a register for operand use. Without interlocks a
@@ -300,11 +355,13 @@ func (c *CPU) commitLoads() {
 // notified. With interlocks the pipe stalls until the load commits.
 func (c *CPU) readReg(r isa.Reg, pc uint32) uint32 {
 	if c.Interlocked {
-		kept := c.pending[:0]
 		stalled := false
-		for _, w := range c.pending {
+		n := 0
+		for j := 0; j < c.pendN; j++ {
+			w := c.pend[j]
 			if w.reg != r {
-				kept = append(kept, w)
+				c.pend[n] = w
+				n++
 				continue
 			}
 			// Stall: the value arrives now, one bubble charged.
@@ -315,7 +372,7 @@ func (c *CPU) readReg(r isa.Reg, pc uint32) uint32 {
 			stalled = true
 		}
 		if stalled {
-			c.pending = kept
+			c.pendN = n
 			c.Stats.StallCycles++
 			c.Stats.Cycles++
 			if c.onStall != nil {
@@ -325,8 +382,8 @@ func (c *CPU) readReg(r isa.Reg, pc uint32) uint32 {
 		return c.Regs[r]
 	}
 	if c.audit != nil {
-		for _, w := range c.pending {
-			if w.reg == r {
+		for j := 0; j < c.pendN; j++ {
+			if c.pend[j].reg == r {
 				c.audit(Hazard{Seq: c.seq, PC: pc, Reg: r})
 			}
 		}
@@ -350,22 +407,38 @@ func (c *CPU) writeReg(r isa.Reg, v uint32) {
 // writeLoad schedules a load result: invisible to the next instruction,
 // visible to the one after (load delay 1).
 func (c *CPU) writeLoad(r isa.Reg, v uint32) {
-	c.pending = append(c.pending, delayedWrite{
+	if c.pendN == len(c.pend) {
+		// Cannot happen architecturally (the fixed load delay bounds
+		// the in-flight count well below the capacity), but stay safe:
+		// retire the oldest entry early.
+		w := &c.pend[0]
+		if c.lastWrite[w.reg] <= w.issuedAt {
+			c.Regs[w.reg] = w.val
+			c.lastWrite[w.reg] = w.issuedAt
+		}
+		for j := 1; j < c.pendN; j++ {
+			c.pend[j-1] = c.pend[j]
+		}
+		c.pendN--
+	}
+	c.pend[c.pendN] = delayedWrite{
 		reg: r, val: v, issuedAt: c.seq, commitAt: c.seq + 1 + isa.LoadDelay,
-	})
+	}
+	c.pendN++
 }
 
 // flushPending completes all in-flight load writes immediately — the
 // pipeline drain of exception entry: "an attempt is made to complete
 // any unfinished instructions" (paper §3.3).
 func (c *CPU) flushPending() {
-	for _, w := range c.pending {
+	for j := 0; j < c.pendN; j++ {
+		w := &c.pend[j]
 		if c.lastWrite[w.reg] <= w.issuedAt {
 			c.Regs[w.reg] = w.val
 			c.lastWrite[w.reg] = w.issuedAt
 		}
 	}
-	c.pending = c.pending[:0]
+	c.pendN = 0
 }
 
 // exception performs the architectural exception sequence (paper §3.3).
@@ -373,6 +446,7 @@ func (c *CPU) flushPending() {
 // fetch queue still has it at the head, so it becomes the first return
 // address and will re-execute on return.
 func (c *CPU) exception(primary, secondary isa.Cause, trapCode uint16) {
+	c.excSeq++
 	c.flushPending()
 	c.fill()
 	c.Ret[0], c.Ret[1], c.Ret[2] = c.pcq[0], c.pcq[1], c.pcq[2]
@@ -405,6 +479,15 @@ func privileged(in isa.Instr) bool {
 func (c *CPU) Step() error {
 	if c.Halted {
 		return ErrHalted
+	}
+	// Superblock dispatch: when the fetch queue holds no in-flight
+	// branch target, its head is a block entry point and the whole
+	// straight-line run executes as one translated block. Per-step
+	// tracers and interlock mode need per-instruction stepping, and a
+	// false return (unresolvable entry) falls through to the exact path.
+	if c.blocks && c.fastpath && !c.Interlocked && c.onStep == nil &&
+		c.queueSequential() && c.stepBlocks() {
+		return nil
 	}
 	c.seq++
 	c.commitLoads()

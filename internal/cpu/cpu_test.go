@@ -503,6 +503,11 @@ func TestInterruptTakenBetweenInstructions(t *testing.T) {
 	)
 	// Interrupts are deferred in supervisor state, so run at user level.
 	c.Sur = c.Sur.SetSupervisor(false).SetInterrupts(true)
+	// The test raises the line externally between two specific
+	// instructions, which needs per-instruction Step granularity; the
+	// superblock engine would run the whole straight-line block in the
+	// first Step, before the line rises.
+	c.SetBlocks(false)
 	c.SetPC(3)
 	if err := c.Step(); err != nil { // executes instr 3
 		t.Fatal(err)

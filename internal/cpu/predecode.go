@@ -37,6 +37,12 @@ const (
 const (
 	fNop  uint8 = 1 << iota // the word performs no work
 	fPriv                   // some piece requires supervisor privilege
+	// fEager marks a block-body load whose delayed commit is
+	// statically unobservable (the next word neither reads the
+	// destination nor can stop the machine), so the block engine
+	// writes the register immediately. Set only on block-private
+	// records, never in the predecode cache.
+	fEager
 )
 
 // fastOp is a predecoded operand: either an immediate value, already
@@ -71,6 +77,15 @@ type decoded struct {
 	src isa.Instr
 
 	flags uint8
+	// bclass is the lean execution class the superblock engine assigns
+	// at block translation (blockcache.go); predecode-cache records
+	// leave it at bcGeneral, which is always safe.
+	bclass uint8
+	// nopRun is the length of the consecutive nop run starting at this
+	// word, set only on block-body records: the block engine retires a
+	// whole run with bulk accounting when nothing can observe the
+	// intermediate cycles.
+	nopRun uint8
 
 	// ALU slot (PieceALU or PieceSetCond); PieceNop when absent.
 	aluKind    isa.PieceKind
@@ -192,7 +207,16 @@ func (c *CPU) fetchFast(pc uint32) (*decoded, *mem.Fault) {
 	}
 	d := c.pdSlot(pa)
 	if d.pa != pa || d.src != in {
+		// A populated slot bound to a different physical address is a
+		// direct-mapped collision: the aliasing case the d.pa binding
+		// exists to keep from cross-validating.
+		if d.pa != pa && (d.src.ALU != nil || d.src.Mem != nil) {
+			c.Trans.PredecodeCollisions++
+		}
+		c.Trans.PredecodeMisses++
 		decodeWord(d, pa, in)
+	} else {
+		c.Trans.PredecodeHits++
 	}
 	return d, nil
 }

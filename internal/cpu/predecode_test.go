@@ -107,12 +107,14 @@ func TestPredecodeSurvivesLoadImageReuse(t *testing.T) {
 // no more.
 func TestSteadyStateZeroAlloc(t *testing.T) {
 	for _, tc := range []struct {
-		name string
-		fast bool
-	}{{"fast", true}, {"reference", false}} {
+		name   string
+		fast   bool
+		blocks bool
+	}{{"blocks", true, true}, {"fast", true, false}, {"reference", false, false}} {
 		t.Run(tc.name, func(t *testing.T) {
 			c := loopCPU(2_000_000)
 			c.SetFastPath(tc.fast)
+			c.SetBlocks(tc.blocks)
 			// Warm up: caches filled, pending-write slices at capacity.
 			for i := 0; i < 64; i++ {
 				if err := c.Step(); err != nil {
@@ -145,6 +147,57 @@ func TestFastPathToggle(t *testing.T) {
 	run(t, c, 10_000)
 	if c.Regs[2] != 500 {
 		t.Errorf("r2 = %d, want 500", c.Regs[2])
+	}
+}
+
+// TestPredecodeSlotAliasing pins the direct-mapped collision case: two
+// physical addresses pdMaxEntries apart share a slot once the cache is
+// at full size, and the record's pa binding must keep them from
+// cross-validating — each fetch at the other address is a counted
+// collision miss that redecodes, never a false hit.
+func TestPredecodeSlotAliasing(t *testing.T) {
+	c := newTestCPU(halt)
+	const lo = uint32(2)
+	const hi = lo + pdMaxEntries
+	c.IMem = make([]isa.Instr, hi+4)
+	c.IMem[lo] = w(isa.Mov(1, isa.Imm(7)))
+	c.IMem[hi] = w(isa.Mov(1, isa.Imm(9)))
+
+	// The first high fetch grows the cache to its full size (replacing
+	// the backing array), so it runs before any slot pointer is taken.
+	d1, f := c.fetchFast(hi)
+	if f != nil {
+		t.Fatalf("fetch hi: %v", f)
+	}
+	if d1.pa != hi || d1.src != c.IMem[hi] {
+		t.Fatalf("hi record bound to pa=%d", d1.pa)
+	}
+	d2, f := c.fetchFast(lo)
+	if f != nil {
+		t.Fatalf("fetch lo: %v", f)
+	}
+	if d2 != d1 {
+		t.Fatalf("addresses %d and %d do not share a slot; aliasing case not exercised", lo, hi)
+	}
+	if d2.pa != lo || d2.src != c.IMem[lo] {
+		t.Errorf("lo fetch returned the hi record: pa=%d (cross-validated alias)", d2.pa)
+	}
+	if c.Trans.PredecodeCollisions != 1 {
+		t.Errorf("collisions = %d, want 1", c.Trans.PredecodeCollisions)
+	}
+	// Bouncing back rebinds the slot again: a second counted collision.
+	d3, f := c.fetchFast(hi)
+	if f != nil {
+		t.Fatalf("refetch hi: %v", f)
+	}
+	if d3.pa != hi || d3.src != c.IMem[hi] {
+		t.Errorf("hi refetch returned the lo record: pa=%d", d3.pa)
+	}
+	if c.Trans.PredecodeCollisions != 2 {
+		t.Errorf("collisions = %d, want 2", c.Trans.PredecodeCollisions)
+	}
+	if c.Trans.PredecodeHits != 0 {
+		t.Errorf("hits = %d, want 0 (an alias hit is a wrong-instruction execution)", c.Trans.PredecodeHits)
 	}
 }
 

@@ -34,7 +34,19 @@ func (f *Fault) Error() string {
 type Physical struct {
 	words    []uint32
 	romLimit uint32
+
+	// barrier, when set, observes every successful word write — CPU
+	// stores, DMA moves, and device/loader pokes alike. The CPU's
+	// superblock engine uses it to invalidate translated blocks whose
+	// code range overlaps the written address (self-modifying code and
+	// paging traffic must never execute stale translations).
+	barrier func(addr uint32)
 }
+
+// SetWriteBarrier installs a write observer invoked after every
+// successful Write and Poke with the physical word address. Pass nil to
+// disable. The barrier must not write memory itself.
+func (p *Physical) SetWriteBarrier(fn func(addr uint32)) { p.barrier = fn }
 
 // NewPhysical allocates a physical memory of the given size in words.
 func NewPhysical(words int) *Physical {
@@ -69,6 +81,9 @@ func (p *Physical) Write(addr, val uint32) *Fault {
 		return &Fault{Cause: isa.CausePageFault, Addr: addr, Write: true}
 	}
 	p.words[addr] = val
+	if p.barrier != nil {
+		p.barrier(addr)
+	}
 	return nil
 }
 
@@ -78,6 +93,9 @@ func (p *Physical) Write(addr, val uint32) *Fault {
 func (p *Physical) Poke(addr, val uint32) {
 	if addr < uint32(len(p.words)) {
 		p.words[addr] = val
+		if p.barrier != nil {
+			p.barrier(addr)
+		}
 	}
 }
 

@@ -83,7 +83,10 @@ func coreBenchOne(p corpus.Program, sink func(name string, reg *trace.Registry))
 		sink(p.Name, reg)
 	}
 	res, err := codegen.RunMIPSWith(im, 500_000_000, codegen.RunOptions{
-		Attach: func(c *cpu.CPU) { trace.RegisterCPUStats(reg, "cpu.", &c.Stats) },
+		Attach: func(c *cpu.CPU) {
+			trace.RegisterCPUStats(reg, "cpu.", &c.Stats)
+			trace.RegisterTranslation(reg, "xlate.", &c.Trans)
+		},
 	})
 	if err != nil {
 		return CoreBenchEntry{}, fmt.Errorf("%s: %w", p.Name, err)

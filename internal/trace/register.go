@@ -46,12 +46,33 @@ func RegisterCPUStats(r *Registry, prefix string, st *cpu.Stats) {
 	}
 }
 
+// RegisterTranslation registers the CPU's translation-layer counters —
+// predecode cache and superblock cache — under the given prefix
+// (conventionally "xlate."). Like RegisterCPUStats it samples with
+// atomic loads; the CPU goroutine remains the single writer.
+func RegisterTranslation(r *Registry, prefix string, ts *cpu.TranslationStats) {
+	c := func(name, help string, p *uint64) {
+		r.CounterFunc(prefix+name, func() uint64 { return atomic.LoadUint64(p) })
+		r.Describe(prefix+name, help)
+	}
+	c("predecode_hits", "fetches served by a valid predecoded record", &ts.PredecodeHits)
+	c("predecode_misses", "fetches that (re)decoded the instruction word", &ts.PredecodeMisses)
+	c("predecode_collisions", "predecode misses whose direct-mapped slot held another address", &ts.PredecodeCollisions)
+	c("block_hits", "superblock cache lookups served by a valid block", &ts.BlockHits)
+	c("block_chained", "superblock entries through a chain slot, skipping the lookup", &ts.BlockChained)
+	c("block_translations", "superblocks built (first sight and retranslation alike)", &ts.BlockTranslations)
+	c("block_invalidations", "superblocks dropped by the memory write barrier", &ts.BlockInvalidations)
+	c("block_bails", "mid-block falls back to the exact per-instruction engine", &ts.BlockBails)
+}
+
 // RegisterMachine registers a full kernel machine: the CPU stats under
-// "cpu." and the kernel's scheduling/paging counters under "kernel.".
-// The kernel counters sample through accessor methods and are
-// best-effort when read while the machine runs.
+// "cpu.", the translation-layer counters under "xlate.", and the
+// kernel's scheduling/paging counters under "kernel.". The kernel
+// counters sample through accessor methods and are best-effort when
+// read while the machine runs.
 func RegisterMachine(r *Registry, m *kernel.Machine) {
 	RegisterCPUStats(r, "cpu.", &m.CPU.Stats)
+	RegisterTranslation(r, "xlate.", &m.CPU.Trans)
 	c := func(name, help string, fn func() uint64) {
 		r.CounterFunc("kernel."+name, fn)
 		r.Describe("kernel."+name, help)

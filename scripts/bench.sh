@@ -15,7 +15,7 @@ go test ./internal/cpu/ -run TestSteadyStateZeroAlloc -count=1 -v
 
 echo "==> core microbenchmarks"
 go test -run '^$' -bench \
-    'PipelineSimulator|PipelineReference|KernelBoot|DemandPaging|PageReplacement|FreeCycleDMA' \
+    'PipelineSimulator|PipelineFastPath|PipelineReference|KernelBoot|DemandPaging|PageReplacement|FreeCycleDMA' \
     -benchmem -benchtime 1s .
 
 echo "==> corebench -> $out"
