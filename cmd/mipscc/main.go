@@ -17,9 +17,9 @@ import (
 
 	"mips/internal/ccarch"
 	"mips/internal/codegen"
-	"mips/internal/cpu"
 	"mips/internal/lang"
 	"mips/internal/reorg"
+	"mips/internal/sim"
 	"mips/internal/trace"
 )
 
@@ -67,20 +67,26 @@ func main() {
 			return
 		}
 		if *run {
-			var opt codegen.RunOptions
+			var opts []sim.Option
 			var profiler *trace.Profiler
 			if *prof {
 				profiler = trace.NewProfiler()
 				profiler.AddImage(im)
-				obs := &trace.Observer{Profiler: profiler}
-				opt.Attach = func(c *cpu.CPU) { obs.Attach(c) }
+				opts = append(opts, sim.WithObserver(&trace.Observer{Profiler: profiler}))
 			}
-			res, err := codegen.RunMIPSWith(im, 500_000_000, opt)
-			fmt.Print(res.Output)
+			m, err := sim.New(opts...)
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "mipscc: %s\n", &res.Stats)
+			if err := m.Load(im); err != nil {
+				fatal(err)
+			}
+			_, err = m.Run(500_000_000)
+			fmt.Print(m.Output())
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "mipscc: %s\n", m.Stats())
 			if profiler != nil {
 				if err := profiler.WriteReport(os.Stderr, 20); err != nil {
 					fatal(err)

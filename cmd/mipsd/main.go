@@ -1,0 +1,129 @@
+// Command mipsd serves the concurrent simulation job service over HTTP.
+//
+// Usage:
+//
+//	mipsd [-addr :9418] [-workers N] [-queue N] [-quantum N] [-max N]
+//	      [-engine ENGINE]
+//
+// mipsd runs many simulations at once on a bounded worker pool. Jobs
+// are submitted over HTTP and preempted at checkpoint boundaries every
+// -quantum scheduler steps, so a handful of workers makes fair progress
+// across hundreds of queued machines. Clients may download a live
+// snapshot of any running job and resubmit it later — to the same
+// daemon, a different one, or a different engine.
+//
+//	POST /jobs               submit ({"program": "sieve"} or {"snapshot": base64})
+//	GET  /jobs               list job statuses
+//	GET  /jobs/{id}          one job's status
+//	GET  /jobs/{id}/output   console output (terminal states)
+//	GET  /jobs/{id}/snapshot checkpoint download (binary, resumable)
+//	POST /jobs/{id}/cancel   request cancellation
+//
+// Submittable programs are the built-in corpus; the telemetry surface
+// (/metrics, /status) serves the job service's own counters.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mips/internal/codegen"
+	"mips/internal/corpus"
+	"mips/internal/isa"
+	"mips/internal/reorg"
+	"mips/internal/sim"
+	"mips/internal/telemetry"
+	"mips/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":9418", "HTTP listen address")
+	workers := flag.Int("workers", 0, "simulation worker count (0 = one per CPU)")
+	queue := flag.Int("queue", 256, "job queue depth (admission bound)")
+	quantum := flag.Uint64("quantum", 1_000_000, "preemption quantum in scheduler steps")
+	maxSteps := flag.Uint64("max", 500_000_000, "default per-job step budget")
+	engineFlag := flag.String("engine", "", "default execution engine: reference | fast | blocks")
+	drainWait := flag.Duration("drain", 10*time.Second, "graceful-drain bound on shutdown")
+	flag.Parse()
+	engine, err := sim.ParseEngine(*engineFlag)
+	if err != nil {
+		fatal(err)
+	}
+	sim.SetDefault(engine)
+
+	metrics := trace.NewRegistry()
+	svc := sim.NewService(sim.ServiceConfig{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		Quantum:         *quantum,
+		DefaultMaxSteps: *maxSteps,
+		Metrics:         metrics,
+	})
+
+	srv := telemetry.New(telemetry.Config{
+		Program: "mipsd", Args: os.Args[1:], Engine: engine.String(),
+	})
+	srv.AddSource("", metrics)
+	handler := svc.Handler(sim.HTTPConfig{Programs: corpusPrograms()})
+	srv.Mount("/jobs", handler)
+	srv.Mount("/jobs/", handler)
+
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mipsd: serving simulation jobs at %s (POST /jobs, GET /jobs/{id}, /metrics, /status)\n", displayURL(bound))
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	<-ctx.Done()
+	cancel()
+	fmt.Fprintln(os.Stderr, "mipsd: draining...")
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainWait)
+	svc.Drain(drainCtx)
+	cancelDrain()
+	svc.Close()
+	srv.Close()
+}
+
+// corpusPrograms exposes every built-in corpus program to the job
+// service, compiled on demand for the requested machine layout.
+func corpusPrograms() map[string]sim.ProgramFunc {
+	progs := map[string]sim.ProgramFunc{}
+	for _, p := range corpus.All() {
+		p := p
+		progs[p.Name] = func(kernelTarget bool) (*isa.Image, error) {
+			mopt := codegen.MIPSOptions{}
+			if kernelTarget {
+				mopt.StackTop = codegen.KernelStackTop
+			}
+			im, _, err := codegen.CompileMIPS(p.Source, mopt, reorg.All())
+			return im, err
+		}
+	}
+	return progs
+}
+
+// displayURL renders a bound address as a clickable URL, mapping
+// wildcard hosts to localhost.
+func displayURL(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "localhost"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mipsd:", err)
+	os.Exit(1)
+}

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	mipsrun [-max N] [-stats] [-kernel] [-timer N] [-reference] [-blocks=false]
+//	mipsrun [-max N] [-stats] [-kernel] [-timer N] [-engine ENGINE]
 //	        [-prof] [-trace N] [-trace-json FILE] [-metrics FILE]
 //	        [-flame FILE] [-serve ADDR] [-corpus NAME]
 //	        image.img ...
@@ -12,6 +12,12 @@
 // machine: dispatch ROM, demand paging, and (with -timer) preemptive
 // round-robin scheduling. -corpus NAME compiles and runs the named
 // built-in corpus program instead of reading image files.
+//
+// -engine selects the execution engine: reference (the interpreter),
+// fast (the per-instruction predecoded path), or blocks (the superblock
+// translation engine, the default). The engines are observably
+// identical; the choice changes only simulation speed. The old
+// -reference and -blocks flags remain as deprecated aliases.
 //
 // Observability (packages trace and telemetry):
 //
@@ -42,10 +48,10 @@ import (
 
 	"mips/internal/codegen"
 	"mips/internal/corpus"
-	"mips/internal/cpu"
 	"mips/internal/isa"
 	"mips/internal/kernel"
 	"mips/internal/reorg"
+	"mips/internal/sim"
 	"mips/internal/telemetry"
 	"mips/internal/trace"
 )
@@ -55,8 +61,9 @@ func main() {
 	stats := flag.Bool("stats", false, "print execution statistics")
 	useKernel := flag.Bool("kernel", false, "run under the kernel with demand paging")
 	timer := flag.Uint("timer", 0, "timer period in user instructions (0 = off; implies -kernel)")
-	reference := flag.Bool("reference", false, "run the reference interpreter instead of the fast path")
-	blocks := flag.Bool("blocks", true, "enable the superblock translation engine (cached basic blocks with chaining)")
+	engineFlag := flag.String("engine", "", "execution engine: reference | fast | blocks (default blocks)")
+	reference := flag.Bool("reference", false, "deprecated: use -engine=reference")
+	blocks := flag.Bool("blocks", true, "deprecated: use -engine=fast to disable superblocks")
 	traceN := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
 	traceJSON := flag.String("trace-json", "", "write Chrome trace_event JSON to this file")
 	traceBuf := flag.Int("trace-buf", trace.DefaultRingCap, "event ring capacity")
@@ -70,6 +77,21 @@ func main() {
 	if (flag.NArg() == 0) == (*corpusName == "") {
 		fmt.Fprintln(os.Stderr, "usage: mipsrun [flags] image.img ...  |  mipsrun [flags] -corpus NAME")
 		os.Exit(2)
+	}
+	engine, err := sim.ParseEngine(*engineFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if engine == sim.Default {
+		// Honor the deprecated boolean knobs when -engine is absent.
+		switch {
+		case *reference:
+			engine = sim.Reference
+		case !*blocks:
+			engine = sim.FastPath
+		default:
+			engine = sim.Blocks
+		}
 	}
 
 	var images []*isa.Image
@@ -128,18 +150,11 @@ func main() {
 	}
 	registry := trace.NewRegistry()
 
-	engine := "blocks"
-	switch {
-	case *reference:
-		engine = "reference"
-	case !*blocks:
-		engine = "fast"
-	}
 	var srv *telemetry.Server
 	var liveURL string
 	if *serve != "" {
 		srv = telemetry.New(telemetry.Config{
-			Program: "mipsrun", Args: os.Args[1:], Engine: engine,
+			Program: "mipsrun", Args: os.Args[1:], Engine: engine.String(),
 			Tracer: tracer, Profiler: profiler,
 		})
 		srv.AddSource("", registry)
@@ -151,55 +166,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mipsrun: serving live telemetry at %s (metrics, trace/stream, profile/flame, profile/top, status)\n", liveURL)
 	}
 
-	var st *cpu.Stats
-	var ts *cpu.TranslationStats
+	opts := []sim.Option{sim.WithEngine(engine), sim.WithTelemetry(registry)}
+	if obs != nil {
+		opts = append(opts, sim.WithObserver(obs))
+	}
 	if *useKernel || *timer > 0 || len(images) > 1 {
-		m, err := kernel.NewMachine(kernel.Config{TimerPeriod: uint32(*timer)})
-		if err != nil {
-			fatal(err)
+		opts = append(opts, sim.WithKernel(kernel.Config{TimerPeriod: uint32(*timer)}))
+	}
+	m, err := sim.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	for i, im := range images {
+		if err := m.Load(im); err != nil {
+			fatal(fmt.Errorf("%s: %w", imageNames[i], err))
 		}
-		m.CPU.SetFastPath(!*reference)
-		m.CPU.SetBlocks(*blocks)
-		if obs != nil {
-			obs.AttachMachine(m)
-		}
-		trace.RegisterMachine(registry, m)
-		ts = &m.CPU.Trans
-		for i, im := range images {
-			if _, err := m.AddProcess(im, 16); err != nil {
-				fatal(fmt.Errorf("%s: %w", imageNames[i], err))
-			}
-		}
-		if _, err := m.Run(*maxSteps); err != nil {
-			fatal(err)
-		}
-		fmt.Print(m.ConsoleOutput())
-		st = &m.CPU.Stats
-	} else {
-		res, err := codegen.RunMIPSWith(images[0], *maxSteps, codegen.RunOptions{
-			Reference: *reference,
-			NoBlocks:  !*blocks,
-			Attach: func(c *cpu.CPU) {
-				if obs != nil {
-					obs.Attach(c)
-				}
-				trace.RegisterCPUStats(registry, "cpu.", &c.Stats)
-				trace.RegisterTranslation(registry, "xlate.", &c.Trans)
-				ts = &c.Trans
-			},
-		})
-		fmt.Print(res.Output)
-		if err != nil {
-			fatal(err)
-		}
-		st = &res.Stats
+	}
+	_, err = m.Run(*maxSteps)
+	fmt.Print(m.Output())
+	if err != nil {
+		fatal(err)
 	}
 
 	if *stats {
-		fmt.Fprintf(os.Stderr, "mipsrun: %s\n", st)
-		if ts != nil {
-			fmt.Fprintf(os.Stderr, "mipsrun: %s\n", ts)
-		}
+		fmt.Fprintf(os.Stderr, "mipsrun: %s\n", m.Stats())
+		fmt.Fprintf(os.Stderr, "mipsrun: %s\n", m.Trans())
 	}
 	if profiler != nil && *prof {
 		if err := profiler.WriteReport(os.Stderr, *profTop); err != nil {

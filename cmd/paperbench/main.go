@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperbench [-core-json FILE] [-j N] [-serve ADDR] [-blocks=false]
+//	paperbench [-core-json FILE] [-j N] [-serve ADDR] [-engine ENGINE]
 //	           [experiment ...]
 //
 // With no arguments every experiment runs in paper order. Experiment
@@ -37,7 +37,7 @@ import (
 	"os/signal"
 	"syscall"
 
-	"mips/internal/cpu"
+	"mips/internal/sim"
 	"mips/internal/tables"
 	"mips/internal/telemetry"
 	"mips/internal/trace"
@@ -47,13 +47,17 @@ func main() {
 	coreJSON := flag.String("core-json", "BENCH_core.json", "file for the corebench metrics JSON (empty to disable)")
 	workers := flag.Int("j", 1, "experiment worker count (0 = one per CPU)")
 	serve := flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :9417)")
-	blocks := flag.Bool("blocks", true, "run simulations on the superblock translation engine")
+	engineFlag := flag.String("engine", "", "execution engine: reference | fast | blocks (default blocks)")
+	blocks := flag.Bool("blocks", true, "deprecated: use -engine=fast to disable superblocks")
 	flag.Parse()
-	// The experiments build their machines deep inside the tables
-	// package; the process-wide default is the one knob that reaches
-	// every one of them. Results are engine-independent — this only
-	// changes how fast the evaluation runs.
-	cpu.SetDefaultBlocks(*blocks)
+	engine, err := sim.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+	if engine == sim.Default && !*blocks {
+		engine = sim.FastPath // deprecated -blocks=false alias
+	}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[a] = true
@@ -74,7 +78,7 @@ func main() {
 	var onDone func(tables.Result)
 	var coreSink func(name string, reg *trace.Registry)
 	if *serve != "" {
-		srv = telemetry.New(telemetry.Config{Program: "paperbench", Args: os.Args[1:], Engine: "fast"})
+		srv = telemetry.New(telemetry.Config{Program: "paperbench", Args: os.Args[1:], Engine: engine.String()})
 		progress := trace.NewRegistry()
 		total := progress.Counter("paperbench.experiments_total")
 		done := progress.Counter("paperbench.experiments_done")
@@ -104,7 +108,7 @@ func main() {
 	}
 
 	failedRun := false
-	for _, r := range tables.RunAllWith(exps, *workers, onDone) {
+	for _, r := range tables.RunAllWith(exps, *workers, engine, onDone) {
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, r.Err)
 			failedRun = true
@@ -113,7 +117,7 @@ func main() {
 		fmt.Println(r.Table.Render())
 	}
 	if runCore {
-		err := runCoreBench(*coreJSON, *workers, coreSink)
+		err := runCoreBench(*coreJSON, *workers, engine, coreSink)
 		if srv != nil {
 			onDone(tables.Result{Name: "corebench", Err: err})
 		}
@@ -129,8 +133,8 @@ func main() {
 
 // runCoreBench runs the corpus once, prints the rendered table, and
 // writes the same data machine-readably to jsonName.
-func runCoreBench(jsonName string, workers int, sink func(string, *trace.Registry)) error {
-	bench, err := tables.CoreBenchParallelWith(workers, sink)
+func runCoreBench(jsonName string, workers int, engine sim.Engine, sink func(string, *trace.Registry)) error {
+	bench, err := tables.CoreBenchRun(workers, engine, sink)
 	if err != nil {
 		return err
 	}

@@ -2,15 +2,13 @@ package codegen
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"mips/internal/asm"
 	"mips/internal/cpu"
 	"mips/internal/isa"
 	"mips/internal/lang"
-	"mips/internal/mem"
 	"mips/internal/reorg"
+	"mips/internal/sim"
 )
 
 // CompileMIPS runs the full tool chain: Pasqual source → naive pieces →
@@ -58,12 +56,21 @@ func RunMIPSOn(im *isa.Image, maxSteps uint64, interlocked bool) (RunResult, err
 type RunOptions struct {
 	// Interlocked enables the hardware-interlock counterfactual.
 	Interlocked bool
+	// Engine selects the execution engine; the zero value follows the
+	// process-wide default (sim.SetDefault).
+	Engine sim.Engine
 	// Reference runs the CPU's reference execution path instead of the
 	// predecoded fast path; the differential tests compare the two.
+	//
+	// Deprecated: set Engine to sim.Reference. When set it overrides
+	// Engine, preserving the old behavior for one release.
 	Reference bool
 	// NoBlocks disables the superblock translation engine, leaving the
 	// per-instruction predecoded fast path. The differential tests
 	// compare block execution against it.
+	//
+	// Deprecated: set Engine to sim.FastPath. When set it overrides
+	// Engine, preserving the old behavior for one release.
 	NoBlocks bool
 	// Attach, if non-nil, is called with the constructed CPU after the
 	// bare machine is assembled and before execution begins — the hook
@@ -71,46 +78,35 @@ type RunOptions struct {
 	Attach func(c *cpu.CPU)
 }
 
+// engine resolves the deprecated boolean knobs against the Engine
+// field: the booleans win when set, so existing callers keep their
+// behavior until they migrate.
+func (opt RunOptions) engine() sim.Engine {
+	switch {
+	case opt.Reference:
+		return sim.Reference
+	case opt.NoBlocks:
+		return sim.FastPath
+	}
+	return opt.Engine
+}
+
 // RunMIPSWith is RunMIPS with the bare machine exposed: observers
 // attach through opt.Attach instead of rebuilding the harness by hand.
+// It is a thin veneer over the sim facade, kept for its compact result
+// shape; new code should use sim.New directly.
 func RunMIPSWith(im *isa.Image, maxSteps uint64, opt RunOptions) (RunResult, error) {
-	var res RunResult
-	phys := mem.NewPhysical(1 << 16)
-	c := cpu.New(cpu.NewBus(phys))
-	c.Interlocked = opt.Interlocked
-	if opt.Reference {
-		c.SetFastPath(false)
-	}
-	if opt.NoBlocks {
-		c.SetBlocks(false)
-	}
-	var out strings.Builder
-	c.SetTrapHook(func(code uint16) {
-		switch code {
-		case trapHalt:
-			c.Halt()
-		case trapPutChar:
-			out.WriteByte(byte(c.Regs[regResult]))
-		case trapPutInt:
-			out.WriteString(strconv.FormatInt(int64(int32(c.Regs[regResult])), 10))
-			out.WriteByte('\n')
-		}
-	})
-	c.SetAudit(func(h cpu.Hazard) { res.Hazards = append(res.Hazards, h) })
-	if err := c.LoadImage(im); err != nil {
-		return res, err
-	}
-	// Monitor calls vector through the exception path to physical
-	// address zero; the bare machine's whole "kernel" is one rfe that
-	// resumes after the trap (the host hook already did the work).
-	// Compiled images start at BareTextBase to leave room for it.
-	c.IMem[0] = isa.Word(isa.RFE())
-	c.SetPC(uint32(im.Entry))
+	opts := []sim.Option{sim.WithEngine(opt.engine()), sim.WithInterlocked(opt.Interlocked)}
 	if opt.Attach != nil {
-		opt.Attach(c)
+		opts = append(opts, sim.WithAttach(opt.Attach))
 	}
-	_, err := c.Run(maxSteps)
-	res.Output = out.String()
-	res.Stats = c.Stats
-	return res, err
+	m, err := sim.New(opts...)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if err := m.Load(im); err != nil {
+		return RunResult{}, err
+	}
+	_, err = m.Run(maxSteps)
+	return RunResult{Output: m.Output(), Stats: *m.Stats(), Hazards: m.Hazards()}, err
 }

@@ -151,20 +151,28 @@ type delayedWrite struct {
 	commitAt uint64
 }
 
-// defaultBlocks is the superblock-engine setting newly built CPUs
-// start with; SetDefaultBlocks lets command-line tools apply a -blocks
-// flag to machines they do not construct directly.
-var defaultBlocks = true
+// defaultBlocks and defaultFastPath are the engine settings newly built
+// CPUs start with; the setters let command-line tools apply an engine
+// flag to machines they do not construct directly (package sim's
+// SetDefault drives both).
+var (
+	defaultBlocks   = true
+	defaultFastPath = true
+)
 
 // SetDefaultBlocks sets whether CPUs built by New start with the
 // superblock engine enabled.
 func SetDefaultBlocks(on bool) { defaultBlocks = on }
 
+// SetDefaultFastPath sets whether CPUs built by New start with the
+// predecoded fast path enabled.
+func SetDefaultFastPath(on bool) { defaultFastPath = on }
+
 // New builds a CPU over the given bus, starting at word address 0 in
 // supervisor state with mapping and interrupts disabled — the power-up
 // reset condition. The predecoded fast path is enabled.
 func New(bus *Bus) *CPU {
-	c := &CPU{Bus: bus, fastpath: true, blocks: defaultBlocks}
+	c := &CPU{Bus: bus, fastpath: defaultFastPath, blocks: defaultBlocks}
 	c.Sur = c.Sur.SetSupervisor(true)
 	c.pcq[0], c.pcn = 0, 1
 	c.pd = make([]decoded, pdMinEntries)

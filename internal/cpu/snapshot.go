@@ -1,0 +1,131 @@
+package cpu
+
+import (
+	"fmt"
+
+	"mips/internal/isa"
+	"mips/internal/mem"
+)
+
+// State is the complete architectural state of the processor at an
+// instruction boundary: everything a restored CPU needs to continue the
+// exact event stream of the original. The translation caches (predecode
+// records, superblocks, and the staging area) are deliberately absent —
+// they are derived state, rebuilt on demand, and dropping them cannot
+// change observable behavior (Trans counts live outside Stats for the
+// same reason).
+type State struct {
+	Regs [isa.NumRegs]uint32
+	Lo   uint32
+	Sur  isa.Surprise
+	Ret  [3]uint32
+
+	// PCQ/PCN are the fetch queue: in-flight delayed-branch targets.
+	PCQ [pcqCap]uint32
+	PCN int
+
+	// Pend holds load results not yet visible in the register file.
+	Pend []PendingLoad
+
+	Seq       uint64
+	ExcSeq    uint64
+	LastWrite [isa.NumRegs]uint64
+
+	IntLine     bool
+	Halted      bool
+	Interlocked bool
+
+	Stats Stats
+	Trans TranslationStats
+
+	// IMem is the full instruction memory, physically indexed.
+	IMem []isa.Instr
+	// LastFault is the external mapping unit's fault latch.
+	LastFault *mem.Fault
+}
+
+// PendingLoad is one in-flight delayed load write.
+type PendingLoad struct {
+	Reg      isa.Reg
+	Val      uint32
+	IssuedAt uint64
+	CommitAt uint64
+}
+
+// CaptureState snapshots the processor's architectural state. It must
+// be called at an instruction boundary (between Step calls); the
+// returned State shares nothing with the CPU.
+func (c *CPU) CaptureState() State {
+	st := State{
+		Regs:        c.Regs,
+		Lo:          c.Lo,
+		Sur:         c.Sur,
+		Ret:         c.Ret,
+		PCQ:         c.pcq,
+		PCN:         c.pcn,
+		Seq:         c.seq,
+		ExcSeq:      c.excSeq,
+		LastWrite:   c.lastWrite,
+		IntLine:     c.intLine,
+		Halted:      c.Halted,
+		Interlocked: c.Interlocked,
+		Stats:       c.Stats,
+		Trans:       c.Trans,
+	}
+	for i := 0; i < c.pendN; i++ {
+		w := c.pend[i]
+		st.Pend = append(st.Pend, PendingLoad{
+			Reg: w.reg, Val: w.val, IssuedAt: w.issuedAt, CommitAt: w.commitAt,
+		})
+	}
+	st.IMem = make([]isa.Instr, len(c.IMem))
+	copy(st.IMem, c.IMem)
+	if f := c.Bus.LastFault; f != nil {
+		fc := *f
+		st.LastFault = &fc
+	}
+	return st
+}
+
+// RestoreState replaces the processor's architectural state with a
+// previous capture. The predecode and superblock caches are dropped —
+// they rebuild against the restored instruction memory — so the restored
+// machine produces the exact event stream the original would have,
+// though its translation-layer counters (Trans) diverge by the warm-up.
+func (c *CPU) RestoreState(st State) error {
+	if st.PCN < 1 || st.PCN > pcqCap {
+		return fmt.Errorf("cpu: restore: fetch queue depth %d out of range", st.PCN)
+	}
+	if len(st.Pend) > len(c.pend) {
+		return fmt.Errorf("cpu: restore: %d pending loads exceed capacity %d", len(st.Pend), len(c.pend))
+	}
+	c.Regs = st.Regs
+	c.Lo = st.Lo
+	c.Sur = st.Sur
+	c.Ret = st.Ret
+	c.pcq = st.PCQ
+	c.pcn = st.PCN
+	c.pendN = len(st.Pend)
+	for i, w := range st.Pend {
+		c.pend[i] = delayedWrite{reg: w.Reg, val: w.Val, issuedAt: w.IssuedAt, commitAt: w.CommitAt}
+	}
+	c.seq = st.Seq
+	c.excSeq = st.ExcSeq
+	c.lastWrite = st.LastWrite
+	c.intLine = st.IntLine
+	c.Halted = st.Halted
+	c.Interlocked = st.Interlocked
+	c.Stats = st.Stats
+	c.Trans = st.Trans
+	c.nstage = 0
+	c.IMem = make([]isa.Instr, len(st.IMem))
+	copy(c.IMem, st.IMem)
+	c.Bus.LastFault = nil
+	if st.LastFault != nil {
+		fc := *st.LastFault
+		c.Bus.LastFault = &fc
+	}
+	c.InvalidateDecoded()
+	c.InvalidateBlocks()
+	return nil
+}

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"mips/internal/asm"
-	"mips/internal/codegen"
 	"mips/internal/isa"
 	"mips/internal/reorg"
 )
@@ -600,41 +599,5 @@ func TestKernelEncodesToBits(t *testing.T) {
 		if decoded[i].String() != im.Words[i].String() {
 			t.Fatalf("word %d: %q != %q", i, decoded[i], im.Words[i])
 		}
-	}
-}
-
-func TestCompiledProgramRunsAsProcess(t *testing.T) {
-	// End-to-end across the whole repository: Pasqual source compiled
-	// through the reorganizer, loaded as a demand-paged process, run
-	// under the ROM kernel with preemption enabled.
-	im, _, err := codegen.CompileMIPS(`
-program asprocess;
-var i, s: integer;
-function triple(x: integer): integer;
-begin
-  triple := 3 * x
-end;
-begin
-  s := 0;
-  for i := 1 to 25 do s := s + triple(i);
-  writeint(s)
-end.
-`, codegen.MIPSOptions{StackTop: codegen.KernelStackTop}, reorg.All())
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := newMachine(t, Config{TimerPeriod: 300})
-	if _, err := m.AddProcess(im, 16); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := m.Run(20_000_000); err != nil {
-		t.Fatal(err)
-	}
-	// 3 * (1+..+25) = 975. Compiled programs end in trap #0 (halt).
-	if got := m.ConsoleOutput(); got != "975\n" {
-		t.Errorf("console = %q", got)
-	}
-	if m.PageFaults() == 0 {
-		t.Error("process should demand-page its text and stack")
 	}
 }

@@ -1,0 +1,108 @@
+package kernel
+
+import (
+	"sort"
+
+	"mips/internal/isa"
+)
+
+// State is a capture of the kernel machine's device complement: the
+// console, the interval timer, the paging disk (backing store included),
+// and the page-map port's staging registers. The CPU, physical memory,
+// and MMU are captured separately by their own packages; the kernel's
+// own scheduling state (process table, counters) lives in kernel RAM and
+// rides along in the physical-memory capture.
+type State struct {
+	Console []byte
+
+	TimerPeriod  uint32
+	TimerCounter uint32
+	TimerPending bool
+
+	DiskVPage  uint32
+	DiskFrame  uint32
+	DiskPages  []DiskPage
+	DiskReads  int
+	DiskWrites int
+
+	PMVPage uint32
+	PMFrame uint32
+	PMFlags uint32
+
+	NProc int
+}
+
+// DiskPage is one backing-store page: data words, instruction words, or
+// both (the machine's dual memory interface pages them together).
+type DiskPage struct {
+	VPage uint32
+	Data  []uint32
+	Code  []isa.Instr
+}
+
+// CaptureState snapshots the device state. Disk pages are sorted by
+// virtual page so identical machines capture identical bytes; page
+// contents are copied, sharing nothing with the live machine.
+func (m *Machine) CaptureState() State {
+	st := State{
+		Console:      append([]byte(nil), m.dev.console.Bytes()...),
+		TimerPeriod:  m.dev.timer.period,
+		TimerCounter: m.dev.timer.counter,
+		TimerPending: m.dev.timer.pending,
+		DiskVPage:    m.disk.vpage,
+		DiskFrame:    m.disk.frame,
+		DiskReads:    m.disk.reads,
+		DiskWrites:   m.disk.writes,
+		PMVPage:      m.pmPort.vpage,
+		PMFrame:      m.pmPort.frame,
+		PMFlags:      m.pmPort.flags,
+		NProc:        m.nproc,
+	}
+	pages := map[uint32]bool{}
+	for v := range m.disk.data {
+		pages[v] = true
+	}
+	for v := range m.disk.code {
+		pages[v] = true
+	}
+	for v := range pages {
+		pg := DiskPage{VPage: v}
+		if ws, ok := m.disk.data[v]; ok {
+			pg.Data = append([]uint32(nil), ws...)
+		}
+		if ws, ok := m.disk.code[v]; ok {
+			pg.Code = append([]isa.Instr(nil), ws...)
+		}
+		st.DiskPages = append(st.DiskPages, pg)
+	}
+	sort.Slice(st.DiskPages, func(i, j int) bool { return st.DiskPages[i].VPage < st.DiskPages[j].VPage })
+	return st
+}
+
+// RestoreState replaces the device state with a previous capture. The
+// caller restores the CPU, physical memory, and MMU separately.
+func (m *Machine) RestoreState(st State) {
+	m.dev.console.Reset()
+	m.dev.console.Write(st.Console)
+	m.dev.timer.period = st.TimerPeriod
+	m.dev.timer.counter = st.TimerCounter
+	m.dev.timer.pending = st.TimerPending
+	m.disk.vpage = st.DiskVPage
+	m.disk.frame = st.DiskFrame
+	m.disk.reads = st.DiskReads
+	m.disk.writes = st.DiskWrites
+	m.disk.data = make(map[uint32][]uint32)
+	m.disk.code = make(map[uint32][]isa.Instr)
+	for _, pg := range st.DiskPages {
+		if pg.Data != nil {
+			m.disk.data[pg.VPage] = append([]uint32(nil), pg.Data...)
+		}
+		if pg.Code != nil {
+			m.disk.code[pg.VPage] = append([]isa.Instr(nil), pg.Code...)
+		}
+	}
+	m.pmPort.vpage = st.PMVPage
+	m.pmPort.frame = st.PMFrame
+	m.pmPort.flags = st.PMFlags
+	m.nproc = st.NProc
+}

@@ -1,0 +1,160 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The capture/restore pairs below externalize the memory system's state
+// for package sim's machine snapshots. Only architectural state is
+// captured: the MMU's translation cache is derived (it revalidates its
+// fill context on every lookup) and is simply flushed on restore.
+
+// PhysRun is one dense run of nonzero words in a physical-memory
+// capture. Physical memory is overwhelmingly zero on real workloads
+// (a 16 MB machine with a few resident pages), so the capture is
+// run-length sparse rather than a full image.
+type PhysRun struct {
+	Base  uint32
+	Words []uint32
+}
+
+// PhysState is a capture of physical memory.
+type PhysState struct {
+	Size     uint32
+	ROMLimit uint32
+	Runs     []PhysRun
+}
+
+// physRunGap is the number of consecutive zero words the capture scan
+// tolerates inside one run before closing it; merging nearby runs keeps
+// the run count (and per-run overhead) small.
+const physRunGap = 16
+
+// CaptureState snapshots memory contents and the ROM seal. The result
+// shares no storage with the memory.
+func (p *Physical) CaptureState() PhysState {
+	st := PhysState{Size: uint32(len(p.words)), ROMLimit: p.romLimit}
+	i, n := 0, len(p.words)
+	for i < n {
+		if p.words[i] == 0 {
+			i++
+			continue
+		}
+		start, last := i, i
+		zeros := 0
+		for i++; i < n; i++ {
+			if p.words[i] != 0 {
+				last, zeros = i, 0
+				continue
+			}
+			if zeros++; zeros > physRunGap {
+				break
+			}
+		}
+		run := make([]uint32, last-start+1)
+		copy(run, p.words[start:last+1])
+		st.Runs = append(st.Runs, PhysRun{Base: uint32(start), Words: run})
+	}
+	return st
+}
+
+// RestoreState replaces memory contents with a previous capture. The
+// memory must have been constructed at the captured size. The write
+// barrier is not invoked: restore accompanies a cache invalidation on
+// the CPU side, which is the only barrier consumer.
+func (p *Physical) RestoreState(st PhysState) error {
+	if st.Size != uint32(len(p.words)) {
+		return fmt.Errorf("mem: restore: memory is %d words, capture is %d", len(p.words), st.Size)
+	}
+	clear(p.words)
+	for _, run := range st.Runs {
+		if int(run.Base)+len(run.Words) > len(p.words) {
+			return fmt.Errorf("mem: restore: run at %d (%d words) exceeds memory", run.Base, len(run.Words))
+		}
+		copy(p.words[run.Base:], run.Words)
+	}
+	p.romLimit = st.ROMLimit
+	return nil
+}
+
+// PTEEntry is one page-map entry in an MMU capture, keyed by system
+// virtual page.
+type PTEEntry struct {
+	VPage uint32
+	PTE   PTE
+}
+
+// MMUState is a capture of the segmentation registers and the page map,
+// including the map's edit generation (so translation caches built over
+// the restored map observe the same staleness signal).
+type MMUState struct {
+	SegBase  uint32
+	SegLimit uint32
+	Pages    []PTEEntry
+	Gen      uint64
+}
+
+// CaptureState snapshots the MMU's architectural state. Entries are
+// sorted by page so identical machines capture identical bytes.
+func (m *MMU) CaptureState() MMUState {
+	base, limit := m.Seg.Registers()
+	st := MMUState{SegBase: base, SegLimit: limit, Gen: m.Map.gen}
+	st.Pages = make([]PTEEntry, 0, len(m.Map.entries))
+	for v, e := range m.Map.entries {
+		st.Pages = append(st.Pages, PTEEntry{VPage: v, PTE: e})
+	}
+	sort.Slice(st.Pages, func(i, j int) bool { return st.Pages[i].VPage < st.Pages[j].VPage })
+	return st
+}
+
+// RestoreState replaces the segmentation registers and page map with a
+// previous capture and flushes the translation cache.
+func (m *MMU) RestoreState(st MMUState) {
+	m.Seg = SetRegisters(st.SegBase, st.SegLimit)
+	pm := NewPageMap()
+	for _, e := range st.Pages {
+		pm.entries[e.VPage] = e.PTE
+	}
+	pm.gen = st.Gen
+	m.Map = pm
+	m.FlushTLB()
+}
+
+// TransferState is one queued DMA move in a capture.
+type TransferState struct {
+	Src, Dst uint32
+	Words    uint32
+	Done     uint32
+}
+
+// DMAState is a capture of the DMA engine: the transfer queue with
+// per-transfer progress, the cycle accounting, and the read/write
+// half-cycle phase (the engine's only sub-word-move state).
+type DMAState struct {
+	Queue   []TransferState
+	Moved   uint64
+	Offered uint64
+	Half    bool
+}
+
+// CaptureState snapshots the DMA engine.
+func (d *DMA) CaptureState() DMAState {
+	st := DMAState{Moved: d.moved, Offered: d.offered, Half: d.half}
+	for i := range d.queue {
+		t := &d.queue[i]
+		st.Queue = append(st.Queue, TransferState{Src: t.Src, Dst: t.Dst, Words: t.Words, Done: t.done})
+	}
+	return st
+}
+
+// RestoreState replaces the DMA engine's state with a previous capture.
+func (d *DMA) RestoreState(st DMAState) {
+	d.queue = nil
+	for _, t := range st.Queue {
+		d.queue = append(d.queue, Transfer{Src: t.Src, Dst: t.Dst, Words: t.Words, done: t.Done})
+	}
+	d.moved = st.Moved
+	d.offered = st.Offered
+	d.half = st.Half
+}

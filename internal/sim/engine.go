@@ -1,0 +1,104 @@
+// Package sim is the public facade over the simulator: one way to
+// construct a machine (bare or full-kernel), pick its execution engine,
+// attach observability, drive it in step quanta, and checkpoint it to a
+// deterministic, versioned snapshot that restores into an observably
+// identical machine. Packages codegen and tables, and every command,
+// build their machines through it; the layers underneath (cpu, mem,
+// kernel) stay mechanism, not policy.
+package sim
+
+import (
+	"fmt"
+
+	"mips/internal/cpu"
+)
+
+// Engine selects the execution engine. The engines are observably
+// identical — same outputs, same Stats, same observer event streams —
+// and differ only in how fast the simulation itself runs; the
+// differential tests in codegen and sim pin the equivalence.
+type Engine int
+
+const (
+	// Default defers to the process-wide default engine (Blocks unless
+	// SetDefault changed it). It is the zero value, so zero-configured
+	// machines follow the process default.
+	Default Engine = iota
+	// Reference is the reference interpreter: pieces re-read and
+	// re-decoded every cycle. The baseline the others are tested against.
+	Reference
+	// FastPath is the predecoded per-instruction engine.
+	FastPath
+	// Blocks is the superblock translation engine layered on the fast
+	// path: straight-line runs execute as cached, chained blocks.
+	Blocks
+)
+
+func (e Engine) String() string {
+	switch e {
+	case Reference:
+		return "reference"
+	case FastPath:
+		return "fast"
+	case Blocks:
+		return "blocks"
+	default:
+		return "default"
+	}
+}
+
+// ParseEngine converts a CLI/API engine name. It accepts the String
+// forms plus the common aliases "fastpath" and "interp".
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "reference", "interp", "ref":
+		return Reference, nil
+	case "fast", "fastpath":
+		return FastPath, nil
+	case "blocks", "block":
+		return Blocks, nil
+	case "", "default":
+		return Default, nil
+	}
+	return Default, fmt.Errorf("sim: unknown engine %q (want reference, fast, or blocks)", s)
+}
+
+// defaultEngine is what Default resolves to; process-wide, set once by
+// the command line before machines are built.
+var defaultEngine = Blocks
+
+// SetDefault sets the process-wide default engine: what Engine(0)
+// resolves to, and what CPUs constructed outside the facade start with.
+// Call it from main before building machines; it is not synchronized
+// against concurrent machine construction. Passing Default is a no-op.
+func SetDefault(e Engine) {
+	if e == Default {
+		return
+	}
+	defaultEngine = e
+	cpu.SetDefaultFastPath(e != Reference)
+	cpu.SetDefaultBlocks(e == Blocks)
+}
+
+// resolve maps Default to the current process-wide default.
+func (e Engine) resolve() Engine {
+	if e == Default {
+		return defaultEngine
+	}
+	return e
+}
+
+// apply configures a CPU for the engine.
+func (e Engine) apply(c *cpu.CPU) {
+	switch e.resolve() {
+	case Reference:
+		c.SetFastPath(false)
+		c.SetBlocks(false)
+	case FastPath:
+		c.SetFastPath(true)
+		c.SetBlocks(false)
+	default:
+		c.SetFastPath(true)
+		c.SetBlocks(true)
+	}
+}

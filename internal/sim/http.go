@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"mips/internal/isa"
+	"mips/internal/kernel"
+)
+
+// HTTP surface of the job service, mounted under /jobs (cmd/mipsd
+// mounts it on the telemetry server):
+//
+//	POST /jobs               submit a job (JSON body, see jobRequest)
+//	GET  /jobs               list job statuses
+//	GET  /jobs/{id}          one job's status
+//	GET  /jobs/{id}/output   console output so far (text)
+//	GET  /jobs/{id}/snapshot checkpoint download (binary, resumable)
+//	POST /jobs/{id}/cancel   request cancellation
+//
+// A submitted job names a built-in program, or carries a snapshot from
+// a previous run (the /jobs/{id}/snapshot bytes, base64 in JSON) to
+// resume it — possibly on a different engine.
+
+// ProgramFunc compiles a named program; kernelTarget selects the
+// kernel-process memory layout. cmd/mipsd supplies the corpus this way
+// so the sim package stays free of the compiler.
+type ProgramFunc func(kernelTarget bool) (*isa.Image, error)
+
+// HTTPConfig assembles the job HTTP handler.
+type HTTPConfig struct {
+	// Programs maps submittable program names to their builders.
+	Programs map[string]ProgramFunc
+}
+
+// jobRequest is the POST /jobs body.
+type jobRequest struct {
+	Name      string `json:"name"`       // display label (default: program)
+	Program   string `json:"program"`    // built-in program name
+	Snapshot  []byte `json:"snapshot"`   // base64 snapshot to resume instead
+	Engine    string `json:"engine"`     // reference | fast | blocks (default: process default)
+	Kernel    bool   `json:"kernel"`     // run under the kernel machine
+	Timer     uint32 `json:"timer"`      // kernel timer period (implies kernel)
+	Processes int    `json:"processes"`  // kernel: copies of the program to load (default 1)
+	SpaceBits uint8  `json:"space_bits"` // kernel address-space size (default 16)
+	MaxSteps  uint64 `json:"max_steps"`  // step budget (default: service default)
+	TimeoutMS int64  `json:"timeout_ms"` // wall-clock bound (0 = none)
+}
+
+// Handler returns the job service's HTTP API.
+func (s *Service) Handler(cfg HTTPConfig) http.Handler {
+	h := &jobHandler{svc: s, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", h.submit)
+	mux.HandleFunc("POST /jobs/{$}", h.submit)
+	mux.HandleFunc("GET /jobs", h.list)
+	mux.HandleFunc("GET /jobs/{$}", h.list)
+	mux.HandleFunc("GET /jobs/{id}", h.status)
+	mux.HandleFunc("GET /jobs/{id}/output", h.output)
+	mux.HandleFunc("GET /jobs/{id}/snapshot", h.snapshot)
+	mux.HandleFunc("POST /jobs/{id}/cancel", h.cancel)
+	return mux
+}
+
+type jobHandler struct {
+	svc *Service
+	cfg HTTPConfig
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	http.Error(w, err.Error(), code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (h *jobHandler) submit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSnapshotPayload)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := h.buildSpec(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := h.svc.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// buildSpec validates a request eagerly (unknown program, bad engine)
+// but defers machine construction to the worker pool.
+func (h *jobHandler) buildSpec(req jobRequest) (JobSpec, error) {
+	engine, err := ParseEngine(req.Engine)
+	if err != nil {
+		return JobSpec{}, err
+	}
+	spec := JobSpec{
+		Name:     req.Name,
+		MaxSteps: req.MaxSteps,
+		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+	}
+	if len(req.Snapshot) > 0 {
+		if req.Program != "" {
+			return JobSpec{}, errors.New("give either a program or a snapshot, not both")
+		}
+		snap := req.Snapshot
+		if spec.Name == "" {
+			spec.Name = "restore"
+		}
+		spec.Build = func() (*Machine, error) {
+			return Restore(bytes.NewReader(snap), WithEngine(engine))
+		}
+		return spec, nil
+	}
+	prog, ok := h.cfg.Programs[req.Program]
+	if !ok {
+		names := make([]string, 0, len(h.cfg.Programs))
+		for n := range h.cfg.Programs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return JobSpec{}, fmt.Errorf("unknown program %q (have %v)", req.Program, names)
+	}
+	if spec.Name == "" {
+		spec.Name = req.Program
+	}
+	useKernel := req.Kernel || req.Timer > 0
+	nproc := req.Processes
+	if nproc <= 0 {
+		nproc = 1
+	}
+	if nproc > 1 && !useKernel {
+		return JobSpec{}, errors.New("multiple processes need kernel: true")
+	}
+	spec.Build = func() (*Machine, error) {
+		im, err := prog(useKernel)
+		if err != nil {
+			return nil, err
+		}
+		opts := []Option{WithEngine(engine)}
+		if useKernel {
+			opts = append(opts, WithKernel(kernel.Config{TimerPeriod: req.Timer}))
+			if req.SpaceBits > 0 {
+				opts = append(opts, WithSpaceBits(req.SpaceBits))
+			}
+		}
+		m, err := New(opts...)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < nproc; i++ {
+			if err := m.Load(im); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	}
+	return spec, nil
+}
+
+func (h *jobHandler) list(w http.ResponseWriter, r *http.Request) {
+	jobs := h.svc.Jobs()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *jobHandler) job(w http.ResponseWriter, r *http.Request) *Job {
+	j, ok := h.svc.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return nil
+	}
+	return j
+}
+
+func (h *jobHandler) status(w http.ResponseWriter, r *http.Request) {
+	if j := h.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (h *jobHandler) output(w http.ResponseWriter, r *http.Request) {
+	j := h.job(w, r)
+	if j == nil {
+		return
+	}
+	out, err := j.Output()
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(out))
+}
+
+func (h *jobHandler) snapshot(w http.ResponseWriter, r *http.Request) {
+	j := h.job(w, r)
+	if j == nil {
+		return
+	}
+	snap, err := j.Snapshot()
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.snap", j.ID))
+	w.Write(snap)
+}
+
+func (h *jobHandler) cancel(w http.ResponseWriter, r *http.Request) {
+	j := h.job(w, r)
+	if j == nil {
+		return
+	}
+	h.svc.Cancel(j.ID)
+	writeJSON(w, http.StatusOK, j.Status())
+}

@@ -1,0 +1,478 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mips/internal/trace"
+)
+
+// The job service runs many machines concurrently on a bounded worker
+// pool. Scheduling is checkpoint-preempt-resume: a worker runs one job
+// for a step quantum, then requeues it, so long simulations share the
+// pool fairly and every job sits at an instruction boundary between
+// quanta — which is what makes mid-run snapshot download and restored
+// resumption safe. The simulation hot path takes no locks: a job's
+// mutex is held across a whole quantum, and all cross-goroutine
+// coordination happens at quantum boundaries.
+
+// JobState is a job's lifecycle state.
+type JobState int
+
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobDone
+	JobFailed
+	JobCancelled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Service errors.
+var (
+	// ErrQueueFull is backpressure: the service already holds QueueDepth
+	// unfinished jobs. Retry after some complete.
+	ErrQueueFull = errors.New("sim: job queue full")
+	// ErrClosed means the service no longer accepts jobs.
+	ErrClosed = errors.New("sim: job service closed")
+	// ErrTimeout marks a job that exceeded its wall-clock timeout.
+	ErrTimeout = errors.New("sim: job timeout")
+)
+
+// ServiceConfig sizes the job service.
+type ServiceConfig struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds unfinished jobs in the system; Submit returns
+	// ErrQueueFull beyond it (default 256).
+	QueueDepth int
+	// Quantum is the scheduler steps a job runs per turn before being
+	// checkpoint-preempted (default 1_000_000).
+	Quantum uint64
+	// DefaultMaxSteps bounds jobs that do not set MaxSteps (default
+	// 500_000_000).
+	DefaultMaxSteps uint64
+	// Metrics, if non-nil, receives the service's jobs.* counters.
+	Metrics *trace.Registry
+}
+
+// JobSpec describes one submission.
+type JobSpec struct {
+	// Name labels the job in listings.
+	Name string
+	// Build constructs the machine. It runs on a worker goroutine at the
+	// job's first quantum, so heavy setup (compilation, snapshot decode)
+	// never blocks Submit.
+	Build func() (*Machine, error)
+	// MaxSteps bounds the job (0 = the service default).
+	MaxSteps uint64
+	// Timeout, if nonzero, fails the job when its wall-clock age exceeds
+	// it (checked at quantum boundaries).
+	Timeout time.Duration
+}
+
+// Job is one tracked simulation.
+type Job struct {
+	ID   string
+	Name string
+
+	svc  *Service
+	spec JobSpec
+
+	// mu guards everything below and is held for a whole quantum; other
+	// accessors (status, snapshot, output) therefore wait at most one
+	// quantum, and never stall the run loop mid-step.
+	mu           sync.Mutex
+	state        JobState
+	m            *Machine
+	instructions uint64
+	steps        uint64 // quantum budget consumed
+	quanta       uint64
+	maxSteps     uint64
+	err          error
+	created      time.Time
+	started      time.Time
+	finished     time.Time
+	deadline     time.Time
+
+	cancelled atomic.Bool
+	done      chan struct{}
+}
+
+// Service is the concurrent job scheduler. Construct with NewService;
+// Close (or Drain then Close) when finished.
+type Service struct {
+	cfg ServiceConfig
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	seq    uint64
+	active int
+	closed bool
+
+	ready chan *Job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+
+	mSubmitted *trace.Counter
+	mCompleted *trace.Counter
+	mFailed    *trace.Counter
+	mCancelled *trace.Counter
+	mRejected  *trace.Counter
+	mQuanta    *trace.Counter
+}
+
+// NewService starts a job service.
+func NewService(cfg ServiceConfig) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 1_000_000
+	}
+	if cfg.DefaultMaxSteps == 0 {
+		cfg.DefaultMaxSteps = 500_000_000
+	}
+	s := &Service{
+		cfg:   cfg,
+		jobs:  make(map[string]*Job),
+		ready: make(chan *Job, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.mSubmitted = reg.Counter("jobs.submitted")
+		reg.Describe("jobs.submitted", "jobs accepted by Submit")
+		s.mCompleted = reg.Counter("jobs.completed")
+		reg.Describe("jobs.completed", "jobs that ran to a clean halt")
+		s.mFailed = reg.Counter("jobs.failed")
+		reg.Describe("jobs.failed", "jobs that errored, timed out, or hit their step limit")
+		s.mCancelled = reg.Counter("jobs.cancelled")
+		reg.Describe("jobs.cancelled", "jobs cancelled before completion")
+		s.mRejected = reg.Counter("jobs.rejected")
+		reg.Describe("jobs.rejected", "submissions rejected by queue backpressure")
+		s.mQuanta = reg.Counter("jobs.quanta")
+		reg.Describe("jobs.quanta", "scheduling quanta executed (checkpoint-preemptions)")
+		reg.Gauge("jobs.active", func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return uint64(s.active)
+		})
+		reg.Describe("jobs.active", "unfinished jobs in the system")
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func inc(c *trace.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// Submit enqueues a job. It is cheap and non-blocking: machine
+// construction is deferred to the first quantum. Returns ErrQueueFull
+// when QueueDepth unfinished jobs are already in the system, ErrClosed
+// after Drain or Close.
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	if spec.Build == nil {
+		return nil, errors.New("sim: job spec needs a Build function")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.active >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		inc(s.mRejected)
+		return nil, ErrQueueFull
+	}
+	s.seq++
+	j := &Job{
+		ID:       fmt.Sprintf("job-%d", s.seq),
+		Name:     spec.Name,
+		svc:      s,
+		spec:     spec,
+		state:    JobQueued,
+		maxSteps: spec.MaxSteps,
+		created:  time.Now(),
+		done:     make(chan struct{}),
+	}
+	if j.maxSteps == 0 {
+		j.maxSteps = s.cfg.DefaultMaxSteps
+	}
+	if spec.Timeout > 0 {
+		j.deadline = j.created.Add(spec.Timeout)
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.active++
+	s.mu.Unlock()
+	inc(s.mSubmitted)
+	// Capacity equals QueueDepth and admission is bounded by it, so this
+	// send never blocks.
+	s.ready <- j
+	return j, nil
+}
+
+// Job returns a tracked job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every tracked job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation; the job reaches JobCancelled at its
+// next quantum boundary. Returns false for unknown IDs.
+func (s *Service) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.cancelled.Store(true)
+	return true
+}
+
+// Drain stops accepting new jobs and waits until every accepted job
+// reaches a terminal state or the context expires.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		n := s.active
+		s.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close stops the workers. In-flight quanta finish; jobs still queued
+// stay JobQueued. Call Drain first for a graceful shutdown.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.once.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.ready:
+			if s.runQuantum(j) {
+				select {
+				case s.ready <- j:
+				case <-s.stop:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runQuantum advances one job by one quantum and reports whether it
+// should be requeued.
+func (s *Service) runQuantum(j *Job) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued && j.state != JobRunning {
+		return false
+	}
+	if j.cancelled.Load() {
+		s.finishLocked(j, JobCancelled, nil)
+		return false
+	}
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		s.finishLocked(j, JobFailed, ErrTimeout)
+		return false
+	}
+	if j.m == nil {
+		m, err := j.spec.Build()
+		if err != nil {
+			s.finishLocked(j, JobFailed, err)
+			return false
+		}
+		j.m = m
+	}
+	if j.state == JobQueued {
+		j.state = JobRunning
+		j.started = time.Now()
+	}
+	q := s.cfg.Quantum
+	if rem := j.maxSteps - j.steps; rem < q {
+		q = rem
+	}
+	executed, halted := j.m.RunSteps(q)
+	j.steps += q
+	j.instructions += executed
+	j.quanta++
+	inc(s.mQuanta)
+	switch {
+	case halted:
+		s.finishLocked(j, JobDone, nil)
+		return false
+	case j.steps >= j.maxSteps:
+		s.finishLocked(j, JobFailed, fmt.Errorf("step limit %d exceeded", j.maxSteps))
+		return false
+	case j.cancelled.Load():
+		s.finishLocked(j, JobCancelled, nil)
+		return false
+	}
+	return true
+}
+
+// finishLocked moves a job to a terminal state; j.mu is held.
+func (s *Service) finishLocked(j *Job, state JobState, err error) {
+	j.state = state
+	j.err = err
+	j.finished = time.Now()
+	close(j.done)
+	s.mu.Lock()
+	s.active--
+	s.mu.Unlock()
+	switch state {
+	case JobDone:
+		inc(s.mCompleted)
+	case JobFailed:
+		inc(s.mFailed)
+	case JobCancelled:
+		inc(s.mCancelled)
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or the context
+// expires, returning the job's error.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Status is a point-in-time view of a job.
+type Status struct {
+	ID           string        `json:"id"`
+	Name         string        `json:"name,omitempty"`
+	State        string        `json:"state"`
+	Instructions uint64        `json:"instructions"`
+	Steps        uint64        `json:"steps"`
+	Quanta       uint64        `json:"quanta"`
+	MaxSteps     uint64        `json:"max_steps"`
+	Error        string        `json:"error,omitempty"`
+	Output       string        `json:"output,omitempty"`
+	Created      time.Time     `json:"created"`
+	Started      time.Time     `json:"started"`
+	Finished     time.Time     `json:"finished"`
+	Elapsed      time.Duration `json:"-"`
+}
+
+// Status reports the job's current state. Output is included only for
+// terminal jobs (use Snapshot to inspect a running one).
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:           j.ID,
+		Name:         j.Name,
+		State:        j.state.String(),
+		Instructions: j.instructions,
+		Steps:        j.steps,
+		Quanta:       j.quanta,
+		MaxSteps:     j.maxSteps,
+		Created:      j.created,
+		Started:      j.started,
+		Finished:     j.finished,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.m != nil && (j.state == JobDone || j.state == JobFailed || j.state == JobCancelled) {
+		st.Output = j.m.Output()
+		st.Elapsed = j.finished.Sub(j.started)
+	}
+	return st
+}
+
+// Output returns the job's console output so far (waits for a quantum
+// boundary).
+func (j *Job) Output() (string, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.m == nil {
+		return "", errors.New("sim: job has not started")
+	}
+	return j.m.Output(), nil
+}
+
+// Snapshot checkpoints the job's machine. Safe at any time: the job
+// mutex serializes it against the run loop at a quantum boundary, so
+// the capture is always at an instruction boundary. A terminal job
+// snapshots its final state; a queued job that has not built its
+// machine yet cannot be snapshotted.
+func (j *Job) Snapshot() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.m == nil {
+		return nil, errors.New("sim: job has not started")
+	}
+	return j.m.SnapshotBytes()
+}

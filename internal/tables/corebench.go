@@ -8,8 +8,8 @@ import (
 
 	"mips/internal/codegen"
 	"mips/internal/corpus"
-	"mips/internal/cpu"
 	"mips/internal/reorg"
+	"mips/internal/sim"
 	"mips/internal/trace"
 )
 
@@ -36,20 +36,29 @@ func CoreBench() (map[string]CoreBenchEntry, error) {
 }
 
 // CoreBenchParallel is CoreBench across a bounded worker pool: each
-// program's compile+run is independent (own CPU, own registry), so the
-// corpus fans out safely. workers <= 0 selects GOMAXPROCS. The result
-// is keyed by program name and thus identical regardless of workers.
+// program's compile+run is independent (own machine, own registry), so
+// the corpus fans out safely. workers <= 0 selects GOMAXPROCS. The
+// result is keyed by program name and thus identical regardless of
+// workers.
 func CoreBenchParallel(workers int) (map[string]CoreBenchEntry, error) {
-	return CoreBenchParallelWith(workers, nil)
+	return CoreBenchRun(workers, sim.Default, nil)
 }
 
-// CoreBenchParallelWith is CoreBenchParallel with a registry hook:
-// sink, if non-nil, receives each program's metrics registry right
-// before that program starts running, from the worker goroutine. The
-// telemetry server registers them as labeled sources, which is what
-// makes `paperbench -serve` show per-experiment counters climbing
-// while the corpus runs. The hook must be safe for concurrent calls.
+// CoreBenchParallelWith is CoreBenchRun on the default engine.
+//
+// Deprecated: use CoreBenchRun, which also selects the engine.
 func CoreBenchParallelWith(workers int, sink func(name string, reg *trace.Registry)) (map[string]CoreBenchEntry, error) {
+	return CoreBenchRun(workers, sim.Default, sink)
+}
+
+// CoreBenchRun is CoreBench across a bounded worker pool with the
+// execution engine selectable and a registry hook: sink, if non-nil,
+// receives each program's metrics registry right before that program
+// starts running, from the worker goroutine. The telemetry server
+// registers them as labeled sources, which is what makes `paperbench
+// -serve` show per-experiment counters climbing while the corpus runs.
+// The hook must be safe for concurrent calls.
+func CoreBenchRun(workers int, engine sim.Engine, sink func(name string, reg *trace.Registry)) (map[string]CoreBenchEntry, error) {
 	var progs []corpus.Program
 	for _, p := range corpus.All() {
 		if !p.Heavy {
@@ -59,7 +68,7 @@ func CoreBenchParallelWith(workers int, sink func(name string, reg *trace.Regist
 	entries := make([]CoreBenchEntry, len(progs))
 	errs := make([]error, len(progs))
 	forEachIndexed(len(progs), workers, func(i int) {
-		entries[i], errs[i] = coreBenchOne(progs[i], sink)
+		entries[i], errs[i] = coreBenchOne(progs[i], engine, sink)
 	})
 	out := make(map[string]CoreBenchEntry, len(progs))
 	for i, p := range progs {
@@ -71,9 +80,9 @@ func CoreBenchParallelWith(workers int, sink func(name string, reg *trace.Regist
 	return out, nil
 }
 
-// coreBenchOne compiles and runs one corpus program, returning its
-// metrics record.
-func coreBenchOne(p corpus.Program, sink func(name string, reg *trace.Registry)) (CoreBenchEntry, error) {
+// coreBenchOne compiles and runs one corpus program on the sim facade,
+// returning its metrics record.
+func coreBenchOne(p corpus.Program, engine sim.Engine, sink func(name string, reg *trace.Registry)) (CoreBenchEntry, error) {
 	im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
 	if err != nil {
 		return CoreBenchEntry{}, fmt.Errorf("%s: %w", p.Name, err)
@@ -82,17 +91,18 @@ func coreBenchOne(p corpus.Program, sink func(name string, reg *trace.Registry))
 	if sink != nil {
 		sink(p.Name, reg)
 	}
-	res, err := codegen.RunMIPSWith(im, 500_000_000, codegen.RunOptions{
-		Attach: func(c *cpu.CPU) {
-			trace.RegisterCPUStats(reg, "cpu.", &c.Stats)
-			trace.RegisterTranslation(reg, "xlate.", &c.Trans)
-		},
-	})
+	m, err := sim.New(sim.WithEngine(engine), sim.WithTelemetry(reg))
 	if err != nil {
 		return CoreBenchEntry{}, fmt.Errorf("%s: %w", p.Name, err)
 	}
-	if p.Output != "" && res.Output != p.Output {
-		return CoreBenchEntry{}, fmt.Errorf("%s: wrong output %q", p.Name, res.Output)
+	if err := m.Load(im); err != nil {
+		return CoreBenchEntry{}, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	if _, err := m.Run(500_000_000); err != nil {
+		return CoreBenchEntry{}, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	if p.Output != "" && m.Output() != p.Output {
+		return CoreBenchEntry{}, fmt.Errorf("%s: wrong output %q", p.Name, m.Output())
 	}
 	snap := reg.Snapshot()
 	nopFrac := 0.0
@@ -102,7 +112,7 @@ func coreBenchOne(p corpus.Program, sink func(name string, reg *trace.Registry))
 	return CoreBenchEntry{
 		Metrics:               snap,
 		NopFraction:           nopFrac,
-		FreeBandwidthFraction: res.Stats.FreeBandwidthFraction(),
+		FreeBandwidthFraction: m.Stats().FreeBandwidthFraction(),
 	}, nil
 }
 

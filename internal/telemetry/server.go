@@ -134,6 +134,12 @@ func (s *Server) Sources() []Source {
 // or an httptest harness.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Mount adds a handler to the telemetry mux under the given pattern
+// (net/http ServeMux syntax, method patterns included). cmd/mipsd uses
+// it to expose the simulation job service next to /metrics and /status.
+// Call before Start.
+func (s *Server) Mount(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
 // Start listens on addr (":0" picks a free port), serves in the
 // background, and starts the rate sampler. It returns the bound
 // address.

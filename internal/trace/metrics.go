@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -98,12 +99,57 @@ func (r *Registry) CounterFunc(name string, fn func() uint64) {
 }
 
 func (r *Registry) register(name string, src metricSource) {
+	if err := r.tryRegister(name, src); err != nil {
+		panic(err.Error())
+	}
+}
+
+// tryRegister installs a source, reporting a duplicate name as an error
+// instead of panicking. The Register* helpers (register.go) build on it
+// so attaching a whole machine twice is an explicit, recoverable error.
+func (r *Registry) tryRegister(name string, src metricSource) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.sources[name]; dup {
-		panic(fmt.Sprintf("trace: duplicate metric %q", name))
+		return fmt.Errorf("trace: duplicate metric %q", name)
 	}
 	r.sources[name] = src
+	return nil
+}
+
+// Registered reports whether a metric name is already taken.
+func (r *Registry) Registered(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.sources[name]
+	return ok
+}
+
+// Unregister removes a metric, reporting whether it existed. Together
+// with UnregisterPrefix it is the explicit swap path: re-registering a
+// machine requires removing the old series first, so a silent overwrite
+// can never splice two machines' histories into one series.
+func (r *Registry) Unregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.sources[name]
+	delete(r.sources, name)
+	return ok
+}
+
+// UnregisterPrefix removes every metric whose name starts with prefix
+// and returns how many were removed.
+func (r *Registry) UnregisterPrefix(prefix string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for name := range r.sources {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.sources, name)
+			n++
+		}
+	}
+	return n
 }
 
 // Describe attaches help text to a registered metric, surfaced as the

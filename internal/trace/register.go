@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"mips/internal/cpu"
@@ -9,16 +10,51 @@ import (
 	"mips/internal/mem"
 )
 
+// registrar accumulates CounterFunc/Gauge registrations, turning the
+// first duplicate name into an error instead of a panic. Registering
+// the same machine (or the same prefix) twice into one registry would
+// silently splice two series together; the Register* helpers refuse
+// instead, and callers that really mean to swap call UnregisterPrefix
+// first.
+type registrar struct {
+	r   *Registry
+	err error
+}
+
+func (g *registrar) counter(name, help string, fn func() uint64) {
+	if g.err != nil {
+		return
+	}
+	if e := g.r.tryRegister(name, metricSource{fn: fn, kind: MetricCounter}); e != nil {
+		g.err = fmt.Errorf("%w (Unregister the old series or use a fresh registry)", e)
+		return
+	}
+	g.r.Describe(name, help)
+}
+
+func (g *registrar) gauge(name, help string, fn func() uint64) {
+	if g.err != nil {
+		return
+	}
+	if e := g.r.tryRegister(name, metricSource{fn: fn, kind: MetricGauge}); e != nil {
+		g.err = fmt.Errorf("%w (Unregister the old series or use a fresh registry)", e)
+		return
+	}
+	g.r.Describe(name, help)
+}
+
 // RegisterCPUStats registers every field of a CPU's Stats under the
 // given prefix (conventionally "cpu."). The registry samples the struct
 // at snapshot time; nothing is added to the execution path. The fields
 // are read with atomic loads so a live telemetry server sampling
 // mid-run never sees a torn value; the CPU goroutine remains the single
-// writer (see the Registry concurrency contract).
-func RegisterCPUStats(r *Registry, prefix string, st *cpu.Stats) {
+// writer (see the Registry concurrency contract). Registering a prefix
+// that is already populated returns an error: re-registration must be
+// explicit (UnregisterPrefix, then register again).
+func RegisterCPUStats(r *Registry, prefix string, st *cpu.Stats) error {
+	g := &registrar{r: r}
 	c := func(name, help string, p *uint64) {
-		r.CounterFunc(prefix+name, func() uint64 { return atomic.LoadUint64(p) })
-		r.Describe(prefix+name, help)
+		g.counter(prefix+name, help, func() uint64 { return atomic.LoadUint64(p) })
 	}
 	c("instructions", "executed instruction words (one cycle each on the five-stage pipe)", &st.Instructions)
 	c("pieces", "executed non-nop pieces (a packed word contributes two)", &st.Pieces)
@@ -32,28 +68,29 @@ func RegisterCPUStats(r *Registry, prefix string, st *cpu.Stats) {
 	c("stores", "data-memory stores", &st.Stores)
 	c("branches", "executed control-flow pieces", &st.Branches)
 	c("taken_branches", "control-flow pieces that transferred control", &st.TakenBranches)
-	r.CounterFunc(prefix+"exceptions", func() uint64 {
+	g.counter(prefix+"exceptions", "exception entries over all causes", func() uint64 {
 		var n uint64
 		for i := range st.Exceptions {
 			n += atomic.LoadUint64(&st.Exceptions[i])
 		}
 		return n
 	})
-	r.Describe(prefix+"exceptions", "exception entries over all causes")
 	for cause := isa.Cause(0); cause < isa.NumCauses; cause++ {
 		c("exceptions."+cause.String(), "exception entries with primary cause "+cause.String(),
 			&st.Exceptions[cause])
 	}
+	return g.err
 }
 
 // RegisterTranslation registers the CPU's translation-layer counters —
 // predecode cache and superblock cache — under the given prefix
 // (conventionally "xlate."). Like RegisterCPUStats it samples with
-// atomic loads; the CPU goroutine remains the single writer.
-func RegisterTranslation(r *Registry, prefix string, ts *cpu.TranslationStats) {
+// atomic loads and errors on duplicate registration; the CPU goroutine
+// remains the single writer.
+func RegisterTranslation(r *Registry, prefix string, ts *cpu.TranslationStats) error {
+	g := &registrar{r: r}
 	c := func(name, help string, p *uint64) {
-		r.CounterFunc(prefix+name, func() uint64 { return atomic.LoadUint64(p) })
-		r.Describe(prefix+name, help)
+		g.counter(prefix+name, help, func() uint64 { return atomic.LoadUint64(p) })
 	}
 	c("predecode_hits", "fetches served by a valid predecoded record", &ts.PredecodeHits)
 	c("predecode_misses", "fetches that (re)decoded the instruction word", &ts.PredecodeMisses)
@@ -63,36 +100,44 @@ func RegisterTranslation(r *Registry, prefix string, ts *cpu.TranslationStats) {
 	c("block_translations", "superblocks built (first sight and retranslation alike)", &ts.BlockTranslations)
 	c("block_invalidations", "superblocks dropped by the memory write barrier", &ts.BlockInvalidations)
 	c("block_bails", "mid-block falls back to the exact per-instruction engine", &ts.BlockBails)
+	return g.err
 }
 
 // RegisterMachine registers a full kernel machine: the CPU stats under
 // "cpu.", the translation-layer counters under "xlate.", and the
 // kernel's scheduling/paging counters under "kernel.". The kernel
 // counters sample through accessor methods and are best-effort when
-// read while the machine runs.
-func RegisterMachine(r *Registry, m *kernel.Machine) {
-	RegisterCPUStats(r, "cpu.", &m.CPU.Stats)
-	RegisterTranslation(r, "xlate.", &m.CPU.Trans)
+// read while the machine runs. Registering a second machine into the
+// same registry returns an error; swap explicitly with UnregisterPrefix.
+func RegisterMachine(r *Registry, m *kernel.Machine) error {
+	if err := RegisterCPUStats(r, "cpu.", &m.CPU.Stats); err != nil {
+		return err
+	}
+	if err := RegisterTranslation(r, "xlate.", &m.CPU.Trans); err != nil {
+		return err
+	}
+	g := &registrar{r: r}
 	c := func(name, help string, fn func() uint64) {
-		r.CounterFunc("kernel."+name, fn)
-		r.Describe("kernel."+name, help)
+		g.counter("kernel."+name, help, fn)
 	}
 	c("page_faults", "demand-paging faults taken", func() uint64 { return uint64(m.PageFaults()) })
 	c("context_switches", "scheduler context switches", func() uint64 { return uint64(m.ContextSwitches()) })
 	c("evictions", "resident pages evicted", func() uint64 { return uint64(m.Evictions()) })
 	c("disk_reads", "pages read from the paging disk", func() uint64 { return uint64(m.DiskReads()) })
 	c("disk_writes", "pages written to the paging disk", func() uint64 { return uint64(m.DiskWrites()) })
-	r.Gauge("kernel.resident_pages", func() uint64 { return uint64(m.ResidentPages()) })
-	r.Describe("kernel.resident_pages", "pages currently resident in physical memory")
+	g.gauge("kernel.resident_pages", "pages currently resident in physical memory",
+		func() uint64 { return uint64(m.ResidentPages()) })
+	return g.err
 }
 
 // RegisterDMA registers a DMA engine's transfer counters under the
-// given prefix (conventionally "dma.").
-func RegisterDMA(r *Registry, prefix string, d *mem.DMA) {
-	r.CounterFunc(prefix+"words_moved", d.Moved)
-	r.Describe(prefix+"words_moved", "words moved on stolen free memory cycles")
-	r.CounterFunc(prefix+"cycles_offered", d.Offered)
-	r.Describe(prefix+"cycles_offered", "free memory cycles offered to the DMA engine")
-	r.Gauge(prefix+"words_pending", func() uint64 { return uint64(d.Pending()) })
-	r.Describe(prefix+"words_pending", "words queued awaiting a free memory cycle")
+// given prefix (conventionally "dma."). Duplicate registration is an
+// error, as for the other Register helpers.
+func RegisterDMA(r *Registry, prefix string, d *mem.DMA) error {
+	g := &registrar{r: r}
+	g.counter(prefix+"words_moved", "words moved on stolen free memory cycles", d.Moved)
+	g.counter(prefix+"cycles_offered", "free memory cycles offered to the DMA engine", d.Offered)
+	g.gauge(prefix+"words_pending", "words queued awaiting a free memory cycle",
+		func() uint64 { return uint64(d.Pending()) })
+	return g.err
 }

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mips/internal/cpu"
+	"mips/internal/kernel"
+	"mips/internal/mem"
+)
+
+// Re-registering a machine's counters into a registry that already
+// holds them must be an explicit error, never a silent splice of two
+// series — and never a panic. Swapping is spelled UnregisterPrefix,
+// then register again.
+
+func TestRegisterDuplicateIsError(t *testing.T) {
+	r := NewRegistry()
+	var st cpu.Stats
+	if err := RegisterCPUStats(r, "cpu.", &st); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	var st2 cpu.Stats
+	err := RegisterCPUStats(r, "cpu.", &st2)
+	if err == nil {
+		t.Fatal("second RegisterCPUStats on the same prefix succeeded")
+	}
+	if !strings.Contains(err.Error(), "Unregister") {
+		t.Errorf("error %q does not point at the remedy", err)
+	}
+
+	var ts cpu.TranslationStats
+	if err := RegisterTranslation(r, "xlate.", &ts); err != nil {
+		t.Fatalf("translation registration: %v", err)
+	}
+	if err := RegisterTranslation(r, "xlate.", &ts); err == nil {
+		t.Fatal("duplicate RegisterTranslation succeeded")
+	}
+
+	d := mem.NewDMA(mem.NewPhysical(1024))
+	if err := RegisterDMA(r, "dma.", d); err != nil {
+		t.Fatalf("dma registration: %v", err)
+	}
+	if err := RegisterDMA(r, "dma.", d); err == nil {
+		t.Fatal("duplicate RegisterDMA succeeded")
+	}
+
+	// Distinct prefixes coexist.
+	if err := RegisterCPUStats(r, "cpu2.", &st2); err != nil {
+		t.Fatalf("distinct prefix: %v", err)
+	}
+}
+
+func TestRegisterMachineDuplicateIsError(t *testing.T) {
+	r := NewRegistry()
+	m, err := kernel.NewMachine(kernel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterMachine(r, m); err != nil {
+		t.Fatalf("first machine: %v", err)
+	}
+	m2, err := kernel.NewMachine(kernel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterMachine(r, m2); err == nil {
+		t.Fatal("second RegisterMachine into the same registry succeeded")
+	}
+	// The explicit swap: clear every prefix the machine owns, then
+	// register the replacement.
+	r.UnregisterPrefix("cpu.")
+	r.UnregisterPrefix("xlate.")
+	r.UnregisterPrefix("kernel.")
+	if err := RegisterMachine(r, m2); err != nil {
+		t.Fatalf("re-registration after UnregisterPrefix: %v", err)
+	}
+}
+
+func TestUnregisterPrefixAllowsSwap(t *testing.T) {
+	r := NewRegistry()
+	var a, b cpu.Stats
+	if err := RegisterCPUStats(r, "cpu.", &a); err != nil {
+		t.Fatal(err)
+	}
+	a.Instructions = 7
+	if got := r.Snapshot()["cpu.instructions"]; got != 7 {
+		t.Fatalf("cpu.instructions = %d, want 7", got)
+	}
+
+	n := r.UnregisterPrefix("cpu.")
+	if n == 0 {
+		t.Fatal("UnregisterPrefix removed nothing")
+	}
+	if r.Registered("cpu.instructions") {
+		t.Fatal("cpu.instructions survived UnregisterPrefix")
+	}
+	if err := RegisterCPUStats(r, "cpu.", &b); err != nil {
+		t.Fatalf("re-registration after UnregisterPrefix: %v", err)
+	}
+	b.Instructions = 42
+	if got := r.Snapshot()["cpu.instructions"]; got != 42 {
+		t.Errorf("after swap, cpu.instructions = %d, want 42 (new machine's series)", got)
+	}
+}
+
+func TestUnregisterSingleSeries(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("one", func() uint64 { return 1 })
+	if !r.Registered("one") {
+		t.Fatal("series not registered")
+	}
+	if !r.Unregister("one") {
+		t.Fatal("Unregister reported failure for a live series")
+	}
+	if r.Unregister("one") {
+		t.Fatal("Unregister reported success for a dead series")
+	}
+	if _, ok := r.Snapshot()["one"]; ok {
+		t.Error("unregistered series still in snapshot")
+	}
+}
+
+func TestTryRegisterErrorDoesNotPanic(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("dup", func() uint64 { return 1 })
+	if err := r.tryRegister("dup", metricSource{fn: func() uint64 { return 2 }, kind: MetricCounter}); err == nil {
+		t.Fatal("tryRegister accepted a duplicate")
+	}
+}

@@ -1,0 +1,113 @@
+#!/bin/sh
+# mipsd_smoke.sh — end-to-end smoke test for the simulation job daemon.
+# Starts mipsd, submits a job over HTTP, polls it to completion, downloads
+# its snapshot, resubmits the snapshot as a new job, and checks that both
+# jobs produced identical output. Exercises the same loop as the Go HTTP
+# tests, but against the real binary over a real socket.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR="${MIPSD_ADDR:-127.0.0.1:9473}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+MIPSD_PID=""
+
+cleanup() {
+    status=$?
+    if [ -n "$MIPSD_PID" ]; then
+        # SIGTERM triggers the graceful drain path.
+        kill "$MIPSD_PID" 2>/dev/null || true
+        wait "$MIPSD_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+# Pull a string field out of a one-object JSON response. The daemon's
+# encoder never escapes quotes inside these fields, so this is safe.
+field() { # field <name> <file>
+    sed -n "s/.*\"$1\": *\"\\([^\"]*\\)\".*/\\1/p" "$2" | head -1
+}
+
+echo "==> build mipsd"
+go build -o "$TMP/mipsd" ./cmd/mipsd
+
+echo "==> start mipsd on $ADDR"
+"$TMP/mipsd" -addr "$ADDR" -quantum 5000 &
+MIPSD_PID=$!
+
+for i in $(seq 1 100); do
+    if curl -fsS "$BASE/jobs" >/dev/null 2>&1; then
+        break
+    fi
+    if [ "$i" -eq 100 ]; then
+        echo "mipsd never came up on $ADDR" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+wait_done() { # wait_done <id> -> prints final state
+    id=$1
+    for i in $(seq 1 600); do
+        curl -fsS "$BASE/jobs/$id" >"$TMP/status.json"
+        state=$(field state "$TMP/status.json")
+        case "$state" in
+        done | failed | cancelled)
+            echo "$state"
+            return 0
+            ;;
+        esac
+        sleep 0.1
+    done
+    echo "timeout"
+    return 0
+}
+
+echo "==> submit fib (blocks engine)"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"program":"fib","engine":"blocks"}' \
+    "$BASE/jobs" >"$TMP/submit.json"
+ID=$(field id "$TMP/submit.json")
+[ -n "$ID" ] || { echo "no job id in response" >&2; cat "$TMP/submit.json" >&2; exit 1; }
+echo "    job $ID"
+
+STATE=$(wait_done "$ID")
+if [ "$STATE" != "done" ]; then
+    echo "job $ID ended in state $STATE" >&2
+    cat "$TMP/status.json" >&2
+    exit 1
+fi
+
+echo "==> fetch output and snapshot"
+curl -fsS "$BASE/jobs/$ID/output" >"$TMP/out1"
+curl -fsS "$BASE/jobs/$ID/snapshot" >"$TMP/snap.bin"
+[ -s "$TMP/out1" ] || { echo "job produced no output" >&2; exit 1; }
+[ -s "$TMP/snap.bin" ] || { echo "empty snapshot" >&2; exit 1; }
+
+echo "==> resubmit snapshot on the fast engine"
+SNAP_B64=$(base64 "$TMP/snap.bin" | tr -d '\n')
+printf '{"snapshot":"%s","engine":"fast","name":"fib-resumed"}' "$SNAP_B64" >"$TMP/resubmit.json"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data @"$TMP/resubmit.json" "$BASE/jobs" >"$TMP/submit2.json"
+ID2=$(field id "$TMP/submit2.json")
+[ -n "$ID2" ] || { echo "no job id in resubmit response" >&2; cat "$TMP/submit2.json" >&2; exit 1; }
+echo "    job $ID2"
+
+STATE2=$(wait_done "$ID2")
+if [ "$STATE2" != "done" ]; then
+    echo "resumed job $ID2 ended in state $STATE2" >&2
+    cat "$TMP/status.json" >&2
+    exit 1
+fi
+curl -fsS "$BASE/jobs/$ID2/output" >"$TMP/out2"
+
+echo "==> compare outputs"
+if ! cmp -s "$TMP/out1" "$TMP/out2"; then
+    echo "restored job output differs from the original:" >&2
+    diff "$TMP/out1" "$TMP/out2" >&2 || true
+    exit 1
+fi
+
+echo "OK"
