@@ -3,7 +3,7 @@
 // Usage:
 //
 //	mipsd [-addr :9418] [-workers N] [-queue N] [-quantum N] [-max N]
-//	      [-engine ENGINE]
+//	      [-engine ENGINE] [-peers URL,URL]
 //
 // mipsd runs many simulations at once on a bounded worker pool. Jobs
 // are submitted over HTTP and preempted at checkpoint boundaries every
@@ -12,24 +12,45 @@
 // snapshot of any running job and resubmit it later — to the same
 // daemon, a different one, or a different engine.
 //
-//	POST /jobs               submit ({"program": "sieve"} or {"snapshot": base64})
+//	POST /jobs               submit ({"program": "sieve"} or {"snapshot": base64};
+//	                         optional tenant/profile/trace fields)
 //	GET  /jobs               list job statuses
 //	GET  /jobs/{id}          one job's status
 //	GET  /jobs/{id}/output   console output (terminal states)
+//	GET  /jobs/{id}/profile  folded cycle stacks (profile: true jobs)
 //	GET  /jobs/{id}/snapshot checkpoint download (binary, resumable)
 //	POST /jobs/{id}/cancel   request cancellation
 //
 // Submittable programs are the built-in corpus; the telemetry surface
-// (/metrics, /status) serves the job service's own counters.
+// serves the job service's counters plus the fleet rollup:
+//
+//	GET  /metrics                     Prometheus exposition: jobs.* and
+//	                                  xlate.* counters, per-tenant
+//	                                  latency/rate quantiles, SSE drops;
+//	                                  federated peers merge in with a
+//	                                  worker="host:port" label
+//	GET  /profile/flame?scope=fleet   merged flamegraph of every profiled
+//	                                  job (and federated peers)
+//	GET  /trace/stream?sample=K       SSE tail of K traced jobs
+//	GET  /fleet/peers                 list federated peers
+//	POST /fleet/peers                 add a peer ({"url": "host:port"})
+//	DELETE /fleet/peers?url=...       remove a peer
+//
+// A worker is a plain mipsd; a coordinator is a mipsd started with
+// -peers (or taught its peers via POST /fleet/peers) whose /metrics and
+// fleet flamegraph scrape and merge every peer on each request.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +60,7 @@ import (
 	"mips/internal/reorg"
 	"mips/internal/sim"
 	"mips/internal/telemetry"
+	"mips/internal/telemetry/fleet"
 	"mips/internal/trace"
 )
 
@@ -49,6 +71,7 @@ func main() {
 	quantum := flag.Uint64("quantum", 1_000_000, "preemption quantum in scheduler steps")
 	maxSteps := flag.Uint64("max", 500_000_000, "default per-job step budget")
 	engineFlag := flag.String("engine", "", "default execution engine: reference | fast | blocks")
+	peersFlag := flag.String("peers", "", "comma-separated peer mipsd URLs to federate (coordinator mode)")
 	drainWait := flag.Duration("drain", 10*time.Second, "graceful-drain bound on shutdown")
 	flag.Parse()
 	engine, err := sim.ParseEngine(*engineFlag)
@@ -57,6 +80,24 @@ func main() {
 	}
 	sim.SetDefault(engine)
 
+	// Fleet observability: terminal jobs roll into sharded per-tenant
+	// sketches, traced jobs register as sampled-SSE sources, and -peers
+	// turns this daemon into a coordinator that merges peer scrapes.
+	rollup := fleet.NewRollup(fleet.DefaultRollupShards)
+	directory := fleet.NewDirectory()
+	fed := fleet.NewFederation(fleet.DefaultScrapeTimeout)
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			if _, err := fed.AddPeer(p); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	metrics := trace.NewRegistry()
 	svc := sim.NewService(sim.ServiceConfig{
 		Workers:         *workers,
@@ -64,21 +105,48 @@ func main() {
 		Quantum:         *quantum,
 		DefaultMaxSteps: *maxSteps,
 		Metrics:         metrics,
+		Tracers:         directory,
+		OnJobTerminal: func(s sim.JobSample) {
+			rollup.Observe(fleet.JobSample{
+				Tenant:         s.Tenant,
+				Engine:         s.Engine,
+				Outcome:        s.Outcome,
+				LatencySeconds: s.LatencySeconds,
+				InstrsPerSec:   s.InstrsPerSec,
+				Instructions:   s.Instructions,
+				Preempts:       s.Preempts,
+				Counters:       s.Counters,
+			})
+		},
 	})
 
 	srv := telemetry.New(telemetry.Config{
 		Program: "mipsd", Args: os.Args[1:], Engine: engine.String(),
+		Sampler: directory,
 	})
 	srv.AddSource("", metrics)
+	srv.AddCollector(rollup.WriteExposition)
+	srv.AddCollector(func(w io.Writer) error { return writeTenantActive(w, svc) })
+	srv.SetMetricsBody(func(w io.Writer) error {
+		return fed.WriteMergedMetrics(w, srv.RenderLocalMetrics)
+	})
+	srv.SetFleetFolded(func(w io.Writer) error {
+		merged, _ := fed.MergedFolded(svc.FleetFolded())
+		return fleet.WriteFolded(w, merged)
+	})
 	handler := svc.Handler(sim.HTTPConfig{Programs: corpusPrograms()})
 	srv.Mount("/jobs", handler)
 	srv.Mount("/jobs/", handler)
+	srv.Mount("/fleet/peers", fed.Handler())
 
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "mipsd: serving simulation jobs at %s (POST /jobs, GET /jobs/{id}, /metrics, /status)\n", displayURL(bound))
+	if peers := fed.Peers(); len(peers) > 0 {
+		fmt.Fprintf(os.Stderr, "mipsd: federating %d peers: %s\n", len(peers), strings.Join(peers, ", "))
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	<-ctx.Done()
@@ -89,6 +157,28 @@ func main() {
 	cancelDrain()
 	svc.Close()
 	srv.Close()
+}
+
+// writeTenantActive exposes the per-tenant unfinished-job gauge next to
+// the rollup's terminal-job families: together they answer "who is
+// running now" and "how did their jobs behave".
+func writeTenantActive(w io.Writer, svc *sim.Service) error {
+	if _, err := fmt.Fprint(w,
+		"# HELP jobs_tenant_active unfinished jobs per tenant\n# TYPE jobs_tenant_active gauge\n"); err != nil {
+		return err
+	}
+	active := svc.TenantActive()
+	tenants := make([]string, 0, len(active))
+	for t := range active {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		if _, err := fmt.Fprintf(w, "jobs_tenant_active{tenant=%q} %d\n", t, active[t]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // corpusPrograms exposes every built-in corpus program to the job

@@ -1,0 +1,211 @@
+package sim_test
+
+// Fleet-hook integration: 64 concurrent jobs across tenants feed
+// terminal samples into the sharded rollup with per-tenant labels
+// (the ISSUE acceptance scenario), profiled jobs yield folded stacks
+// mergeable into a fleet flamegraph, and traced jobs come and go from
+// the tracer directory as they start and finish.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mips/internal/sim"
+	"mips/internal/telemetry/fleet"
+)
+
+func TestServiceFleetRollup64Jobs(t *testing.T) {
+	im := compileCorpus(t, "fib", false)
+	rollup := fleet.NewRollup(0)
+	var mu sync.Mutex
+	var samples []sim.JobSample
+	svc := sim.NewService(sim.ServiceConfig{
+		Workers:    4,
+		QueueDepth: 128,
+		Quantum:    40,
+		OnJobTerminal: func(s sim.JobSample) {
+			mu.Lock()
+			samples = append(samples, s)
+			mu.Unlock()
+			rollup.Observe(fleet.JobSample{
+				Tenant: s.Tenant, Engine: s.Engine, Outcome: s.Outcome,
+				LatencySeconds: s.LatencySeconds, InstrsPerSec: s.InstrsPerSec,
+				Instructions: s.Instructions, Preempts: s.Preempts, Counters: s.Counters,
+			})
+		},
+	})
+	defer svc.Close()
+
+	const n = 64
+	tenants := []string{"alpha", "beta", ""} // "" normalizes to default
+	engines := []sim.Engine{sim.Reference, sim.FastPath, sim.Blocks}
+	jobs := make([]*sim.Job, 0, n)
+	for i := 0; i < n; i++ {
+		j, err := svc.Submit(sim.JobSpec{
+			Name:   "fib",
+			Tenant: tenants[i%len(tenants)],
+			Build:  buildFor(im, engines[i%len(engines)]),
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for i, j := range jobs {
+		if err := j.Wait(ctx); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(samples) != n {
+		t.Fatalf("terminal samples = %d, want %d", len(samples), n)
+	}
+	byTenant := map[string]int{}
+	for _, s := range samples {
+		byTenant[s.Tenant]++
+		if s.Outcome != "done" {
+			t.Errorf("sample outcome = %q, want done", s.Outcome)
+		}
+		if s.Engine == "none" || s.Engine == "" {
+			t.Errorf("sample engine = %q, want a resolved engine", s.Engine)
+		}
+		if s.Instructions == 0 || s.Preempts < 2 {
+			t.Errorf("sample instr/preempts = %d/%d; jobs must retire work across several quanta",
+				s.Instructions, s.Preempts)
+		}
+		if s.LatencySeconds <= 0 || s.InstrsPerSec <= 0 {
+			t.Errorf("sample latency/rate = %g/%g, want positive", s.LatencySeconds, s.InstrsPerSec)
+		}
+		if _, ok := s.Counters["xlate.block_translations"]; !ok {
+			t.Error("sample is missing the xlate.* counters")
+		}
+	}
+	if byTenant["alpha"] == 0 || byTenant["beta"] == 0 || byTenant[sim.DefaultTenant] == 0 {
+		t.Errorf("tenant distribution = %v; empty tenant must normalize to %q", byTenant, sim.DefaultTenant)
+	}
+	if active := svc.TenantActive(); len(active) != 0 {
+		t.Errorf("tenantActive after all jobs terminal = %v, want empty", active)
+	}
+
+	if got := rollup.Jobs(); got != n {
+		t.Fatalf("rollup jobs = %d, want %d", got, n)
+	}
+	var buf bytes.Buffer
+	if err := rollup.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`tenant="alpha"`, `tenant="beta"`, `tenant="default"`,
+		`engine="reference"`, `quantile="0.99"`,
+		"jobs_latency_seconds", "jobs_outcomes", "xlate_block_translations",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rollup exposition missing %q", want)
+		}
+	}
+}
+
+func TestServiceProfiledJobFoldedStacks(t *testing.T) {
+	im := compileCorpus(t, "fib", false)
+	svc := sim.NewService(sim.ServiceConfig{Workers: 2, Quantum: 1000})
+	defer svc.Close()
+
+	plain, err := svc.Submit(sim.JobSpec{Name: "plain", Build: buildFor(im, sim.FastPath)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := svc.Submit(sim.JobSpec{Name: "prof", Profile: true, Build: buildFor(im, sim.FastPath)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := plain.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := prof.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.FoldedProfile() != nil || plain.Profiler() != nil {
+		t.Error("unprofiled job must have no profile")
+	}
+	folded := prof.FoldedProfile()
+	if len(folded) == 0 {
+		t.Fatal("profiled job produced no folded stacks")
+	}
+	var cycles uint64
+	for stack, n := range folded {
+		if !strings.HasPrefix(stack, "user;") && !strings.HasPrefix(stack, "kernel;") {
+			t.Errorf("stack %q lacks an address-space frame", stack)
+		}
+		cycles += n
+	}
+	if cycles == 0 {
+		t.Error("folded stacks carry zero cycles")
+	}
+	// Symbolization: the job machine's loaded image feeds the profiler,
+	// so at least one stack names a real symbol rather than the
+	// unsymbolized bucket.
+	named := false
+	for stack := range folded {
+		if !strings.Contains(stack, "<unsymbolized>") && !strings.Contains(stack, "<kernel>") {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("no symbolized stacks in %v", folded)
+	}
+
+	// The service-level union includes the profiled job's stacks.
+	union := svc.FleetFolded()
+	for stack, n := range folded {
+		if union[stack] != n {
+			t.Errorf("fleet union [%q] = %d, want %d", stack, union[stack], n)
+		}
+	}
+}
+
+func TestServiceTracedJobDirectoryLifecycle(t *testing.T) {
+	im := spinImage(t)
+	dir := fleet.NewDirectory()
+	svc := sim.NewService(sim.ServiceConfig{Workers: 1, Quantum: 100, Tracers: dir})
+	defer svc.Close()
+
+	j, err := svc.Submit(sim.JobSpec{Name: "spin", Trace: true, Build: buildFor(im, sim.FastPath)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for dir.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("traced job never registered its tracer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	names, tracers, total := dir.SampleTracers(0)
+	if total != 1 || names[0] != j.ID || tracers[0] == nil {
+		t.Fatalf("directory = %v (%d), want the job's tracer", names, total)
+	}
+
+	svc.Cancel(j.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	j.Wait(ctx)
+	deadline = time.Now().Add(10 * time.Second)
+	for dir.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("terminal job's tracer never left the directory")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -20,6 +20,7 @@ import (
 //	GET  /jobs               list job statuses
 //	GET  /jobs/{id}          one job's status
 //	GET  /jobs/{id}/output   console output so far (text)
+//	GET  /jobs/{id}/profile  folded cycle stacks (text; profile: true jobs)
 //	GET  /jobs/{id}/snapshot checkpoint download (binary, resumable)
 //	POST /jobs/{id}/cancel   request cancellation
 //
@@ -41,6 +42,7 @@ type HTTPConfig struct {
 // jobRequest is the POST /jobs body.
 type jobRequest struct {
 	Name      string `json:"name"`       // display label (default: program)
+	Tenant    string `json:"tenant"`     // fleet-rollup tenant label (default "default")
 	Program   string `json:"program"`    // built-in program name
 	Snapshot  []byte `json:"snapshot"`   // base64 snapshot to resume instead
 	Engine    string `json:"engine"`     // reference | fast | blocks (default: process default)
@@ -50,6 +52,8 @@ type jobRequest struct {
 	SpaceBits uint8  `json:"space_bits"` // kernel address-space size (default 16)
 	MaxSteps  uint64 `json:"max_steps"`  // step budget (default: service default)
 	TimeoutMS int64  `json:"timeout_ms"` // wall-clock bound (0 = none)
+	Profile   bool   `json:"profile"`    // attach a profiler (exact engine; fleet flamegraph)
+	Trace     bool   `json:"trace"`      // attach a tracer (exact engine; sampled SSE source)
 }
 
 // Handler returns the job service's HTTP API.
@@ -62,6 +66,7 @@ func (s *Service) Handler(cfg HTTPConfig) http.Handler {
 	mux.HandleFunc("GET /jobs/{$}", h.list)
 	mux.HandleFunc("GET /jobs/{id}", h.status)
 	mux.HandleFunc("GET /jobs/{id}/output", h.output)
+	mux.HandleFunc("GET /jobs/{id}/profile", h.profile)
 	mux.HandleFunc("GET /jobs/{id}/snapshot", h.snapshot)
 	mux.HandleFunc("POST /jobs/{id}/cancel", h.cancel)
 	return mux
@@ -120,8 +125,11 @@ func (h *jobHandler) buildSpec(req jobRequest) (JobSpec, error) {
 	}
 	spec := JobSpec{
 		Name:     req.Name,
+		Tenant:   req.Tenant,
 		MaxSteps: req.MaxSteps,
 		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+		Profile:  req.Profile,
+		Trace:    req.Trace,
 	}
 	if len(req.Snapshot) > 0 {
 		if req.Program != "" {
@@ -218,6 +226,39 @@ func (h *jobHandler) output(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte(out))
+}
+
+// profile serves the job's folded cycle-attribution stacks as text,
+// heaviest stack first — the same format /profile/flame emits, so the
+// output feeds flamegraph tooling directly.
+func (h *jobHandler) profile(w http.ResponseWriter, r *http.Request) {
+	j := h.job(w, r)
+	if j == nil {
+		return
+	}
+	folded := j.FoldedProfile()
+	if folded == nil {
+		httpError(w, http.StatusConflict, errors.New("job was not submitted with profile: true (or has not built its machine)"))
+		return
+	}
+	type row struct {
+		stack string
+		n     uint64
+	}
+	rows := make([]row, 0, len(folded))
+	for s, n := range folded {
+		rows = append(rows, row{s, n})
+	}
+	sort.Slice(rows, func(i, k int) bool {
+		if rows[i].n != rows[k].n {
+			return rows[i].n > rows[k].n
+		}
+		return rows[i].stack < rows[k].stack
+	})
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, rw := range rows {
+		fmt.Fprintf(w, "%s %d\n", rw.stack, rw.n)
+	}
 }
 
 func (h *jobHandler) snapshot(w http.ResponseWriter, r *http.Request) {

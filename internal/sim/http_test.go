@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -268,5 +269,52 @@ func TestHTTPKernelJob(t *testing.T) {
 	// processes > 1 without kernel is a 400.
 	if resp, _ := h.postJSON("/jobs", map[string]any{"program": "fib", "processes": 2}); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bare multi-process: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPTenantAndProfile covers the fleet-facing request fields: a
+// tenant label that survives into status, a profiled job whose folded
+// stacks are served at /jobs/{id}/profile, and the 409 for jobs that
+// were not profiled.
+func TestHTTPTenantAndProfile(t *testing.T) {
+	h := newHTTPHarness(t, sim.ServiceConfig{Workers: 2, Quantum: 500})
+
+	st := h.submit(map[string]any{"program": "fib", "tenant": "acme", "profile": true})
+	if st.Tenant != "acme" {
+		t.Errorf("submit status tenant = %q, want acme", st.Tenant)
+	}
+	final := h.waitDone(st.ID)
+	if final.State != "done" {
+		t.Fatalf("job state = %s (%s)", final.State, final.Error)
+	}
+	if final.Tenant != "acme" {
+		t.Errorf("final status tenant = %q, want acme", final.Tenant)
+	}
+
+	resp, body := h.get("/jobs/" + st.ID + "/profile")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile status = %d: %s", resp.StatusCode, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("profile endpoint returned no folded stacks")
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "user;") && !strings.HasPrefix(line, "kernel;") {
+			t.Errorf("folded line %q lacks an address-space frame", line)
+		}
+		if strings.LastIndexByte(line, ' ') < 0 {
+			t.Errorf("folded line %q has no count", line)
+		}
+	}
+
+	// Default tenant fills in; unprofiled jobs 409 on /profile.
+	plain := h.submit(map[string]any{"program": "fib"})
+	if plain.Tenant != sim.DefaultTenant {
+		t.Errorf("default tenant = %q, want %q", plain.Tenant, sim.DefaultTenant)
+	}
+	h.waitDone(plain.ID)
+	if resp, _ := h.get("/jobs/" + plain.ID + "/profile"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("unprofiled job profile status = %d, want 409", resp.StatusCode)
 	}
 }

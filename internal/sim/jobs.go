@@ -60,6 +60,36 @@ var (
 	ErrTimeout = errors.New("sim: job timeout")
 )
 
+// DefaultTenant is the tenant label of jobs submitted without one.
+const DefaultTenant = "default"
+
+// JobSample is the fleet-rollup view of one terminal job: everything a
+// per-tenant aggregation layer needs, captured at the instant the job
+// reached its terminal state. The xlate.* translation-cache totals of
+// the job's machine ride along in Counters so cache behavior is
+// attributable per tenant.
+type JobSample struct {
+	Tenant  string
+	Name    string
+	Engine  string // resolved engine, or "none" if the machine never built
+	Outcome string // done | failed | cancelled
+
+	LatencySeconds float64 // admission to terminal state
+	InstrsPerSec   float64 // retirement rate over running wall time
+	Instructions   uint64
+	Preempts       uint64 // scheduling quanta (checkpoint-preemptions)
+
+	Counters map[string]uint64 // xlate.* totals from the machine
+}
+
+// TracerRegistry receives per-job tracers as traced jobs build their
+// machines; the fleet trace directory implements it, making every
+// traced job a sampled-SSE source.
+type TracerRegistry interface {
+	AddTracer(name string, t *trace.Tracer)
+	RemoveTracer(name string)
+}
+
 // ServiceConfig sizes the job service.
 type ServiceConfig struct {
 	// Workers is the worker-pool size (default GOMAXPROCS).
@@ -75,12 +105,23 @@ type ServiceConfig struct {
 	DefaultMaxSteps uint64
 	// Metrics, if non-nil, receives the service's jobs.* counters.
 	Metrics *trace.Registry
+	// OnJobTerminal, if non-nil, receives one JobSample per job that
+	// reaches a terminal state, on the worker goroutine that finished
+	// it. It must be fast and must not call back into the Service or
+	// the Job (the job's mutex is held). The fleet rollup hangs here.
+	OnJobTerminal func(JobSample)
+	// Tracers, if non-nil, receives every traced job's tracer as the
+	// job builds its machine.
+	Tracers TracerRegistry
 }
 
 // JobSpec describes one submission.
 type JobSpec struct {
 	// Name labels the job in listings.
 	Name string
+	// Tenant labels the job for the fleet rollup (DefaultTenant if
+	// empty).
+	Tenant string
 	// Build constructs the machine. It runs on a worker goroutine at the
 	// job's first quantum, so heavy setup (compilation, snapshot decode)
 	// never blocks Submit.
@@ -90,6 +131,15 @@ type JobSpec struct {
 	// Timeout, if nonzero, fails the job when its wall-clock age exceeds
 	// it (checked at quantum boundaries).
 	Timeout time.Duration
+	// Profile attaches a cycle-attribution profiler to the job's
+	// machine. Profiled jobs run on the exact per-instruction engine
+	// (observer hooks force it), so they trade speed for attribution;
+	// their folded stacks merge into the fleet flamegraph.
+	Profile bool
+	// Trace attaches an event tracer, registered with the service's
+	// TracerRegistry so the job becomes a sampled-SSE source. Traced
+	// jobs also run on the exact engine.
+	Trace bool
 }
 
 // Job is one tracked simulation.
@@ -118,6 +168,11 @@ type Job struct {
 
 	cancelled atomic.Bool
 	done      chan struct{}
+
+	// prof is set once when a profiled job builds its machine; readers
+	// (the fleet flamegraph merge) load it without touching j.mu, so a
+	// profile read never waits out a quantum.
+	prof atomic.Pointer[trace.Profiler]
 }
 
 // Service is the concurrent job scheduler. Construct with NewService;
@@ -125,12 +180,13 @@ type Job struct {
 type Service struct {
 	cfg ServiceConfig
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	seq    uint64
-	active int
-	closed bool
+	mu           sync.Mutex
+	jobs         map[string]*Job
+	order        []string
+	seq          uint64
+	active       int
+	tenantActive map[string]int
+	closed       bool
 
 	ready chan *Job
 	stop  chan struct{}
@@ -160,10 +216,11 @@ func NewService(cfg ServiceConfig) *Service {
 		cfg.DefaultMaxSteps = 500_000_000
 	}
 	s := &Service{
-		cfg:   cfg,
-		jobs:  make(map[string]*Job),
-		ready: make(chan *Job, cfg.QueueDepth),
-		stop:  make(chan struct{}),
+		cfg:          cfg,
+		jobs:         make(map[string]*Job),
+		tenantActive: make(map[string]int),
+		ready:        make(chan *Job, cfg.QueueDepth),
+		stop:         make(chan struct{}),
 	}
 	if reg := cfg.Metrics; reg != nil {
 		s.mSubmitted = reg.Counter("jobs.submitted")
@@ -206,6 +263,9 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	if spec.Build == nil {
 		return nil, errors.New("sim: job spec needs a Build function")
 	}
+	if spec.Tenant == "" {
+		spec.Tenant = DefaultTenant
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -236,6 +296,7 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.active++
+	s.tenantActive[spec.Tenant]++
 	s.mu.Unlock()
 	inc(s.mSubmitted)
 	// Capacity equals QueueDepth and admission is bounded by it, so this
@@ -348,6 +409,7 @@ func (s *Service) runQuantum(j *Job) bool {
 			return false
 		}
 		j.m = m
+		s.attachJobObservers(j)
 	}
 	if j.state == JobQueued {
 		j.state = JobRunning
@@ -376,6 +438,38 @@ func (s *Service) runQuantum(j *Job) bool {
 	return true
 }
 
+// attachJobObservers wires the per-job profiler/tracer right after the
+// machine builds, before its first quantum runs; j.mu is held.
+func (s *Service) attachJobObservers(j *Job) {
+	if !j.spec.Profile && !j.spec.Trace {
+		return
+	}
+	obs := &trace.Observer{}
+	if j.spec.Profile {
+		p := trace.NewProfiler()
+		// Shared: the fleet flamegraph reads while the job runs.
+		p.Share()
+		for _, im := range j.m.Images() {
+			p.AddImage(im)
+		}
+		obs.Profiler = p
+		j.prof.Store(p)
+	}
+	var tr *trace.Tracer
+	if j.spec.Trace {
+		tr = trace.NewTracer(0)
+		obs.Tracer = tr
+	}
+	if k := j.m.Kernel(); k != nil {
+		obs.AttachMachine(k)
+	} else {
+		obs.Attach(j.m.CPU())
+	}
+	if tr != nil && s.cfg.Tracers != nil {
+		s.cfg.Tracers.AddTracer(j.ID, tr)
+	}
+}
+
 // finishLocked moves a job to a terminal state; j.mu is held.
 func (s *Service) finishLocked(j *Job, state JobState, err error) {
 	j.state = state
@@ -384,6 +478,10 @@ func (s *Service) finishLocked(j *Job, state JobState, err error) {
 	close(j.done)
 	s.mu.Lock()
 	s.active--
+	s.tenantActive[j.spec.Tenant]--
+	if s.tenantActive[j.spec.Tenant] <= 0 {
+		delete(s.tenantActive, j.spec.Tenant)
+	}
 	s.mu.Unlock()
 	switch state {
 	case JobDone:
@@ -393,6 +491,89 @@ func (s *Service) finishLocked(j *Job, state JobState, err error) {
 	case JobCancelled:
 		inc(s.mCancelled)
 	}
+	if j.spec.Trace && s.cfg.Tracers != nil {
+		// Terminal jobs emit no more events; stop offering them as
+		// sampled-SSE sources (clients already tailing drain normally).
+		s.cfg.Tracers.RemoveTracer(j.ID)
+	}
+	if fn := s.cfg.OnJobTerminal; fn != nil {
+		fn(s.sampleLocked(j, state))
+	}
+}
+
+// sampleLocked captures the job's fleet-rollup sample; j.mu is held
+// and the job is terminal, so every field is final.
+func (s *Service) sampleLocked(j *Job, state JobState) JobSample {
+	sample := JobSample{
+		Tenant:         j.spec.Tenant,
+		Name:           j.Name,
+		Engine:         "none",
+		Outcome:        state.String(),
+		LatencySeconds: j.finished.Sub(j.created).Seconds(),
+		Instructions:   j.instructions,
+		Preempts:       j.quanta,
+	}
+	if !j.started.IsZero() {
+		if run := j.finished.Sub(j.started).Seconds(); run > 0 {
+			sample.InstrsPerSec = float64(j.instructions) / run
+		}
+	}
+	if j.m != nil {
+		sample.Engine = j.m.Engine().String()
+		ts := j.m.Trans()
+		sample.Counters = map[string]uint64{
+			"xlate.predecode_hits":       ts.PredecodeHits,
+			"xlate.predecode_misses":     ts.PredecodeMisses,
+			"xlate.predecode_collisions": ts.PredecodeCollisions,
+			"xlate.block_hits":           ts.BlockHits,
+			"xlate.block_chained":        ts.BlockChained,
+			"xlate.block_translations":   ts.BlockTranslations,
+			"xlate.block_invalidations":  ts.BlockInvalidations,
+			"xlate.block_bails":          ts.BlockBails,
+		}
+	}
+	return sample
+}
+
+// TenantActive returns the number of unfinished jobs per tenant.
+func (s *Service) TenantActive() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.tenantActive))
+	for t, n := range s.tenantActive {
+		if n > 0 {
+			out[t] = uint64(n)
+		}
+	}
+	return out
+}
+
+// FleetFolded merges the folded profiles of every profiled job —
+// running or terminal — into one stack -> cycles map. Profilers are
+// shared, so this never waits out a quantum.
+func (s *Service) FleetFolded() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, j := range s.Jobs() {
+		for stack, n := range j.FoldedProfile() {
+			out[stack] += n
+		}
+	}
+	return out
+}
+
+// Profiler returns the job's profiler, or nil if the job was not
+// submitted with Profile or has not built its machine yet. It does not
+// take the job mutex, so it is safe mid-quantum.
+func (j *Job) Profiler() *trace.Profiler { return j.prof.Load() }
+
+// FoldedProfile returns the job's folded cycle-attribution stacks, or
+// nil for unprofiled jobs. Safe mid-quantum: the profiler is shared.
+func (j *Job) FoldedProfile() map[string]uint64 {
+	p := j.prof.Load()
+	if p == nil {
+		return nil
+	}
+	return p.Folded()
 }
 
 // Wait blocks until the job reaches a terminal state or the context
@@ -412,6 +593,7 @@ func (j *Job) Wait(ctx context.Context) error {
 type Status struct {
 	ID           string        `json:"id"`
 	Name         string        `json:"name,omitempty"`
+	Tenant       string        `json:"tenant,omitempty"`
 	State        string        `json:"state"`
 	Instructions uint64        `json:"instructions"`
 	Steps        uint64        `json:"steps"`
@@ -433,6 +615,7 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID:           j.ID,
 		Name:         j.Name,
+		Tenant:       j.spec.Tenant,
 		State:        j.state.String(),
 		Instructions: j.instructions,
 		Steps:        j.steps,

@@ -109,6 +109,7 @@ type Machine struct {
 	hazards []cpu.Hazard
 	booted  bool // kernel machine has taken its reset exception
 	loaded  int
+	images  []*isa.Image // every image loaded, for late symbolization
 }
 
 // New builds a machine. With no options: the bare machine on the
@@ -229,6 +230,7 @@ func (m *Machine) Load(im *isa.Image) error {
 		_, err := m.kern.AddProcess(im, m.spaceBits)
 		if err == nil {
 			m.loaded++
+			m.images = append(m.images, im)
 		}
 		return err
 	}
@@ -244,8 +246,15 @@ func (m *Machine) Load(im *isa.Image) error {
 	m.cpu.IMem[0] = isa.Word(isa.RFE())
 	m.cpu.SetPC(uint32(im.Entry))
 	m.loaded++
+	m.images = append(m.images, im)
 	return nil
 }
+
+// Images returns every image loaded into the machine, in load order.
+// Observers attached after construction (the job service's per-job
+// profiler) use them to register symbols; machines built by Restore
+// have none, so restored jobs profile unsymbolized.
+func (m *Machine) Images() []*isa.Image { return m.images }
 
 // boot takes the kernel machine through its power-up reset exactly
 // once; resumed (restored) machines skip it.

@@ -21,6 +21,18 @@ import (
 // cycles, not samples.
 
 func (s *Server) handleFlame(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("scope") == "fleet" {
+		s.mu.Lock()
+		fleet := s.fleetFolded
+		s.mu.Unlock()
+		if fleet == nil {
+			http.Error(w, "fleet flame not configured (run mipsd)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fleet(w)
+		return
+	}
 	p := s.cfg.Profiler
 	if p == nil {
 		http.Error(w, "profiler not attached (run with -prof)", http.StatusNotFound)

@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+
+	"mips/internal/trace"
+)
+
+// Directory is a registry of live trace sources (one per traced job).
+// The telemetry server's sampled SSE mode (/trace/stream?sample=K)
+// draws from it: tail K of N sources with explicit skip accounting,
+// instead of fanning every job's events out to every client. It
+// implements the telemetry.TraceSampler interface, and the job
+// service's sim.TracerRegistry interface, without importing either
+// package.
+type Directory struct {
+	mu     sync.Mutex
+	order  []string
+	byName map[string]*trace.Tracer
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{byName: make(map[string]*trace.Tracer)}
+}
+
+// AddTracer registers (or replaces) a named trace source.
+func (d *Directory) AddTracer(name string, t *trace.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.byName[name]; !ok {
+		d.order = append(d.order, name)
+	}
+	d.byName[name] = t
+}
+
+// RemoveTracer drops a named source.
+func (d *Directory) RemoveTracer(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.byName[name]; !ok {
+		return
+	}
+	delete(d.byName, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len returns the number of registered sources.
+func (d *Directory) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.byName)
+}
+
+// Names returns the registered source names, sorted.
+func (d *Directory) Names() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	sort.Strings(out)
+	return out
+}
+
+// SampleTracers picks up to k sources (registration order, so the
+// sample is stable across calls while the set is stable) and reports
+// how many sources exist in total; total-len(names) were skipped.
+// k <= 0 selects every source.
+func (d *Directory) SampleTracers(k int) (names []string, tracers []*trace.Tracer, total int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	total = len(d.order)
+	n := total
+	if k > 0 && k < n {
+		n = k
+	}
+	names = make([]string, 0, n)
+	tracers = make([]*trace.Tracer, 0, n)
+	for _, name := range d.order[:n] {
+		names = append(names, name)
+		tracers = append(tracers, d.byName[name])
+	}
+	return names, tracers, total
+}

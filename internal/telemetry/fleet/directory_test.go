@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"mips/internal/trace"
+)
+
+func TestDirectorySampling(t *testing.T) {
+	d := NewDirectory()
+	if names, tracers, total := d.SampleTracers(3); len(names) != 0 || len(tracers) != 0 || total != 0 {
+		t.Fatal("empty directory must sample nothing")
+	}
+
+	t1, t2, t3 := trace.NewTracer(4), trace.NewTracer(4), trace.NewTracer(4)
+	d.AddTracer("job-1", t1)
+	d.AddTracer("job-2", t2)
+	d.AddTracer("job-3", t3)
+	if d.Len() != 3 {
+		t.Fatalf("len = %d, want 3", d.Len())
+	}
+
+	names, tracers, total := d.SampleTracers(2)
+	if total != 3 {
+		t.Errorf("total = %d, want 3", total)
+	}
+	if !reflect.DeepEqual(names, []string{"job-1", "job-2"}) {
+		t.Errorf("sampled names = %v, want first two in registration order", names)
+	}
+	if len(tracers) != 2 || tracers[0] != t1 || tracers[1] != t2 {
+		t.Error("sampled tracers do not match their names")
+	}
+
+	// k <= 0 means everything; k beyond the population clamps.
+	if names, _, _ := d.SampleTracers(0); len(names) != 3 {
+		t.Errorf("k=0 sampled %d, want all 3", len(names))
+	}
+	if names, _, _ := d.SampleTracers(99); len(names) != 3 {
+		t.Errorf("k=99 sampled %d, want all 3", len(names))
+	}
+
+	// Replacement keeps registration order; removal frees the slot.
+	t2b := trace.NewTracer(4)
+	d.AddTracer("job-2", t2b)
+	if _, tracers, _ := d.SampleTracers(0); tracers[1] != t2b {
+		t.Error("replacing a tracer must keep its position")
+	}
+	d.RemoveTracer("job-1")
+	names, _, total = d.SampleTracers(0)
+	if total != 2 || !reflect.DeepEqual(names, []string{"job-2", "job-3"}) {
+		t.Errorf("after removal: names = %v, total = %d", names, total)
+	}
+	d.RemoveTracer("job-1") // double remove is a no-op
+	if d.Len() != 2 {
+		t.Errorf("len after double remove = %d, want 2", d.Len())
+	}
+}

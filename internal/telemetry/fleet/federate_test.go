@@ -1,0 +1,240 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNormalizePeer(t *testing.T) {
+	cases := []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{in: "localhost:9418", want: "http://localhost:9418"},
+		{in: "http://localhost:9418/", want: "http://localhost:9418"},
+		{in: "https://worker-2:443", want: "https://worker-2:443"},
+		{in: "  host:1 ", want: "http://host:1"},
+		{in: "", wantErr: true},
+		{in: "ftp://host:1", wantErr: true},
+		{in: "http://", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := NormalizePeer(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("NormalizePeer(%q) = %q, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("NormalizePeer(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+}
+
+// fakeWorker serves a fixed /metrics exposition and fleet flamegraph,
+// standing in for a peer mipsd.
+func fakeWorker(t *testing.T, metrics, folded string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(metrics))
+	})
+	mux.HandleFunc("/profile/flame", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("scope") != "fleet" {
+			http.Error(w, "want scope=fleet", http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte(folded))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+const workerAMetrics = `# HELP jobs_completed jobs that ran to a clean halt
+# TYPE jobs_completed counter
+jobs_completed 3
+# HELP jobs_latency_seconds per-job wall time
+# TYPE jobs_latency_seconds summary
+jobs_latency_seconds{tenant="alpha",engine="fast",quantile="0.5"} 0.25
+jobs_latency_seconds_sum{tenant="alpha",engine="fast"} 1.5
+jobs_latency_seconds_count{tenant="alpha",engine="fast"} 3
+`
+
+const workerBMetrics = `# TYPE jobs_completed counter
+jobs_completed 7
+# TYPE xlate_block_hits counter
+xlate_block_hits{tenant="beta",engine="blocks"} 42
+`
+
+func TestFederationMergedMetrics(t *testing.T) {
+	a := fakeWorker(t, workerAMetrics, "user;main 10\n")
+	b := fakeWorker(t, workerBMetrics, "user;main 5\nkernel;<kernel> 2\n")
+	fed := NewFederation(0)
+	for _, ts := range []*httptest.Server{a, b} {
+		if _, err := fed.AddPeer(ts.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	err := fed.WriteMergedMetrics(&buf, func(w io.Writer) error {
+		_, e := w.Write([]byte("# TYPE jobs_completed counter\njobs_completed 1\n"))
+		return e
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	// The local series stays bare; each peer's gains its worker label.
+	wantA := `jobs_completed{worker="` + workerLabel(a.URL) + `"} 3`
+	wantB := `jobs_completed{worker="` + workerLabel(b.URL) + `"} 7`
+	for _, want := range []string{
+		"jobs_completed 1\n",
+		wantA,
+		wantB,
+		`fleet_peer_up{worker="` + workerLabel(a.URL) + `"} 1`,
+		`fleet_peer_up{worker="` + workerLabel(b.URL) + `"} 1`,
+		"fleet_peers 2",
+		"fleet_peer_scrape_errors 0",
+		// Summary sub-series keep their full names under one family.
+		`jobs_latency_seconds_sum{tenant="alpha",engine="fast",worker="` + workerLabel(a.URL) + `"} 1.5`,
+		`xlate_block_hits{tenant="beta",engine="blocks",worker="` + workerLabel(b.URL) + `"} 42`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("merged exposition missing %q\n%s", want, text)
+		}
+	}
+	// One TYPE line per family, even though three sources emitted
+	// jobs_completed.
+	if n := strings.Count(text, "# TYPE jobs_completed "); n != 1 {
+		t.Errorf("jobs_completed has %d TYPE lines, want 1", n)
+	}
+}
+
+func TestFederationDeadPeer(t *testing.T) {
+	live := fakeWorker(t, workerBMetrics, "user;main 5\n")
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+
+	fed := NewFederation(0)
+	if _, err := fed.AddPeer(live.URL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.AddPeer(deadURL); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	err := fed.WriteMergedMetrics(&buf, func(w io.Writer) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`fleet_peer_up{worker="` + workerLabel(live.URL) + `"} 1`,
+		`fleet_peer_up{worker="` + workerLabel(deadURL) + `"} 0`,
+		"fleet_peer_scrape_errors 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("merged exposition missing %q\n%s", want, text)
+		}
+	}
+	if fed.ScrapeErrors() != 1 {
+		t.Errorf("scrape errors = %d, want 1", fed.ScrapeErrors())
+	}
+
+	// The flamegraph merge skips the dead peer the same way.
+	merged, failed := fed.MergedFolded(map[string]uint64{"user;main": 1})
+	if failed != 1 {
+		t.Errorf("folded merge failed = %d, want 1", failed)
+	}
+	if merged["user;main"] != 6 {
+		t.Errorf("merged user;main = %d, want 6 (local 1 + live peer 5)", merged["user;main"])
+	}
+}
+
+func TestFederationMergedFolded(t *testing.T) {
+	a := fakeWorker(t, "", "user;main 10\nuser;helper 4\n")
+	b := fakeWorker(t, "", "user;main 5\nkernel;<kernel> 2\n")
+	fed := NewFederation(0)
+	for _, ts := range []*httptest.Server{a, b} {
+		if _, err := fed.AddPeer(ts.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, failed := fed.MergedFolded(map[string]uint64{"user;main": 1, "user;local_only": 9})
+	if failed != 0 {
+		t.Fatalf("failed = %d, want 0", failed)
+	}
+	want := map[string]uint64{
+		"user;main":       16,
+		"user;helper":     4,
+		"kernel;<kernel>": 2,
+		"user;local_only": 9,
+	}
+	for stack, n := range want {
+		if merged[stack] != n {
+			t.Errorf("merged[%q] = %d, want %d", stack, merged[stack], n)
+		}
+	}
+}
+
+func TestFederationHandler(t *testing.T) {
+	fed := NewFederation(0)
+	ts := httptest.NewServer(fed.Handler())
+	t.Cleanup(ts.Close)
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(ts.URL+"/fleet/peers", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := post(`{"url": "worker-1:9418"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add peer status = %d", resp.StatusCode)
+	}
+	var got struct {
+		Peers []string `json:"peers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(got.Peers) != 1 || got.Peers[0] != "http://worker-1:9418" {
+		t.Fatalf("peers after add = %v", got.Peers)
+	}
+
+	if resp := post(`{"url": "ftp://nope"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad peer status = %d, want 400", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/fleet/peers?url=worker-1:9418", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("delete status = %d", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/fleet/peers?url=worker-1:9418", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double delete status = %d, want 404", resp.StatusCode)
+	}
+}

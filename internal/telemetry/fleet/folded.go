@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Folded-stack plumbing for the fleet flamegraph: per-job profiles
+// render to "frame;frame count" maps (trace.Profiler.Folded), and a
+// fleet view is the union of many such maps — identical stacks sum, so
+// one flamegraph shows where the whole fleet's cycles went.
+
+// MergeFolded sums src into dst.
+func MergeFolded(dst, src map[string]uint64) {
+	for stack, n := range src {
+		dst[stack] += n
+	}
+}
+
+// ParseFolded reads folded-stack text into stack -> weight. It accepts
+// exactly what WriteFolded (and the telemetry /profile/flame endpoints)
+// emit: one "frames count" line per stack.
+func ParseFolded(r io.Reader) (map[string]uint64, error) {
+	out := map[string]uint64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("fleet: folded line %q has no count", line)
+		}
+		n, err := strconv.ParseUint(line[i+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: folded line %q: %w", line, err)
+		}
+		out[line[:i]] += n
+	}
+	return out, sc.Err()
+}
+
+// WriteFolded renders a folded map deterministically: heaviest stack
+// first, ties broken by stack name.
+func WriteFolded(w io.Writer, m map[string]uint64) error {
+	type row struct {
+		stack string
+		n     uint64
+	}
+	rows := make([]row, 0, len(m))
+	for s, n := range m {
+		rows = append(rows, row{s, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].stack < rows[j].stack
+	})
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s %d\n", r.stack, r.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

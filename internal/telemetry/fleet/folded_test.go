@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFoldedRoundTrip(t *testing.T) {
+	m := map[string]uint64{
+		"user;main":       100,
+		"user;helper":     100, // ties break by stack name
+		"kernel;<kernel>": 7,
+	}
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	want := "user;helper 100\nuser;main 100\nkernel;<kernel> 7\n"
+	if buf.String() != want {
+		t.Errorf("folded output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	back, err := ParseFolded(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, m) {
+		t.Errorf("round trip = %v, want %v", back, m)
+	}
+}
+
+func TestParseFoldedErrors(t *testing.T) {
+	if _, err := ParseFolded(strings.NewReader("nocount\n")); err == nil {
+		t.Error("line without a count must error")
+	}
+	if _, err := ParseFolded(strings.NewReader("stack notanumber\n")); err == nil {
+		t.Error("non-numeric count must error")
+	}
+	// Blank lines are tolerated; duplicate stacks sum.
+	m, err := ParseFolded(strings.NewReader("\nuser;f 1\n\nuser;f 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["user;f"] != 3 {
+		t.Errorf("duplicate stacks = %d, want summed 3", m["user;f"])
+	}
+}
+
+func TestMergeFolded(t *testing.T) {
+	dst := map[string]uint64{"a;b": 1}
+	MergeFolded(dst, map[string]uint64{"a;b": 2, "c;d": 3})
+	if dst["a;b"] != 3 || dst["c;d"] != 3 {
+		t.Errorf("merge = %v", dst)
+	}
+}

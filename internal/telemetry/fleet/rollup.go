@@ -1,0 +1,326 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// JobSample is one terminal job's contribution to the fleet rollup.
+// The job service emits one per job that reaches a terminal state; the
+// rollup aggregates them per (tenant, engine) group.
+type JobSample struct {
+	// Tenant and Engine label the group the sample aggregates into.
+	Tenant string
+	Engine string
+	// Outcome is the terminal state: done, failed, or cancelled.
+	Outcome string
+	// LatencySeconds is admission-to-terminal wall time.
+	LatencySeconds float64
+	// InstrsPerSec is the job's retirement rate over its running time.
+	InstrsPerSec float64
+	// Instructions and Preempts are the job's totals (preempts =
+	// scheduling quanta, i.e. checkpoint-preemptions).
+	Instructions uint64
+	Preempts     uint64
+	// Counters carries extra monotonic totals to roll up under the same
+	// labels — the job service forwards the machine's xlate.* counters
+	// here so translation-cache behavior is visible per tenant.
+	Counters map[string]uint64
+}
+
+// GroupKey identifies one rollup group.
+type GroupKey struct {
+	Tenant string
+	Engine string
+}
+
+// Group is the merged aggregate of one (tenant, engine) group.
+type Group struct {
+	Outcomes map[string]uint64
+	Latency  *Sketch // seconds, admission to terminal
+	Rate     *Sketch // instructions per second while running
+	Preempts *Sketch // scheduling quanta per job
+	// Instructions is the summed retirement count; Counters the summed
+	// extra totals (xlate.* from the job service).
+	Instructions uint64
+	Counters     map[string]uint64
+}
+
+func newGroup() *Group {
+	return &Group{
+		Outcomes: make(map[string]uint64),
+		Latency:  NewSketch(),
+		Rate:     NewSketch(),
+		Preempts: NewSketch(),
+		Counters: make(map[string]uint64),
+	}
+}
+
+func (g *Group) observe(s JobSample) {
+	g.Outcomes[s.Outcome]++
+	g.Latency.Add(s.LatencySeconds)
+	g.Rate.Add(s.InstrsPerSec)
+	g.Preempts.Add(float64(s.Preempts))
+	g.Instructions += s.Instructions
+	for name, v := range s.Counters {
+		g.Counters[name] += v
+	}
+}
+
+// merge folds o into g (read-time shard merge).
+func (g *Group) merge(o *Group) {
+	for k, v := range o.Outcomes {
+		g.Outcomes[k] += v
+	}
+	g.Latency.Merge(o.Latency)
+	g.Rate.Merge(o.Rate)
+	g.Preempts.Merge(o.Preempts)
+	g.Instructions += o.Instructions
+	for k, v := range o.Counters {
+		g.Counters[k] += v
+	}
+}
+
+func (g *Group) clone() *Group {
+	c := &Group{
+		Outcomes:     make(map[string]uint64, len(g.Outcomes)),
+		Latency:      g.Latency.Clone(),
+		Rate:         g.Rate.Clone(),
+		Preempts:     g.Preempts.Clone(),
+		Instructions: g.Instructions,
+		Counters:     make(map[string]uint64, len(g.Counters)),
+	}
+	for k, v := range g.Outcomes {
+		c.Outcomes[k] = v
+	}
+	for k, v := range g.Counters {
+		c.Counters[k] = v
+	}
+	return c
+}
+
+type rollupShard struct {
+	mu     sync.Mutex
+	groups map[GroupKey]*Group
+}
+
+// Rollup is the sharded fleet aggregation registry. Writers (job
+// service workers reporting terminal jobs) round-robin across shards
+// and hold only that shard's lock for the duration of one accumulation;
+// readers merge every shard at read time. With S shards, a reader
+// contends with at most 1/S of concurrent writers and never holds more
+// than one shard lock at a time, so an exposition render can never
+// stall the worker pool.
+type Rollup struct {
+	shards []rollupShard
+	next   atomic.Uint64
+}
+
+// DefaultRollupShards is the shard count NewRollup uses for
+// non-positive requests.
+const DefaultRollupShards = 16
+
+// NewRollup returns a rollup with the given shard count
+// (DefaultRollupShards if shards <= 0).
+func NewRollup(shards int) *Rollup {
+	if shards <= 0 {
+		shards = DefaultRollupShards
+	}
+	r := &Rollup{shards: make([]rollupShard, shards)}
+	for i := range r.shards {
+		r.shards[i].groups = make(map[GroupKey]*Group)
+	}
+	return r
+}
+
+// Observe accumulates one sample into the next shard (round-robin).
+// Safe for concurrent use from any number of writers.
+func (r *Rollup) Observe(s JobSample) {
+	sh := &r.shards[r.next.Add(1)%uint64(len(r.shards))]
+	key := GroupKey{Tenant: s.Tenant, Engine: s.Engine}
+	sh.mu.Lock()
+	g := sh.groups[key]
+	if g == nil {
+		g = newGroup()
+		sh.groups[key] = g
+	}
+	g.observe(s)
+	sh.mu.Unlock()
+}
+
+// Merged returns the read-time merge of every shard: an independent
+// copy, safe to inspect while writers keep accumulating.
+func (r *Rollup) Merged() map[GroupKey]*Group {
+	out := make(map[GroupKey]*Group)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for key, g := range sh.groups {
+			m := out[key]
+			if m == nil {
+				out[key] = g.clone()
+			} else {
+				m.merge(g)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Jobs returns the total number of samples observed.
+func (r *Rollup) Jobs() uint64 {
+	var n uint64
+	for _, g := range r.Merged() {
+		n += g.Latency.Count()
+	}
+	return n
+}
+
+// rollupQuantiles are the quantile labels every summary family exposes.
+var rollupQuantiles = []struct {
+	label string
+	q     float64
+}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}}
+
+// WriteExposition renders the rollup as Prometheus text: the jobs.*
+// quantile families as summaries (p50/p95/p99 plus _sum and _count),
+// the outcome and instruction counters, and one counter family per
+// extra rolled-up total (xlate.*), all labeled {tenant, engine}.
+// Output is deterministic: families sort by name, samples by label.
+func (r *Rollup) WriteExposition(w io.Writer) error {
+	merged := r.Merged()
+	if len(merged) == 0 {
+		return nil
+	}
+	keys := make([]GroupKey, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Tenant != keys[j].Tenant {
+			return keys[i].Tenant < keys[j].Tenant
+		}
+		return keys[i].Engine < keys[j].Engine
+	})
+
+	base := func(k GroupKey) string {
+		return fmt.Sprintf("tenant=%q,engine=%q", k.Tenant, k.Engine)
+	}
+
+	summary := func(name, help string, pick func(*Group) *Sketch) error {
+		if err := writeFamilyHeader(w, name, "summary", help); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			sk := pick(merged[k])
+			for _, rq := range rollupQuantiles {
+				if _, err := fmt.Fprintf(w, "%s{%s,quantile=%q} %.6g\n",
+					name, base(k), rq.label, sk.Quantile(rq.q)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{%s} %.6g\n%s_count{%s} %d\n",
+				name, base(k), sk.Sum(), name, base(k), sk.Count()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := summary("jobs_instrs_per_second", "per-job instruction retirement rate while running", func(g *Group) *Sketch { return g.Rate }); err != nil {
+		return err
+	}
+	if err := summary("jobs_latency_seconds", "per-job wall time from admission to terminal state", func(g *Group) *Sketch { return g.Latency }); err != nil {
+		return err
+	}
+
+	if err := writeFamilyHeader(w, "jobs_outcomes", "counter", "terminal jobs by outcome"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		outs := make([]string, 0, len(merged[k].Outcomes))
+		for o := range merged[k].Outcomes {
+			outs = append(outs, o)
+		}
+		sort.Strings(outs)
+		for _, o := range outs {
+			if _, err := fmt.Fprintf(w, "jobs_outcomes{%s,outcome=%q} %d\n",
+				base(k), o, merged[k].Outcomes[o]); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := summary("jobs_preempts", "checkpoint-preemptions (scheduling quanta) per job", func(g *Group) *Sketch { return g.Preempts }); err != nil {
+		return err
+	}
+
+	if err := writeFamilyHeader(w, "jobs_rollup_instructions", "counter", "instructions retired by terminal jobs"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "jobs_rollup_instructions{%s} %d\n",
+			base(k), merged[k].Instructions); err != nil {
+			return err
+		}
+	}
+
+	// The extra rolled-up totals, one counter family per name.
+	famNames := map[string]bool{}
+	for _, g := range merged {
+		for name := range g.Counters {
+			famNames[name] = true
+		}
+	}
+	extra := make([]string, 0, len(famNames))
+	for name := range famNames {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		prom := sanitizeMetricName(name)
+		if err := writeFamilyHeader(w, prom, "counter", "fleet rollup of "+name+" over terminal jobs"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			v, ok := merged[k].Counters[name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{%s} %d\n", prom, base(k), v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeFamilyHeader(w io.Writer, name, kind, help string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+	return err
+}
+
+// sanitizeMetricName maps a registry-style dotted name onto the
+// Prometheus metric name alphabet (mirrors telemetry.SanitizeMetricName
+// without importing the parent package).
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			c = '_'
+		}
+		b[i] = c
+	}
+	return string(b)
+}

@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fleetSamples is a deterministic 64-job fleet across two tenants and
+// two engines — the rollup's target scale (ISSUE: a 64-concurrent-job
+// rollup with per-tenant labels).
+func fleetSamples() []JobSample {
+	samples := make([]JobSample, 0, 64)
+	tenants := []string{"alpha", "beta"}
+	engines := []string{"fast", "blocks"}
+	for i := 0; i < 64; i++ {
+		outcome := "done"
+		if i%16 == 15 {
+			outcome = "failed"
+		}
+		samples = append(samples, JobSample{
+			Tenant:         tenants[i%2],
+			Engine:         engines[(i/2)%2],
+			Outcome:        outcome,
+			LatencySeconds: 0.01 * float64(i+1),
+			InstrsPerSec:   1e6 + 1e4*float64(i),
+			Instructions:   uint64(1000 * (i + 1)),
+			Preempts:       uint64(i%7 + 1),
+			Counters: map[string]uint64{
+				"xlate.block_hits":         uint64(10 * i),
+				"xlate.block_translations": uint64(i),
+			},
+		})
+	}
+	return samples
+}
+
+func render(t *testing.T, r *Rollup) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestRollupShardMergeEquivalence is the partition-then-aggregate
+// correctness criterion: the same samples through 1, 3, or 16 shards
+// must render byte-identical expositions, because the sketch merge is
+// exact. 3 shards is the interesting case — 64 samples do not divide
+// evenly, so any order- or grouping-sensitivity would show.
+func TestRollupShardMergeEquivalence(t *testing.T) {
+	samples := fleetSamples()
+	var want string
+	for _, shards := range []int{1, 3, 16} {
+		r := NewRollup(shards)
+		for _, s := range samples {
+			r.Observe(s)
+		}
+		if got := r.Jobs(); got != 64 {
+			t.Fatalf("%d shards: jobs = %d, want 64", shards, got)
+		}
+		text := render(t, r)
+		if want == "" {
+			want = text
+		} else if text != want {
+			t.Errorf("%d-shard exposition differs from 1-shard:\n%s", shards, text)
+		}
+	}
+}
+
+func TestRollupExpositionGolden(t *testing.T) {
+	r := NewRollup(4)
+	for _, s := range fleetSamples() {
+		r.Observe(s)
+	}
+	got := render(t, r)
+	golden := filepath.Join("testdata", "rollup.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestRollupExpositionShape spot-checks the format invariants a scraper
+// needs: HELP and TYPE precede every family, summaries carry the three
+// quantile labels plus _sum/_count, and every sample row is labeled
+// with tenant and engine.
+func TestRollupExpositionShape(t *testing.T) {
+	r := NewRollup(0)
+	for _, s := range fleetSamples() {
+		r.Observe(s)
+	}
+	text := render(t, r)
+	for _, family := range []struct{ name, kind string }{
+		{"jobs_latency_seconds", "summary"},
+		{"jobs_instrs_per_second", "summary"},
+		{"jobs_preempts", "summary"},
+		{"jobs_outcomes", "counter"},
+		{"jobs_rollup_instructions", "counter"},
+		{"xlate_block_hits", "counter"},
+		{"xlate_block_translations", "counter"},
+	} {
+		if !strings.Contains(text, "# HELP "+family.name+" ") {
+			t.Errorf("missing HELP for %s", family.name)
+		}
+		if !strings.Contains(text, fmt.Sprintf("# TYPE %s %s\n", family.name, family.kind)) {
+			t.Errorf("missing TYPE %s %s", family.name, family.kind)
+		}
+	}
+	for _, want := range []string{
+		`jobs_latency_seconds{tenant="alpha",engine="blocks",quantile="0.5"}`,
+		`jobs_latency_seconds{tenant="beta",engine="fast",quantile="0.99"}`,
+		`jobs_latency_seconds_sum{tenant="alpha",engine="fast"}`,
+		`jobs_latency_seconds_count{tenant="beta",engine="blocks"} 16`,
+		`jobs_outcomes{tenant="beta",engine="blocks",outcome="failed"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestRollupConcurrentObserve pounds every shard from many writers
+// while a reader merges continuously; the race detector referees and
+// the final count must be exact.
+func TestRollupConcurrentObserve(t *testing.T) {
+	r := NewRollup(8)
+	samples := fleetSamples()
+	const writers = 8
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // reader
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var buf bytes.Buffer
+				_ = r.WriteExposition(&buf)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, s := range samples {
+				r.Observe(s)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if got := r.Jobs(); got != uint64(writers*len(samples)) {
+		t.Fatalf("jobs = %d, want %d", got, writers*len(samples))
+	}
+}

@@ -1,0 +1,173 @@
+// Package fleet rolls many per-job and per-machine telemetry sources
+// into fleet-wide views: sharded metric rollups with per-tenant labels
+// and streaming quantiles, merged folded-stack flamegraphs, a directory
+// of live trace sources for sampled tailing, and Prometheus federation
+// across mipsd workers. The ownership discipline throughout is
+// partition-then-aggregate: writers accumulate into shard-local state
+// behind short uncontended critical sections, and merging happens only
+// at read time, so no reader ever blocks a simulation worker.
+package fleet
+
+import (
+	"math"
+	"sort"
+)
+
+// The sketch is a DDSketch-style relative-accuracy histogram: values
+// land in logarithmically spaced buckets (v -> ceil(log_gamma v)), so a
+// quantile read is wrong by at most the relative bucket width. Bucket
+// counts are plain integers, which makes Merge an exact per-bucket sum:
+// merging is associative and commutative bit-for-bit, the property the
+// sharded rollup (and cross-worker federation) is built on.
+
+const (
+	// sketchGamma is the bucket growth factor: ~2% relative error on
+	// every quantile.
+	sketchGamma = 1.04
+	// sketchMin is the smallest distinguishable value; anything at or
+	// below it lands in the dedicated zero bucket.
+	sketchMin = 1e-9
+)
+
+var invLogGamma = 1 / math.Log(sketchGamma)
+
+// Sketch is a mergeable streaming quantile sketch. The zero value is
+// not usable; call NewSketch. A Sketch is not synchronized: the rollup
+// shards own theirs under the shard lock.
+type Sketch struct {
+	counts map[int32]uint64
+	zero   uint64 // values <= sketchMin
+	total  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewSketch returns an empty sketch.
+func NewSketch() *Sketch {
+	return &Sketch{counts: make(map[int32]uint64)}
+}
+
+// Add records one observation. Negative values clamp to the zero
+// bucket: every fleet series (latency, rate, preempt count) is
+// non-negative by construction.
+func (s *Sketch) Add(v float64) {
+	if s.total == 0 || v < s.min {
+		s.min = v
+	}
+	if s.total == 0 || v > s.max {
+		s.max = v
+	}
+	s.total++
+	if v > 0 {
+		s.sum += v
+	}
+	if v <= sketchMin {
+		s.zero++
+		return
+	}
+	s.counts[bucketIndex(v)]++
+}
+
+func bucketIndex(v float64) int32 {
+	return int32(math.Ceil(math.Log(v) * invLogGamma))
+}
+
+// bucketValue is the representative value of a bucket: the midpoint of
+// [gamma^(i-1), gamma^i].
+func bucketValue(i int32) float64 {
+	return 2 * math.Pow(sketchGamma, float64(i)) / (1 + sketchGamma)
+}
+
+// Merge folds o into s. Merging is an exact per-bucket sum, so it is
+// associative: merging shard sketches in any grouping yields identical
+// state. o is unchanged.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if s.total == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.total == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.total += o.total
+	s.sum += o.sum
+	s.zero += o.zero
+	for i, n := range o.counts {
+		s.counts[i] += n
+	}
+}
+
+// Clone returns an independent copy.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{zero: s.zero, total: s.total, sum: s.sum, min: s.min, max: s.max,
+		counts: make(map[int32]uint64, len(s.counts))}
+	for i, n := range s.counts {
+		c.counts[i] = n
+	}
+	return c
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() uint64 { return s.total }
+
+// Sum returns the sum of positive observations.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Min and Max return the exact extremes (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.min
+}
+
+func (s *Sketch) Max() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns the q-quantile (q in [0,1]) to within the sketch's
+// relative accuracy, exact at the recorded extremes. Empty sketches
+// report 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min()
+	}
+	if q >= 1 {
+		return s.Max()
+	}
+	rank := uint64(q * float64(s.total-1))
+	if rank < s.zero {
+		return 0
+	}
+	seen := s.zero
+	idxs := make([]int32, 0, len(s.counts))
+	for i := range s.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	for _, i := range idxs {
+		seen += s.counts[i]
+		if rank < seen {
+			v := bucketValue(i)
+			// Clamp to the exact extremes so no quantile can read
+			// outside the observed range.
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return v
+		}
+	}
+	return s.Max()
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// The sketch's contract has two halves: quantiles are correct to the
+// configured relative error, and merging is an exact bit-for-bit
+// associative/commutative fold — the property the sharded rollup and
+// cross-worker federation both lean on.
+
+// relErr is the assertion bound: the bucket width (~2% for gamma=1.04)
+// with a little slack for the midpoint representative.
+const relErr = 0.05
+
+func TestSketchQuantileAccuracy(t *testing.T) {
+	s := NewSketch()
+	const n = 10_000
+	for i := 1; i <= n; i++ {
+		s.Add(float64(i))
+	}
+	if s.Count() != n {
+		t.Fatalf("count = %d, want %d", s.Count(), n)
+	}
+	if s.Min() != 1 || s.Max() != n {
+		t.Fatalf("min/max = %g/%g, want 1/%d", s.Min(), s.Max(), n)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := q * n
+		got := s.Quantile(q)
+		if math.Abs(got-exact)/exact > relErr {
+			t.Errorf("q%.2f = %g, want %g within %.0f%%", q, got, exact, 100*relErr)
+		}
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %g, want exact min 1", got)
+	}
+	if got := s.Quantile(1); got != n {
+		t.Errorf("q1 = %g, want exact max %d", got, n)
+	}
+}
+
+func TestSketchZeroAndNegative(t *testing.T) {
+	s := NewSketch()
+	s.Add(0)
+	s.Add(-3)
+	s.Add(5)
+	if s.Count() != 3 {
+		t.Fatalf("count = %d, want 3", s.Count())
+	}
+	// Two of three observations sit in the zero bucket, so the median
+	// reads 0; the sum counts only positive mass.
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("median = %g, want 0", got)
+	}
+	if s.Sum() != 5 {
+		t.Errorf("sum = %g, want 5", s.Sum())
+	}
+}
+
+func TestSketchEmpty(t *testing.T) {
+	s := NewSketch()
+	if s.Quantile(0.5) != 0 || s.Count() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sketch must read all zeros")
+	}
+	// Merging an empty sketch is a no-op.
+	o := NewSketch()
+	o.Add(7)
+	before := o.Clone()
+	o.Merge(s)
+	if !reflect.DeepEqual(o, before) {
+		t.Error("merging an empty sketch changed the target")
+	}
+}
+
+// fill returns a sketch over a deterministic pseudo-random-ish series
+// (a Weyl sequence — no math/rand needed for reproducibility).
+func fill(seed, n int) *Sketch {
+	s := NewSketch()
+	x := float64(seed)
+	for i := 0; i < n; i++ {
+		x = math.Mod(x*1.618033988749+0.5, 1000)
+		s.Add(x)
+	}
+	return s
+}
+
+// assertSketchEqual compares merged states: the bucket histogram (the
+// part quantiles read from) must match bit-for-bit; the float running
+// sum is allowed last-ulp drift from addition order.
+func assertSketchEqual(t *testing.T, label string, a, b *Sketch) {
+	t.Helper()
+	if !reflect.DeepEqual(a.counts, b.counts) || a.zero != b.zero || a.total != b.total ||
+		a.min != b.min || a.max != b.max {
+		t.Fatalf("%s: merged histograms differ", label)
+	}
+	if diff := math.Abs(a.sum - b.sum); diff > 1e-9*math.Abs(a.sum) {
+		t.Fatalf("%s: sums differ beyond rounding: %g vs %g", label, a.sum, b.sum)
+	}
+}
+
+func TestSketchMergeAssociativeAndCommutative(t *testing.T) {
+	a, b, c := fill(1, 500), fill(2, 700), fill(3, 901)
+
+	left := a.Clone() // (a ⊕ b) ⊕ c
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := b.Clone() // a ⊕ (b ⊕ c)
+	bc.Merge(c)
+	right := a.Clone()
+	right.Merge(bc)
+	assertSketchEqual(t, "associativity: (a+b)+c vs a+(b+c)", left, right)
+
+	rev := c.Clone() // c ⊕ b ⊕ a
+	rev.Merge(b)
+	rev.Merge(a)
+	assertSketchEqual(t, "commutativity: a+b+c vs c+b+a", left, rev)
+
+	// Merging the same shards into a fresh (empty) sketch yields
+	// identical state — a reader rebuilding from shards loses nothing.
+	all := NewSketch()
+	for _, src := range []*Sketch{a, b, c} {
+		all.Merge(src)
+	}
+	assertSketchEqual(t, "fresh-target rebuild", left, all)
+
+	// Every quantile reads identically across all groupings — the
+	// user-visible face of the same property.
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if left.Quantile(q) != right.Quantile(q) || left.Quantile(q) != rev.Quantile(q) {
+			t.Fatalf("quantile %.2f differs across merge orders", q)
+		}
+	}
+}

@@ -21,7 +21,34 @@ const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", prometheusContentType)
-	WriteExposition(w, s.Sources())
+	s.mu.Lock()
+	body := s.metricsBody
+	s.mu.Unlock()
+	if body != nil {
+		body(w)
+		return
+	}
+	s.RenderLocalMetrics(w)
+}
+
+// RenderLocalMetrics writes this worker's own exposition: the source
+// registries, every registered collector (fleet rollup, tenant gauges),
+// and the SSE drop counters. A SetMetricsBody override (the federation
+// coordinator) calls it to obtain the local half of the merged view.
+func (s *Server) RenderLocalMetrics(w io.Writer) error {
+	if err := WriteExposition(w, s.Sources()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	collectors := make([]func(io.Writer) error, len(s.collectors))
+	copy(collectors, s.collectors)
+	s.mu.Unlock()
+	for _, fn := range collectors {
+		if err := fn(w); err != nil {
+			return err
+		}
+	}
+	return s.writeSSEDropMetrics(w)
 }
 
 // WriteExposition renders the sources as Prometheus text. Output is

@@ -18,6 +18,7 @@
 package telemetry
 
 import (
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -35,6 +36,14 @@ type Source struct {
 	Registry *trace.Registry
 }
 
+// TraceSampler hands /trace/stream?sample=K a bounded set of live
+// tracers: the first k registered (k <= 0 means all) plus the total
+// population, so the stream can report exactly how much it skipped.
+// The fleet trace directory implements it.
+type TraceSampler interface {
+	SampleTracers(k int) (names []string, tracers []*trace.Tracer, total int)
+}
+
 // Config assembles a Server.
 type Config struct {
 	// Program and Args identify the run on /status (e.g. "mipsrun",
@@ -46,6 +55,10 @@ type Config struct {
 
 	// Tracer, if non-nil, backs /trace/stream.
 	Tracer *trace.Tracer
+	// Sampler, if non-nil, backs /trace/stream?sample=K: the stream
+	// tails K of the sampler's tracers (per-job tracers in mipsd)
+	// through one merged drop-counting channel.
+	Sampler TraceSampler
 	// Profiler, if non-nil, backs /profile/flame and /profile/top. New
 	// marks it shared (trace.Profiler.Share) so live reads are safe.
 	Profiler *trace.Profiler
@@ -67,8 +80,21 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	mu      sync.Mutex
-	sources []Source
+	mu          sync.Mutex
+	sources     []Source
+	collectors  []func(io.Writer) error
+	metricsBody func(io.Writer) error
+	fleetFolded func(io.Writer) error
+
+	// SSE per-client drop accounting, exposed on /metrics as
+	// telemetry_sse_dropped{client="cN"}: live clients report through
+	// their registered closure; drops of disconnected clients fold into
+	// the closed total so the fleet-wide sum never goes backwards.
+	sseMu            sync.Mutex
+	sseSeq           uint64
+	sseLive          map[string]func() uint64
+	sseClosedDropped uint64
+	sseEverConnected bool
 
 	rateMu   sync.Mutex
 	lastSnap trace.Snapshot
@@ -128,6 +154,35 @@ func (s *Server) Sources() []Source {
 	s.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Label < out[j].Label })
 	return out
+}
+
+// AddCollector appends a metrics collector: a function writing extra
+// Prometheus exposition text (complete HELP/TYPE'd families) after the
+// source registries on /metrics. The fleet rollup and per-tenant
+// gauges hang here. Call before Start.
+func (s *Server) AddCollector(fn func(io.Writer) error) {
+	s.mu.Lock()
+	s.collectors = append(s.collectors, fn)
+	s.mu.Unlock()
+}
+
+// SetMetricsBody overrides the whole /metrics body. The federation
+// coordinator uses it to merge peer scrapes with the local exposition;
+// the override typically calls RenderLocalMetrics for the local part.
+// Call before Start.
+func (s *Server) SetMetricsBody(fn func(io.Writer) error) {
+	s.mu.Lock()
+	s.metricsBody = fn
+	s.mu.Unlock()
+}
+
+// SetFleetFolded installs the /profile/flame?scope=fleet renderer: a
+// function writing merged folded-stack text for every profiled job (and
+// federated peers). Call before Start.
+func (s *Server) SetFleetFolded(fn func(io.Writer) error) {
+	s.mu.Lock()
+	s.fleetFolded = fn
+	s.mu.Unlock()
 }
 
 // Handler returns the telemetry mux, for mounting into another server
@@ -227,9 +282,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte("mips telemetry\n" +
-		"  /metrics        Prometheus exposition\n" +
-		"  /trace/stream   live trace events (SSE)\n" +
-		"  /profile/flame  folded-stack flamegraph\n" +
+		"  /metrics        Prometheus exposition (fleet rollup + peers when federated)\n" +
+		"  /trace/stream   live trace events (SSE; ?sample=K tails K jobs)\n" +
+		"  /profile/flame  folded-stack flamegraph (?scope=fleet merges all jobs)\n" +
 		"  /profile/top    flat profile JSON (?n=20)\n" +
 		"  /status         run identity and rates\n"))
 }

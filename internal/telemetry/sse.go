@@ -2,39 +2,52 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"mips/internal/trace"
 )
 
-// The /trace/stream endpoint tails the trace ring as Server-Sent
-// Events. Each client gets its own bounded trace.Sink: the simulation
-// goroutine performs one non-blocking send per event, and when a slow
-// client falls behind, events are dropped and counted, never buffered
+// The /trace/stream endpoint tails trace events as Server-Sent Events.
+// Each client gets its own bounded trace.Sink: the simulation goroutine
+// performs one non-blocking send per event, and when a slow client
+// falls behind, events are dropped and counted, never buffered
 // unboundedly and never allowed to stall the CPU. Drops surface on the
-// stream itself as `event: drops` frames at every heartbeat, so a
-// consumer always knows its view is partial.
+// stream itself as `event: drops` frames at every heartbeat, and on
+// /metrics as telemetry_sse_dropped{client="cN"}, so a consumer always
+// knows its view is partial.
+//
+// Two modes:
+//
+//	/trace/stream           tail the server's single tracer (Config.Tracer)
+//	/trace/stream?sample=K  tail K of the sampler's live tracers (mipsd's
+//	                        per-job tracers) merged into one stream; the
+//	                        opening `event: sample` frame names the
+//	                        sources and counts the jobs skipped.
 
 func (s *Server) handleTraceStream(w http.ResponseWriter, r *http.Request) {
+	if q := r.URL.Query().Get("sample"); q != "" {
+		s.handleSampledStream(w, r, q)
+		return
+	}
 	t := s.cfg.Tracer
 	if t == nil {
 		http.Error(w, "tracer not attached (run with -serve and a trace flag)", http.StatusNotFound)
 		return
 	}
-	fl, ok := w.(http.Flusher)
+	fl, ok := startSSE(w)
 	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-	fl.Flush()
-
 	sink := t.Subscribe(s.cfg.SinkBuffer)
 	defer t.Unsubscribe(sink)
+	client := s.registerSSEClient(sink.Dropped)
+	defer s.unregisterSSEClient(client)
 
 	heartbeat := time.NewTicker(s.cfg.Heartbeat)
 	defer heartbeat.Stop()
@@ -75,6 +88,215 @@ func (s *Server) handleTraceStream(w http.ResponseWriter, r *http.Request) {
 			fl.Flush()
 		}
 	}
+}
+
+// handleSampledStream tails K of N live tracers through one merged
+// channel. Each source keeps its own bounded sink (drop-and-count at
+// the tracer), and the merge itself is another non-blocking send (drop-
+// and-count at the forwarder), so no number of slow clients or noisy
+// jobs ever backs pressure into a worker.
+func (s *Server) handleSampledStream(w http.ResponseWriter, r *http.Request, kStr string) {
+	sampler := s.cfg.Sampler
+	if sampler == nil {
+		http.Error(w, "trace sampling not configured (run mipsd and submit jobs with trace: true)", http.StatusNotFound)
+		return
+	}
+	k, err := strconv.Atoi(kStr)
+	if err != nil {
+		http.Error(w, "bad sample count", http.StatusBadRequest)
+		return
+	}
+	names, tracers, total := sampler.SampleTracers(k)
+	fl, ok := startSSE(w)
+	if !ok {
+		return
+	}
+
+	// Forwarders stop when the handler returns; sinks unsubscribe first
+	// so the forwarders' source channels go quiet.
+	done := make(chan struct{})
+	defer close(done)
+	merged := make(chan trace.Event, s.sinkBuffer())
+	var mergeDropped atomic.Uint64
+	sinks := make([]*trace.Sink, len(tracers))
+	for i, t := range tracers {
+		sink := t.Subscribe(s.cfg.SinkBuffer)
+		sinks[i] = sink
+		defer t.Unsubscribe(sink)
+		go func(sink *trace.Sink) {
+			for {
+				select {
+				case <-done:
+					return
+				case e := <-sink.Events():
+					select {
+					case merged <- e:
+					default:
+						mergeDropped.Add(1)
+					}
+				}
+			}
+		}(sink)
+	}
+	dropped := func() uint64 {
+		d := mergeDropped.Load()
+		for _, sink := range sinks {
+			d += sink.Dropped()
+		}
+		return d
+	}
+	client := s.registerSSEClient(dropped)
+	defer s.unregisterSSEClient(client)
+
+	skipped := total - len(tracers)
+	if _, err := fmt.Fprintf(w, "event: sample\ndata: {\"sources\":%s,\"sampled\":%d,\"total\":%d,\"skipped\":%d}\n\n",
+		jsonStrings(names), len(tracers), total, skipped); err != nil {
+		return
+	}
+	fl.Flush()
+
+	heartbeat := time.NewTicker(s.cfg.Heartbeat)
+	defer heartbeat.Stop()
+	var reported uint64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		case e := <-merged:
+			if err := writeSSEEvent(w, e); err != nil {
+				return
+			}
+		drain:
+			for i := 0; i < cap(merged); i++ {
+				select {
+				case e = <-merged:
+					if err := writeSSEEvent(w, e); err != nil {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			if d := dropped(); d != reported {
+				reported = d
+				if _, err := fmt.Fprintf(w,
+					"event: drops\ndata: {\"dropped\":%d,\"sampled\":%d,\"total\":%d,\"skipped\":%d}\n\n",
+					d, len(tracers), total, skipped); err != nil {
+					return
+				}
+			} else if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// startSSE writes the SSE preamble and returns the flusher.
+func startSSE(w http.ResponseWriter) (http.Flusher, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return nil, false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	return fl, true
+}
+
+func (s *Server) sinkBuffer() int {
+	if s.cfg.SinkBuffer > 0 {
+		return s.cfg.SinkBuffer
+	}
+	return trace.DefaultSinkBuffer
+}
+
+// registerSSEClient tracks a connected stream client for /metrics drop
+// accounting, returning its label ("c1", "c2", ...).
+func (s *Server) registerSSEClient(dropped func() uint64) string {
+	s.sseMu.Lock()
+	defer s.sseMu.Unlock()
+	s.sseSeq++
+	label := "c" + strconv.FormatUint(s.sseSeq, 10)
+	if s.sseLive == nil {
+		s.sseLive = make(map[string]func() uint64)
+	}
+	s.sseLive[label] = dropped
+	s.sseEverConnected = true
+	return label
+}
+
+// unregisterSSEClient folds a disconnecting client's final drop count
+// into the closed total so telemetry_sse_dropped_total never regresses.
+func (s *Server) unregisterSSEClient(label string) {
+	s.sseMu.Lock()
+	defer s.sseMu.Unlock()
+	if fn := s.sseLive[label]; fn != nil {
+		s.sseClosedDropped += fn()
+	}
+	delete(s.sseLive, label)
+}
+
+// writeSSEDropMetrics appends the SSE drop counters to the exposition:
+// one telemetry_sse_dropped{client="cN"} series per connected client
+// plus a cumulative total. Nothing is emitted before the first client
+// ever connects, so tools without streaming clients keep their
+// exposition unchanged.
+func (s *Server) writeSSEDropMetrics(w io.Writer) error {
+	s.sseMu.Lock()
+	defer s.sseMu.Unlock()
+	if !s.sseEverConnected {
+		return nil
+	}
+	if _, err := fmt.Fprint(w,
+		"# HELP telemetry_sse_dropped trace events dropped per connected /trace/stream client\n"+
+			"# TYPE telemetry_sse_dropped counter\n"); err != nil {
+		return err
+	}
+	labels := make([]string, 0, len(s.sseLive))
+	for l := range s.sseLive {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if len(labels[i]) != len(labels[j]) {
+			return len(labels[i]) < len(labels[j])
+		}
+		return labels[i] < labels[j]
+	})
+	sum := s.sseClosedDropped
+	for _, l := range labels {
+		d := s.sseLive[l]()
+		sum += d
+		if _, err := fmt.Fprintf(w, "telemetry_sse_dropped{client=%q} %d\n", l, d); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"# HELP telemetry_sse_dropped_total trace events dropped across all /trace/stream clients, ever\n"+
+			"# TYPE telemetry_sse_dropped_total counter\ntelemetry_sse_dropped_total %d\n", sum)
+	return err
+}
+
+// jsonStrings renders a string slice as a JSON array (names are job IDs
+// and registry labels — no exotic escapes, but quote them properly).
+func jsonStrings(ss []string) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, s := range ss {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(s))
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // writeSSEEvent renders one trace event as an SSE frame with a JSON

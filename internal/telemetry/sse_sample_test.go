@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mips/internal/telemetry/fleet"
+	"mips/internal/trace"
+)
+
+// The sampled stream: /trace/stream?sample=K tails K of N live
+// tracers through one merged drop-counting channel. The fleet
+// directory is the production TraceSampler, so these tests exercise
+// the real pairing.
+
+func sampledClient(t *testing.T, url string, want int, tracers ...*trace.Tracer) (*http.Response, *bufio.Scanner) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream status = %d: %s", resp.StatusCode, body)
+	}
+	// Wait until the sampled tracers all see their forwarder
+	// subscription, so no emitted event can race past the subscribe.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		subscribed := 0
+		for _, tr := range tracers[:want] {
+			if tr.Subscribers() > 0 {
+				subscribed++
+			}
+		}
+		if subscribed == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d sampled tracers subscribed", subscribed, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	timer := time.AfterFunc(10*time.Second, func() { resp.Body.Close() })
+	t.Cleanup(func() { timer.Stop(); resp.Body.Close() })
+	return resp, bufio.NewScanner(resp.Body)
+}
+
+func TestSampledStreamAnnouncesAndDelivers(t *testing.T) {
+	dir := fleet.NewDirectory()
+	t1, t2, t3 := trace.NewTracer(64), trace.NewTracer(64), trace.NewTracer(64)
+	dir.AddTracer("job-1", t1)
+	dir.AddTracer("job-2", t2)
+	dir.AddTracer("job-3", t3)
+	srv := New(Config{Program: "test", Sampler: dir, Heartbeat: 50 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	_, sc := sampledClient(t, ts.URL+"/trace/stream?sample=2", 2, t1, t2, t3)
+
+	// The not-sampled tracer emits into the void; the sampled two are
+	// what the stream must carry.
+	t3.Emit(trace.Event{Kind: trace.KindRetire, Cycle: 999})
+	for i := 0; i < 3; i++ {
+		t1.Emit(trace.Event{Kind: trace.KindRetire, Cycle: uint64(10 + i)})
+		t2.Emit(trace.Event{Kind: trace.KindRetire, Cycle: uint64(20 + i)})
+	}
+
+	type announce struct {
+		Sources []string `json:"sources"`
+		Sampled int      `json:"sampled"`
+		Total   int      `json:"total"`
+		Skipped int      `json:"skipped"`
+	}
+	var ann *announce
+	cycles := map[uint64]bool{}
+	var event string
+	for sc.Scan() && len(cycles) < 6 {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "sample":
+			var a announce
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &a); err != nil {
+				t.Fatalf("bad sample frame %q: %v", line, err)
+			}
+			ann = &a
+		case strings.HasPrefix(line, "data: ") && event == "trace":
+			var f struct {
+				Cycle uint64 `json:"cycle"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err != nil {
+				t.Fatalf("bad trace frame %q: %v", line, err)
+			}
+			cycles[f.Cycle] = true
+		}
+	}
+	if ann == nil {
+		t.Fatal("no sample announce frame before the first events")
+	}
+	if ann.Sampled != 2 || ann.Total != 3 || ann.Skipped != 1 {
+		t.Errorf("announce = %+v, want sampled 2 of 3, skipped 1", *ann)
+	}
+	if len(ann.Sources) != 2 || ann.Sources[0] != "job-1" || ann.Sources[1] != "job-2" {
+		t.Errorf("announce sources = %v", ann.Sources)
+	}
+	for _, c := range []uint64{10, 11, 12, 20, 21, 22} {
+		if !cycles[c] {
+			t.Errorf("missing event cycle %d from sampled stream", c)
+		}
+	}
+	if cycles[999] {
+		t.Error("event from a non-sampled tracer leaked into the stream")
+	}
+}
+
+func TestSampledStreamRequiresSampler(t *testing.T) {
+	srv := New(Config{Program: "test"})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/trace/stream?sample=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404 without a sampler", resp.StatusCode)
+	}
+
+	dir := fleet.NewDirectory()
+	srv2 := New(Config{Program: "test", Sampler: dir})
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(ts2.Close)
+	resp, err = http.Get(ts2.URL + "/trace/stream?sample=notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400 for a bad sample count", resp.StatusCode)
+	}
+}
+
+// TestSSEDropMetrics pins the satellite contract: per-client drop
+// counters appear on /metrics as telemetry_sse_dropped{client="cN"}
+// while a client is connected, fold into telemetry_sse_dropped_total
+// after it disconnects, and are entirely absent before any client ever
+// connects (so non-streaming tools keep their exposition unchanged).
+func TestSSEDropMetrics(t *testing.T) {
+	tr := trace.NewTracer(64)
+	srv := New(Config{
+		Program: "test", Tracer: tr,
+		SinkBuffer: 4, Heartbeat: 20 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if text := scrape(); strings.Contains(text, "telemetry_sse_dropped") {
+		t.Fatal("drop metrics exposed before any client connected")
+	}
+
+	resp, sc := sseClientForDrops(t, ts.URL, tr)
+	// Burst without reading: the 4-slot sink must overflow.
+	for i := 0; i < 50_000; i++ {
+		tr.Emit(trace.Event{Kind: trace.KindRetire, Cycle: uint64(i)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var text string
+	for {
+		text = scrape()
+		if strings.Contains(text, `telemetry_sse_dropped{client="c1"}`) &&
+			!strings.Contains(text, `telemetry_sse_dropped{client="c1"} 0`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no per-client drops on /metrics after burst:\n%s", text)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(text, "# TYPE telemetry_sse_dropped counter") ||
+		!strings.Contains(text, "# TYPE telemetry_sse_dropped_total counter") {
+		t.Error("drop families missing TYPE lines")
+	}
+
+	// Disconnect; the per-client series retires but its drops persist
+	// in the cumulative total.
+	resp.Body.Close()
+	_ = sc
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		text = scrape()
+		if !strings.Contains(text, `telemetry_sse_dropped{client="c1"}`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("per-client series still exposed after disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if strings.Contains(text, "telemetry_sse_dropped_total 0\n") {
+		t.Error("cumulative drop total lost the closed client's drops")
+	}
+	if !strings.Contains(text, "telemetry_sse_dropped_total ") {
+		t.Error("cumulative drop total missing after disconnect")
+	}
+}
+
+// sseClientForDrops opens the plain stream without the scanner loop —
+// the test never reads the body, maximizing backpressure.
+func sseClientForDrops(t *testing.T, url string, tr *trace.Tracer) (*http.Response, *bufio.Scanner) {
+	t.Helper()
+	resp, err := http.Get(url + "/trace/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream handler never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp, bufio.NewScanner(resp.Body)
+}

@@ -299,6 +299,29 @@ func (p *Profiler) Flat() []SymbolProfile {
 	return rows
 }
 
+// Folded renders the flat profile as folded-stack frames: each row
+// becomes a "space;symbol" stack (space is user or kernel) weighted by
+// exact cycles. This is the unit the fleet aggregation layer merges —
+// identical stacks from many jobs sum into one fleet flamegraph.
+func (p *Profiler) Folded() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, row := range p.Flat() {
+		space := "user"
+		if row.Kernel {
+			space = "kernel"
+		}
+		out[space+";"+foldedFrameName(row.Name)] += row.Cycles
+	}
+	return out
+}
+
+// foldedFrameName sanitizes a symbol for the folded format, whose
+// frame separator is ';' and whose count separator is ' '.
+func foldedFrameName(name string) string {
+	name = strings.ReplaceAll(name, ";", "_")
+	return strings.ReplaceAll(name, " ", "_")
+}
+
 // display names a row for the report; kernel-space symbols carry a "k:"
 // prefix so they cannot be confused with same-named user code.
 func (r SymbolProfile) display() string {

@@ -13,6 +13,11 @@ out=${BENCH_OUT:-BENCH_core.json}
 echo "==> steady-state allocation check (must be 0 allocs/op)"
 go test ./internal/cpu/ -run TestSteadyStateZeroAlloc -count=1 -v
 
+echo "==> job-service hot path without telemetry (must be 0 allocs/op)"
+go test ./internal/sim/ -run TestJobServiceNoTelemetryZeroAlloc -count=1 -v
+go test ./internal/sim/ -run '^$' -bench BenchmarkJobServiceNoTelemetry \
+    -benchmem -benchtime 1s
+
 echo "==> core microbenchmarks"
 go test -run '^$' -bench \
     'PipelineSimulator|PipelineFastPath|PipelineReference|KernelBoot|DemandPaging|PageReplacement|FreeCycleDMA' \

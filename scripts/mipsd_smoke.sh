@@ -110,4 +110,56 @@ if ! cmp -s "$TMP/out1" "$TMP/out2"; then
     exit 1
 fi
 
+echo "==> fleet observability: profiled tenant job"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"program":"fib","engine":"fast","tenant":"smoke","profile":true}' \
+    "$BASE/jobs" >"$TMP/submit3.json"
+ID3=$(field id "$TMP/submit3.json")
+[ -n "$ID3" ] || { echo "no job id for profiled job" >&2; cat "$TMP/submit3.json" >&2; exit 1; }
+STATE3=$(wait_done "$ID3")
+if [ "$STATE3" != "done" ]; then
+    echo "profiled job $ID3 ended in state $STATE3" >&2
+    cat "$TMP/status.json" >&2
+    exit 1
+fi
+curl -fsS "$BASE/jobs/$ID3/profile" >"$TMP/prof.folded"
+[ -s "$TMP/prof.folded" ] || { echo "empty per-job folded profile" >&2; exit 1; }
+grep -q '^user;' "$TMP/prof.folded" || {
+    echo "per-job profile has no user-space stacks:" >&2
+    head "$TMP/prof.folded" >&2
+    exit 1
+}
+
+echo "==> fleet observability: /metrics rollup families"
+curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
+[ -s "$TMP/metrics.txt" ] || { echo "empty /metrics" >&2; exit 1; }
+for want in \
+    jobs_latency_seconds jobs_instrs_per_second jobs_outcomes \
+    jobs_rollup_instructions 'tenant="smoke"' 'quantile="0.99"'; do
+    grep -q "$want" "$TMP/metrics.txt" || {
+        echo "/metrics is missing $want" >&2
+        exit 1
+    }
+done
+
+echo "==> fleet observability: merged flamegraph"
+curl -fsS "$BASE/profile/flame?scope=fleet" >"$TMP/fleet.folded"
+[ -s "$TMP/fleet.folded" ] || { echo "empty fleet flamegraph" >&2; exit 1; }
+grep -q '^user;' "$TMP/fleet.folded" || {
+    echo "fleet flamegraph has no user-space stacks" >&2
+    exit 1
+}
+
+echo "==> fleet observability: peer list and sampled stream"
+curl -fsS "$BASE/fleet/peers" >"$TMP/peers.json"
+[ -s "$TMP/peers.json" ] || { echo "empty /fleet/peers response" >&2; exit 1; }
+# The sampled stream must at least announce its sample set; a 2s tail
+# is plenty (curl exits 28 on --max-time, which is the expected path).
+curl -sS --max-time 2 "$BASE/trace/stream?sample=2" >"$TMP/stream.txt" || true
+grep -q '^event: sample' "$TMP/stream.txt" || {
+    echo "sampled stream never sent its announce frame:" >&2
+    head "$TMP/stream.txt" >&2
+    exit 1
+}
+
 echo "OK"
