@@ -8,6 +8,7 @@
 package mips
 
 import (
+	"fmt"
 	"testing"
 
 	"mips/internal/codegen"
@@ -18,6 +19,7 @@ import (
 	"mips/internal/lang"
 	"mips/internal/mem"
 	"mips/internal/reorg"
+	"mips/internal/sim"
 	"mips/internal/tables"
 )
 
@@ -74,8 +76,27 @@ func BenchmarkContextSwitch(b *testing.B) { benchExperiment(b, "ctxswitch") }
 // Substrate microbenchmarks.
 
 // BenchmarkPipelineSimulator measures simulated instructions per second
-// on the fully optimized Fibonacci benchmark.
+// on the fully optimized Fibonacci benchmark, on the superblock engine
+// (the trace tier's baseline — BenchmarkPipelineTraces is the same
+// workload one benchstat comparison away).
 func BenchmarkPipelineSimulator(b *testing.B) {
+	benchPipeline(b, codegen.RunOptions{Engine: sim.Blocks})
+}
+
+// BenchmarkPipelineTraces measures the same workload on the trace JIT
+// tier. Before timing, it pins the tier's allocation discipline: once
+// the trace cache is warm, steady-state stepping must not allocate at
+// all — formation and compilation costs are paid once, never per
+// dispatch.
+func BenchmarkPipelineTraces(b *testing.B) {
+	assertTraceSteadyStateZeroAlloc(b)
+	benchPipeline(b, codegen.RunOptions{Engine: sim.Traces})
+}
+
+// benchPipeline runs the fib workload end to end under one engine and
+// reports simulated instructions per second.
+func benchPipeline(b *testing.B, opt codegen.RunOptions) {
+	b.Helper()
 	p, err := corpus.Get("fib")
 	if err != nil {
 		b.Fatal(err)
@@ -88,13 +109,90 @@ func BenchmarkPipelineSimulator(b *testing.B) {
 	b.ResetTimer()
 	var instrs uint64
 	for i := 0; i < b.N; i++ {
-		res, err := codegen.RunMIPS(im, 100_000_000)
+		res, err := codegen.RunMIPSWith(im, 100_000_000, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
 		instrs += res.Stats.Instructions
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// assertTraceSteadyStateZeroAlloc warms a traces-engine machine on the
+// queens workload until the trace tier has compiled and dispatched,
+// then measures allocations per RunSteps in steady state and fails the
+// benchmark on any nonzero result. scripts/bench.sh runs this through
+// the bench gate.
+func assertTraceSteadyStateZeroAlloc(b *testing.B) {
+	b.Helper()
+	p, err := corpus.Get("queens")
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := sim.New(sim.WithEngine(sim.Traces))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Load(im); err != nil {
+		b.Fatal(err)
+	}
+	// Shallow chains make Steps fine-grained so the heat counters warm
+	// in few steps; chain depth changes dispatch granularity only.
+	m.CPU().SetChainFollow(2)
+	for i := 0; i < 4096 && m.Trans().TraceDispatchHits == 0; i++ {
+		if _, halted := m.RunSteps(64); halted {
+			b.Fatal("workload finished before the trace cache warmed")
+		}
+	}
+	if m.Trans().TraceDispatchHits == 0 {
+		b.Fatal("trace tier never dispatched; the allocation check is vacuous")
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if _, halted := m.RunSteps(1); halted {
+			b.Fatal("workload finished during the allocation check")
+		}
+	})
+	if avg != 0 {
+		b.Fatalf("warm trace tier allocates %v allocs/op in steady state, want 0", avg)
+	}
+}
+
+// BenchmarkChainFollowSweep measures the fib workload on the traces
+// engine across chain-depth limits, so the default (defaultChainFollow
+// in internal/cpu) is justified by measurement rather than folklore:
+// benchstat across the sub-benchmarks shows where deeper chaining stops
+// paying.
+func BenchmarkChainFollowSweep(b *testing.B) {
+	p, err := corpus.Get("fib")
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, _, err := codegen.CompileMIPS(p.Source, codegen.MIPSOptions{}, reorg.All())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, follow := range []int{1, 4, 16, 64, 256} {
+		follow := follow
+		b.Run(fmt.Sprintf("follow=%d", follow), func(b *testing.B) {
+			b.ReportAllocs()
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				res, err := codegen.RunMIPSWith(im, 100_000_000, codegen.RunOptions{
+					Engine: sim.Traces,
+					Attach: func(c *cpu.CPU) { c.SetChainFollow(follow) },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				instrs += res.Stats.Instructions
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
 }
 
 // BenchmarkPipelineFastPath measures the same workload on the

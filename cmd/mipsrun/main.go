@@ -14,8 +14,9 @@
 // built-in corpus program instead of reading image files.
 //
 // -engine selects the execution engine: reference (the interpreter),
-// fast (the per-instruction predecoded path), or blocks (the superblock
-// translation engine, the default). The engines are observably
+// fast (the per-instruction predecoded path), blocks (the superblock
+// translation engine), or traces (the trace JIT tier layered on the
+// superblock engine, the default). The engines are observably
 // identical; the choice changes only simulation speed. The old
 // -reference and -blocks flags remain as deprecated aliases.
 //
@@ -61,7 +62,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print execution statistics")
 	useKernel := flag.Bool("kernel", false, "run under the kernel with demand paging")
 	timer := flag.Uint("timer", 0, "timer period in user instructions (0 = off; implies -kernel)")
-	engineFlag := flag.String("engine", "", "execution engine: reference | fast | blocks (default blocks)")
+	engineFlag := flag.String("engine", "", "execution engine: reference | fast | blocks | traces (default traces)")
 	reference := flag.Bool("reference", false, "deprecated: use -engine=reference")
 	blocks := flag.Bool("blocks", true, "deprecated: use -engine=fast to disable superblocks")
 	traceN := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
@@ -90,7 +91,7 @@ func main() {
 		case !*blocks:
 			engine = sim.FastPath
 		default:
-			engine = sim.Blocks
+			engine = sim.Traces
 		}
 	}
 

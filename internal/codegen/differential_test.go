@@ -10,6 +10,7 @@ import (
 	"mips/internal/isa"
 	"mips/internal/kernel"
 	"mips/internal/reorg"
+	"mips/internal/sim"
 )
 
 // The predecoded fast path and the reference interpreter must be one
@@ -162,7 +163,7 @@ func TestBlocksMatchFastPath(t *testing.T) {
 			if err != nil {
 				t.Fatalf("compile: %v", err)
 			}
-			blk := runImage(t, im, RunOptions{}, false)
+			blk := runImage(t, im, RunOptions{Engine: sim.Blocks}, false)
 			fast := runImage(t, im, RunOptions{NoBlocks: true}, false)
 			if blk.output != fast.output {
 				t.Errorf("output diverges:\n blocks %q\n   fast %q", blk.output, fast.output)
@@ -190,6 +191,60 @@ func TestBlocksMatchFastPath(t *testing.T) {
 	}
 	if chained == 0 {
 		t.Error("no corpus program took a chained block entry")
+	}
+}
+
+// TestTracesMatchBlocks runs every non-heavy corpus program on the
+// trace JIT tier and on the plain superblock engine and demands
+// identical observable machines: output, the whole Stats struct, the
+// final register file and physical memory, and the exact observer
+// event stream (memory, branch, exception, RFE, and stall events — the
+// compiled closures must deliver each with exact per-instruction
+// arguments). TranslationStats is the one deliberately engine-specific
+// surface, so it is checked for non-vacuity instead of equality: the
+// corpus in aggregate must compile traces and dispatch through them,
+// and the blocks-only runs must never form any.
+func TestTracesMatchBlocks(t *testing.T) {
+	var compiled, hits uint64
+	for _, p := range corpus.All() {
+		if p.Heavy {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			im, _, err := CompileMIPS(p.Source, MIPSOptions{}, reorg.All())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			trc := runImage(t, im, RunOptions{Engine: sim.Traces}, false)
+			blk := runImage(t, im, RunOptions{Engine: sim.Blocks}, false)
+			if trc.output != blk.output {
+				t.Errorf("output diverges:\n traces %q\n blocks %q", trc.output, blk.output)
+			}
+			if trc.stats != blk.stats {
+				t.Errorf("stats diverge:\n traces %+v\n blocks %+v", trc.stats, blk.stats)
+			}
+			if trc.regs != blk.regs {
+				t.Errorf("final registers diverge:\n traces %v\n blocks %v", trc.regs, blk.regs)
+			}
+			if trc.mem != blk.mem {
+				t.Error("final physical memory diverges")
+			}
+			if trc.events != blk.events {
+				t.Error("observer event streams diverge")
+			}
+			if blk.trans.TraceFormed != 0 {
+				t.Error("blocks run formed traces")
+			}
+			compiled += trc.trans.TraceCompiled
+			hits += trc.trans.TraceDispatchHits
+		})
+	}
+	if compiled == 0 {
+		t.Error("no corpus program compiled a trace; the comparison is vacuous")
+	}
+	if hits == 0 {
+		t.Error("no corpus program dispatched through a compiled trace")
 	}
 }
 
@@ -226,7 +281,8 @@ end.
 			t.Fatalf("machine: %v", err)
 		}
 		m.CPU.SetFastPath(engine != "reference")
-		m.CPU.SetBlocks(engine == "blocks")
+		m.CPU.SetBlocks(engine == "blocks" || engine == "traces")
+		m.CPU.SetTraces(engine == "traces")
 		if _, err := m.AddProcess(im, 16); err != nil {
 			t.Fatalf("add process: %v", err)
 		}
@@ -243,6 +299,7 @@ end.
 			stats:    m.CPU.Stats,
 		}
 	}
+	traces := run("traces")
 	blocks := run("blocks")
 	fast := run("fast")
 	ref := run("reference")
@@ -251,5 +308,11 @@ end.
 	}
 	if blocks != fast {
 		t.Errorf("kernel machines diverge:\n blocks %+v\n   fast %+v", blocks, fast)
+	}
+	// The kernel machine has devices and a paging MMU, so the quiet-
+	// environment guard keeps traces from ever forming; the tier must
+	// degrade gracefully to superblocks without observable difference.
+	if traces != blocks {
+		t.Errorf("kernel machines diverge:\n traces %+v\n blocks %+v", traces, blocks)
 	}
 }

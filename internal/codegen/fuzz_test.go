@@ -11,6 +11,7 @@ import (
 	"mips/internal/isa"
 	"mips/internal/lang"
 	"mips/internal/reorg"
+	"mips/internal/sim"
 )
 
 // progGen emits random but well-formed, terminating Pasqual programs:
@@ -265,16 +266,19 @@ func rewriteWord(in isa.Instr) isa.Instr {
 	return out
 }
 
-// TestFuzzBlocksSelfModify is the superblock engine's self-modification
-// property test. A step hook would force the exact engine, so the
-// mutation schedule rides the exception hook instead — it fires on
-// every monitor trap (writeint), which both engines deliver at
-// identical points. Each mutation follows the harness self-modification
-// contract: rewrite the IMem word (what the CPU executes and validates)
-// AND touch the physical word (what fires the write barrier). Chained
-// block entries skip per-entry revalidation by design, so an engine
-// that misses a barrier invalidation replays a stale block and
-// diverges.
+// TestFuzzBlocksSelfModify is the translation tiers' self-modification
+// property test, run on every caching engine (traces, blocks, fast
+// path). A step hook would force the exact engine, so the mutation
+// schedule rides the exception hook instead — it fires on every monitor
+// trap (writeint), which all engines deliver at identical points. Each
+// mutation follows the harness self-modification contract: rewrite the
+// IMem word (what the CPU executes and validates) AND touch the
+// physical word (what fires the write barrier). Chained block entries
+// and compiled traces skip per-entry revalidation by design, so an
+// engine that misses a barrier invalidation replays a stale
+// translation and diverges — on the traces engine the mutation lands
+// in code the trace tier has compiled, exercising the
+// store-into-own-trace invalidation path.
 func TestFuzzBlocksSelfModify(t *testing.T) {
 	seeds := 12
 	if testing.Short() {
@@ -295,10 +299,10 @@ func TestFuzzBlocksSelfModify(t *testing.T) {
 			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
 		}
 
-		run := func(noBlocks bool) RunResult {
+		run := func(engine sim.Engine) RunResult {
 			var excs uint64
 			res, err := RunMIPSWith(im, 200_000_000, RunOptions{
-				NoBlocks: noBlocks,
+				Engine: engine,
 				Attach: func(c *cpu.CPU) {
 					c.SetExcHook(func(pc uint32, primary, secondary isa.Cause, trapCode uint16) {
 						excs++
@@ -312,7 +316,7 @@ func TestFuzzBlocksSelfModify(t *testing.T) {
 								c.IMem[a] = rewriteWord(c.IMem[a])
 								// Barrier-only touch: same value back, so
 								// data memory is unchanged but every block
-								// caching this word is dropped.
+								// and trace caching this word is dropped.
 								phys.Poke(a, phys.Peek(a))
 							}
 						}
@@ -320,12 +324,17 @@ func TestFuzzBlocksSelfModify(t *testing.T) {
 				},
 			})
 			if err != nil {
-				t.Fatalf("seed %d (noblocks=%v): run: %v\n%s", seed, noBlocks, err, src)
+				t.Fatalf("seed %d (%v): run: %v\n%s", seed, engine, err, src)
 			}
 			return res
 		}
-		blk := run(false)
-		fast := run(true)
+		trc := run(sim.Traces)
+		blk := run(sim.Blocks)
+		fast := run(sim.FastPath)
+		if trc.Output != want {
+			t.Fatalf("seed %d: trace tier diverged under self-modification\n got %q\nwant %q\n%s",
+				seed, trc.Output, want, src)
+		}
 		if blk.Output != want {
 			t.Fatalf("seed %d: block engine diverged under self-modification\n got %q\nwant %q\n%s",
 				seed, blk.Output, want, src)
@@ -337,6 +346,10 @@ func TestFuzzBlocksSelfModify(t *testing.T) {
 		if blk.Stats != fast.Stats {
 			t.Fatalf("seed %d: stats diverge under self-modification\n blocks %+v\n   fast %+v\n%s",
 				seed, blk.Stats, fast.Stats, src)
+		}
+		if trc.Stats != blk.Stats {
+			t.Fatalf("seed %d: stats diverge under self-modification\n traces %+v\n blocks %+v\n%s",
+				seed, trc.Stats, blk.Stats, src)
 		}
 	}
 }

@@ -395,6 +395,14 @@ func (c *CPU) runBlocks() (*block, bool) {
 	bus := c.Bus
 	doTick := len(bus.tickers) > 0
 	dmaOn := bus.DMA != nil
+	// With the trace tier live in its quiet configuration, chained
+	// entries feed the tier's heat profile and yield to compiled traces:
+	// Step entry is the only point the trace dispatcher sees, and a
+	// 64-deep chain would otherwise starve it of both heat and
+	// dispatches (the chain's exit PCs cycle around a loop instead of
+	// revisiting one entry).
+	traceTier := c.traces && !c.trec.active && !dmaOn && !doTick &&
+		!mapped && len(bus.devices) == 0
 
 	// Chained blocks execute back to back inside one Step while nothing
 	// needs the per-step dispatch: the hot loop never leaves this
@@ -403,6 +411,9 @@ func (c *CPU) runBlocks() (*block, bool) {
 	// enable, or the address map), at any exception, and at a bounded
 	// follow count so Run's step budget keeps teeth.
 	for follow := 0; ; follow++ {
+		if c.trec.active {
+			c.recTracePoint(b, pc)
+		}
 		var pmGen uint64
 		if mapped {
 			pmGen = c.Bus.MMU.Map.Generation()
@@ -599,7 +610,16 @@ func (c *CPU) runBlocks() (*block, bool) {
 		}
 		// Chaining may continue only through exits proven lean: a
 		// cached control-class terminator and cached lean delay slots.
-		chainable := b.hasTerm && b.term.bclass >= bcBranch
+		// A path recording may additionally look across an unprivileged
+		// packed terminator (control piece sharing the word with
+		// computation): the drain below still leaves the machine at an
+		// exact boundary, the halt/exception/sequential checks still
+		// gate the continuation, and trace validation decides whether
+		// the packed word compiles. Without this the hottest loops the
+		// reorganizer packs most aggressively could never record a
+		// multi-block path.
+		chainable := b.hasTerm && (b.term.bclass >= bcBranch ||
+			(c.trec.active && b.term.bclass == bcGeneral && b.term.flags&fPriv == 0))
 		if b.hasTerm {
 			c.dsStep(&b.term, dmaOn, doTick, ovfOn)
 		} else {
@@ -618,10 +638,13 @@ func (c *CPU) runBlocks() (*block, bool) {
 			}
 		}
 		if !chainable || c.Halted || c.excSeq != exc0 ||
-			follow >= maxChainFollow || !c.queueSequential() {
+			follow >= c.chainFollow || !c.queueSequential() {
 			return b, true
 		}
 		npc := c.pcq[0]
+		if traceTier && c.traceYield(npc) {
+			return b, true
+		}
 		var nb *block
 		for i := 0; i < b.succN; i++ {
 			if b.succVPC[i] == npc {

@@ -15,13 +15,16 @@ import (
 // exercising the tentpole.
 func TestBlocksLoopMatchesFastAndReference(t *testing.T) {
 	blk := loopCPU(200)
+	blk.SetTraces(false)
 	run(t, blk, 100_000)
 
 	fast := loopCPU(200)
+	fast.SetTraces(false)
 	fast.SetBlocks(false)
 	run(t, fast, 100_000)
 
 	ref := loopCPU(200)
+	ref.SetTraces(false)
 	ref.SetFastPath(false)
 	run(t, ref, 100_000)
 
@@ -88,9 +91,11 @@ func TestBlockSelfModifyStore(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			const iters = 50
 			blk := selfModifyCPU(iters, tc.body, tc.storeTarget)
+			blk.SetTraces(false)
 			run(t, blk, 1_000_000)
 
 			fast := selfModifyCPU(iters, tc.body, tc.storeTarget)
+			fast.SetTraces(false)
 			fast.SetBlocks(false)
 			run(t, fast, 1_000_000)
 
@@ -129,6 +134,7 @@ func TestBlockSelfModifyStore(t *testing.T) {
 func TestBlockPatchBetweenSteps(t *testing.T) {
 	const iters = 1000
 	c := loopCPU(iters)
+	c.SetTraces(false)
 	patched := false
 	var left uint32
 	for !c.Halted {
@@ -167,6 +173,7 @@ func TestBlockPatchBetweenSteps(t *testing.T) {
 func TestBlockDMAInvalidation(t *testing.T) {
 	build := func() *CPU {
 		c := loopCPU(5000)
+		c.SetTraces(false)
 		dma := mem.NewDMA(c.Bus.MMU.Phys)
 		c.Bus.DMA = dma
 		// Dst 0 overwrites physical words 0..7: the loop's text range.
@@ -205,6 +212,7 @@ func TestBlockDMAInvalidation(t *testing.T) {
 // execution must continue seamlessly from any Step boundary.
 func TestBlockEngineToggle(t *testing.T) {
 	c := loopCPU(300)
+	c.SetTraces(false)
 	on := true
 	for !c.Halted {
 		if err := c.Step(); err != nil {

@@ -31,9 +31,12 @@ const (
 	// blockMaxWords caps a block's body; longer straight-line runs
 	// split into chained blocks.
 	blockMaxWords = 64
-	// maxChainFollow bounds how many chained blocks one Step may
-	// execute, so Run's step budget still bounds runaway programs.
-	maxChainFollow = 64
+	// defaultChainFollow is the default bound on how many chained
+	// blocks (or chained traces) one Step may execute, so Run's step
+	// budget still bounds runaway programs. SetChainFollow tunes it
+	// per CPU; the sweep benchmark in bench_test.go justifies the
+	// default.
+	defaultChainFollow = 64
 	// bcMinEntries/bcMaxEntries bound the direct-mapped block cache,
 	// grown on demand like the predecode cache. Block entry points are
 	// much sparser than instruction words, so the cap is smaller.
@@ -137,12 +140,31 @@ type TranslationStats struct {
 	// per-instruction engine: faults, traps, interrupts, halts, and
 	// conservative coherence bails after stores.
 	BlockBails uint64
+
+	// TraceFormed counts hot-path recordings that finished with a
+	// formable multi-block path; TraceCompiled counts traces actually
+	// compiled to closures and installed (a formed path whose words
+	// cannot all be specialized truncates, and too-short truncations
+	// compile nothing).
+	TraceFormed   uint64
+	TraceCompiled uint64
+	// TraceGuardExits counts early trace exits of every kind — branch
+	// direction guards, faults, self-invalidating stores — all of which
+	// leave the machine at an exact instruction boundary.
+	TraceGuardExits uint64
+	// TraceInvalidations counts traces dropped by the memory write
+	// barrier.
+	TraceInvalidations uint64
+	// TraceDispatchHits counts trace executions started (cache entry
+	// and trace-to-trace chaining alike).
+	TraceDispatchHits uint64
 }
 
 func (t *TranslationStats) String() string {
-	return fmt.Sprintf("predecode hit=%d miss=%d collide=%d | blocks hit=%d chain=%d xlate=%d inval=%d bail=%d",
+	return fmt.Sprintf("predecode hit=%d miss=%d collide=%d | blocks hit=%d chain=%d xlate=%d inval=%d bail=%d | traces formed=%d compiled=%d hit=%d exit=%d inval=%d",
 		t.PredecodeHits, t.PredecodeMisses, t.PredecodeCollisions,
-		t.BlockHits, t.BlockChained, t.BlockTranslations, t.BlockInvalidations, t.BlockBails)
+		t.BlockHits, t.BlockChained, t.BlockTranslations, t.BlockInvalidations, t.BlockBails,
+		t.TraceFormed, t.TraceCompiled, t.TraceDispatchHits, t.TraceGuardExits, t.TraceInvalidations)
 }
 
 // bodyKind reports whether a memory/control slot kind may appear inside
@@ -435,9 +457,10 @@ func (c *CPU) armBarrier() {
 }
 
 // writeBarrier invalidates every translated block whose body covers the
-// written physical word. It runs on every store, DMA move, and device
-// poke, so the common case — a write outside any code range — must be
-// one bounds check and one bit test.
+// written physical word, and every compiled trace whose span list does.
+// It runs on every store, DMA move, and device poke, so the common case
+// — a write outside any code range — must be one bounds check and one
+// bit test.
 func (c *CPU) writeBarrier(addr uint32) {
 	w := addr >> 6
 	if w >= uint32(len(c.codeBits)) || c.codeBits[w]&(1<<(addr&63)) == 0 {
@@ -452,11 +475,22 @@ func (c *CPU) writeBarrier(addr uint32) {
 		}
 		i++
 	}
+	for i := 0; i < len(c.liveTraces); {
+		tr := c.liveTraces[i]
+		if tr.covers(addr) {
+			c.Trans.TraceInvalidations++
+			c.dropTrace(tr)
+			continue // dropTrace swapped a new trace into slot i
+		}
+		i++
+	}
 }
 
 // InvalidateBlocks drops every translated block. Entry validation
 // already keeps the cache coherent word by word; this exists so
 // whole-image reloads and cache regrowth release translations eagerly.
+// Live traces keep their own coverage, so the bitmap is rebuilt from
+// their spans after the clear.
 func (c *CPU) InvalidateBlocks() {
 	for _, b := range c.liveBlocks {
 		b.valid = false
@@ -469,4 +503,9 @@ func (c *CPU) InvalidateBlocks() {
 		c.codeBits[i] = 0
 	}
 	c.lastBlk = nil
+	for _, tr := range c.liveTraces {
+		for _, sp := range tr.spans {
+			c.coverWords(sp.pa, sp.n)
+		}
+	}
 }

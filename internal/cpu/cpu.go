@@ -126,6 +126,24 @@ type CPU struct {
 	lastBlk    *block
 	barrierOn  bool
 
+	// chainFollow bounds how many chained blocks (or chained traces)
+	// one Step may execute; see SetChainFollow.
+	chainFollow int
+
+	// traces selects the trace JIT tier layered above the superblock
+	// engine (trace_form.go, trace_compile.go, tracecache.go). tc is
+	// its direct-mapped cache of compiled traces, liveTraces the dense
+	// list the write barrier walks, heat the per-entry-PC hotness
+	// counters that trigger formation, trec the in-flight path
+	// recording, and trOvfOn the overflow-enable latch the dispatch
+	// loop sets for the compiled closures.
+	traces     bool
+	tc         []*trace
+	liveTraces []*trace
+	heat       []heatEntry
+	trec       traceRec
+	trOvfOn    bool
+
 	// Trans counts translation-layer behavior (predecode and superblock
 	// caches). It lives outside Stats so the execution engines remain
 	// statistics-identical under the differential tests.
@@ -151,13 +169,14 @@ type delayedWrite struct {
 	commitAt uint64
 }
 
-// defaultBlocks and defaultFastPath are the engine settings newly built
-// CPUs start with; the setters let command-line tools apply an engine
-// flag to machines they do not construct directly (package sim's
-// SetDefault drives both).
+// defaultBlocks, defaultFastPath, and defaultTraces are the engine
+// settings newly built CPUs start with; the setters let command-line
+// tools apply an engine flag to machines they do not construct directly
+// (package sim's SetDefault drives all three).
 var (
 	defaultBlocks   = true
 	defaultFastPath = true
+	defaultTraces   = true
 )
 
 // SetDefaultBlocks sets whether CPUs built by New start with the
@@ -168,15 +187,20 @@ func SetDefaultBlocks(on bool) { defaultBlocks = on }
 // predecoded fast path enabled.
 func SetDefaultFastPath(on bool) { defaultFastPath = on }
 
+// SetDefaultTraces sets whether CPUs built by New start with the trace
+// JIT tier enabled.
+func SetDefaultTraces(on bool) { defaultTraces = on }
+
 // New builds a CPU over the given bus, starting at word address 0 in
 // supervisor state with mapping and interrupts disabled — the power-up
 // reset condition. The predecoded fast path is enabled.
 func New(bus *Bus) *CPU {
-	c := &CPU{Bus: bus, fastpath: defaultFastPath, blocks: defaultBlocks}
+	c := &CPU{Bus: bus, fastpath: defaultFastPath, blocks: defaultBlocks, traces: defaultTraces}
 	c.Sur = c.Sur.SetSupervisor(true)
 	c.pcq[0], c.pcn = 0, 1
 	c.pd = make([]decoded, pdMinEntries)
 	c.pdMask = pdMinEntries - 1
+	c.chainFollow = defaultChainFollow
 	return c
 }
 
@@ -209,6 +233,30 @@ func (c *CPU) SetBlocks(on bool) { c.blocks = on }
 
 // Blocks reports whether the superblock engine is enabled.
 func (c *CPU) Blocks() bool { return c.blocks }
+
+// SetTraces selects whether the trace JIT tier may run. It layers on
+// the superblock engine, so SetBlocks(false) or SetFastPath(false) also
+// disables it; traces form only in the quiet machine configuration
+// (unmapped, no devices, no DMA, no tickers) and every deviation bails
+// tier by tier — trace to superblock to fast path to reference — at an
+// exact instruction boundary.
+func (c *CPU) SetTraces(on bool) { c.traces = on }
+
+// Traces reports whether the trace JIT tier is enabled.
+func (c *CPU) Traces() bool { return c.traces }
+
+// SetChainFollow tunes how many chained blocks (or chained traces) one
+// Step may execute before returning, bounding how much work Run's step
+// budget can hide. Values below 1 reset the default.
+func (c *CPU) SetChainFollow(n int) {
+	if n < 1 {
+		n = defaultChainFollow
+	}
+	c.chainFollow = n
+}
+
+// ChainFollow reports the per-Step chain-follow bound.
+func (c *CPU) ChainFollow() int { return c.chainFollow }
 
 // PC returns the address of the next instruction to execute.
 func (c *CPU) PC() uint32 { return c.pcq[0] }
@@ -310,6 +358,7 @@ func (c *CPU) LoadImage(im *isa.Image) error {
 		c.Bus.MMU.Phys.Poke(uint32(addr), val)
 	}
 	c.InvalidateDecoded()
+	c.InvalidateTraces()
 	c.InvalidateBlocks()
 	c.SetPC(uint32(im.Entry))
 	return nil
@@ -488,14 +537,20 @@ func (c *CPU) Step() error {
 	if c.Halted {
 		return ErrHalted
 	}
-	// Superblock dispatch: when the fetch queue holds no in-flight
-	// branch target, its head is a block entry point and the whole
-	// straight-line run executes as one translated block. Per-step
-	// tracers and interlock mode need per-instruction stepping, and a
-	// false return (unresolvable entry) falls through to the exact path.
+	// Superblock and trace dispatch: when the fetch queue holds no
+	// in-flight branch target, its head is a block entry point and the
+	// whole straight-line run executes as one translated block — or,
+	// one tier up, a compiled multi-block trace. Per-step tracers and
+	// interlock mode need per-instruction stepping, and a false return
+	// (unresolvable entry) falls through tier by tier to the exact path.
 	if c.blocks && c.fastpath && !c.Interlocked && c.onStep == nil &&
-		c.queueSequential() && c.stepBlocks() {
-		return nil
+		c.queueSequential() {
+		if c.traces && c.stepTraces() {
+			return nil
+		}
+		if c.stepBlocks() {
+			return nil
+		}
 	}
 	c.seq++
 	c.commitLoads()

@@ -110,16 +110,29 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 		name   string
 		fast   bool
 		blocks bool
-	}{{"blocks", true, true}, {"fast", true, false}, {"reference", false, false}} {
+		traces bool
+	}{
+		{"traces", true, true, true},
+		{"blocks", true, true, false},
+		{"fast", true, false, false},
+		{"reference", false, false, false},
+	} {
 		t.Run(tc.name, func(t *testing.T) {
 			c := loopCPU(2_000_000)
 			c.SetFastPath(tc.fast)
 			c.SetBlocks(tc.blocks)
+			c.SetTraces(tc.traces)
 			// Warm up: caches filled, pending-write slices at capacity.
-			for i := 0; i < 64; i++ {
+			// 128 steps carries the traces case past heat-counter
+			// saturation, recording, and compilation, so measurement sees
+			// only warm trace dispatch.
+			for i := 0; i < 128; i++ {
 				if err := c.Step(); err != nil {
 					t.Fatal(err)
 				}
+			}
+			if tc.traces && c.Trans.TraceCompiled == 0 {
+				t.Fatal("warmup did not compile a trace; the measurement would be vacuous")
 			}
 			avg := testing.AllocsPerRun(1000, func() {
 				if err := c.Step(); err != nil {

@@ -88,7 +88,7 @@ func (c *CPU) CaptureState() State {
 }
 
 // RestoreState replaces the processor's architectural state with a
-// previous capture. The predecode and superblock caches are dropped —
+// previous capture. The predecode, superblock, and trace caches are dropped —
 // they rebuild against the restored instruction memory — so the restored
 // machine produces the exact event stream the original would have,
 // though its translation-layer counters (Trans) diverge by the warm-up.
@@ -126,6 +126,7 @@ func (c *CPU) RestoreState(st State) error {
 		c.Bus.LastFault = &fc
 	}
 	c.InvalidateDecoded()
+	c.InvalidateTraces()
 	c.InvalidateBlocks()
 	return nil
 }

@@ -1,0 +1,818 @@
+package cpu
+
+// Trace compilation and dispatch: the execution half of the trace JIT
+// tier. A validated flat path (trace_form.go) compiles to an array of
+// specialized Go closures — threaded code, one closure per instruction
+// word (consecutive nops collapse into one) — and dispatch runs the
+// array with no per-word fetch, no queue maintenance, no environmental
+// checks, and no statistics updates: a clean pass bulk-adds the
+// precomputed cost of the whole trace.
+//
+// Every check a closure would repeat per word is hoisted to dispatch
+// entry, where the quiet-configuration guard (stepTraces) has already
+// discharged it: no device, ticker, or DMA engine exists to raise the
+// interrupt line or remap memory mid-trace, privilege and overflow
+// enable can only change through words a trace refuses to contain, and
+// the write barrier reports the one store hazard that remains (a store
+// into the trace's own code) through tr.valid.
+//
+// Exits are exact. Each closure captures the statistics prefix of the
+// words before it plus its own partial contribution, and the precise
+// fetch-queue image for each way it can leave: the fault-restart queue
+// an exception saves as return addresses, the completion queue after a
+// finished word, and the redirect queues of a mispredicted branch
+// direction or indirect-jump target. A trace therefore abandons
+// execution at an exact instruction boundary with the machine
+// indistinguishable from the block engine having run the same prefix —
+// the tier-bail ladder (trace -> superblock -> fast path -> reference)
+// never shows through architecturally.
+
+import "mips/internal/isa"
+
+// plus returns the sum of two cost vectors.
+func (tc traceCost) plus(o traceCost) traceCost {
+	tc.instr += o.instr
+	tc.cycles += o.cycles
+	tc.pieces += o.pieces
+	tc.nops += o.nops
+	tc.loads += o.loads
+	tc.stores += o.stores
+	tc.branches += o.branches
+	tc.taken += o.taken
+	tc.data += o.data
+	tc.free += o.free
+	return tc
+}
+
+// Per-class happy-path cost of one word, identical to what the block
+// engine's quiet loop accounts for the same word.
+var (
+	wcNop     = traceCost{instr: 1, cycles: 1, nops: 1, free: 1}
+	wcALU     = traceCost{instr: 1, cycles: 1, pieces: 1, free: 1}
+	wcLoadImm = traceCost{instr: 1, cycles: 1, pieces: 1, free: 1}
+	wcLoad    = traceCost{instr: 1, cycles: 1, pieces: 1, loads: 1, data: 1}
+	wcStore   = traceCost{instr: 1, cycles: 1, pieces: 1, stores: 1, data: 1}
+	wcBranch  = traceCost{instr: 1, cycles: 1, pieces: 1, branches: 1, free: 1}
+	wcTaken   = traceCost{instr: 1, cycles: 1, pieces: 1, branches: 1, taken: 1, free: 1}
+	// A faulting memory word accounts its data cycle but not the
+	// load/store completion count, exactly like finishWord's fault path.
+	wcMemFault = traceCost{instr: 1, cycles: 1, pieces: 1, data: 1}
+)
+
+// rdOp reads a predecoded operand on the unguarded path: no load can be
+// pending at this position, so the register file is current.
+func rdOp(c *CPU, o fastOp) uint32 {
+	if o.imm {
+		return o.val
+	}
+	return c.Regs[o.reg]
+}
+
+// rdOpG reads a predecoded operand on the guarded path, through the
+// exact hazard-audited read.
+func rdOpG(c *CPU, o fastOp, vpc uint32) uint32 {
+	if o.imm {
+		return o.val
+	}
+	return c.leanRead(o.reg, vpc)
+}
+
+// traceFault abandons the trace at a faulting word: the word restarts
+// at the head of the restored fetch queue (return address zero),
+// exactly as bailFault leaves it. The caller has already accounted the
+// executed prefix.
+func (c *CPU) traceFault(q [3]uint32, cause isa.Cause) {
+	c.pcq[0], c.pcq[1], c.pcq[2] = q[0], q[1], q[2]
+	c.pcn = 3
+	c.exception(cause, isa.CauseNone, 0)
+}
+
+// runTrace executes a compiled trace from its entry, then chains
+// trace-to-trace through the cache (a loop trace chains to itself)
+// bounded by the same follow budget as block chaining. A guard exit
+// chains too when it left a single-entry (hence sequential) queue and
+// raised no exception: a mispredicted direction frequently lands at the
+// entry of the trace covering the other path, and bouncing through the
+// lower tiers for one Step would forfeit the dispatch. The environment
+// guards hold for the whole chain: nothing inside a trace can change
+// what stepTraces checked (the quiet configuration has no source of
+// interrupts, and privilege or overflow enable only change through
+// words a trace refuses to contain).
+func (c *CPU) runTrace(tr *trace) {
+	c.trOvfOn = c.Sur.OverflowEnabled()
+	exc0 := c.excSeq
+	for follow := 0; ; follow++ {
+		c.Trans.TraceDispatchHits++
+		ops := tr.ops
+		clean := true
+		for i := 0; i < len(ops); i++ {
+			if !ops[i](c) {
+				c.Trans.TraceGuardExits++
+				clean = false
+				break
+			}
+		}
+		if clean {
+			tr.cost.add(&c.Stats)
+			c.pcq[0], c.pcn = tr.endPC, 1
+		} else if c.Halted || c.excSeq != exc0 || c.pcn != 1 {
+			return
+		}
+		if follow >= c.chainFollow {
+			return
+		}
+		nt := c.traceAt(c.pcq[0])
+		if nt == nil {
+			return
+		}
+		tr = nt
+	}
+}
+
+// compileTrace builds the closure array for a flattened path. It is
+// total over validated words: formation already refused everything the
+// emitters cannot specialize, so a nil return means an internal
+// inconsistency and the path is simply not installed.
+func (c *CPU) compileTrace(words []traceWord, entry, endPC uint32, spans []traceSpan) *trace {
+	tr := &trace{pa: entry, endPC: endPC, spans: spans}
+	ops := make([]traceOp, 0, len(words))
+	var pre traceCost
+	for i := 0; i < len(words); {
+		w := &words[i]
+		if w.d.bclass == bcNop {
+			// Collapse the run of consecutive nops (crossing block
+			// boundaries in the flattened path) into one closure.
+			k := 1
+			guarded := w.hazard
+			for i+k < len(words) && words[i+k].d.bclass == bcNop {
+				guarded = guarded || words[i+k].hazard
+				k++
+			}
+			ops = append(ops, emitNops(k, guarded))
+			for j := 0; j < k; j++ {
+				pre = pre.plus(wcNop)
+			}
+			i += k
+			continue
+		}
+		var op traceOp
+		var happy traceCost
+		switch w.d.bclass {
+		case bcGeneral:
+			switch w.d.memKind {
+			case isa.PieceBranch, isa.PieceJump, isa.PieceCall, isa.PieceJumpInd:
+				op, happy = emitGeneralTerm(tr, w, pre)
+			default:
+				op, happy = emitGeneral(tr, w, pre)
+			}
+		case bcALU:
+			op, happy = emitALU(w, pre)
+		case bcLoad:
+			op, happy = emitLoad(w, pre)
+		case bcStore:
+			op, happy = emitStore(tr, w, pre)
+		case bcBranch:
+			op, happy = emitBranch(w, pre)
+		case bcJump:
+			op, happy = emitJump(w, pre)
+		case bcCall:
+			op, happy = emitCall(w, pre)
+		case bcJumpInd:
+			op, happy = emitJumpInd(w, pre)
+		}
+		if op == nil {
+			return nil
+		}
+		ops = append(ops, op)
+		pre = pre.plus(happy)
+		i++
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	tr.ops = ops
+	tr.cost = pre
+	return tr
+}
+
+// emitNops compiles a run of k consecutive nops. Unguarded, the whole
+// run is one sequence-counter bump; guarded, pending-load commits drain
+// at each position exactly as per-word stepping would.
+func emitNops(k int, guarded bool) traceOp {
+	n := uint64(k)
+	if !guarded {
+		return func(c *CPU) bool {
+			c.seq += n
+			return true
+		}
+	}
+	return func(c *CPU) bool {
+		for j := uint64(0); j < n; j++ {
+			c.seq++
+			if c.pendN != 0 {
+				c.commitLoads()
+			}
+		}
+		return true
+	}
+}
+
+// emitGeneral compiles a packed or otherwise unclassified body word
+// through the exact executor, exactly as the block engine's quiet loop
+// runs one: the word accounts its own statistics live (so it
+// contributes nothing to the trace's bulk cost or to later exit
+// prefixes), and any redirect, halt, fault, or self-invalidation exits
+// the trace at the boundary the executor left.
+func emitGeneral(tr *trace, w *traceWord, pre traceCost) (traceOp, traceCost) {
+	d := w.d
+	vpc := w.vpc
+	ec := pre
+	return func(c *CPU) bool {
+		c.seq++
+		if c.pendN != 0 {
+			c.commitLoads()
+		}
+		c.pcq[0], c.pcq[1] = vpc+1, vpc+2
+		c.pcn = 2
+		c.execFast(&d, vpc)
+		if c.Halted || c.pcn != 2 || c.pcq[0] != vpc+1 {
+			ec.add(&c.Stats)
+			return false
+		}
+		if !tr.valid {
+			ec.add(&c.Stats)
+			c.pcq[0], c.pcn = vpc+1, 1
+			return false
+		}
+		return true
+	}, traceCost{}
+}
+
+// emitGeneralTerm compiles a packed terminator — a control piece sharing
+// its word with computation — through the exact executor, then guards on
+// the fetch-queue shape the recorded direction leaves behind. A redirect
+// the other way (or a halt or fault) exits the trace with the machine
+// exactly where the executor left it: no queue restore is needed because
+// the executor maintains the queue itself. Like emitGeneral the word
+// accounts its own statistics live, so exits charge only the prefix.
+func emitGeneralTerm(tr *trace, w *traceWord, pre traceCost) (traceOp, traceCost) {
+	d := w.d
+	vpc := w.vpc
+	ec := pre
+	if d.memKind == isa.PieceJumpInd {
+		exp := w.expTarget
+		return func(c *CPU) bool {
+			c.seq++
+			if c.pendN != 0 {
+				c.commitLoads()
+			}
+			c.pcq[0], c.pcq[1] = vpc+1, vpc+2
+			c.pcn = 2
+			c.execFast(&d, vpc)
+			if c.Halted || c.pcn != 3 || c.pcq[0] != vpc+1 ||
+				c.pcq[1] != vpc+2 || c.pcq[2] != exp || !tr.valid {
+				ec.add(&c.Stats)
+				return false
+			}
+			return true
+		}, traceCost{}
+	}
+	// Direct control: a taken branch, jump, or call schedules the target
+	// one slot out; a not-taken branch leaves the queue sequential.
+	// Formation refused shadow targets, so the two shapes are disjoint.
+	q1 := vpc + 2
+	if w.taken {
+		q1 = d.target
+	}
+	return func(c *CPU) bool {
+		c.seq++
+		if c.pendN != 0 {
+			c.commitLoads()
+		}
+		c.pcq[0], c.pcq[1] = vpc+1, vpc+2
+		c.pcn = 2
+		c.execFast(&d, vpc)
+		if c.Halted || c.pcn != 2 || c.pcq[0] != vpc+1 ||
+			c.pcq[1] != q1 || !tr.valid {
+			ec.add(&c.Stats)
+			return false
+		}
+		return true
+	}, traceCost{}
+}
+
+// emitALU compiles a single-ALU-piece word. The overflow-capable ops
+// check the dispatch-latched trap enable and exit through the exact
+// fault path; everything else is pure compute and writeback.
+func emitALU(w *traceWord, pre traceCost) (traceOp, traceCost) {
+	d := w.d
+	vpc, fq := w.vpc, w.fq
+	ec := pre.plus(wcALU) // the overflow exit accounts the full word
+	dst := d.aluDst
+	a1, a2 := d.a1, d.a2
+
+	if w.hazard {
+		// Guarded generic: exact reads, per-word commit drain.
+		if d.aluKind == isa.PieceSetCond {
+			cmp := d.aluCmp
+			return func(c *CPU) bool {
+				c.seq++
+				if c.pendN != 0 {
+					c.commitLoads()
+				}
+				a := rdOpG(c, a1, vpc)
+				b := rdOpG(c, a2, vpc)
+				var v uint32
+				if cmp.Eval(a, b) {
+					v = 1
+				}
+				c.Regs[dst] = v
+				c.lastWrite[dst] = c.seq
+				return true
+			}, wcALU
+		}
+		return func(c *CPU) bool {
+			c.seq++
+			if c.pendN != 0 {
+				c.commitLoads()
+			}
+			a := rdOpG(c, a1, vpc)
+			var b uint32
+			if !d.aluUnary {
+				b = rdOpG(c, a2, vpc)
+			}
+			var dstVal uint32
+			if d.aluDstRead {
+				dstVal = c.leanRead(dst, vpc)
+			}
+			v, lo, ovf := aluEval(d.aluOp, a, b, dstVal, c.Lo)
+			if ovf && c.trOvfOn {
+				ec.add(&c.Stats)
+				c.traceFault(fq, isa.CauseOverflow)
+				return false
+			}
+			if d.aluOp == isa.OpMovLo {
+				c.Lo = lo
+				return true
+			}
+			c.Regs[dst] = v
+			c.lastWrite[dst] = c.seq
+			return true
+		}, wcALU
+	}
+
+	if d.aluKind == isa.PieceSetCond {
+		cmp := d.aluCmp
+		return func(c *CPU) bool {
+			c.seq++
+			a, b := rdOp(c, a1), rdOp(c, a2)
+			var v uint32
+			if cmp.Eval(a, b) {
+				v = 1
+			}
+			c.Regs[dst] = v
+			c.lastWrite[dst] = c.seq
+			return true
+		}, wcALU
+	}
+	// Unguarded specializations for the dominant ops; the rest fall back
+	// to the shared evaluator.
+	switch d.aluOp {
+	case isa.OpAdd:
+		if !d.aluUnary {
+			return func(c *CPU) bool {
+				c.seq++
+				a, b := rdOp(c, a1), rdOp(c, a2)
+				v := a + b
+				if c.trOvfOn && addOverflows(a, b, v) {
+					ec.add(&c.Stats)
+					c.traceFault(fq, isa.CauseOverflow)
+					return false
+				}
+				c.Regs[dst] = v
+				c.lastWrite[dst] = c.seq
+				return true
+			}, wcALU
+		}
+	case isa.OpSub:
+		if !d.aluUnary {
+			return func(c *CPU) bool {
+				c.seq++
+				a, b := rdOp(c, a1), rdOp(c, a2)
+				v := a - b
+				if c.trOvfOn && subOverflows(a, b, v) {
+					ec.add(&c.Stats)
+					c.traceFault(fq, isa.CauseOverflow)
+					return false
+				}
+				c.Regs[dst] = v
+				c.lastWrite[dst] = c.seq
+				return true
+			}, wcALU
+		}
+	case isa.OpAnd:
+		if !d.aluUnary {
+			return func(c *CPU) bool {
+				c.seq++
+				c.Regs[dst] = rdOp(c, a1) & rdOp(c, a2)
+				c.lastWrite[dst] = c.seq
+				return true
+			}, wcALU
+		}
+	case isa.OpOr:
+		if !d.aluUnary {
+			return func(c *CPU) bool {
+				c.seq++
+				c.Regs[dst] = rdOp(c, a1) | rdOp(c, a2)
+				c.lastWrite[dst] = c.seq
+				return true
+			}, wcALU
+		}
+	case isa.OpXor:
+		if !d.aluUnary {
+			return func(c *CPU) bool {
+				c.seq++
+				c.Regs[dst] = rdOp(c, a1) ^ rdOp(c, a2)
+				c.lastWrite[dst] = c.seq
+				return true
+			}, wcALU
+		}
+	case isa.OpMov:
+		return func(c *CPU) bool {
+			c.seq++
+			c.Regs[dst] = rdOp(c, a1)
+			c.lastWrite[dst] = c.seq
+			return true
+		}, wcALU
+	}
+	return func(c *CPU) bool {
+		c.seq++
+		a := rdOp(c, a1)
+		var b uint32
+		if !d.aluUnary {
+			b = rdOp(c, a2)
+		}
+		var dstVal uint32
+		if d.aluDstRead {
+			dstVal = c.Regs[dst]
+		}
+		v, lo, ovf := aluEval(d.aluOp, a, b, dstVal, c.Lo)
+		if ovf && c.trOvfOn {
+			ec.add(&c.Stats)
+			c.traceFault(fq, isa.CauseOverflow)
+			return false
+		}
+		if d.aluOp == isa.OpMovLo {
+			c.Lo = lo
+			return true
+		}
+		c.Regs[dst] = v
+		c.lastWrite[dst] = c.seq
+		return true
+	}, wcALU
+}
+
+// emitLoad compiles a load word. Long immediates never touch the data
+// port; real loads read through the deviceless unmapped bus fast path,
+// fire the memory hook, and commit eagerly when the flattened successor
+// proves the delay window unobservable, else through the exact
+// delayed-commit machinery.
+func emitLoad(w *traceWord, pre traceCost) (traceOp, traceCost) {
+	d := w.d
+	vpc, fq := w.vpc, w.fq
+	data := d.data
+	if d.mode == isa.AModeLongImm {
+		imm := uint32(d.disp)
+		guarded := w.hazard
+		return func(c *CPU) bool {
+			c.seq++
+			if guarded && c.pendN != 0 {
+				c.commitLoads()
+			}
+			c.Regs[data] = imm
+			c.lastWrite[data] = c.seq
+			return true
+		}, wcLoadImm
+	}
+	ec := pre.plus(wcMemFault)
+	eager := w.eager
+	if w.hazard {
+		return func(c *CPU) bool {
+			c.seq++
+			if c.pendN != 0 {
+				c.commitLoads()
+			}
+			addr := c.leanAddr(&d, vpc)
+			v, f := c.Bus.Read(addr, false)
+			if f != nil {
+				ec.add(&c.Stats)
+				c.traceFault(fq, f.Cause)
+				return false
+			}
+			if c.onMem != nil {
+				c.onMem(vpc, addr, false)
+			}
+			if eager {
+				c.Regs[data] = v
+				c.lastWrite[data] = c.seq
+			} else {
+				c.writeLoad(data, v)
+			}
+			return true
+		}, wcLoad
+	}
+	switch d.mode {
+	case isa.AModeDisp:
+		base, disp := d.base, uint32(d.disp)
+		return func(c *CPU) bool {
+			c.seq++
+			addr := c.Regs[base] + disp
+			v, f := c.Bus.Read(addr, false)
+			if f != nil {
+				ec.add(&c.Stats)
+				c.traceFault(fq, f.Cause)
+				return false
+			}
+			if c.onMem != nil {
+				c.onMem(vpc, addr, false)
+			}
+			if eager {
+				c.Regs[data] = v
+				c.lastWrite[data] = c.seq
+			} else {
+				c.writeLoad(data, v)
+			}
+			return true
+		}, wcLoad
+	case isa.AModeAbs:
+		addr := uint32(d.disp)
+		return func(c *CPU) bool {
+			c.seq++
+			v, f := c.Bus.Read(addr, false)
+			if f != nil {
+				ec.add(&c.Stats)
+				c.traceFault(fq, f.Cause)
+				return false
+			}
+			if c.onMem != nil {
+				c.onMem(vpc, addr, false)
+			}
+			if eager {
+				c.Regs[data] = v
+				c.lastWrite[data] = c.seq
+			} else {
+				c.writeLoad(data, v)
+			}
+			return true
+		}, wcLoad
+	}
+	return func(c *CPU) bool {
+		c.seq++
+		var addr uint32
+		if d.mode == isa.AModeIndex {
+			addr = c.Regs[d.base] + c.Regs[d.index]
+		} else {
+			addr = c.Regs[d.base] + c.Regs[d.index]>>d.shift
+		}
+		v, f := c.Bus.Read(addr, false)
+		if f != nil {
+			ec.add(&c.Stats)
+			c.traceFault(fq, f.Cause)
+			return false
+		}
+		if c.onMem != nil {
+			c.onMem(vpc, addr, false)
+		}
+		if eager {
+			c.Regs[data] = v
+			c.lastWrite[data] = c.seq
+		} else {
+			c.writeLoad(data, v)
+		}
+		return true
+	}, wcLoad
+}
+
+// emitStore compiles a store word. The write goes through the
+// deviceless unmapped bus fast path, whose physical write barrier is
+// the one mechanism that can invalidate this very trace mid-run: the
+// closure checks tr.valid after the write and exits at the completed
+// word's boundary with the exact remaining queue.
+func emitStore(tr *trace, w *traceWord, pre traceCost) (traceOp, traceCost) {
+	d := w.d
+	vpc, fq := w.vpc, w.fq
+	cq, cqn := w.cq, int(w.cqn)
+	data := d.data
+	ecFault := pre.plus(wcMemFault)
+	ecDone := pre.plus(wcStore)
+	if w.hazard {
+		return func(c *CPU) bool {
+			c.seq++
+			if c.pendN != 0 {
+				c.commitLoads()
+			}
+			addr := c.leanAddr(&d, vpc)
+			val := c.leanRead(data, vpc)
+			if f := c.Bus.Write(addr, val, false); f != nil {
+				ecFault.add(&c.Stats)
+				c.traceFault(fq, f.Cause)
+				return false
+			}
+			if c.onMem != nil {
+				c.onMem(vpc, addr, true)
+			}
+			if !tr.valid {
+				ecDone.add(&c.Stats)
+				c.pcq[0], c.pcq[1] = cq[0], cq[1]
+				c.pcn = cqn
+				return false
+			}
+			return true
+		}, wcStore
+	}
+	if d.mode == isa.AModeDisp {
+		base, disp := d.base, uint32(d.disp)
+		return func(c *CPU) bool {
+			c.seq++
+			addr := c.Regs[base] + disp
+			if f := c.Bus.Write(addr, c.Regs[data], false); f != nil {
+				ecFault.add(&c.Stats)
+				c.traceFault(fq, f.Cause)
+				return false
+			}
+			if c.onMem != nil {
+				c.onMem(vpc, addr, true)
+			}
+			if !tr.valid {
+				ecDone.add(&c.Stats)
+				c.pcq[0], c.pcq[1] = cq[0], cq[1]
+				c.pcn = cqn
+				return false
+			}
+			return true
+		}, wcStore
+	}
+	return func(c *CPU) bool {
+		c.seq++
+		var addr uint32
+		switch d.mode {
+		case isa.AModeAbs:
+			addr = uint32(d.disp)
+		case isa.AModeIndex:
+			addr = c.Regs[d.base] + c.Regs[d.index]
+		default:
+			addr = c.Regs[d.base] + c.Regs[d.index]>>d.shift
+		}
+		if f := c.Bus.Write(addr, c.Regs[data], false); f != nil {
+			ecFault.add(&c.Stats)
+			c.traceFault(fq, f.Cause)
+			return false
+		}
+		if c.onMem != nil {
+			c.onMem(vpc, addr, true)
+		}
+		if !tr.valid {
+			ecDone.add(&c.Stats)
+			c.pcq[0], c.pcq[1] = cq[0], cq[1]
+			c.pcn = cqn
+			return false
+		}
+		return true
+	}, wcStore
+}
+
+// emitBranch compiles a conditional-branch terminator with its recorded
+// direction as the guard. The actual condition is evaluated exactly;
+// when it disagrees with the recording, the closure fires the branch
+// hook for the real outcome, accounts the word, restores the queue the
+// real direction produces, and exits.
+func emitBranch(w *traceWord, pre traceCost) (traceOp, traceCost) {
+	d := w.d
+	vpc := w.vpc
+	m1, m2 := d.m1, d.m2
+	cmp, target := d.memCmp, d.target
+	guarded := w.hazard
+	if w.taken {
+		ec := pre.plus(wcBranch) // the not-taken exit never counts a taken branch
+		return func(c *CPU) bool {
+			c.seq++
+			if guarded && c.pendN != 0 {
+				c.commitLoads()
+			}
+			var a, b uint32
+			if guarded {
+				a, b = rdOpG(c, m1, vpc), rdOpG(c, m2, vpc)
+			} else {
+				a, b = rdOp(c, m1), rdOp(c, m2)
+			}
+			t := cmp.Eval(a, b)
+			if c.onBranch != nil {
+				c.onBranch(vpc, target, t)
+			}
+			if !t {
+				ec.add(&c.Stats)
+				c.pcq[0], c.pcn = vpc+1, 1
+				return false
+			}
+			return true
+		}, wcTaken
+	}
+	ec := pre.plus(wcTaken)
+	return func(c *CPU) bool {
+		c.seq++
+		if guarded && c.pendN != 0 {
+			c.commitLoads()
+		}
+		var a, b uint32
+		if guarded {
+			a, b = rdOpG(c, m1, vpc), rdOpG(c, m2, vpc)
+		} else {
+			a, b = rdOp(c, m1), rdOp(c, m2)
+		}
+		t := cmp.Eval(a, b)
+		if c.onBranch != nil {
+			c.onBranch(vpc, target, t)
+		}
+		if t {
+			ec.add(&c.Stats)
+			c.pcq[0], c.pcq[1] = vpc+1, target
+			c.pcn = 2
+			return false
+		}
+		return true
+	}, wcBranch
+}
+
+// emitJump compiles an unconditional direct jump: always taken, no
+// guard, no exit — the flattening already placed the target's words
+// next.
+func emitJump(w *traceWord, _ traceCost) (traceOp, traceCost) {
+	vpc, target := w.vpc, w.d.target
+	guarded := w.hazard
+	return func(c *CPU) bool {
+		c.seq++
+		if guarded && c.pendN != 0 {
+			c.commitLoads()
+		}
+		if c.onBranch != nil {
+			c.onBranch(vpc, target, true)
+		}
+		return true
+	}, wcTaken
+}
+
+// emitCall compiles a call: an unconditional jump plus the link-register
+// commit, which lands after the branch hook exactly as on the staged
+// path.
+func emitCall(w *traceWord, _ traceCost) (traceOp, traceCost) {
+	vpc, target := w.vpc, w.d.target
+	linkDst := w.d.linkDst
+	link := vpc + 1 + isa.BranchDelay
+	guarded := w.hazard
+	return func(c *CPU) bool {
+		c.seq++
+		if guarded && c.pendN != 0 {
+			c.commitLoads()
+		}
+		if c.onBranch != nil {
+			c.onBranch(vpc, target, true)
+		}
+		c.Regs[linkDst] = link
+		c.lastWrite[linkDst] = c.seq
+		return true
+	}, wcTaken
+}
+
+// emitJumpInd compiles an indirect jump with the recorded target as the
+// guard. A different runtime target fires the hook for the real target,
+// accounts the word, restores the exact two-delay redirect queue, and
+// exits.
+func emitJumpInd(w *traceWord, pre traceCost) (traceOp, traceCost) {
+	d := w.d
+	vpc, exp := w.vpc, w.expTarget
+	m1 := d.m1
+	guarded := w.hazard
+	ec := pre.plus(wcTaken)
+	return func(c *CPU) bool {
+		c.seq++
+		if guarded && c.pendN != 0 {
+			c.commitLoads()
+		}
+		var t uint32
+		if guarded {
+			t = rdOpG(c, m1, vpc)
+		} else {
+			t = rdOp(c, m1)
+		}
+		if c.onBranch != nil {
+			c.onBranch(vpc, t, true)
+		}
+		if t != exp {
+			ec.add(&c.Stats)
+			c.pcq[0], c.pcq[1], c.pcq[2] = vpc+1, vpc+2, t
+			c.pcn = 3
+			return false
+		}
+		return true
+	}, wcTaken
+}

@@ -1,0 +1,421 @@
+package cpu
+
+// Trace formation: the profile-guided half of the trace JIT tier.
+//
+// The trace dispatcher (stepTraces) sits one tier above the superblock
+// engine. When the fetch queue is sequential and the machine is in the
+// quiet configuration — unmapped, no DMA, no tickers, no devices — the
+// head of the queue is a trace entry candidate. A compiled trace there
+// executes directly (trace_compile.go). Otherwise a per-entry-PC heat
+// counter accumulates, and on crossing the threshold the next Step runs
+// on the block engine with path recording switched on: every chained
+// superblock the Step executes is noted. The recorded path — the actual
+// hot route through the code, taken branches included — is then
+// validated and flattened into one trace: body words, terminators, and
+// delay slots of all recorded blocks in execution order, with the
+// branch directions the recording observed baked in as guards.
+//
+// Validation is conservative. A word the compiler cannot specialize
+// (packed words, specials, traps, privileged pieces), a terminator
+// whose direction cannot be derived from the recorded successor, or a
+// degenerate branch whose target falls inside its own shadow truncates
+// the path at the last whole block; paths that truncate to nothing mark
+// the entry PC never-hot so steady state stops re-recording (and
+// re-allocating). A path that closes back on its own entry becomes a
+// self-looping trace — the ideal case, re-entered by the dispatch chain
+// loop without leaving the frame.
+
+import "mips/internal/isa"
+
+// heatNever marks an entry PC whose path failed to form a trace; the
+// heat counter never triggers again for it (InvalidateTraces resets).
+const heatNever = ^uint32(0)
+
+// tracePoint is one recorded step of a hot path: a superblock and the
+// entry PC it executed at.
+type tracePoint struct {
+	b  *block
+	pc uint32
+}
+
+// traceRec is the in-flight path recording, switched on for a single
+// Step by stepTraces. Fixed capacity: recording never allocates.
+type traceRec struct {
+	active bool
+	n      int
+	pts    [traceMaxBlocks + 1]tracePoint
+}
+
+// recTracePoint notes one block execution on the recorded path. Called
+// from the block engine's chain loop while recording is active.
+func (c *CPU) recTracePoint(b *block, pc uint32) {
+	if c.trec.n < len(c.trec.pts) {
+		c.trec.pts[c.trec.n] = tracePoint{b: b, pc: pc}
+		c.trec.n++
+	}
+}
+
+// traceWord is one flattened word of a formable path: the copied
+// decoded record plus everything the compiler needs to build its
+// closure — the exact fault-restart queue (the three return addresses
+// an exception at this word saves), the queue remaining after the word
+// completes (for exits that finish the word first), and the recorded
+// control direction for terminators.
+type traceWord struct {
+	d   decoded
+	vpc uint32
+	// fq is the fetch-queue state a fault at this word restarts with:
+	// exception() saves it as the three return addresses.
+	fq [3]uint32
+	// cq/cqn is the queue remaining after this word completes, for
+	// exits at the following boundary (a store invalidating its own
+	// trace).
+	cq  [2]uint32
+	cqn uint8
+	// taken is the recorded direction of a bcBranch terminator;
+	// expTarget the recorded target of a bcJumpInd terminator.
+	taken     bool
+	expTarget uint32
+	// hazard marks words that must run the guarded variant: a pending
+	// load may exist at this position, so reads go through the exact
+	// audit path and commits drain per word.
+	hazard bool
+	// eager marks a load whose delayed commit is unobservable inside
+	// the trace (the next word never reads the destination), committed
+	// immediately like the block engine's fEager.
+	eager bool
+}
+
+// stepTraces is the trace-tier dispatcher. It returns true when it
+// executed something (a compiled trace, or a recorded Step on the block
+// engine); false falls through to the superblock tier untouched.
+func (c *CPU) stepTraces() bool {
+	bus := c.Bus
+	if bus.DMA != nil || len(bus.tickers) != 0 || len(bus.devices) != 0 || c.Mapped() {
+		// Not the quiet configuration: the environment checks compiled
+		// traces hoist to entry cannot be discharged. Lower tiers
+		// handle every one of these exactly.
+		return false
+	}
+	pc := c.pcq[0]
+	if tr := c.traceAt(pc); tr != nil {
+		if c.intLine && c.Sur.InterruptsEnabled() && !c.Sur.Supervisor() {
+			// A pending interrupt must be taken before the next word;
+			// the lower tiers do that exactly.
+			return false
+		}
+		c.runTrace(tr)
+		return true
+	}
+	if !c.heatBump(pc) {
+		return false
+	}
+	// Threshold crossed: run this Step on the block engine with path
+	// recording on, then form a trace from what actually executed.
+	c.trec.active = true
+	c.trec.n = 0
+	ok := c.stepBlocks()
+	c.trec.active = false
+	if ok {
+		c.finishTraceRecording(pc)
+	}
+	c.trec.n = 0
+	return ok
+}
+
+// heatBump accumulates heat for a trace-cache miss at pc and reports
+// whether the formation threshold was crossed.
+func (c *CPU) heatBump(pc uint32) bool {
+	if c.heat == nil {
+		c.heat = make([]heatEntry, heatEntries)
+	}
+	h := &c.heat[pc&(heatEntries-1)]
+	if h.pc != pc {
+		h.pc, h.n = pc, 1
+		return false
+	}
+	if h.n == heatNever {
+		return false
+	}
+	h.n++
+	if h.n >= heatThreshold {
+		h.n = 0
+		return true
+	}
+	return false
+}
+
+// traceYield reports whether the block chain should end at npc and hand
+// control back to the Step dispatcher: a compiled trace is installed
+// there, or npc's heat just crossed the formation threshold. Crossing
+// re-arms the counter one bump below the threshold so the dispatcher's
+// own bump starts the recording Step immediately.
+func (c *CPU) traceYield(npc uint32) bool {
+	if c.traceAt(npc) != nil {
+		return true
+	}
+	if c.heatBump(npc) {
+		c.heat[npc&(heatEntries-1)].n = heatThreshold - 1
+		return true
+	}
+	return false
+}
+
+// markNeverTrace records that paths from pc do not form: stop paying
+// for recordings (and their allocations) in steady state.
+func (c *CPU) markNeverTrace(pc uint32) {
+	if c.heat == nil {
+		return
+	}
+	c.heat[pc&(heatEntries-1)] = heatEntry{pc: pc, n: heatNever}
+}
+
+// dsCompilable reports whether a delay-slot record can appear inside a
+// trace.
+func dsCompilable(d *decoded) bool {
+	if d.flags&fPriv != 0 {
+		return false
+	}
+	switch d.bclass {
+	case bcNop, bcALU, bcLoad, bcStore:
+		return true
+	}
+	return false
+}
+
+// validateTraceBlock checks that one recorded block can be compiled in
+// full — body, terminator, and the delay slots its recorded direction
+// executes — and derives that direction from the recorded successor
+// entry nextPC. It returns ok=false when the block must truncate the
+// path.
+func validateTraceBlock(b *block, pc, nextPC uint32) (ok, taken bool, dsCount uint8) {
+	if b == nil || !b.valid || b.pa != pc || !b.hasTerm || b.termless {
+		return false, false, 0
+	}
+	for i := uint32(0); i < b.n; i++ {
+		// Any body class compiles: the lean classes specialize, and
+		// packed or unclassified words (bcGeneral) run through the exact
+		// executor inside the trace, just as the block engine's quiet
+		// loop runs them. Privileged pieces still refuse — they can
+		// change what dispatch latched.
+		if b.code[i].flags&fPriv != 0 {
+			return false, false, 0
+		}
+	}
+	term := &b.term
+	if term.flags&fPriv != 0 {
+		return false, false, 0
+	}
+	t := pc + b.n
+	switch term.bclass {
+	case bcBranch:
+		// A branch into its own shadow (target at t+1 or t+2) leaves
+		// the recorded successor ambiguous between directions; refuse.
+		if term.target == t+1 || term.target == t+2 {
+			return false, false, 0
+		}
+		if nextPC == t+1 {
+			return true, false, 0
+		}
+		if nextPC == term.target && b.dsN >= 1 && dsCompilable(&b.ds[0]) {
+			return true, true, 1
+		}
+	case bcJump, bcCall:
+		if nextPC == term.target && b.dsN >= 1 && dsCompilable(&b.ds[0]) {
+			return true, true, 1
+		}
+	case bcJumpInd:
+		// Targets inside the two-word shadow (or just past it, where
+		// the queue stays sequential and no delay slot drains) collapse
+		// into shapes the flattening cannot represent; refuse.
+		if nextPC == t+1 || nextPC == t+2 || nextPC == t+3 {
+			return false, false, 0
+		}
+		if b.dsN == 2 && dsCompilable(&b.ds[0]) && dsCompilable(&b.ds[1]) {
+			return true, true, 2
+		}
+	case bcGeneral:
+		// A packed terminator: the control piece shares its word with
+		// computation, so the word itself runs through the exact
+		// executor (emitGeneralTerm) and only the recorded direction —
+		// derived from the control piece's kind exactly as in the lean
+		// cases above — must flatten. The same shadow refusals apply.
+		switch term.memKind {
+		case isa.PieceBranch:
+			if term.target == t+1 || term.target == t+2 {
+				return false, false, 0
+			}
+			if nextPC == t+1 {
+				return true, false, 0
+			}
+			if nextPC == term.target && b.dsN >= 1 && dsCompilable(&b.ds[0]) {
+				return true, true, 1
+			}
+		case isa.PieceJump, isa.PieceCall:
+			if nextPC == term.target && b.dsN >= 1 && dsCompilable(&b.ds[0]) {
+				return true, true, 1
+			}
+		case isa.PieceJumpInd:
+			if nextPC == t+1 || nextPC == t+2 || nextPC == t+3 {
+				return false, false, 0
+			}
+			if b.dsN == 2 && dsCompilable(&b.ds[0]) && dsCompilable(&b.ds[1]) {
+				return true, true, 2
+			}
+		}
+	}
+	return false, false, 0
+}
+
+// finishTraceRecording validates the recorded path, flattens it to
+// trace words, compiles, and installs. entry is the recorded entry PC.
+func (c *CPU) finishTraceRecording(entry uint32) {
+	pts := c.trec.pts[:c.trec.n]
+	if len(pts) < 2 || pts[0].pc != entry {
+		c.markNeverTrace(entry)
+		return
+	}
+	// A path that revisits its entry closes into a loop trace; an open
+	// path drops its final block (its exit direction is unknown — it
+	// may have bailed mid-body).
+	lim := len(pts) - 1
+	closed := false
+	for i := 1; i < len(pts); i++ {
+		if pts[i].pc == entry {
+			lim, closed = i, true
+			break
+		}
+	}
+
+	// Pass 1: validate without allocating, truncating at the first
+	// block that cannot compile.
+	var taken [traceMaxBlocks]bool
+	var dsCount [traceMaxBlocks]uint8
+	ops := 0
+	for j := 0; j < lim; j++ {
+		nextPC := pts[lim].pc
+		if closed && j == lim-1 {
+			nextPC = entry
+		} else if j+1 < lim {
+			nextPC = pts[j+1].pc
+		}
+		ok, tk, dc := validateTraceBlock(pts[j].b, pts[j].pc, nextPC)
+		if !ok {
+			lim, closed = j, false
+			break
+		}
+		ops += int(pts[j].b.n) + 1 + int(dc)
+		if ops > traceMaxOps {
+			lim, closed = j, false
+			break
+		}
+		taken[j], dsCount[j] = tk, dc
+	}
+	if lim < 1 {
+		c.markNeverTrace(entry)
+		return
+	}
+	endPC := pts[lim].pc
+	if closed {
+		endPC = entry
+	}
+	c.Trans.TraceFormed++
+
+	// Pass 2: flatten to trace words with exact per-word exit queues.
+	words := make([]traceWord, 0, ops)
+	spans := make([]traceSpan, 0, lim)
+	for j := 0; j < lim; j++ {
+		b, pc := pts[j].b, pts[j].pc
+		spans = append(spans, traceSpan{pa: b.pa, n: b.cover})
+		for i := uint32(0); i < b.n; i++ {
+			vpc := pc + i
+			words = append(words, traceWord{
+				d: b.code[i], vpc: vpc,
+				fq: [3]uint32{vpc, vpc + 1, vpc + 2},
+				cq: [2]uint32{vpc + 1}, cqn: 1,
+			})
+		}
+		t := pc + b.n
+		tw := traceWord{
+			d: b.term, vpc: t, taken: taken[j],
+			fq: [3]uint32{t, t + 1, t + 2},
+			cq: [2]uint32{t + 1}, cqn: 1,
+		}
+		x := b.term.target // control target the recorded direction follows
+		if b.term.bclass == bcJumpInd ||
+			(b.term.bclass == bcGeneral && b.term.memKind == isa.PieceJumpInd) {
+			x = pts[lim].pc
+			if closed && j == lim-1 {
+				x = entry
+			} else if j+1 < lim {
+				x = pts[j+1].pc
+			}
+			tw.expTarget = x
+		}
+		words = append(words, tw)
+		switch dsCount[j] {
+		case 1:
+			d0 := t + 1
+			words = append(words, traceWord{
+				d: b.ds[0], vpc: d0,
+				fq: [3]uint32{d0, x, x + 1},
+				cq: [2]uint32{x}, cqn: 1,
+			})
+		case 2:
+			d0, d1 := t+1, t+2
+			words = append(words, traceWord{
+				d: b.ds[0], vpc: d0,
+				fq: [3]uint32{d0, d1, x},
+				cq: [2]uint32{d1, x}, cqn: 2,
+			})
+			words = append(words, traceWord{
+				d: b.ds[1], vpc: d1,
+				fq: [3]uint32{d1, x, x + 1},
+				cq: [2]uint32{x}, cqn: 1,
+			})
+		}
+	}
+
+	// Eager-load marking over the flattened path: the one-word hazard
+	// window is observable only by the immediately following word, and
+	// inside a trace that word is statically known even across block
+	// and branch boundaries. The final word has no known successor, so
+	// its load keeps the delayed commit.
+	for i := range words {
+		w := &words[i]
+		if w.d.bclass != bcLoad || w.d.mode == isa.AModeLongImm {
+			continue
+		}
+		if i+1 < len(words) && words[i+1].d.bclass != bcGeneral &&
+			!readsReg(&words[i+1].d, w.d.data) {
+			w.eager = true
+		}
+	}
+	// Hazard positions: loads pending at entry drain within the first
+	// two words; a delayed in-trace commit lands two words after its
+	// (non-eager) load. Those positions read through the exact audit
+	// path and drain commits per word.
+	for i := range words {
+		if i < 2 {
+			words[i].hazard = true
+		}
+		if (words[i].d.bclass == bcLoad && !words[i].eager &&
+			words[i].d.mode != isa.AModeLongImm) ||
+			words[i].d.bclass == bcGeneral {
+			// A non-eager load's commit lands two words later; a packed
+			// word run through the exact executor may leave one pending
+			// too. Either way the window drains per word.
+			for k := i + 1; k <= i+2 && k < len(words); k++ {
+				words[k].hazard = true
+			}
+		}
+	}
+
+	tr := c.compileTrace(words, entry, endPC, spans)
+	if tr == nil {
+		c.markNeverTrace(entry)
+		return
+	}
+	c.installTrace(tr)
+	c.Trans.TraceCompiled++
+}

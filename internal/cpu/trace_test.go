@@ -1,0 +1,261 @@
+package cpu
+
+import (
+	"testing"
+
+	"mips/internal/isa"
+	"mips/internal/mem"
+)
+
+// tracesCPU builds the standard counted loop with the full trace tier
+// enabled (the construction default); the helper exists so the intent
+// reads at the call site next to blocksCPU/fast/reference variants.
+func tracesCPU(n int32) *CPU {
+	c := loopCPU(n)
+	c.SetTraces(true)
+	return c
+}
+
+// TestTracesLoopMatchesBlocks runs the counted loop on the trace tier,
+// the plain superblock engine, the fast path, and the reference
+// interpreter, and requires strictly identical architectural state and
+// statistics. The trace tier must also have actually worked: formed,
+// compiled, and dispatched through at least one trace — a loop that
+// never leaves the superblock engine is not exercising the tentpole.
+func TestTracesLoopMatchesBlocks(t *testing.T) {
+	trc := tracesCPU(6000)
+	run(t, trc, 1_000_000)
+
+	blk := loopCPU(6000)
+	blk.SetTraces(false)
+	run(t, blk, 1_000_000)
+
+	fast := loopCPU(6000)
+	fast.SetTraces(false)
+	fast.SetBlocks(false)
+	run(t, fast, 1_000_000)
+
+	ref := loopCPU(6000)
+	ref.SetTraces(false)
+	ref.SetBlocks(false)
+	ref.SetFastPath(false)
+	run(t, ref, 1_000_000)
+
+	if trc.Regs != blk.Regs || trc.Regs != fast.Regs || trc.Regs != ref.Regs {
+		t.Errorf("registers diverge:\n traces %v\n blocks %v\n   fast %v\n    ref %v",
+			trc.Regs, blk.Regs, fast.Regs, ref.Regs)
+	}
+	if trc.Stats != blk.Stats || trc.Stats != fast.Stats || trc.Stats != ref.Stats {
+		t.Errorf("stats diverge:\n traces %+v\n blocks %+v\n   fast %+v\n    ref %+v",
+			trc.Stats, blk.Stats, fast.Stats, ref.Stats)
+	}
+	if trc.Regs[2] != 30000 {
+		t.Errorf("r2 = %d, want 30000", trc.Regs[2])
+	}
+	if trc.Trans.TraceFormed == 0 || trc.Trans.TraceCompiled == 0 {
+		t.Errorf("loop never compiled a trace (formed=%d compiled=%d)",
+			trc.Trans.TraceFormed, trc.Trans.TraceCompiled)
+	}
+	if trc.Trans.TraceDispatchHits == 0 {
+		t.Error("loop never dispatched through a compiled trace")
+	}
+	if blk.Trans.TraceFormed != 0 {
+		t.Error("blocks-only run formed traces")
+	}
+}
+
+// descendingStoreCPU builds a loop whose store pointer r4 walks down
+// one word per iteration from base: the store lands in plain data until
+// r4 crosses into the loop's own text, at which point the write barrier
+// fires from inside the loop's own store. Choose base so the crossing
+// happens long after the trace tier is warm.
+func descendingStoreCPU(iters, base int32) *CPU {
+	br := isa.Branch(isa.CmpNE, isa.R(1), isa.Imm(0), "")
+	br.Target = 2
+	return newTestCPU(
+		w(isa.LoadImm32(1, iters)),                     // 0
+		w(isa.LoadImm32(4, base)),                      // 1
+		w(isa.ALU(isa.OpAdd, 2, isa.R(2), isa.Imm(1))), // 2: loop body
+		w(isa.ALU(isa.OpSub, 4, isa.R(4), isa.Imm(1))), // 3
+		w(isa.StoreDisp(2, 4, 0)),                      // 4: [r4] := r2
+		w(isa.ALU(isa.OpSub, 1, isa.R(1), isa.Imm(1))), // 5
+		w(br),        // 6: bne r1, #0, 2
+		w(isa.Nop()), // 7: branch delay
+		halt,         // 8
+	)
+}
+
+// TestTraceSelfModifyStore covers the store-into-own-trace invalidation
+// path. The loop runs clean long enough for the trace tier to compile
+// its path, then the descending store pointer crosses into the loop's
+// own text: the write barrier drops the trace from inside its own store
+// closure, which must notice tr.valid going false and exit at the
+// store's exact instruction boundary. Instruction memory is untouched,
+// so architectural results must match the fast path exactly; no stale
+// trace may ever replay.
+func TestTraceSelfModifyStore(t *testing.T) {
+	const iters, base = 280, 286
+	trc := descendingStoreCPU(iters, base)
+	trc.SetTraces(true)
+	// Chain depth 1 makes every loop iteration its own Step, so the
+	// heat counter warms in tens of iterations instead of thousands;
+	// chain depth is pure dispatch and never changes architecture.
+	trc.SetChainFollow(1)
+	run(t, trc, 1_000_000)
+
+	fast := descendingStoreCPU(iters, base)
+	fast.SetTraces(false)
+	fast.SetBlocks(false)
+	run(t, fast, 1_000_000)
+
+	if trc.Regs != fast.Regs {
+		t.Errorf("registers diverge:\n traces %v\n   fast %v", trc.Regs, fast.Regs)
+	}
+	if trc.Stats != fast.Stats {
+		t.Errorf("stats diverge:\n traces %+v\n   fast %+v", trc.Stats, fast.Stats)
+	}
+	if want := uint32(iters); trc.Regs[2] != want {
+		t.Errorf("r2 = %d, want %d", trc.Regs[2], want)
+	}
+	if trc.Trans.TraceCompiled == 0 {
+		t.Fatal("loop never compiled a trace; the case is not exercised")
+	}
+	if trc.Trans.TraceInvalidations == 0 {
+		t.Error("store into compiled trace text never tripped the write barrier")
+	}
+	if trc.Trans.TraceGuardExits == 0 {
+		t.Error("no trace exited early; the store-into-own-trace exit never ran")
+	}
+}
+
+// TestTraceDMAQuietGuard pins the trace tier's quiet-environment rule:
+// a machine with a DMA engine attached must never form a trace (DMA
+// writes can land between any two instructions, including into trace
+// text mid-pass), degrading to the superblock engine whose per-write
+// barrier handles the invalidation. Results must match the fast path
+// with the identical DMA schedule.
+func TestTraceDMAQuietGuard(t *testing.T) {
+	build := func() *CPU {
+		c := loopCPU(5000)
+		c.SetTraces(true)
+		dma := mem.NewDMA(c.Bus.MMU.Phys)
+		c.Bus.DMA = dma
+		// Dst 0 overwrites physical words 0..7: the loop's text range.
+		dma.Queue(mem.Transfer{Src: 0x4000, Dst: 0, Words: 8})
+		return c
+	}
+	trc := build()
+	run(t, trc, 1_000_000)
+
+	fast := build()
+	fast.SetTraces(false)
+	fast.SetBlocks(false)
+	run(t, fast, 1_000_000)
+
+	if trc.Regs != fast.Regs {
+		t.Errorf("registers diverge:\n traces %v\n   fast %v", trc.Regs, fast.Regs)
+	}
+	if trc.Stats != fast.Stats {
+		t.Errorf("stats diverge:\n traces %+v\n   fast %+v", trc.Stats, fast.Stats)
+	}
+	if trc.Stats.DMACycles == 0 {
+		t.Fatal("DMA consumed no free cycles; the guard was not exercised")
+	}
+	if trc.Trans.TraceFormed != 0 || trc.Trans.TraceCompiled != 0 {
+		t.Errorf("traces formed with a DMA engine attached (formed=%d compiled=%d); the quiet-environment guard leaked",
+			trc.Trans.TraceFormed, trc.Trans.TraceCompiled)
+	}
+	if trc.Trans.BlockChained == 0 {
+		t.Error("loop ran without superblock chaining; degradation did not reach the block tier")
+	}
+}
+
+// TestTracePatchBetweenSteps is the harness self-modification contract
+// applied to the trace tier: a writer that patches code between Steps
+// must rewrite IMem and Poke the physical word; the Poke must drop the
+// covering compiled trace so the patch takes effect on the very next
+// Step, even though trace dispatch skips per-entry revalidation.
+func TestTracePatchBetweenSteps(t *testing.T) {
+	const iters = 5000
+	c := tracesCPU(iters)
+	patched := false
+	var left uint32
+	for !c.Halted {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		// Patch only at a loop-head Step boundary, after the trace tier
+		// is warm, so the remaining iteration count is exact: switch the
+		// accumulator step from +r3 (5) to +1.
+		if !patched && c.PC() == 2 && c.Trans.TraceDispatchHits > 0 && c.Regs[1] > 0 {
+			patched = true
+			left = c.Regs[1]
+			c.IMem[2] = w(isa.ALU(isa.OpAdd, 2, isa.R(2), isa.Imm(1)))
+			c.Bus.MMU.Phys.Poke(2, 0)
+		}
+	}
+	if !patched {
+		t.Fatal("patch point never reached with a warm trace tier")
+	}
+	if want := (iters-left)*5 + left; c.Regs[2] != want {
+		t.Errorf("r2 = %d, want %d (stale trace executed after patch)", c.Regs[2], want)
+	}
+	if c.Trans.TraceDispatchHits == 0 {
+		t.Error("loop never dispatched through a compiled trace")
+	}
+	if c.Trans.TraceInvalidations == 0 {
+		t.Error("Poke into compiled trace text never dropped the trace")
+	}
+}
+
+// TestTraceEngineToggle switches the trace tier on and off mid-run;
+// machine state is shared with the lower tiers, so execution must
+// continue seamlessly from any Step boundary.
+func TestTraceEngineToggle(t *testing.T) {
+	c := tracesCPU(3000)
+	on := true
+	for !c.Halted {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		on = !on
+		c.SetTraces(on)
+	}
+	if c.Regs[2] != 15000 {
+		t.Errorf("r2 = %d, want 15000", c.Regs[2])
+	}
+}
+
+// TestTraceChainFollowKnob pins the tunable chain-depth limit: depth 1
+// must still execute correctly (every pass returns to the dispatcher),
+// and a deeper limit must reduce the number of Step calls needed for
+// the same work, which is the knob's whole point.
+func TestTraceChainFollowKnob(t *testing.T) {
+	stepsFor := func(follow int) (int, *CPU) {
+		c := tracesCPU(4000)
+		c.SetChainFollow(follow)
+		steps := 0
+		for !c.Halted {
+			if err := c.Step(); err != nil {
+				t.Fatal(err)
+			}
+			steps++
+		}
+		return steps, c
+	}
+	shallowSteps, shallow := stepsFor(1)
+	deepSteps, deep := stepsFor(64)
+	if shallow.Regs != deep.Regs || shallow.Stats != deep.Stats {
+		t.Errorf("chain depth changed architectural state:\n depth1 %+v\n depth64 %+v",
+			shallow.Stats, deep.Stats)
+	}
+	if shallow.Regs[2] != 20000 {
+		t.Errorf("r2 = %d, want 20000", shallow.Regs[2])
+	}
+	if deepSteps >= shallowSteps {
+		t.Errorf("deep chaining took %d steps, shallow %d; the knob has no effect", deepSteps, shallowSteps)
+	}
+	if got := deep.ChainFollow(); got != 64 {
+		t.Errorf("ChainFollow() = %d, want 64", got)
+	}
+}

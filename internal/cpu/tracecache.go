@@ -1,0 +1,171 @@
+package cpu
+
+// The trace cache: the fourth execution tier's data structures and
+// their coherence machinery. A trace is a hot multi-block path — body
+// words, terminators, and delay slots of several superblocks, fused
+// across taken branches — compiled to a flat array of specialized Go
+// closures (trace_compile.go). Formation is profile-guided: per-entry-PC
+// heat counters trigger a one-Step path recording through the block
+// engine, and the recorded path compiles if every word on it can be
+// specialized (trace_form.go).
+//
+// Coherence reuses the superblock write barrier: a trace keeps the span
+// list of the words it compiled from, marks them in the coverage bitmap,
+// and writeBarrier drops any trace whose span covers a written physical
+// word. Like chain edges, traces trust the barrier rather than
+// revalidating every word per dispatch — the same harness contract as
+// PR 4: rewrite IMem AND Poke physical. Traces are derived state:
+// snapshots exclude them, and LoadImage/RestoreState drop them.
+
+const (
+	// tcEntries is the trace cache size, direct-mapped by entry PC.
+	// Trace entry points are far sparser than block entries.
+	tcEntries = 1 << 8
+
+	// heatEntries sizes the direct-mapped heat table; heatThreshold is
+	// how many trace-tier dispatch misses an entry PC accumulates
+	// before a path recording triggers.
+	heatEntries   = 1 << 9
+	heatThreshold = 32
+
+	// traceMaxBlocks bounds how many superblocks one recording may
+	// fuse; traceMaxOps bounds the compiled op count.
+	traceMaxBlocks = 16
+	traceMaxOps    = 256
+)
+
+// traceOp is one compiled trace operation: a specialized closure over
+// its operands, statistics prefix, and exit queues. It returns true to
+// continue the trace, false after exiting it (having already restored
+// the fetch queue, accounted the executed prefix, and raised any
+// exception) — always at an exact instruction boundary.
+type traceOp func(c *CPU) bool
+
+// traceCost is the execution cost of a run of trace ops, precomputed at
+// compile time: the bulk statistics a clean pass adds, and (captured
+// per closure) the exact prefix an early exit accounts instead.
+type traceCost struct {
+	instr, cycles, pieces, nops uint64
+	loads, stores               uint64
+	branches, taken             uint64
+	data, free                  uint64
+}
+
+// add accumulates a cost into the CPU statistics.
+func (tc *traceCost) add(s *Stats) {
+	s.Instructions += tc.instr
+	s.Cycles += tc.cycles
+	s.Pieces += tc.pieces
+	s.Nops += tc.nops
+	s.Loads += tc.loads
+	s.Stores += tc.stores
+	s.Branches += tc.branches
+	s.TakenBranches += tc.taken
+	s.DataCycles += tc.data
+	s.FreeCycles += tc.free
+}
+
+// traceSpan is one contiguous instruction-memory range a trace compiled
+// from (one recorded superblock's covered words).
+type traceSpan struct {
+	pa uint32
+	n  uint32
+}
+
+// trace is one compiled trace: the flat closure array, the bulk cost of
+// a clean pass, the resume point after it, and the coherence spans.
+type trace struct {
+	pa    uint32 // entry PC (physical == virtual: traces run unmapped only)
+	ops   []traceOp
+	cost  traceCost
+	endPC uint32 // sequential resume point after a clean pass
+	spans []traceSpan
+
+	valid   bool
+	liveIdx int // index in CPU.liveTraces, for swap-removal
+}
+
+// covers reports whether a physical word address falls inside any span.
+func (tr *trace) covers(addr uint32) bool {
+	for _, sp := range tr.spans {
+		if addr-sp.pa < sp.n {
+			return true
+		}
+	}
+	return false
+}
+
+// heatEntry is one slot of the direct-mapped heat table.
+type heatEntry struct {
+	pc uint32
+	n  uint32
+}
+
+// traceSlot returns the trace-cache slot for an entry PC, building the
+// cache lazily.
+func (c *CPU) traceSlot(pc uint32) **trace {
+	if c.tc == nil {
+		c.tc = make([]*trace, tcEntries)
+	}
+	return &c.tc[pc&(tcEntries-1)]
+}
+
+// traceAt returns the valid compiled trace entered at pc, or nil.
+func (c *CPU) traceAt(pc uint32) *trace {
+	if c.tc == nil {
+		return nil
+	}
+	if tr := c.tc[pc&(tcEntries-1)]; tr != nil && tr.valid && tr.pa == pc {
+		return tr
+	}
+	return nil
+}
+
+// installTrace places a compiled trace in the cache, evicting any slot
+// occupant, and arms the write barrier over its spans.
+func (c *CPU) installTrace(tr *trace) {
+	slot := c.traceSlot(tr.pa)
+	if old := *slot; old != nil {
+		c.dropTrace(old)
+	}
+	*slot = tr
+	tr.valid = true
+	tr.liveIdx = len(c.liveTraces)
+	c.liveTraces = append(c.liveTraces, tr)
+	for _, sp := range tr.spans {
+		c.coverWords(sp.pa, sp.n)
+	}
+	c.armBarrier()
+}
+
+// dropTrace invalidates a trace and removes it from the live list.
+func (c *CPU) dropTrace(tr *trace) {
+	if !tr.valid {
+		return
+	}
+	tr.valid = false
+	last := len(c.liveTraces) - 1
+	moved := c.liveTraces[last]
+	c.liveTraces[tr.liveIdx] = moved
+	moved.liveIdx = tr.liveIdx
+	c.liveTraces = c.liveTraces[:last]
+}
+
+// InvalidateTraces drops every compiled trace and resets the heat
+// table. Whole-image reloads and state restores call it so traces never
+// outlive the code they were compiled from; the write barrier handles
+// everything in between.
+func (c *CPU) InvalidateTraces() {
+	for _, tr := range c.liveTraces {
+		tr.valid = false
+	}
+	c.liveTraces = c.liveTraces[:0]
+	for i := range c.tc {
+		c.tc[i] = nil
+	}
+	for i := range c.heat {
+		c.heat[i] = heatEntry{}
+	}
+	c.trec.active = false
+	c.trec.n = 0
+}

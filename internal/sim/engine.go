@@ -20,7 +20,7 @@ import (
 type Engine int
 
 const (
-	// Default defers to the process-wide default engine (Blocks unless
+	// Default defers to the process-wide default engine (Traces unless
 	// SetDefault changed it). It is the zero value, so zero-configured
 	// machines follow the process default.
 	Default Engine = iota
@@ -32,6 +32,12 @@ const (
 	// Blocks is the superblock translation engine layered on the fast
 	// path: straight-line runs execute as cached, chained blocks.
 	Blocks
+	// Traces is the trace JIT tier layered on the superblock engine:
+	// profile-guided multi-block traces, fused across taken branches,
+	// compiled to threaded Go closures. Falls back tier by tier
+	// (trace -> superblock -> fast path -> reference) on any guard
+	// failure, fault, or configuration the traces cannot prove quiet.
+	Traces
 )
 
 func (e Engine) String() string {
@@ -42,13 +48,15 @@ func (e Engine) String() string {
 		return "fast"
 	case Blocks:
 		return "blocks"
+	case Traces:
+		return "traces"
 	default:
 		return "default"
 	}
 }
 
 // ParseEngine converts a CLI/API engine name. It accepts the String
-// forms plus the common aliases "fastpath" and "interp".
+// forms plus the common aliases "fastpath", "interp", and "trace".
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "reference", "interp", "ref":
@@ -57,15 +65,17 @@ func ParseEngine(s string) (Engine, error) {
 		return FastPath, nil
 	case "blocks", "block":
 		return Blocks, nil
+	case "traces", "trace":
+		return Traces, nil
 	case "", "default":
 		return Default, nil
 	}
-	return Default, fmt.Errorf("sim: unknown engine %q (want reference, fast, or blocks)", s)
+	return Default, fmt.Errorf("sim: unknown engine %q (want reference, fast, blocks, or traces)", s)
 }
 
 // defaultEngine is what Default resolves to; process-wide, set once by
 // the command line before machines are built.
-var defaultEngine = Blocks
+var defaultEngine = Traces
 
 // SetDefault sets the process-wide default engine: what Engine(0)
 // resolves to, and what CPUs constructed outside the facade start with.
@@ -77,7 +87,8 @@ func SetDefault(e Engine) {
 	}
 	defaultEngine = e
 	cpu.SetDefaultFastPath(e != Reference)
-	cpu.SetDefaultBlocks(e == Blocks)
+	cpu.SetDefaultBlocks(e == Blocks || e == Traces)
+	cpu.SetDefaultTraces(e == Traces)
 }
 
 // resolve maps Default to the current process-wide default.
@@ -94,11 +105,18 @@ func (e Engine) apply(c *cpu.CPU) {
 	case Reference:
 		c.SetFastPath(false)
 		c.SetBlocks(false)
+		c.SetTraces(false)
 	case FastPath:
 		c.SetFastPath(true)
 		c.SetBlocks(false)
+		c.SetTraces(false)
+	case Blocks:
+		c.SetFastPath(true)
+		c.SetBlocks(true)
+		c.SetTraces(false)
 	default:
 		c.SetFastPath(true)
 		c.SetBlocks(true)
+		c.SetTraces(true)
 	}
 }

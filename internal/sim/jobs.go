@@ -530,6 +530,11 @@ func (s *Service) sampleLocked(j *Job, state JobState) JobSample {
 			"xlate.block_translations":   ts.BlockTranslations,
 			"xlate.block_invalidations":  ts.BlockInvalidations,
 			"xlate.block_bails":          ts.BlockBails,
+			"xlate.trace.formed":         ts.TraceFormed,
+			"xlate.trace.compiled":       ts.TraceCompiled,
+			"xlate.trace.guard_exits":    ts.TraceGuardExits,
+			"xlate.trace.invalidations":  ts.TraceInvalidations,
+			"xlate.trace.dispatch_hits":  ts.TraceDispatchHits,
 		}
 	}
 	return sample

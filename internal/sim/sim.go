@@ -274,7 +274,8 @@ func (m *Machine) Run(maxSteps uint64) (uint64, error) {
 }
 
 // RunSteps executes at most n scheduler steps (a step retires one
-// instruction word, or one whole superblock on the Blocks engine) and
+// instruction word, one whole chained superblock run on the Blocks
+// engine, or one whole trace-dispatch pass on the Traces engine) and
 // reports the instructions executed and whether the machine halted.
 // It is the job service's preemption quantum: the machine stops at an
 // instruction boundary, snapshot-safe, and continues with the next

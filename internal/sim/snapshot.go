@@ -13,7 +13,7 @@ import (
 	"mips/internal/mem"
 )
 
-// Snapshot wire format, version 1:
+// Snapshot wire format, version 2:
 //
 //	offset  size  field
 //	0       8     magic "MIPSSNAP"
@@ -31,8 +31,10 @@ import (
 
 const (
 	snapshotMagic = "MIPSSNAP"
-	// SnapshotVersion is the current snapshot format version.
-	SnapshotVersion = 1
+	// SnapshotVersion is the current snapshot format version. Version 2
+	// extended cpu.TranslationStats with the trace-tier counters, which
+	// changes the gob payload.
+	SnapshotVersion = 2
 	snapshotHeader  = 24
 	// maxSnapshotPayload bounds how much Restore will read: a corrupt
 	// length field must not become an allocation bomb. 1 GiB is far
@@ -183,7 +185,7 @@ func Restore(r io.Reader, opts ...Option) (*Machine, error) {
 	if cfg.engine != Default {
 		engine = cfg.engine.resolve()
 	}
-	if engine < Reference || engine > Blocks {
+	if engine < Reference || engine > Traces {
 		return nil, fmt.Errorf("%w: engine %d out of range", ErrSnapshotFormat, wire.Engine)
 	}
 

@@ -14,7 +14,9 @@ package sim_test
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"testing"
 
 	"mips/internal/codegen"
@@ -149,13 +151,14 @@ func diffImages(t *testing.T, straight, split machineImage) {
 // mid-flight on every engine, resumes from the snapshot, and demands
 // the resumed run be indistinguishable from one that never stopped.
 func TestSnapshotRestoreDifferential(t *testing.T) {
-	engines := []sim.Engine{sim.Reference, sim.FastPath, sim.Blocks}
+	engines := []sim.Engine{sim.Reference, sim.FastPath, sim.Blocks, sim.Traces}
 	for _, prog := range []string{"fib", "sort"} {
 		for _, eng := range engines {
 			eng := eng
 			t.Run(prog+"/"+eng.String(), func(t *testing.T) {
 				im := compileCorpus(t, prog, false)
-				stepHook := eng != sim.Blocks // a step hook forces the exact engine
+				// A step hook forces the exact engine.
+				stepHook := eng != sim.Blocks && eng != sim.Traces
 
 				// The uninterrupted run.
 				ehA := newEventHasher()
@@ -181,10 +184,10 @@ func TestSnapshotRestoreDifferential(t *testing.T) {
 				if err := b.Load(im); err != nil {
 					t.Fatal(err)
 				}
-				// A Blocks step retires a whole chained superblock run, so
+				// A Blocks or Traces step retires a whole chained run, so
 				// its checkpoint lands after far fewer steps.
 				k := uint64(2000)
-				if eng == sim.Blocks {
+				if eng == sim.Blocks || eng == sim.Traces {
 					k = 50
 				}
 				if _, halted := b.RunSteps(k); halted {
@@ -255,6 +258,82 @@ func TestSnapshotRestoreAcrossEngines(t *testing.T) {
 		t.Fatal(err)
 	}
 	diffImages(t, straight, capture(t, r, ehB))
+}
+
+// TestSnapshotRandomPreemptAcrossEngines is the trace tier's
+// preempt/restore property test: a run is chopped into randomly sized
+// step quanta, and at every quantum boundary the machine is snapshotted
+// and restored onto a rotating engine — traces included, so checkpoints
+// land while the trace cache is warm and mid-way through hot loops.
+// Compiled traces are derived state a snapshot must not carry; every
+// resumed machine rebuilds heat and traces afresh and must still
+// produce the exact event stream of a run that never stopped. Three
+// schedules, seeded differently, pin this against luck.
+func TestSnapshotRandomPreemptAcrossEngines(t *testing.T) {
+	im := compileCorpus(t, "fib", false)
+
+	ehA := newEventHasher()
+	a, err := sim.New(sim.WithEngine(sim.Traces), sim.WithHooks(ehA.hooks(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Load(im); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	straight := capture(t, a, ehA)
+	if a.Trans().TraceDispatchHits == 0 {
+		t.Fatal("uninterrupted traces run never dispatched a trace; the test is vacuous")
+	}
+
+	rotation := []sim.Engine{sim.Traces, sim.Blocks, sim.Traces, sim.FastPath, sim.Traces, sim.Reference}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			eh := newEventHasher()
+			m, err := sim.New(sim.WithEngine(sim.Traces), sim.WithHooks(eh.hooks(false)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Load(im); err != nil {
+				t.Fatal(err)
+			}
+			// Shallow chaining makes a Step fine-grained (one block or
+			// one trace pass), so heat counters — derived state every
+			// restore rebuilds from zero — re-cross the formation
+			// threshold within a quantum. Chain depth is pure dispatch
+			// and never changes architecture.
+			m.CPU().SetChainFollow(2)
+			for hop := 0; !m.Halted(); hop++ {
+				if hop > 100_000 {
+					t.Fatal("run did not finish; preemption made no progress")
+				}
+				if _, halted := m.RunSteps(uint64(1 + r.Intn(200))); halted {
+					break
+				}
+				snap, err := m.SnapshotBytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				next := rotation[r.Intn(len(rotation))]
+				m, err = sim.Restore(bytes.NewReader(snap), sim.WithEngine(next), sim.WithHooks(eh.hooks(false)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.CPU().SetChainFollow(2)
+			}
+			// Trans counters ride the snapshot (unlike the caches they
+			// count, they are architectural history, not derived state),
+			// so the final machine reports the whole schedule.
+			if m.Trans().TraceDispatchHits == 0 {
+				t.Error("no preemption quantum dispatched through a compiled trace; the schedule never checkpointed a warm trace tier")
+			}
+			diffImages(t, straight, capture(t, m, eh))
+		})
+	}
 }
 
 // TestSnapshotDeterministic pins byte-for-byte determinism: the same

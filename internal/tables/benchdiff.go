@@ -27,6 +27,12 @@ type BenchDelta struct {
 	// OnlyOld marks a benchmark missing from the new artifact (it
 	// disappeared); OnlyNew marks a freshly added one.
 	OnlyOld, OnlyNew bool
+	// NewMetricKeys lists metric keys present in the new artifact's
+	// entry but absent from the baseline's (e.g. a counter family added
+	// by a new execution tier, like xlate.trace.*). Purely
+	// informational: extra coverage is never a regression, and the gate
+	// only reads cpu.cycles.
+	NewMetricKeys []string
 }
 
 // ReadCoreBenchFile decodes a BENCH_core.json artifact.
@@ -72,6 +78,14 @@ func DiffCoreBench(before, after map[string]CoreBenchEntry) []BenchDelta {
 		if inOld && inNew && d.OldCycles > 0 {
 			d.CyclesPct = 100 * (float64(d.NewCycles) - float64(d.OldCycles)) / float64(d.OldCycles)
 		}
+		if inOld && inNew {
+			for k := range w.Metrics {
+				if _, ok := o.Metrics[k]; !ok {
+					d.NewMetricKeys = append(d.NewMetricKeys, k)
+				}
+			}
+			sort.Strings(d.NewMetricKeys)
+		}
 		deltas = append(deltas, d)
 	}
 	return deltas
@@ -110,6 +124,9 @@ func BenchDiffTable(deltas []BenchDelta, thresholdPct float64) *Table {
 				verdict = "REGRESSED"
 			} else if d.CyclesPct < 0 {
 				verdict = "improved"
+			}
+			if n := len(d.NewMetricKeys); n > 0 {
+				verdict += fmt.Sprintf(" (+%d metrics)", n)
 			}
 			t.AddRow(d.Name, num(d.OldCycles), num(d.NewCycles),
 				fmt.Sprintf("%+.2f%%", d.CyclesPct),

@@ -81,6 +81,46 @@ func TestBenchDiffMissingAndNew(t *testing.T) {
 	}
 }
 
+// TestBenchDiffNewMetricKeysInformational pins the contract the trace
+// tier relies on: an artifact that grows new metric keys (the
+// xlate.trace.* counter family) against an older baseline is surfaced
+// in the delta but never trips the gate.
+func TestBenchDiffNewMetricKeysInformational(t *testing.T) {
+	old := benchFixture(50000)
+	cur := benchFixture(50000)
+	fib := cur["fib"]
+	fib.Metrics = trace.Snapshot{
+		"cpu.cycles":                50000,
+		"cpu.instructions":          49995,
+		"xlate.trace.formed":        3,
+		"xlate.trace.compiled":      3,
+		"xlate.trace.dispatch_hits": 812,
+	}
+	cur["fib"] = fib
+	deltas := DiffCoreBench(old, cur)
+	if bad := Regressions(deltas, 2.0); len(bad) != 0 {
+		t.Fatalf("new metric keys flagged as regression: %+v", bad)
+	}
+	var fd *BenchDelta
+	for i := range deltas {
+		if deltas[i].Name == "fib" {
+			fd = &deltas[i]
+		}
+	}
+	want := []string{"xlate.trace.compiled", "xlate.trace.dispatch_hits", "xlate.trace.formed"}
+	if fd == nil || len(fd.NewMetricKeys) != len(want) {
+		t.Fatalf("fib delta = %+v, want new keys %v", fd, want)
+	}
+	for i, k := range want {
+		if fd.NewMetricKeys[i] != k {
+			t.Errorf("NewMetricKeys[%d] = %q, want %q", i, fd.NewMetricKeys[i], k)
+		}
+	}
+	if table := BenchDiffTable(deltas, 2.0).Render(); !strings.Contains(table, "(+3 metrics)") {
+		t.Errorf("rendered table lacks informational metric note:\n%s", table)
+	}
+}
+
 // TestBenchDiffRoundTripsArtifact pins that the reader consumes exactly
 // what WriteCoreBench produces.
 func TestBenchDiffRoundTripsArtifact(t *testing.T) {

@@ -18,6 +18,9 @@ go test ./internal/sim/ -run TestJobServiceNoTelemetryZeroAlloc -count=1 -v
 go test ./internal/sim/ -run '^$' -bench BenchmarkJobServiceNoTelemetry \
     -benchmem -benchtime 1s
 
+echo "==> trace JIT steady state (0 allocs/op assertion runs inside the benchmark)"
+go test -run '^$' -bench 'PipelineTraces' -benchmem -benchtime 1s .
+
 echo "==> core microbenchmarks"
 go test -run '^$' -bench \
     'PipelineSimulator|PipelineFastPath|PipelineReference|KernelBoot|DemandPaging|PageReplacement|FreeCycleDMA' \
