@@ -32,6 +32,11 @@
 //	GET  /profile/flame?scope=fleet   merged flamegraph of every profiled
 //	                                  job (and federated peers)
 //	GET  /trace/stream?sample=K       SSE tail of K traced jobs
+//	GET  /trace/stream?source=jit     SSE tail of the shared JIT event log
+//	GET  /jit/traces                  per-job tier heatmap: live trace and
+//	                                  superblock sites with deopt reasons
+//	GET  /jit/events                  the shared JIT event log's retained
+//	                                  window (JSON)
 //	GET  /fleet/peers                 list federated peers
 //	POST /fleet/peers                 add a peer ({"url": "host:port"})
 //	DELETE /fleet/peers?url=...       remove a peer
@@ -73,6 +78,7 @@ func main() {
 	engineFlag := flag.String("engine", "", "default execution engine: reference | fast | blocks")
 	peersFlag := flag.String("peers", "", "comma-separated peer mipsd URLs to federate (coordinator mode)")
 	drainWait := flag.Duration("drain", 10*time.Second, "graceful-drain bound on shutdown")
+	jitlogBuf := flag.Int("jitlog-buf", trace.DefaultJITLogSize, "shared JIT event ring capacity")
 	flag.Parse()
 	engine, err := sim.ParseEngine(*engineFlag)
 	if err != nil {
@@ -99,6 +105,9 @@ func main() {
 	}
 
 	metrics := trace.NewRegistry()
+	// One shared JIT event log observes every job's trace-JIT lifecycle;
+	// /jit/events serves its retained window and ?source=jit tails it.
+	jitLog := trace.NewJITLog(*jitlogBuf)
 	svc := sim.NewService(sim.ServiceConfig{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -106,6 +115,7 @@ func main() {
 		DefaultMaxSteps: *maxSteps,
 		Metrics:         metrics,
 		Tracers:         directory,
+		JIT:             jitLog,
 		OnJobTerminal: func(s sim.JobSample) {
 			rollup.Observe(fleet.JobSample{
 				Tenant:         s.Tenant,
@@ -122,7 +132,9 @@ func main() {
 
 	srv := telemetry.New(telemetry.Config{
 		Program: "mipsd", Args: os.Args[1:], Engine: engine.String(),
-		Sampler: directory,
+		Sampler:  directory,
+		JIT:      jitLog,
+		JITSites: svc.FleetJITSites,
 	})
 	srv.AddSource("", metrics)
 	srv.AddCollector(rollup.WriteExposition)

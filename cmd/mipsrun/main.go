@@ -30,11 +30,23 @@
 //	-trace-buf N     event ring capacity (default 65536)
 //	-metrics FILE    write a metrics-registry snapshot as JSON
 //	-flame FILE      write the profile as folded-stack flamegraph text
+//	-jitlog FILE     record the trace-JIT event log (formation, guard
+//	                 exits by deopt reason, invalidations) and write it
+//	                 as JSON lines; a per-reason summary prints to stderr
+//	-jitlog-chrome FILE
+//	                 write the JIT event log as Chrome trace_event JSON
+//	-jitlog-buf N    JIT event ring capacity (default 4096; oldest
+//	                 events are dropped and counted beyond it)
 //	-serve ADDR      serve live telemetry over HTTP while the program
 //	                 runs (/metrics, /trace/stream, /profile/flame,
-//	                 /profile/top, /status); after the run the process
-//	                 stays up so the final state remains inspectable —
-//	                 Ctrl-C to exit
+//	                 /profile/top, /status — plus /jit/traces,
+//	                 /jit/events and /trace/stream?source=jit with
+//	                 -jitlog); after the run the process stays up so the
+//	                 final state remains inspectable — Ctrl-C to exit.
+//	                 With -jitlog the server does not imply the
+//	                 per-instruction tracer (its step hook would force
+//	                 per-instruction execution and starve the trace
+//	                 tier); pass -trace-json explicitly to get both
 package main
 
 import (
@@ -45,10 +57,13 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
+	"sync/atomic"
 	"syscall"
 
 	"mips/internal/codegen"
 	"mips/internal/corpus"
+	"mips/internal/cpu"
 	"mips/internal/isa"
 	"mips/internal/kernel"
 	"mips/internal/reorg"
@@ -72,6 +87,9 @@ func main() {
 	profTop := flag.Int("prof-top", 20, "hot instruction words to list in the profile")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot as JSON to this file")
 	flameOut := flag.String("flame", "", "write a folded-stack flamegraph to this file (implies profiling)")
+	jitlogOut := flag.String("jitlog", "", "write the trace-JIT event log as JSON lines to this file")
+	jitlogChrome := flag.String("jitlog-chrome", "", "write the trace-JIT event log as Chrome trace_event JSON to this file")
+	jitlogBuf := flag.Int("jitlog-buf", trace.DefaultJITLogSize, "JIT event ring capacity")
 	serve := flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :9417)")
 	corpusName := flag.String("corpus", "", "run the named built-in corpus program instead of image files")
 	flag.Parse()
@@ -130,11 +148,15 @@ func main() {
 	// Assemble the observer from whatever the flags ask for; obs stays
 	// nil (and the simulator hook-free) when no observability is wanted.
 	// A live server implies a tracer (it backs /trace/stream) and keeps
-	// whatever profiler the flags created.
+	// whatever profiler the flags created — unless a jitlog was asked
+	// for: the implied tracer's step hook forces per-instruction
+	// execution, which would starve the trace tier the jitlog exists
+	// to observe. Explicit -trace/-trace-json still wins.
+	jitIntrospect := *jitlogOut != "" || *jitlogChrome != ""
 	var obs *trace.Observer
 	var tracer *trace.Tracer
 	var profiler *trace.Profiler
-	if *traceN > 0 || *traceJSON != "" || *serve != "" {
+	if *traceN > 0 || *traceJSON != "" || (*serve != "" && !jitIntrospect) {
 		tracer = trace.NewTracer(*traceBuf)
 		if *traceN > 0 {
 			tracer.StreamText(os.Stderr, *traceN)
@@ -151,13 +173,34 @@ func main() {
 	}
 	registry := trace.NewRegistry()
 
+	// The JIT event log rides along whenever a jitlog export is asked
+	// for; with -serve it also backs /jit/events, /jit/traces and the
+	// jit SSE source. The machine pointer is published after build so
+	// live /jit/traces reads are well ordered.
+	var jitLog *trace.JITLog
+	var liveMachine atomic.Pointer[sim.Machine]
+	if *jitlogOut != "" || *jitlogChrome != "" {
+		jitLog = trace.NewJITLog(*jitlogBuf)
+	}
+
 	var srv *telemetry.Server
 	var liveURL string
 	if *serve != "" {
-		srv = telemetry.New(telemetry.Config{
+		cfg := telemetry.Config{
 			Program: "mipsrun", Args: os.Args[1:], Engine: engine.String(),
 			Tracer: tracer, Profiler: profiler,
-		})
+		}
+		if jitLog != nil {
+			cfg.JIT = jitLog
+			cfg.JITSites = telemetry.SingleJITSites("machine", func() trace.JITSites {
+				m := liveMachine.Load()
+				if m == nil {
+					return trace.JITSites{}
+				}
+				return trace.CollectJITSites(m.CPU(), profiler)
+			})
+		}
+		srv = telemetry.New(cfg)
 		srv.AddSource("", registry)
 		addr, err := srv.Start(*serve)
 		if err != nil {
@@ -171,6 +214,17 @@ func main() {
 	if obs != nil {
 		opts = append(opts, sim.WithObserver(obs))
 	}
+	if jitLog != nil {
+		shareTraces := srv != nil
+		opts = append(opts, sim.WithAttach(func(c *cpu.CPU) {
+			jitLog.Attach(c)
+			if shareTraces {
+				// /jit/traces reads the live trace/block caches while
+				// the machine runs; share their structural mutations.
+				c.ShareTraces()
+			}
+		}))
+	}
 	if *useKernel || *timer > 0 || len(images) > 1 {
 		opts = append(opts, sim.WithKernel(kernel.Config{TimerPeriod: uint32(*timer)}))
 	}
@@ -178,6 +232,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	liveMachine.Store(m)
 	for i, im := range images {
 		if err := m.Load(im); err != nil {
 			fatal(fmt.Errorf("%s: %w", imageNames[i], err))
@@ -216,6 +271,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mipsrun: wrote %d trace events to %s (%d dropped)\n",
 			tracer.Ring().Len(), *traceJSON, tracer.Ring().Dropped())
 	}
+	if jitLog != nil {
+		if *jitlogOut != "" {
+			if err := writeFile(*jitlogOut, jitLog.WriteJSONL); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "mipsrun: wrote %d jit events to %s (%d dropped from the ring)\n",
+				jitLog.Len(), *jitlogOut, jitLog.Dropped())
+		}
+		if *jitlogChrome != "" {
+			if err := writeFile(*jitlogChrome, jitLog.WriteChromeJSON); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "mipsrun: wrote jit Chrome trace to %s\n", *jitlogChrome)
+		}
+		printDeoptSummary(os.Stderr, m.Trans())
+		if srv != nil {
+			fmt.Fprintf(os.Stderr, "mipsrun: jit introspection also live at %s/jit/traces and %s/jit/events\n", liveURL, liveURL)
+		}
+	}
 	if *metricsOut != "" {
 		if err := writeFile(*metricsOut, registry.Snapshot().WriteJSON); err != nil {
 			fatal(err)
@@ -232,6 +306,32 @@ func main() {
 		cancel()
 		srv.Close()
 	}
+}
+
+// printDeoptSummary prints the guard-exit taxonomy hottest-first, so
+// `mipsrun -jitlog` answers "why does this program leave its traces"
+// without opening the log.
+func printDeoptSummary(w io.Writer, ts *cpu.TranslationStats) {
+	if ts.TraceGuardExits == 0 {
+		fmt.Fprintln(w, "mipsrun: jit deopts: none (every trace dispatch ran to completion)")
+		return
+	}
+	type row struct {
+		reason cpu.DeoptReason
+		n      uint64
+	}
+	rows := make([]row, 0, cpu.NumDeoptReasons)
+	for r := cpu.DeoptReason(0); r < cpu.NumDeoptReasons; r++ {
+		if ts.TraceDeopts[r] > 0 {
+			rows = append(rows, row{r, ts.TraceDeopts[r]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Fprintf(w, "mipsrun: jit deopts (%d guard exits):", ts.TraceGuardExits)
+	for _, r := range rows {
+		fmt.Fprintf(w, " %s=%d", r.reason, r.n)
+	}
+	fmt.Fprintln(w)
 }
 
 // displayURL renders a bound address as a clickable URL, mapping

@@ -205,7 +205,7 @@ func TestBlocksMatchFastPath(t *testing.T) {
 // corpus in aggregate must compile traces and dispatch through them,
 // and the blocks-only runs must never form any.
 func TestTracesMatchBlocks(t *testing.T) {
-	var compiled, hits uint64
+	var compiled, hits, exits uint64
 	for _, p := range corpus.All() {
 		if p.Heavy {
 			continue
@@ -236,8 +236,22 @@ func TestTracesMatchBlocks(t *testing.T) {
 			if blk.trans.TraceFormed != 0 {
 				t.Error("blocks run formed traces")
 			}
+			// The deopt taxonomy must partition the legacy counter
+			// exactly: every guard exit is attributed to one reason.
+			if got, want := trc.trans.GuardExitReasonTotal(), trc.trans.TraceGuardExits; got != want {
+				t.Errorf("deopt reasons sum to %d, want TraceGuardExits %d", got, want)
+			}
+			// Tier residency must partition retirement exactly on a
+			// fresh machine: every instruction charges one tier.
+			if got, want := trc.trans.TierInstrTotal(), trc.stats.Instructions; got != want {
+				t.Errorf("tier residency sums to %d, want Instructions %d", got, want)
+			}
+			if got, want := blk.trans.TierInstrTotal(), blk.stats.Instructions; got != want {
+				t.Errorf("blocks tier residency sums to %d, want Instructions %d", got, want)
+			}
 			compiled += trc.trans.TraceCompiled
 			hits += trc.trans.TraceDispatchHits
+			exits += trc.trans.TraceGuardExits
 		})
 	}
 	if compiled == 0 {
@@ -245,6 +259,9 @@ func TestTracesMatchBlocks(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Error("no corpus program dispatched through a compiled trace")
+	}
+	if exits == 0 {
+		t.Error("no corpus program recorded a guard exit; the partition check is vacuous")
 	}
 }
 

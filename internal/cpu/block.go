@@ -411,6 +411,7 @@ func (c *CPU) runBlocks() (*block, bool) {
 	// enable, or the address map), at any exception, and at a bounded
 	// follow count so Run's step budget keeps teeth.
 	for follow := 0; ; follow++ {
+		b.execs++
 		if c.trec.active {
 			c.recTracePoint(b, pc)
 		}

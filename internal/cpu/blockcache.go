@@ -103,6 +103,11 @@ type block struct {
 	valid    bool
 	liveIdx  int // index in CPU.liveBlocks, for swap-removal
 
+	// execs counts block-engine entries (lookup and chain alike),
+	// written by the CPU goroutine and read by BlockSites via atomic
+	// loads for the per-PC tier heatmap.
+	execs uint64
+
 	// Chain slots: the last two observed successor entry points, so hot
 	// block-to-block transfers skip the cache lookup entirely. Chains
 	// are recorded and followed only with mapping disabled, where the
@@ -158,13 +163,62 @@ type TranslationStats struct {
 	// TraceDispatchHits counts trace executions started (cache entry
 	// and trace-to-trace chaining alike).
 	TraceDispatchHits uint64
+
+	// TraceDeopts partitions TraceGuardExits by DeoptReason: every
+	// guard exit increments exactly one slot, so the slots always sum
+	// to TraceGuardExits (GuardExitReasonTotal pins the invariant).
+	TraceDeopts [NumDeoptReasons]uint64
+	// Dispatch-level deopts: times the trace tier stood down before
+	// entering a compiled trace, counted only when a compiled trace was
+	// actually ready at the pending PC (so quiet machines with no
+	// traces pay no bookkeeping and the counters measure lost trace
+	// time, not mere configuration).
+	//
+	// TraceDeoptEnvironment: the machine configuration was not quiet —
+	// address mapping, DMA in flight, ticking devices — which the
+	// compiled closures do not model. TraceDeoptInterrupt: an interrupt
+	// line was pending and must be sampled at the exact engine's
+	// boundary. TraceDeoptChainBudget: a trace run returned with the
+	// next trace ready only because the chain-follow budget for the
+	// Step was exhausted.
+	TraceDeoptEnvironment uint64
+	TraceDeoptInterrupt   uint64
+	TraceDeoptChainBudget uint64
+
+	// TraceFormRefusals counts formation refusals by FormRefusal — at
+	// most one per recording, attributed to the first block (or whole
+	// path) that refused. TracePoisoned counts entry PCs marked
+	// heatNever, never to be recorded again.
+	TraceFormRefusals [NumFormRefusals]uint64
+	TracePoisoned     uint64
+
+	// TierInstrs attributes every retired instruction to the engine
+	// tier that retired it (reference interpreter, predecoded fast
+	// path, superblock engine, trace JIT). On a machine run from reset
+	// the slots sum to Stats.Instructions.
+	TierInstrs [NumTiers]uint64
 }
 
+// String renders the counters as one line. The segments up through
+// "traces ..." are a stable prefix for -stats golden users; the deopt,
+// refuse, and tier segments introduced with the introspection taxonomy
+// append after it and new fields must keep appending, never reorder.
 func (t *TranslationStats) String() string {
-	return fmt.Sprintf("predecode hit=%d miss=%d collide=%d | blocks hit=%d chain=%d xlate=%d inval=%d bail=%d | traces formed=%d compiled=%d hit=%d exit=%d inval=%d",
+	return fmt.Sprintf("predecode hit=%d miss=%d collide=%d | blocks hit=%d chain=%d xlate=%d inval=%d bail=%d | traces formed=%d compiled=%d hit=%d exit=%d inval=%d"+
+		" | deopt dir=%d ind=%d shape=%d fault=%d inval=%d halt=%d env=%d int=%d budget=%d"+
+		" | refuse priv=%d shadow=%d jind=%d ds=%d block=%d short=%d ops=%d poison=%d"+
+		" | tier ref=%d fast=%d blocks=%d traces=%d",
 		t.PredecodeHits, t.PredecodeMisses, t.PredecodeCollisions,
 		t.BlockHits, t.BlockChained, t.BlockTranslations, t.BlockInvalidations, t.BlockBails,
-		t.TraceFormed, t.TraceCompiled, t.TraceDispatchHits, t.TraceGuardExits, t.TraceInvalidations)
+		t.TraceFormed, t.TraceCompiled, t.TraceDispatchHits, t.TraceGuardExits, t.TraceInvalidations,
+		t.TraceDeopts[DeoptBranchDirection], t.TraceDeopts[DeoptIndirectTarget], t.TraceDeopts[DeoptQueueShape],
+		t.TraceDeopts[DeoptFault], t.TraceDeopts[DeoptInvalidation], t.TraceDeopts[DeoptHalt],
+		t.TraceDeoptEnvironment, t.TraceDeoptInterrupt, t.TraceDeoptChainBudget,
+		t.TraceFormRefusals[RefusalPrivileged], t.TraceFormRefusals[RefusalShadowBranch],
+		t.TraceFormRefusals[RefusalJumpInd], t.TraceFormRefusals[RefusalDelaySlot],
+		t.TraceFormRefusals[RefusalBlock], t.TraceFormRefusals[RefusalShortPath],
+		t.TraceFormRefusals[RefusalOpBudget], t.TracePoisoned,
+		t.TierInstrs[TierReference], t.TierInstrs[TierFast], t.TierInstrs[TierBlocks], t.TierInstrs[TierTraces])
 }
 
 // bodyKind reports whether a memory/control slot kind may appear inside
@@ -405,12 +459,14 @@ func (c *CPU) translateBlock(pa uint32) *block {
 	}
 
 	slot := c.blockSlot(pa)
+	c.lockTraces()
 	if old := *slot; old != nil {
 		c.dropBlock(old)
 	}
 	*slot = b
 	b.liveIdx = len(c.liveBlocks)
 	c.liveBlocks = append(c.liveBlocks, b)
+	c.unlockTraces()
 	if b.cover > 0 {
 		c.coverWords(pa, b.cover)
 		c.armBarrier()
@@ -466,6 +522,8 @@ func (c *CPU) writeBarrier(addr uint32) {
 	if w >= uint32(len(c.codeBits)) || c.codeBits[w]&(1<<(addr&63)) == 0 {
 		return
 	}
+	c.lockTraces()
+	defer c.unlockTraces()
 	for i := 0; i < len(c.liveBlocks); {
 		b := c.liveBlocks[i]
 		if addr-b.pa < b.cover {
@@ -492,10 +550,12 @@ func (c *CPU) writeBarrier(addr uint32) {
 // Live traces keep their own coverage, so the bitmap is rebuilt from
 // their spans after the clear.
 func (c *CPU) InvalidateBlocks() {
+	c.lockTraces()
 	for _, b := range c.liveBlocks {
 		b.valid = false
 	}
 	c.liveBlocks = c.liveBlocks[:0]
+	c.unlockTraces()
 	for i := range c.bc {
 		c.bc[i] = nil
 	}

@@ -33,6 +33,7 @@ package cpu
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"mips/internal/isa"
 	"mips/internal/mem"
@@ -152,6 +153,16 @@ type CPU struct {
 	seq     uint64
 	intLine bool
 
+	// deopt carries the reason of the most recent trace guard exit:
+	// compiled closures set it immediately before returning false, and
+	// runTrace consumes it at its single guard-exit accounting site.
+	deopt DeoptReason
+
+	// trMu, when non-nil (ShareTraces), guards structural mutation of
+	// the live block/trace lists so TraceSites/BlockSites can run while
+	// the machine does.
+	trMu *sync.Mutex
+
 	audit    func(Hazard)
 	onTrap   func(code uint16)
 	onStep   func(pc uint32, in isa.Instr)
@@ -160,6 +171,7 @@ type CPU struct {
 	onExc    func(pc uint32, primary, secondary isa.Cause, trapCode uint16)
 	onRFE    func(pc uint32)
 	onStall  func(pc uint32)
+	onJIT    func(JITEvent)
 }
 
 type delayedWrite struct {
@@ -548,7 +560,10 @@ func (c *CPU) Step() error {
 		if c.traces && c.stepTraces() {
 			return nil
 		}
-		if c.stepBlocks() {
+		i0 := c.Stats.Instructions
+		ok := c.stepBlocks()
+		c.Trans.TierInstrs[TierBlocks] += c.Stats.Instructions - i0
+		if ok {
 			return nil
 		}
 	}
@@ -567,7 +582,9 @@ func (c *CPU) Step() error {
 
 	pc := c.pcq[0]
 	if c.fastpath {
+		i0 := c.Stats.Instructions
 		c.stepFast(pc)
+		c.Trans.TierInstrs[TierFast] += c.Stats.Instructions - i0
 		return nil
 	}
 
@@ -588,7 +605,9 @@ func (c *CPU) Step() error {
 	if c.onStep != nil {
 		c.onStep(pc, in)
 	}
+	i0 := c.Stats.Instructions
 	c.execWord(in, pc)
+	c.Trans.TierInstrs[TierReference] += c.Stats.Instructions - i0
 	c.Bus.Tick()
 	return nil
 }

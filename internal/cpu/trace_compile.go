@@ -82,6 +82,7 @@ func rdOpG(c *CPU, o fastOp, vpc uint32) uint32 {
 // exactly as bailFault leaves it. The caller has already accounted the
 // executed prefix.
 func (c *CPU) traceFault(q [3]uint32, cause isa.Cause) {
+	c.deopt = DeoptFault
 	c.pcq[0], c.pcq[1], c.pcq[2] = q[0], q[1], q[2]
 	c.pcn = 3
 	c.exception(cause, isa.CauseNone, 0)
@@ -103,22 +104,48 @@ func (c *CPU) runTrace(tr *trace) {
 	exc0 := c.excSeq
 	for follow := 0; ; follow++ {
 		c.Trans.TraceDispatchHits++
+		tr.hits++
+		if !tr.warm {
+			tr.warm = true
+			if c.onJIT != nil {
+				c.emitJIT(JITEvent{Kind: JITDispatchCold, PC: tr.pa, Len: uint32(len(tr.ops))})
+			}
+		}
 		ops := tr.ops
 		clean := true
+		i0 := c.Stats.Instructions
 		for i := 0; i < len(ops); i++ {
 			if !ops[i](c) {
+				// The closure set c.deopt immediately before returning
+				// false, so this single accounting site keeps the
+				// per-reason slots an exact partition of the legacy
+				// total — and attributes the exit to this trace's site.
+				r := c.deopt
 				c.Trans.TraceGuardExits++
+				c.Trans.TraceDeopts[r]++
+				tr.deopts[r]++
 				clean = false
+				if c.onJIT != nil {
+					c.emitJIT(JITEvent{Kind: JITGuardExit, Reason: uint8(r), PC: tr.pa, Len: uint32(i)})
+				}
 				break
 			}
 		}
 		if clean {
 			tr.cost.add(&c.Stats)
 			c.pcq[0], c.pcn = tr.endPC, 1
-		} else if c.Halted || c.excSeq != exc0 || c.pcn != 1 {
+		}
+		tr.instrs += c.Stats.Instructions - i0
+		if !clean && (c.Halted || c.excSeq != exc0 || c.pcn != 1) {
 			return
 		}
 		if follow >= c.chainFollow {
+			// Standing down with a compiled trace ready at the next PC
+			// is lost trace time, not a guard failure: counted as a
+			// dispatch-level deopt outside the guard-exit partition.
+			if c.traceAt(c.pcq[0]) != nil {
+				c.Trans.TraceDeoptChainBudget++
+			}
 			return
 		}
 		nt := c.traceAt(c.pcq[0])
@@ -232,14 +259,24 @@ func emitGeneral(tr *trace, w *traceWord, pre traceCost) (traceOp, traceCost) {
 		if c.pendN != 0 {
 			c.commitLoads()
 		}
+		e0 := c.excSeq
 		c.pcq[0], c.pcq[1] = vpc+1, vpc+2
 		c.pcn = 2
 		c.execFast(&d, vpc)
 		if c.Halted || c.pcn != 2 || c.pcq[0] != vpc+1 {
+			switch {
+			case c.Halted:
+				c.deopt = DeoptHalt
+			case c.excSeq != e0:
+				c.deopt = DeoptFault
+			default:
+				c.deopt = DeoptQueueShape
+			}
 			ec.add(&c.Stats)
 			return false
 		}
 		if !tr.valid {
+			c.deopt = DeoptInvalidation
 			ec.add(&c.Stats)
 			c.pcq[0], c.pcn = vpc+1, 1
 			return false
@@ -266,11 +303,26 @@ func emitGeneralTerm(tr *trace, w *traceWord, pre traceCost) (traceOp, traceCost
 			if c.pendN != 0 {
 				c.commitLoads()
 			}
+			e0 := c.excSeq
 			c.pcq[0], c.pcq[1] = vpc+1, vpc+2
 			c.pcn = 2
 			c.execFast(&d, vpc)
 			if c.Halted || c.pcn != 3 || c.pcq[0] != vpc+1 ||
 				c.pcq[1] != vpc+2 || c.pcq[2] != exp || !tr.valid {
+				switch {
+				case c.Halted:
+					c.deopt = DeoptHalt
+				case c.excSeq != e0:
+					c.deopt = DeoptFault
+				case !tr.valid:
+					c.deopt = DeoptInvalidation
+				case c.pcn == 3 && c.pcq[0] == vpc+1 && c.pcq[1] == vpc+2:
+					// The executor produced the indirect redirect shape
+					// with a target other than the recorded one.
+					c.deopt = DeoptIndirectTarget
+				default:
+					c.deopt = DeoptQueueShape
+				}
 				ec.add(&c.Stats)
 				return false
 			}
@@ -281,19 +333,37 @@ func emitGeneralTerm(tr *trace, w *traceWord, pre traceCost) (traceOp, traceCost
 	// one slot out; a not-taken branch leaves the queue sequential.
 	// Formation refused shadow targets, so the two shapes are disjoint.
 	q1 := vpc + 2
+	qAlt := d.target
 	if w.taken {
 		q1 = d.target
+		qAlt = vpc + 2
 	}
+	isBranch := d.memKind == isa.PieceBranch
 	return func(c *CPU) bool {
 		c.seq++
 		if c.pendN != 0 {
 			c.commitLoads()
 		}
+		e0 := c.excSeq
 		c.pcq[0], c.pcq[1] = vpc+1, vpc+2
 		c.pcn = 2
 		c.execFast(&d, vpc)
 		if c.Halted || c.pcn != 2 || c.pcq[0] != vpc+1 ||
 			c.pcq[1] != q1 || !tr.valid {
+			switch {
+			case c.Halted:
+				c.deopt = DeoptHalt
+			case c.excSeq != e0:
+				c.deopt = DeoptFault
+			case !tr.valid:
+				c.deopt = DeoptInvalidation
+			case isBranch && c.pcn == 2 && c.pcq[0] == vpc+1 && c.pcq[1] == qAlt:
+				// The packed branch resolved the other way: the queue is
+				// exactly the opposite direction's shape.
+				c.deopt = DeoptBranchDirection
+			default:
+				c.deopt = DeoptQueueShape
+			}
 			ec.add(&c.Stats)
 			return false
 		}
@@ -622,6 +692,7 @@ func emitStore(tr *trace, w *traceWord, pre traceCost) (traceOp, traceCost) {
 				c.onMem(vpc, addr, true)
 			}
 			if !tr.valid {
+				c.deopt = DeoptInvalidation
 				ecDone.add(&c.Stats)
 				c.pcq[0], c.pcq[1] = cq[0], cq[1]
 				c.pcn = cqn
@@ -644,6 +715,7 @@ func emitStore(tr *trace, w *traceWord, pre traceCost) (traceOp, traceCost) {
 				c.onMem(vpc, addr, true)
 			}
 			if !tr.valid {
+				c.deopt = DeoptInvalidation
 				ecDone.add(&c.Stats)
 				c.pcq[0], c.pcq[1] = cq[0], cq[1]
 				c.pcn = cqn
@@ -672,6 +744,7 @@ func emitStore(tr *trace, w *traceWord, pre traceCost) (traceOp, traceCost) {
 			c.onMem(vpc, addr, true)
 		}
 		if !tr.valid {
+			c.deopt = DeoptInvalidation
 			ecDone.add(&c.Stats)
 			c.pcq[0], c.pcq[1] = cq[0], cq[1]
 			c.pcn = cqn
@@ -710,6 +783,7 @@ func emitBranch(w *traceWord, pre traceCost) (traceOp, traceCost) {
 				c.onBranch(vpc, target, t)
 			}
 			if !t {
+				c.deopt = DeoptBranchDirection
 				ec.add(&c.Stats)
 				c.pcq[0], c.pcn = vpc+1, 1
 				return false
@@ -734,6 +808,7 @@ func emitBranch(w *traceWord, pre traceCost) (traceOp, traceCost) {
 			c.onBranch(vpc, target, t)
 		}
 		if t {
+			c.deopt = DeoptBranchDirection
 			ec.add(&c.Stats)
 			c.pcq[0], c.pcq[1] = vpc+1, target
 			c.pcn = 2
@@ -808,6 +883,7 @@ func emitJumpInd(w *traceWord, pre traceCost) (traceOp, traceCost) {
 			c.onBranch(vpc, t, true)
 		}
 		if t != exp {
+			c.deopt = DeoptIndirectTarget
 			ec.add(&c.Stats)
 			c.pcq[0], c.pcq[1], c.pcq[2] = vpc+1, vpc+2, t
 			c.pcn = 3

@@ -94,7 +94,13 @@ func (c *CPU) stepTraces() bool {
 	if bus.DMA != nil || len(bus.tickers) != 0 || len(bus.devices) != 0 || c.Mapped() {
 		// Not the quiet configuration: the environment checks compiled
 		// traces hoist to entry cannot be discharged. Lower tiers
-		// handle every one of these exactly.
+		// handle every one of these exactly. Count the deopt only when
+		// a compiled trace was actually ready here — traceAt's own
+		// nil-cache check keeps machines that never compiled a trace
+		// free of the bookkeeping.
+		if c.traceAt(c.pcq[0]) != nil {
+			c.Trans.TraceDeoptEnvironment++
+		}
 		return false
 	}
 	pc := c.pcq[0]
@@ -102,19 +108,26 @@ func (c *CPU) stepTraces() bool {
 		if c.intLine && c.Sur.InterruptsEnabled() && !c.Sur.Supervisor() {
 			// A pending interrupt must be taken before the next word;
 			// the lower tiers do that exactly.
+			c.Trans.TraceDeoptInterrupt++
 			return false
 		}
+		i0 := c.Stats.Instructions
 		c.runTrace(tr)
+		c.Trans.TierInstrs[TierTraces] += c.Stats.Instructions - i0
 		return true
 	}
 	if !c.heatBump(pc) {
 		return false
 	}
 	// Threshold crossed: run this Step on the block engine with path
-	// recording on, then form a trace from what actually executed.
+	// recording on, then form a trace from what actually executed. The
+	// recorded Step retires on the block engine, so residency charges
+	// the blocks tier.
 	c.trec.active = true
 	c.trec.n = 0
+	i0 := c.Stats.Instructions
 	ok := c.stepBlocks()
+	c.Trans.TierInstrs[TierBlocks] += c.Stats.Instructions - i0
 	c.trec.active = false
 	if ok {
 		c.finishTraceRecording(pc)
@@ -162,12 +175,19 @@ func (c *CPU) traceYield(npc uint32) bool {
 }
 
 // markNeverTrace records that paths from pc do not form: stop paying
-// for recordings (and their allocations) in steady state.
+// for recordings (and their allocations) in steady state. Poisoning
+// happens at most once per entry PC (a poisoned entry never crosses the
+// heat threshold again), so TracePoisoned counts distinct poisoned
+// entries until the next InvalidateTraces.
 func (c *CPU) markNeverTrace(pc uint32) {
 	if c.heat == nil {
 		return
 	}
 	c.heat[pc&(heatEntries-1)] = heatEntry{pc: pc, n: heatNever}
+	c.Trans.TracePoisoned++
+	if c.onJIT != nil {
+		c.emitJIT(JITEvent{Kind: JITPoisoned, PC: pc, Heat: heatThreshold})
+	}
 }
 
 // dsCompilable reports whether a delay-slot record can appear inside a
@@ -187,10 +207,10 @@ func dsCompilable(d *decoded) bool {
 // full — body, terminator, and the delay slots its recorded direction
 // executes — and derives that direction from the recorded successor
 // entry nextPC. It returns ok=false when the block must truncate the
-// path.
-func validateTraceBlock(b *block, pc, nextPC uint32) (ok, taken bool, dsCount uint8) {
+// path, with why classifying the refusal for the formation taxonomy.
+func validateTraceBlock(b *block, pc, nextPC uint32) (ok, taken bool, dsCount uint8, why FormRefusal) {
 	if b == nil || !b.valid || b.pa != pc || !b.hasTerm || b.termless {
-		return false, false, 0
+		return false, false, 0, RefusalBlock
 	}
 	for i := uint32(0); i < b.n; i++ {
 		// Any body class compiles: the lean classes specialize, and
@@ -199,41 +219,45 @@ func validateTraceBlock(b *block, pc, nextPC uint32) (ok, taken bool, dsCount ui
 		// loop runs them. Privileged pieces still refuse — they can
 		// change what dispatch latched.
 		if b.code[i].flags&fPriv != 0 {
-			return false, false, 0
+			return false, false, 0, RefusalPrivileged
 		}
 	}
 	term := &b.term
 	if term.flags&fPriv != 0 {
-		return false, false, 0
+		return false, false, 0, RefusalPrivileged
 	}
+	// The fallthroughs below mean the recorded successor derives no
+	// direction, or the direction's delay slots cannot compile.
+	why = RefusalDelaySlot
 	t := pc + b.n
 	switch term.bclass {
 	case bcBranch:
 		// A branch into its own shadow (target at t+1 or t+2) leaves
 		// the recorded successor ambiguous between directions; refuse.
 		if term.target == t+1 || term.target == t+2 {
-			return false, false, 0
+			return false, false, 0, RefusalShadowBranch
 		}
 		if nextPC == t+1 {
-			return true, false, 0
+			return true, false, 0, 0
 		}
 		if nextPC == term.target && b.dsN >= 1 && dsCompilable(&b.ds[0]) {
-			return true, true, 1
+			return true, true, 1, 0
 		}
 	case bcJump, bcCall:
 		if nextPC == term.target && b.dsN >= 1 && dsCompilable(&b.ds[0]) {
-			return true, true, 1
+			return true, true, 1, 0
 		}
 	case bcJumpInd:
 		// Targets inside the two-word shadow (or just past it, where
 		// the queue stays sequential and no delay slot drains) collapse
 		// into shapes the flattening cannot represent; refuse.
 		if nextPC == t+1 || nextPC == t+2 || nextPC == t+3 {
-			return false, false, 0
+			return false, false, 0, RefusalJumpInd
 		}
 		if b.dsN == 2 && dsCompilable(&b.ds[0]) && dsCompilable(&b.ds[1]) {
-			return true, true, 2
+			return true, true, 2, 0
 		}
+		why = RefusalJumpInd
 	case bcGeneral:
 		// A packed terminator: the control piece shares its word with
 		// computation, so the word itself runs through the exact
@@ -243,28 +267,34 @@ func validateTraceBlock(b *block, pc, nextPC uint32) (ok, taken bool, dsCount ui
 		switch term.memKind {
 		case isa.PieceBranch:
 			if term.target == t+1 || term.target == t+2 {
-				return false, false, 0
+				return false, false, 0, RefusalShadowBranch
 			}
 			if nextPC == t+1 {
-				return true, false, 0
+				return true, false, 0, 0
 			}
 			if nextPC == term.target && b.dsN >= 1 && dsCompilable(&b.ds[0]) {
-				return true, true, 1
+				return true, true, 1, 0
 			}
 		case isa.PieceJump, isa.PieceCall:
 			if nextPC == term.target && b.dsN >= 1 && dsCompilable(&b.ds[0]) {
-				return true, true, 1
+				return true, true, 1, 0
 			}
 		case isa.PieceJumpInd:
 			if nextPC == t+1 || nextPC == t+2 || nextPC == t+3 {
-				return false, false, 0
+				return false, false, 0, RefusalJumpInd
 			}
 			if b.dsN == 2 && dsCompilable(&b.ds[0]) && dsCompilable(&b.ds[1]) {
-				return true, true, 2
+				return true, true, 2, 0
 			}
+			why = RefusalJumpInd
+		default:
+			// Traps and special-register terminators never compile.
+			why = RefusalBlock
 		}
+	default:
+		why = RefusalBlock
 	}
-	return false, false, 0
+	return false, false, 0, why
 }
 
 // finishTraceRecording validates the recorded path, flattens it to
@@ -272,6 +302,7 @@ func validateTraceBlock(b *block, pc, nextPC uint32) (ok, taken bool, dsCount ui
 func (c *CPU) finishTraceRecording(entry uint32) {
 	pts := c.trec.pts[:c.trec.n]
 	if len(pts) < 2 || pts[0].pc != entry {
+		c.refuseTrace(RefusalShortPath, entry)
 		c.markNeverTrace(entry)
 		return
 	}
@@ -299,13 +330,17 @@ func (c *CPU) finishTraceRecording(entry uint32) {
 		} else if j+1 < lim {
 			nextPC = pts[j+1].pc
 		}
-		ok, tk, dc := validateTraceBlock(pts[j].b, pts[j].pc, nextPC)
+		ok, tk, dc, why := validateTraceBlock(pts[j].b, pts[j].pc, nextPC)
 		if !ok {
+			// At most one refusal counts per recording: the first block
+			// that truncates the path.
+			c.refuseTrace(why, pts[j].pc)
 			lim, closed = j, false
 			break
 		}
 		ops += int(pts[j].b.n) + 1 + int(dc)
 		if ops > traceMaxOps {
+			c.refuseTrace(RefusalOpBudget, pts[j].pc)
 			lim, closed = j, false
 			break
 		}
@@ -320,6 +355,9 @@ func (c *CPU) finishTraceRecording(entry uint32) {
 		endPC = entry
 	}
 	c.Trans.TraceFormed++
+	if c.onJIT != nil {
+		c.emitJIT(JITEvent{Kind: JITFormed, PC: entry, Len: uint32(lim), Heat: heatThreshold})
+	}
 
 	// Pass 2: flatten to trace words with exact per-word exit queues.
 	words := make([]traceWord, 0, ops)
@@ -418,4 +456,16 @@ func (c *CPU) finishTraceRecording(entry uint32) {
 	}
 	c.installTrace(tr)
 	c.Trans.TraceCompiled++
+	if c.onJIT != nil {
+		c.emitJIT(JITEvent{Kind: JITCompiled, PC: entry, Len: uint32(len(tr.ops)), Heat: heatThreshold})
+	}
+}
+
+// refuseTrace accounts one formation refusal: the taxonomy counter and,
+// when a hook is attached, the event with the refusing block's PC.
+func (c *CPU) refuseTrace(why FormRefusal, pc uint32) {
+	c.Trans.TraceFormRefusals[why]++
+	if c.onJIT != nil {
+		c.emitJIT(JITEvent{Kind: JITRefused, Reason: uint8(why), PC: pc, Heat: heatThreshold})
+	}
 }

@@ -82,7 +82,15 @@ type trace struct {
 	spans []traceSpan
 
 	valid   bool
-	liveIdx int // index in CPU.liveTraces, for swap-removal
+	warm    bool // dispatched at least once (gates the dispatch-cold event)
+	liveIdx int  // index in CPU.liveTraces, for swap-removal
+
+	// Per-site introspection history, written by the CPU goroutine and
+	// read by TraceSites via atomic loads: dispatches, instructions
+	// retired inside this trace, and guard exits by reason.
+	hits   uint64
+	instrs uint64
+	deopts [NumDeoptReasons]uint64
 }
 
 // covers reports whether a physical word address falls inside any span.
@@ -124,6 +132,7 @@ func (c *CPU) traceAt(pc uint32) *trace {
 // installTrace places a compiled trace in the cache, evicting any slot
 // occupant, and arms the write barrier over its spans.
 func (c *CPU) installTrace(tr *trace) {
+	c.lockTraces()
 	slot := c.traceSlot(tr.pa)
 	if old := *slot; old != nil {
 		c.dropTrace(old)
@@ -132,6 +141,7 @@ func (c *CPU) installTrace(tr *trace) {
 	tr.valid = true
 	tr.liveIdx = len(c.liveTraces)
 	c.liveTraces = append(c.liveTraces, tr)
+	c.unlockTraces()
 	for _, sp := range tr.spans {
 		c.coverWords(sp.pa, sp.n)
 	}
@@ -139,6 +149,8 @@ func (c *CPU) installTrace(tr *trace) {
 }
 
 // dropTrace invalidates a trace and removes it from the live list.
+// Callers under ShareTraces hold the trace mutex (install, barrier,
+// bulk invalidation all lock before dropping).
 func (c *CPU) dropTrace(tr *trace) {
 	if !tr.valid {
 		return
@@ -149,6 +161,9 @@ func (c *CPU) dropTrace(tr *trace) {
 	c.liveTraces[tr.liveIdx] = moved
 	moved.liveIdx = tr.liveIdx
 	c.liveTraces = c.liveTraces[:last]
+	if c.onJIT != nil {
+		c.emitJIT(JITEvent{Kind: JITInvalidated, PC: tr.pa, Len: uint32(len(tr.ops))})
+	}
 }
 
 // InvalidateTraces drops every compiled trace and resets the heat
@@ -156,13 +171,19 @@ func (c *CPU) dropTrace(tr *trace) {
 // outlive the code they were compiled from; the write barrier handles
 // everything in between.
 func (c *CPU) InvalidateTraces() {
+	c.lockTraces()
+	emit := c.onJIT != nil
 	for _, tr := range c.liveTraces {
 		tr.valid = false
+		if emit {
+			c.emitJIT(JITEvent{Kind: JITInvalidated, PC: tr.pa, Len: uint32(len(tr.ops))})
+		}
 	}
 	c.liveTraces = c.liveTraces[:0]
 	for i := range c.tc {
 		c.tc[i] = nil
 	}
+	c.unlockTraces()
 	for i := range c.heat {
 		c.heat[i] = heatEntry{}
 	}

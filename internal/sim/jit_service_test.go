@@ -1,0 +1,98 @@
+package sim_test
+
+// The job service's JIT introspection wiring: a shared event log
+// observes every job's trace-JIT lifecycle, terminal samples carry the
+// deopt/refusal/tier counter families for the fleet rollup, and the
+// per-job tier heatmap is readable at quantum boundaries.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"mips/internal/cpu"
+	"mips/internal/sim"
+	"mips/internal/trace"
+)
+
+func TestServiceJITIntrospection(t *testing.T) {
+	im := compileCorpus(t, "fib", false)
+	log := trace.NewJITLog(1 << 14)
+	var mu sync.Mutex
+	samples := []sim.JobSample{}
+	svc := sim.NewService(sim.ServiceConfig{
+		Workers: 2,
+		JIT:     log,
+		OnJobTerminal: func(s sim.JobSample) {
+			mu.Lock()
+			samples = append(samples, s)
+			mu.Unlock()
+		},
+	})
+	defer svc.Close()
+
+	j, err := svc.Submit(sim.JobSpec{Name: "fib", Build: buildFor(im, sim.Traces)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var kinds [8]int
+	for _, e := range log.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds[cpu.JITCompiled] == 0 || kinds[cpu.JITGuardExit] == 0 {
+		t.Errorf("shared log missed the lifecycle: compiled=%d exits=%d",
+			kinds[cpu.JITCompiled], kinds[cpu.JITGuardExit])
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(samples) != 1 {
+		t.Fatalf("got %d terminal samples, want 1", len(samples))
+	}
+	ctr := samples[0].Counters
+	var perReason uint64
+	for r := cpu.DeoptReason(0); r < cpu.NumDeoptReasons; r++ {
+		n, ok := ctr["xlate.trace.guard_exits."+r.String()]
+		if !ok {
+			t.Fatalf("sample lacks per-reason counter for %s", r)
+		}
+		perReason += n
+	}
+	if perReason != ctr["xlate.trace.guard_exits"] {
+		t.Errorf("sample reasons sum to %d, want guard_exits %d",
+			perReason, ctr["xlate.trace.guard_exits"])
+	}
+	var tiers uint64
+	for tier := cpu.Tier(0); tier < cpu.NumTiers; tier++ {
+		tiers += ctr["xlate.tier."+tier.String()]
+	}
+	if tiers != samples[0].Instructions {
+		t.Errorf("sample tiers sum to %d, want instructions %d", tiers, samples[0].Instructions)
+	}
+	if ctr["xlate.tier.traces"] == 0 {
+		t.Error("traces-engine job retired nothing in the trace tier")
+	}
+
+	sites := svc.FleetJITSites()
+	if len(sites) != 1 {
+		t.Fatalf("FleetJITSites has %d entries, want 1: %v", len(sites), sites)
+	}
+	for label, s := range sites {
+		if label != j.ID+"/fib" {
+			t.Errorf("site label = %q", label)
+		}
+		if len(s.Traces) == 0 {
+			t.Error("terminal traced job has no live trace sites")
+		}
+		if s.Tiers["traces"] != ctr["xlate.tier.traces"] {
+			t.Errorf("heatmap tier split %v disagrees with sample counters", s.Tiers)
+		}
+	}
+}

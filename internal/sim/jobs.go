@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mips/internal/cpu"
 	"mips/internal/trace"
 )
 
@@ -113,6 +114,12 @@ type ServiceConfig struct {
 	// Tracers, if non-nil, receives every traced job's tracer as the
 	// job builds its machine.
 	Tracers TracerRegistry
+	// JIT, if non-nil, receives every job's trace-JIT lifecycle events
+	// (formation, guard exits by reason, invalidations) into one shared
+	// bounded log. Unlike Profile/Trace it does not force the exact
+	// engine — the hook only fires from the superblock/trace machinery,
+	// so jobs keep their configured engine.
+	JIT *trace.JITLog
 }
 
 // JobSpec describes one submission.
@@ -441,6 +448,9 @@ func (s *Service) runQuantum(j *Job) bool {
 // attachJobObservers wires the per-job profiler/tracer right after the
 // machine builds, before its first quantum runs; j.mu is held.
 func (s *Service) attachJobObservers(j *Job) {
+	if s.cfg.JIT != nil {
+		s.cfg.JIT.Attach(j.m.CPU())
+	}
 	if !j.spec.Profile && !j.spec.Trace {
 		return
 	}
@@ -522,22 +532,60 @@ func (s *Service) sampleLocked(j *Job, state JobState) JobSample {
 		sample.Engine = j.m.Engine().String()
 		ts := j.m.Trans()
 		sample.Counters = map[string]uint64{
-			"xlate.predecode_hits":       ts.PredecodeHits,
-			"xlate.predecode_misses":     ts.PredecodeMisses,
-			"xlate.predecode_collisions": ts.PredecodeCollisions,
-			"xlate.block_hits":           ts.BlockHits,
-			"xlate.block_chained":        ts.BlockChained,
-			"xlate.block_translations":   ts.BlockTranslations,
-			"xlate.block_invalidations":  ts.BlockInvalidations,
-			"xlate.block_bails":          ts.BlockBails,
-			"xlate.trace.formed":         ts.TraceFormed,
-			"xlate.trace.compiled":       ts.TraceCompiled,
-			"xlate.trace.guard_exits":    ts.TraceGuardExits,
-			"xlate.trace.invalidations":  ts.TraceInvalidations,
-			"xlate.trace.dispatch_hits":  ts.TraceDispatchHits,
+			"xlate.predecode_hits":           ts.PredecodeHits,
+			"xlate.predecode_misses":         ts.PredecodeMisses,
+			"xlate.predecode_collisions":     ts.PredecodeCollisions,
+			"xlate.block_hits":               ts.BlockHits,
+			"xlate.block_chained":            ts.BlockChained,
+			"xlate.block_translations":       ts.BlockTranslations,
+			"xlate.block_invalidations":      ts.BlockInvalidations,
+			"xlate.block_bails":              ts.BlockBails,
+			"xlate.trace.formed":             ts.TraceFormed,
+			"xlate.trace.compiled":           ts.TraceCompiled,
+			"xlate.trace.guard_exits":        ts.TraceGuardExits,
+			"xlate.trace.invalidations":      ts.TraceInvalidations,
+			"xlate.trace.dispatch_hits":      ts.TraceDispatchHits,
+			"xlate.trace.poisoned":           ts.TracePoisoned,
+			"xlate.trace.deopt.environment":  ts.TraceDeoptEnvironment,
+			"xlate.trace.deopt.interrupt":    ts.TraceDeoptInterrupt,
+			"xlate.trace.deopt.chain_budget": ts.TraceDeoptChainBudget,
+		}
+		for r := cpu.DeoptReason(0); r < cpu.NumDeoptReasons; r++ {
+			sample.Counters["xlate.trace.guard_exits."+r.String()] = ts.TraceDeopts[r]
+		}
+		for r := cpu.FormRefusal(0); r < cpu.NumFormRefusals; r++ {
+			sample.Counters["xlate.trace.refuse."+r.String()] = ts.TraceFormRefusals[r]
+		}
+		for tier := cpu.Tier(0); tier < cpu.NumTiers; tier++ {
+			sample.Counters["xlate.tier."+tier.String()] = ts.TierInstrs[tier]
 		}
 	}
 	return sample
+}
+
+// JITSites snapshots the job's live trace/block caches — the per-PC
+// tier heatmap — symbolized against its profiler when one is attached.
+// It waits out at most one quantum (j.mu), so the machine is idle for
+// the read and no cpu.ShareTraces is needed.
+func (j *Job) JITSites() (trace.JITSites, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.m == nil {
+		return trace.JITSites{}, false
+	}
+	return trace.CollectJITSites(j.m.CPU(), j.prof.Load()), true
+}
+
+// FleetJITSites collects every built job's tier heatmap, keyed
+// "id/name", for the telemetry server's /jit/traces endpoint.
+func (s *Service) FleetJITSites() map[string]trace.JITSites {
+	out := make(map[string]trace.JITSites)
+	for _, j := range s.Jobs() {
+		if sites, ok := j.JITSites(); ok {
+			out[j.ID+"/"+j.Name] = sites
+		}
+	}
+	return out
 }
 
 // TenantActive returns the number of unfinished jobs per tenant.

@@ -13,7 +13,7 @@ import (
 	"mips/internal/mem"
 )
 
-// Snapshot wire format, version 2:
+// Snapshot wire format, version 3:
 //
 //	offset  size  field
 //	0       8     magic "MIPSSNAP"
@@ -32,9 +32,10 @@ import (
 const (
 	snapshotMagic = "MIPSSNAP"
 	// SnapshotVersion is the current snapshot format version. Version 2
-	// extended cpu.TranslationStats with the trace-tier counters, which
-	// changes the gob payload.
-	SnapshotVersion = 2
+	// extended cpu.TranslationStats with the trace-tier counters;
+	// version 3 extended it again with the deopt/refusal taxonomy and
+	// tier-residency counters. Both change the gob payload.
+	SnapshotVersion = 3
 	snapshotHeader  = 24
 	// maxSnapshotPayload bounds how much Restore will read: a corrupt
 	// length field must not become an allocation bomb. 1 GiB is far

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mips/internal/trace"
+)
+
+// The /jit endpoints expose the trace-JIT introspection layer:
+//
+//	/jit/traces   the per-PC tier heatmap — live trace and block cache
+//	              sites with residency counters and per-reason deopts,
+//	              grouped by job label
+//	/jit/events   the retained window of the bounded JIT event log as
+//	              JSON, with drop accounting (?n=K keeps the last K)
+//
+// plus the `jit` source on /trace/stream (?source=jit), which tails the
+// event log live through the same bounded drop-and-count sink contract
+// as the trace stream. Everything here only reads; with no log or
+// sites function configured the endpoints 404 and the machine pays
+// nothing.
+
+// jitSitesBody is the /jit/traces response shape.
+type jitSitesBody struct {
+	Jobs map[string]trace.JITSites `json:"jobs"`
+}
+
+// jitEventsBody is the /jit/events response shape.
+type jitEventsBody struct {
+	Total    uint64               `json:"total"`
+	Dropped  uint64               `json:"dropped"`
+	Retained int                  `json:"retained"`
+	Events   []trace.JITEventJSON `json:"events"`
+}
+
+func (s *Server) handleJITTraces(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.JITSites == nil {
+		http.Error(w, "jit introspection not attached (run with -serve and -jitlog)", http.StatusNotFound)
+		return
+	}
+	body := jitSitesBody{Jobs: s.cfg.JITSites()}
+	if body.Jobs == nil {
+		body.Jobs = map[string]trace.JITSites{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+func (s *Server) handleJITEvents(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.JIT == nil {
+		http.Error(w, "jit event log not attached (run with -serve and -jitlog)", http.StatusNotFound)
+		return
+	}
+	events := s.cfg.JIT.Events()
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, "bad event count", http.StatusBadRequest)
+			return
+		}
+		if n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	body := jitEventsBody{
+		Total:    s.cfg.JIT.Total(),
+		Dropped:  s.cfg.JIT.Dropped(),
+		Retained: len(events),
+		Events:   make([]trace.JITEventJSON, len(events)),
+	}
+	for i, e := range events {
+		body.Events[i] = trace.MarshalJITEvent(e)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+// handleJITStream tails the JIT event log as SSE `event: jit` frames.
+// It reuses the trace-stream contract: a bounded per-client sink,
+// non-blocking producer sends, drops surfaced as `event: drops` frames
+// at every heartbeat and on /metrics via the shared client accounting.
+func (s *Server) handleJITStream(w http.ResponseWriter, r *http.Request) {
+	log := s.cfg.JIT
+	if log == nil {
+		http.Error(w, "jit event log not attached (run with -serve and -jitlog)", http.StatusNotFound)
+		return
+	}
+	fl, ok := startSSE(w)
+	if !ok {
+		return
+	}
+	sink := log.Subscribe(s.cfg.SinkBuffer)
+	defer log.Unsubscribe(sink)
+	client := s.registerSSEClient(sink.Dropped)
+	defer s.unregisterSSEClient(client)
+
+	heartbeat := time.NewTicker(s.cfg.Heartbeat)
+	defer heartbeat.Stop()
+	var reported uint64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		case e := <-sink.Events():
+			if err := writeJITSSEEvent(w, trace.MarshalJITEvent(e)); err != nil {
+				return
+			}
+		drain:
+			for i := 0; i < cap(sink.Events()); i++ {
+				select {
+				case e = <-sink.Events():
+					if err := writeJITSSEEvent(w, trace.MarshalJITEvent(e)); err != nil {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			if d := sink.Dropped(); d != reported {
+				reported = d
+				if _, err := fmt.Fprintf(w, "event: drops\ndata: {\"dropped\":%d}\n\n", d); err != nil {
+					return
+				}
+			} else if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeJITSSEEvent renders one JIT event as an SSE frame.
+func writeJITSSEEvent(w http.ResponseWriter, e trace.JITEventJSON) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: jit\ndata: %s\n\n", data)
+	return err
+}
+
+// SingleJITSites adapts one machine's site collector to the /jit/traces
+// per-job shape under the given label ("machine" for mipsrun).
+func SingleJITSites(label string, fn func() trace.JITSites) func() map[string]trace.JITSites {
+	return func() map[string]trace.JITSites {
+		return map[string]trace.JITSites{label: fn()}
+	}
+}

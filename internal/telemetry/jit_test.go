@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mips/internal/cpu"
+	"mips/internal/trace"
+)
+
+func TestJITEndpointsNotConfigured(t *testing.T) {
+	srv := New(Config{Program: "test"})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/jit/traces", "/jit/events", "/trace/stream?source=jit"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without config: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/trace/stream?source=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus source: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestJITEventsEndpoint(t *testing.T) {
+	log := trace.NewJITLog(8)
+	for i := 0; i < 12; i++ {
+		log.Record(cpu.JITEvent{Kind: cpu.JITGuardExit,
+			Reason: uint8(cpu.DeoptBranchDirection), Cycle: uint64(i), PC: uint32(i)})
+	}
+	srv := New(Config{Program: "test", JIT: log})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/jit/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var body struct {
+		Total    uint64 `json:"total"`
+		Dropped  uint64 `json:"dropped"`
+		Retained int    `json:"retained"`
+		Events   []struct {
+			Kind   string `json:"kind"`
+			Reason string `json:"reason"`
+			PC     uint32 `json:"pc"`
+		} `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Total != 12 || body.Dropped != 4 || body.Retained != 8 {
+		t.Errorf("accounting = %+v, want total 12 dropped 4 retained 8", body)
+	}
+	if len(body.Events) != 8 || body.Events[0].PC != 4 {
+		t.Fatalf("events truncated wrong: %+v", body.Events)
+	}
+	if body.Events[0].Kind != "guard_exit" || body.Events[0].Reason != "branch_direction" {
+		t.Errorf("event decode = %+v", body.Events[0])
+	}
+
+	// ?n=K keeps the last K.
+	resp2, err := http.Get(ts.URL + "/jit/events?n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Retained != 3 || len(body.Events) != 3 || body.Events[2].PC != 11 {
+		t.Errorf("?n=3 window = %+v", body.Events)
+	}
+}
+
+func TestJITTracesEndpoint(t *testing.T) {
+	sites := trace.JITSites{
+		Traces: []trace.JITTraceSite{{EntryPC: 2, EndPC: 6, Ops: 5, Blocks: 1,
+			Words: 5, Hits: 900, Instrs: 4500,
+			Deopts: map[string]uint64{"branch_direction": 1}}},
+		Blocks: []trace.JITBlockSite{{EntryPC: 2, Words: 5, Execs: 40}},
+		Tiers:  map[string]uint64{"reference": 1, "fast": 2, "blocks": 3, "traces": 4},
+	}
+	srv := New(Config{Program: "test",
+		JITSites: SingleJITSites("machine", func() trace.JITSites { return sites })})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/jit/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Jobs map[string]trace.JITSites `json:"jobs"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+	got, ok := body.Jobs["machine"]
+	if !ok {
+		t.Fatalf("no machine job in %s", raw)
+	}
+	if len(got.Traces) != 1 || got.Traces[0].Hits != 900 ||
+		got.Traces[0].Deopts["branch_direction"] != 1 {
+		t.Errorf("trace sites round-trip = %+v", got.Traces)
+	}
+	if got.Tiers["traces"] != 4 {
+		t.Errorf("tier map round-trip = %+v", got.Tiers)
+	}
+	if !strings.Contains(string(raw), "entry_pc") {
+		t.Error("response lacks entry_pc field (smoke script greps for it)")
+	}
+}
+
+func TestJITStreamDeliversEvents(t *testing.T) {
+	log := trace.NewJITLog(64)
+	srv := New(Config{Program: "test", JIT: log, Heartbeat: 50 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/trace/stream?source=jit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for log.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream handler never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	timer := time.AfterFunc(10*time.Second, func() { resp.Body.Close() })
+	t.Cleanup(func() { timer.Stop(); resp.Body.Close() })
+
+	log.Record(cpu.JITEvent{Kind: cpu.JITFormed, Cycle: 100, PC: 2, Len: 3})
+	log.Record(cpu.JITEvent{Kind: cpu.JITGuardExit,
+		Reason: uint8(cpu.DeoptFault), Cycle: 200, PC: 2, Len: 1})
+
+	type frame struct {
+		Cycle  uint64 `json:"cycle"`
+		Kind   string `json:"kind"`
+		Reason string `json:"reason"`
+		PC     uint32 `json:"pc"`
+	}
+	var got []frame
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	for len(got) < 2 && sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "jit":
+			var f frame
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err != nil {
+				t.Fatalf("bad frame %q: %v", line, err)
+			}
+			got = append(got, f)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d jit frames, want 2 (scan err %v)", len(got), sc.Err())
+	}
+	if got[0].Kind != "formed" || got[0].Cycle != 100 {
+		t.Errorf("first frame = %+v", got[0])
+	}
+	if got[1].Kind != "guard_exit" || got[1].Reason != "fault" {
+		t.Errorf("second frame = %+v", got[1])
+	}
+}

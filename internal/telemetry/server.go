@@ -5,7 +5,11 @@
 //	/metrics        Prometheus text exposition rendered from live
 //	                trace.Registry snapshots
 //	/trace/stream   Server-Sent Events tailing the trace ring through a
-//	                bounded drop-counting sink (never blocks the CPU)
+//	                bounded drop-counting sink (never blocks the CPU);
+//	                ?source=jit tails the JIT event log instead
+//	/jit/traces     the per-PC tier heatmap: live trace/block cache
+//	                sites with residency and per-reason deopt counters
+//	/jit/events     the bounded JIT event log's retained window as JSON
 //	/profile/flame  the cycle profiler as folded-stack flamegraph text
 //	/profile/top    the flat profile as JSON
 //	/status         run identity plus instruction/cycle rates computed
@@ -62,6 +66,16 @@ type Config struct {
 	// Profiler, if non-nil, backs /profile/flame and /profile/top. New
 	// marks it shared (trace.Profiler.Share) so live reads are safe.
 	Profiler *trace.Profiler
+
+	// JIT, if non-nil, backs /jit/events and /trace/stream?source=jit:
+	// the bounded JIT event log the machine records into.
+	JIT *trace.JITLog
+	// JITSites, if non-nil, backs /jit/traces: a per-job-label snapshot
+	// of the live trace/block caches (the per-PC tier heatmap). mipsrun
+	// closes over its one machine (cpu.ShareTraces makes the live read
+	// safe — see SingleJITSites); mipsd collects each job's sites at
+	// quantum boundaries.
+	JITSites func() map[string]trace.JITSites
 
 	// SampleInterval is the /status rate-sampler period (default 1s).
 	SampleInterval time.Duration
@@ -128,6 +142,8 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/trace/stream", s.handleTraceStream)
+	s.mux.HandleFunc("/jit/traces", s.handleJITTraces)
+	s.mux.HandleFunc("/jit/events", s.handleJITEvents)
 	s.mux.HandleFunc("/profile/flame", s.handleFlame)
 	s.mux.HandleFunc("/profile/top", s.handleTop)
 	s.mux.HandleFunc("/status", s.handleStatus)
@@ -283,7 +299,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte("mips telemetry\n" +
 		"  /metrics        Prometheus exposition (fleet rollup + peers when federated)\n" +
-		"  /trace/stream   live trace events (SSE; ?sample=K tails K jobs)\n" +
+		"  /trace/stream   live trace events (SSE; ?sample=K tails K jobs; ?source=jit tails the JIT log)\n" +
+		"  /jit/traces     per-PC tier heatmap: live trace/block sites with deopt reasons\n" +
+		"  /jit/events     retained JIT event log window (JSON; ?n=K keeps the last K)\n" +
 		"  /profile/flame  folded-stack flamegraph (?scope=fleet merges all jobs)\n" +
 		"  /profile/top    flat profile JSON (?n=20)\n" +
 		"  /status         run identity and rates\n"))

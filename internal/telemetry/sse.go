@@ -22,15 +22,25 @@ import (
 // /metrics as telemetry_sse_dropped{client="cN"}, so a consumer always
 // knows its view is partial.
 //
-// Two modes:
+// Three modes:
 //
-//	/trace/stream           tail the server's single tracer (Config.Tracer)
-//	/trace/stream?sample=K  tail K of the sampler's live tracers (mipsd's
-//	                        per-job tracers) merged into one stream; the
-//	                        opening `event: sample` frame names the
-//	                        sources and counts the jobs skipped.
+//	/trace/stream            tail the server's single tracer (Config.Tracer)
+//	/trace/stream?sample=K   tail K of the sampler's live tracers (mipsd's
+//	                         per-job tracers) merged into one stream; the
+//	                         opening `event: sample` frame names the
+//	                         sources and counts the jobs skipped.
+//	/trace/stream?source=jit tail the JIT event log (Config.JIT) as
+//	                         `event: jit` frames — see jit.go.
 
 func (s *Server) handleTraceStream(w http.ResponseWriter, r *http.Request) {
+	if src := r.URL.Query().Get("source"); src != "" && src != "trace" {
+		if src == "jit" {
+			s.handleJITStream(w, r)
+			return
+		}
+		http.Error(w, "unknown stream source (want trace or jit)", http.StatusBadRequest)
+		return
+	}
 	if q := r.URL.Query().Get("sample"); q != "" {
 		s.handleSampledStream(w, r, q)
 		return

@@ -105,6 +105,25 @@ func RegisterTranslation(r *Registry, prefix string, ts *cpu.TranslationStats) e
 	c("trace.guard_exits", "early trace exits: direction guards, faults, self-invalidating stores", &ts.TraceGuardExits)
 	c("trace.invalidations", "compiled traces dropped by the memory write barrier", &ts.TraceInvalidations)
 	c("trace.dispatch_hits", "trace executions started (cache entry and trace-to-trace chaining)", &ts.TraceDispatchHits)
+	for reason := cpu.DeoptReason(0); reason < cpu.NumDeoptReasons; reason++ {
+		c("trace.guard_exits."+reason.String(),
+			"guard exits deopting for reason "+reason.String()+" (partitions trace.guard_exits)",
+			&ts.TraceDeopts[reason])
+	}
+	c("trace.deopt.environment", "trace dispatches refused because hooks or a non-quiet config force slower tiers", &ts.TraceDeoptEnvironment)
+	c("trace.deopt.interrupt", "trace dispatches refused by a pending interrupt", &ts.TraceDeoptInterrupt)
+	c("trace.deopt.chain_budget", "trace chains cut by the chain-follow budget with a successor trace ready", &ts.TraceDeoptChainBudget)
+	for reason := cpu.FormRefusal(0); reason < cpu.NumFormRefusals; reason++ {
+		c("trace.refuse."+reason.String(),
+			"trace recordings refused or truncated: "+reason.String(),
+			&ts.TraceFormRefusals[reason])
+	}
+	c("trace.poisoned", "entry PCs poisoned (heatNever) after an unformable recording", &ts.TracePoisoned)
+	for tier := cpu.Tier(0); tier < cpu.NumTiers; tier++ {
+		c("tier."+tier.String(),
+			"instructions retired in the "+tier.String()+" engine tier (partitions cpu.instructions)",
+			&ts.TierInstrs[tier])
+	}
 	return g.err
 }
 

@@ -142,6 +142,44 @@ for want in \
     }
 done
 
+echo "==> jit introspection: traces-engine job, tier heatmap, deopt families"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"program":"fib","engine":"traces","tenant":"smoke","name":"fib-traced"}' \
+    "$BASE/jobs" >"$TMP/submit4.json"
+ID4=$(field id "$TMP/submit4.json")
+[ -n "$ID4" ] || { echo "no job id for traces-engine job" >&2; cat "$TMP/submit4.json" >&2; exit 1; }
+STATE4=$(wait_done "$ID4")
+if [ "$STATE4" != "done" ]; then
+    echo "traces-engine job $ID4 ended in state $STATE4" >&2
+    cat "$TMP/status.json" >&2
+    exit 1
+fi
+curl -fsS "$BASE/jit/traces" >"$TMP/jit_traces.json"
+grep -q '"entry_pc"' "$TMP/jit_traces.json" || {
+    echo "/jit/traces has no trace sites:" >&2
+    head "$TMP/jit_traces.json" >&2
+    exit 1
+}
+grep -q "\"$ID4/fib-traced\"" "$TMP/jit_traces.json" || {
+    echo "/jit/traces is missing the traced job's heatmap" >&2
+    exit 1
+}
+curl -fsS "$BASE/jit/events" >"$TMP/jit_events.json"
+grep -q '"kind": *"compiled"' "$TMP/jit_events.json" || {
+    echo "/jit/events recorded no trace compilation:" >&2
+    head "$TMP/jit_events.json" >&2
+    exit 1
+}
+curl -fsS "$BASE/metrics" >"$TMP/metrics2.txt"
+for want in \
+    xlate_trace_guard_exits_branch_direction xlate_trace_guard_exits_fault \
+    xlate_trace_refuse_shadow_branch xlate_trace_poisoned xlate_tier_traces; do
+    grep -q "^$want{" "$TMP/metrics2.txt" || {
+        echo "/metrics is missing the per-reason family $want" >&2
+        exit 1
+    }
+done
+
 echo "==> fleet observability: merged flamegraph"
 curl -fsS "$BASE/profile/flame?scope=fleet" >"$TMP/fleet.folded"
 [ -s "$TMP/fleet.folded" ] || { echo "empty fleet flamegraph" >&2; exit 1; }
