@@ -6,9 +6,10 @@
 //	benchdiff [-threshold PCT] [-q] old.json new.json
 //
 // It prints a per-benchmark delta table for cycles, nop fraction, and
-// free-bandwidth fraction, then exits non-zero if any benchmark's
-// cycle count grew by more than the threshold (default 2%) or
-// disappeared from the new artifact. The simulator is deterministic, so
+// free-bandwidth fraction — plus informational (never gated) sections
+// for per-tier instruction residency and the trace deopt-reason mix —
+// then exits non-zero if any benchmark's cycle count grew by more than
+// the threshold (default 2%) or disappeared from the new artifact. The simulator is deterministic, so
 // identical code yields byte-identical artifacts and any delta is a
 // real behavioral change; CI runs this against the committed baseline
 // (scripts/benchgate.sh).
@@ -41,6 +42,16 @@ func main() {
 	deltas := tables.DiffCoreBench(old, cur)
 	if !*quiet {
 		fmt.Println(tables.BenchDiffTable(deltas, *threshold).Render())
+		// Informational only: where instructions retired per engine
+		// tier and how trace guard exits were distributed. Never gated
+		// — but the first place to look when the cycle gate trips.
+		res := tables.DiffResidency(old, cur)
+		if t := tables.BenchResidencyTable(res); t != nil {
+			fmt.Println(t.Render())
+		}
+		if t := tables.BenchDeoptTable(res); t != nil {
+			fmt.Println(t.Render())
+		}
 	}
 	bad := tables.Regressions(deltas, *threshold)
 	if len(bad) == 0 {

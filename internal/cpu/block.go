@@ -642,6 +642,13 @@ func (c *CPU) runBlocks() (*block, bool) {
 			follow >= c.chainFollow || !c.queueSequential() {
 			return b, true
 		}
+		if c.trec.active && c.trec.n > traceMaxBlocks {
+			// The recording buffer is full: chaining further retires
+			// instructions the recording cannot use (formation truncates
+			// at traceMaxBlocks anyway), charging the block tier for
+			// nothing. End the recording Step at this exact boundary.
+			return b, true
+		}
 		npc := c.pcq[0]
 		if traceTier && c.traceYield(npc) {
 			return b, true
@@ -654,6 +661,25 @@ func (c *CPU) runBlocks() (*block, bool) {
 					c.Trans.BlockChained++
 				}
 				break
+			}
+		}
+		if nb == nil && c.trec.active && !mapped && npc < uint32(len(c.IMem)) {
+			// A recording must capture the whole hot path, but chain
+			// edges toward trace-covered entries are never built (trace
+			// dispatch intercepts those entries before the block engine
+			// sees them). Resolve through the cache exactly as dispatch
+			// entry does — translation cost is formation-time, paid once.
+			if cached := *c.blockSlot(npc); cached != nil && cached.valid && cached.pa == npc {
+				nb = cached
+				c.Trans.BlockHits++
+			} else {
+				nb = c.translateBlock(npc)
+			}
+			if !c.blockCurrent(nb) {
+				nb = c.translateBlock(nb.pa)
+			}
+			if b.valid {
+				b.recordChain(npc, nb)
 			}
 		}
 		if nb == nil {

@@ -190,11 +190,15 @@ const (
 	// JITPoisoned: an entry PC marked never-hot (heatNever) after its
 	// path failed to form.
 	JITPoisoned
+	// JITSideCompiled: a side stub compiled for a hot guard exit — the
+	// cold arm of a branch-direction guard or an indirect-target miss —
+	// and wired exit-to-entry into the trace tree.
+	JITSideCompiled
 )
 
 var jitKindNames = [...]string{
 	"formed", "compiled", "dispatch_cold", "guard_exit",
-	"invalidated", "refused", "poisoned",
+	"invalidated", "refused", "poisoned", "side_compiled",
 }
 
 func (k JITEventKind) String() string {
@@ -257,14 +261,17 @@ func (c *CPU) unlockTraces() {
 // TraceSite is the per-entry-PC introspection view of one live compiled
 // trace: identity, shape, and its dispatch/retirement/deopt history.
 type TraceSite struct {
-	EntryPC uint32
-	EndPC   uint32
-	Ops     int    // compiled closure count
-	Blocks  int    // superblocks fused
-	Words   uint32 // instruction-memory words covered (span total)
-	Hits    uint64 // dispatches (cache entry and chaining alike)
-	Instrs  uint64 // instructions retired inside this trace
-	Deopts  [NumDeoptReasons]uint64
+	EntryPC  uint32
+	EndPC    uint32
+	Ops      int    // compiled closure count
+	Blocks   int    // superblocks fused
+	Words    uint32 // instruction-memory words covered (span total)
+	Side     bool   // a side stub (guard-exit continuation), not a heat-formed entry
+	Hits     uint64 // dispatches (cache entry and chaining alike)
+	Instrs   uint64 // instructions retired inside this trace
+	SideHits uint64 // branch-direction exits here resolved in-tier
+	ICHits   uint64 // indirect-target exits here resolved through the ICs
+	Deopts   [NumDeoptReasons]uint64
 }
 
 // TraceSites returns the introspection view of every live compiled
@@ -277,12 +284,15 @@ func (c *CPU) TraceSites() []TraceSite {
 	out := make([]TraceSite, 0, len(c.liveTraces))
 	for _, tr := range c.liveTraces {
 		s := TraceSite{
-			EntryPC: tr.pa,
-			EndPC:   tr.endPC,
-			Ops:     len(tr.ops),
-			Blocks:  len(tr.spans),
-			Hits:    atomic.LoadUint64(&tr.hits),
-			Instrs:  atomic.LoadUint64(&tr.instrs),
+			EntryPC:  tr.pa,
+			EndPC:    tr.endPC,
+			Ops:      len(tr.ops),
+			Blocks:   len(tr.spans),
+			Side:     tr.side,
+			Hits:     atomic.LoadUint64(&tr.hits),
+			Instrs:   atomic.LoadUint64(&tr.instrs),
+			SideHits: atomic.LoadUint64(&tr.sideHits),
+			ICHits:   atomic.LoadUint64(&tr.icHits),
 		}
 		for _, sp := range tr.spans {
 			s.Words += sp.n

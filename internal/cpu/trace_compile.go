@@ -57,6 +57,14 @@ var (
 	// A faulting memory word accounts its data cycle but not the
 	// load/store completion count, exactly like finishWord's fault path.
 	wcMemFault = traceCost{instr: 1, cycles: 1, pieces: 1, data: 1}
+
+	// Packed words carry two active pieces; otherwise the same shapes.
+	wcPackedLoadImm  = traceCost{instr: 1, cycles: 1, pieces: 2, free: 1}
+	wcPackedLoad     = traceCost{instr: 1, cycles: 1, pieces: 2, loads: 1, data: 1}
+	wcPackedStore    = traceCost{instr: 1, cycles: 1, pieces: 2, stores: 1, data: 1}
+	wcPackedBranch   = traceCost{instr: 1, cycles: 1, pieces: 2, branches: 1, free: 1}
+	wcPackedTaken    = traceCost{instr: 1, cycles: 1, pieces: 2, branches: 1, taken: 1, free: 1}
+	wcPackedMemFault = traceCost{instr: 1, cycles: 1, pieces: 2, data: 1}
 )
 
 // rdOp reads a predecoded operand on the unguarded path: no load can be
@@ -88,6 +96,16 @@ func (c *CPU) traceFault(q [3]uint32, cause isa.Cause) {
 	c.exception(cause, isa.CauseNone, 0)
 }
 
+// traceFault2 is traceFault with a secondary cause: a packed word whose
+// ALU piece overflowed while its memory piece also faulted, ordered by
+// the exception priority rule (overflow primary, mapping secondary).
+func (c *CPU) traceFault2(q [3]uint32, primary, secondary isa.Cause) {
+	c.deopt = DeoptFault
+	c.pcq[0], c.pcq[1], c.pcq[2] = q[0], q[1], q[2]
+	c.pcn = 3
+	c.exception(primary, secondary, 0)
+}
+
 // runTrace executes a compiled trace from its entry, then chains
 // trace-to-trace through the cache (a loop trace chains to itself)
 // bounded by the same follow budget as block chaining. A guard exit
@@ -113,31 +131,45 @@ func (c *CPU) runTrace(tr *trace) {
 		}
 		ops := tr.ops
 		clean := true
+		xi := 0
 		i0 := c.Stats.Instructions
 		for i := 0; i < len(ops); i++ {
 			if !ops[i](c) {
-				// The closure set c.deopt immediately before returning
-				// false, so this single accounting site keeps the
-				// per-reason slots an exact partition of the legacy
-				// total — and attributes the exit to this trace's site.
-				r := c.deopt
-				c.Trans.TraceGuardExits++
-				c.Trans.TraceDeopts[r]++
-				tr.deopts[r]++
-				clean = false
-				if c.onJIT != nil {
-					c.emitJIT(JITEvent{Kind: JITGuardExit, Reason: uint8(r), PC: tr.pa, Len: uint32(i)})
-				}
+				clean, xi = false, i
 				break
 			}
 		}
 		if clean {
 			tr.cost.add(&c.Stats)
 			c.pcq[0], c.pcn = tr.endPC, 1
-		}
-		tr.instrs += c.Stats.Instructions - i0
-		if !clean && (c.Halted || c.excSeq != exc0 || c.pcn != 1) {
-			return
+			tr.instrs += c.Stats.Instructions - i0
+		} else {
+			tr.instrs += c.Stats.Instructions - i0
+			// The closure set c.deopt immediately before returning
+			// false. Mispredicted directions and indirect targets first
+			// try to resolve inside the tier — chain straight into the
+			// trace or side stub covering where execution actually went
+			// — and only an unresolved exit counts as a guard exit, so
+			// the per-reason slots stay an exact partition of the total
+			// and every op exit counts exactly one of guard-exit,
+			// side-hit, or IC-hit.
+			r := c.deopt
+			if (r == DeoptBranchDirection || r == DeoptIndirectTarget) &&
+				c.excSeq == exc0 && follow < c.chainFollow {
+				if nt := c.sideResolve(tr, xi, r); nt != nil {
+					tr = nt
+					continue
+				}
+			}
+			c.Trans.TraceGuardExits++
+			c.Trans.TraceDeopts[r]++
+			tr.deopts[r]++
+			if c.onJIT != nil {
+				c.emitJIT(JITEvent{Kind: JITGuardExit, Reason: uint8(r), PC: tr.pa, Len: uint32(xi)})
+			}
+			if c.Halted || c.excSeq != exc0 || c.pcn != 1 {
+				return
+			}
 		}
 		if follow >= c.chainFollow {
 			// Standing down with a compiled trace ready at the next PC
@@ -154,6 +186,168 @@ func (c *CPU) runTrace(tr *trace) {
 		}
 		tr = nt
 	}
+}
+
+// sideResolve tries to keep a mispredicted-direction or wrong-target
+// exit inside the trace tier. The exiting closure left the exact
+// architectural fetch queue, which is all the classification needs:
+//
+//   - a sequential queue (the cold arm starts at the next word, no
+//     delay slot in flight) chains into a compiled trace there;
+//   - a branch redirect queue [ds, target] chains into the op's side
+//     stub — the flattened delay slot ending at the target — compiling
+//     it once the exit crosses sideThreshold;
+//   - an indirect redirect queue [ds0, ds1, target] looks the target up
+//     in the op's inline cache (MRU first), installing a new stub on a
+//     hot miss.
+//
+// A successful resolution returns the trace to continue in, having
+// counted a side/IC hit; nil falls back to the guard-exit path.
+func (c *CPU) sideResolve(tr *trace, xi int, r DeoptReason) *trace {
+	if c.pcn == 1 || (c.pcn == 2 && c.pcq[1] == c.pcq[0]+1) {
+		if nt := c.traceAt(c.pcq[0]); nt != nil {
+			c.Trans.TraceSideHits++
+			tr.sideHits++
+			return nt
+		}
+		return nil
+	}
+	if tr.sides == nil {
+		return nil
+	}
+	s := &tr.sides[xi]
+	if r == DeoptBranchDirection {
+		if c.pcn != 2 {
+			return nil
+		}
+		if st := s.br; st != nil && st.valid {
+			c.Trans.TraceSideHits++
+			tr.sideHits++
+			return st
+		}
+		s.br = nil // dropped by the barrier: rebuild from live memory
+		if s.hot == sideNever {
+			return nil
+		}
+		s.hot++
+		if s.hot < sideThreshold {
+			return nil
+		}
+		st := c.buildSideStub(c.pcq[0], 1, c.pcq[1])
+		if st == nil {
+			s.hot = sideNever
+			return nil
+		}
+		s.hot = 0
+		s.br = st
+		c.Trans.TraceSideCompiled++
+		if c.onJIT != nil {
+			c.emitJIT(JITEvent{Kind: JITSideCompiled, PC: st.pa, Len: uint32(len(st.ops))})
+		}
+		c.Trans.TraceSideHits++
+		tr.sideHits++
+		return st
+	}
+	// DeoptIndirectTarget: queue is [vpc+1, vpc+2, target].
+	if c.pcn != 3 {
+		return nil
+	}
+	t := c.pcq[2]
+	if st := s.ic[0]; st != nil && st.valid && s.icTgt[0] == t {
+		c.Trans.TraceICHits++
+		tr.icHits++
+		return st
+	}
+	if st := s.ic[1]; st != nil && st.valid && s.icTgt[1] == t {
+		s.ic[0], s.ic[1] = s.ic[1], s.ic[0]
+		s.icTgt[0], s.icTgt[1] = s.icTgt[1], s.icTgt[0]
+		c.Trans.TraceICHits++
+		tr.icHits++
+		return st
+	}
+	if s.hot == sideNever {
+		return nil
+	}
+	s.hot++
+	if s.hot < sideThreshold {
+		return nil
+	}
+	st := c.buildSideStub(c.pcq[0], 2, t)
+	if st == nil {
+		// Compilability depends only on the delay-slot words, which are
+		// the same for every target: poison the whole slot.
+		s.hot = sideNever
+		return nil
+	}
+	s.hot = 0
+	s.ic[1], s.icTgt[1] = s.ic[0], s.icTgt[0]
+	s.ic[0], s.icTgt[0] = st, t
+	c.Trans.TraceICInstalls++
+	if c.onJIT != nil {
+		c.emitJIT(JITEvent{Kind: JITSideCompiled, PC: st.pa, Len: uint32(len(st.ops))})
+	}
+	c.Trans.TraceICHits++
+	tr.icHits++
+	return st
+}
+
+// buildSideStub compiles the minimal continuation of a guard exit: the
+// dsN delay-slot words still in flight (starting at dsPC), flattened
+// with the exact fault-restart and completion queues of a drain toward
+// control target x, ending at x. After a clean stub pass the queue is
+// [x] and the ordinary chain loop picks up the trace there — so the
+// stub stitches the parent to the cold path's own trace, forming a
+// trace tree, without ever returning to dispatch.
+//
+// The words come fresh from live instruction memory (pc == pa in the
+// quiet configuration), never from the parent's recording: a stub built
+// after self-modification must reflect what the lower tiers would
+// fetch. Stubs are derived state like every trace — the write barrier
+// drops them, validity is checked at every use, and a dropped stub
+// re-forms from memory on the next hot exit.
+func (c *CPU) buildSideStub(dsPC uint32, dsN int, x uint32) *trace {
+	if uint64(dsPC)+uint64(dsN) > uint64(len(c.IMem)) {
+		return nil
+	}
+	var words [2]traceWord
+	for k := 0; k < dsN; k++ {
+		pa := dsPC + uint32(k)
+		in := c.IMem[pa]
+		if in.ALU == nil && in.Mem == nil {
+			return nil
+		}
+		w := &words[k]
+		decodeWord(&w.d, pa, in)
+		classifyLean(&w.d)
+		if !dsCompilable(&w.d) {
+			return nil
+		}
+		w.vpc = pa
+		// Entry state is unknown (a load may be pending from the
+		// parent): every stub word runs the guarded variant.
+		w.hazard = true
+	}
+	if dsN == 1 {
+		words[0].fq = [3]uint32{dsPC, x, x + 1}
+		words[0].cq = [2]uint32{x}
+		words[0].cqn = 1
+	} else {
+		d1 := dsPC + 1
+		words[0].fq = [3]uint32{dsPC, d1, x}
+		words[0].cq = [2]uint32{d1, x}
+		words[0].cqn = 2
+		words[1].fq = [3]uint32{d1, x, x + 1}
+		words[1].cq = [2]uint32{x}
+		words[1].cqn = 1
+	}
+	tr := c.compileTrace(words[:dsN], dsPC, x, []traceSpan{{pa: dsPC, n: uint32(dsN)}})
+	if tr == nil {
+		return nil
+	}
+	tr.side = true
+	tr.sides = nil // stub words carry no resolvable guards
+	c.installSideTrace(tr)
+	return tr
 }
 
 // compileTrace builds the closure array for a flattened path. It is
@@ -186,9 +380,20 @@ func (c *CPU) compileTrace(words []traceWord, entry, endPC uint32, spans []trace
 		var happy traceCost
 		switch w.d.bclass {
 		case bcGeneral:
+			packedALU := w.d.aluKind == isa.PieceALU || w.d.aluKind == isa.PieceSetCond
 			switch w.d.memKind {
 			case isa.PieceBranch, isa.PieceJump, isa.PieceCall, isa.PieceJumpInd:
-				op, happy = emitGeneralTerm(tr, w, pre)
+				if packedALU {
+					op, happy = emitPackedTerm(w, pre)
+				} else {
+					op, happy = emitGeneralTerm(tr, w, pre)
+				}
+			case isa.PieceLoad, isa.PieceStore:
+				if packedALU {
+					op, happy = emitPacked(tr, w, pre)
+				} else {
+					op, happy = emitGeneral(tr, w, pre)
+				}
 			default:
 				op, happy = emitGeneral(tr, w, pre)
 			}
@@ -219,6 +424,9 @@ func (c *CPU) compileTrace(words []traceWord, entry, endPC uint32, spans []trace
 	}
 	tr.ops = ops
 	tr.cost = pre
+	// Side-exit state, one slot per op, allocated here so the dispatch
+	// path never does: a resolvable guard exit indexes its own op.
+	tr.sides = make([]sideSlot, len(ops))
 	return tr
 }
 
@@ -369,6 +577,373 @@ func emitGeneralTerm(tr *trace, w *traceWord, pre traceCost) (traceOp, traceCost
 		}
 		return true
 	}, traceCost{}
+}
+
+// packedALU evaluates the computation piece of a packed word: operand
+// reads in the exact executor's order, overflow latched against the
+// dispatch-latched trap enable. It returns the value to commit to the
+// ALU destination (or the byte-selector value for movlo) and whether an
+// enabled overflow occurred; the caller owns commit order and the
+// overflow exit.
+func (c *CPU) packedALU(d *decoded, vpc uint32, guarded bool) (v, lo uint32, ovf bool) {
+	var a, b uint32
+	if guarded {
+		a = rdOpG(c, d.a1, vpc)
+	} else {
+		a = rdOp(c, d.a1)
+	}
+	if d.aluKind == isa.PieceSetCond {
+		if guarded {
+			b = rdOpG(c, d.a2, vpc)
+		} else {
+			b = rdOp(c, d.a2)
+		}
+		if d.aluCmp.Eval(a, b) {
+			v = 1
+		}
+		return v, 0, false
+	}
+	if !d.aluUnary {
+		if guarded {
+			b = rdOpG(c, d.a2, vpc)
+		} else {
+			b = rdOp(c, d.a2)
+		}
+	}
+	var dstVal uint32
+	if d.aluDstRead {
+		if guarded {
+			dstVal = c.leanRead(d.aluDst, vpc)
+		} else {
+			dstVal = c.Regs[d.aluDst]
+		}
+	}
+	v, lo, o := aluEval(d.aluOp, a, b, dstVal, c.Lo)
+	return v, lo, o && c.trOvfOn
+}
+
+// emitPacked compiles a packed body word — an ALU-class piece sharing
+// its word with a load or store — as one specialized closure instead of
+// routing through the exact executor. Semantics mirror execFast +
+// finishWord exactly: operand reads before address reads, the memory
+// piece executing even when the ALU piece overflowed (a store commits
+// to memory, a load counts, and only the register writes are
+// suppressed), overflow primary over a memory fault, and the staged
+// commit order (ALU write, then the load's delayed write). Position
+// exactness comes from the flattened queues, so packed words compile
+// anywhere in a trace — body, delay slot — unlike emitGeneral's fixed
+// sequential shape.
+func emitPacked(tr *trace, w *traceWord, pre traceCost) (traceOp, traceCost) {
+	d := w.d
+	vpc, fq := w.vpc, w.fq
+	cq, cqn := w.cq, int(w.cqn)
+	guarded := w.hazard
+	movLo := d.aluKind == isa.PieceALU && d.aluOp == isa.OpMovLo
+	dst := d.aluDst
+	data := d.data
+
+	if d.memKind == isa.PieceLoad && d.mode == isa.AModeLongImm {
+		imm := uint32(d.disp)
+		ecOvf := pre.plus(wcPackedLoadImm)
+		return func(c *CPU) bool {
+			c.seq++
+			if guarded && c.pendN != 0 {
+				c.commitLoads()
+			}
+			aluV, loV, ovf := c.packedALU(&d, vpc, guarded)
+			if ovf {
+				ecOvf.add(&c.Stats)
+				c.traceFault(fq, isa.CauseOverflow)
+				return false
+			}
+			if movLo {
+				c.Regs[data] = imm
+				c.lastWrite[data] = c.seq
+				c.Lo = loV
+				return true
+			}
+			// Stage order: ALU write first, the immediate second (a
+			// shared destination takes the immediate).
+			c.Regs[dst] = aluV
+			c.lastWrite[dst] = c.seq
+			c.Regs[data] = imm
+			c.lastWrite[data] = c.seq
+			return true
+		}, wcPackedLoadImm
+	}
+
+	ecFault := pre.plus(wcPackedMemFault)
+	if d.memKind == isa.PieceLoad {
+		ecOvf := pre.plus(wcPackedLoad)
+		return func(c *CPU) bool {
+			c.seq++
+			if guarded && c.pendN != 0 {
+				c.commitLoads()
+			}
+			aluV, loV, ovf := c.packedALU(&d, vpc, guarded)
+			var addr uint32
+			if guarded {
+				addr = c.leanAddr(&d, vpc)
+			} else {
+				switch d.mode {
+				case isa.AModeAbs:
+					addr = uint32(d.disp)
+				case isa.AModeDisp:
+					addr = c.Regs[d.base] + uint32(d.disp)
+				case isa.AModeIndex:
+					addr = c.Regs[d.base] + c.Regs[d.index]
+				default:
+					addr = c.Regs[d.base] + c.Regs[d.index]>>d.shift
+				}
+			}
+			v, f := c.Bus.Read(addr, false)
+			if f != nil {
+				ecFault.add(&c.Stats)
+				if ovf {
+					c.traceFault2(fq, isa.CauseOverflow, f.Cause)
+				} else {
+					c.traceFault(fq, f.Cause)
+				}
+				return false
+			}
+			if c.onMem != nil {
+				c.onMem(vpc, addr, false)
+			}
+			if ovf {
+				// The load completed and counts; only the writes are
+				// suppressed.
+				ecOvf.add(&c.Stats)
+				c.traceFault(fq, isa.CauseOverflow)
+				return false
+			}
+			if !movLo {
+				c.Regs[dst] = aluV
+				c.lastWrite[dst] = c.seq
+			}
+			c.writeLoad(data, v)
+			if movLo {
+				c.Lo = loV
+			}
+			return true
+		}, wcPackedLoad
+	}
+
+	// Packed store.
+	ecDone := pre.plus(wcPackedStore)
+	return func(c *CPU) bool {
+		c.seq++
+		if guarded && c.pendN != 0 {
+			c.commitLoads()
+		}
+		aluV, loV, ovf := c.packedALU(&d, vpc, guarded)
+		var addr, val uint32
+		if guarded {
+			addr = c.leanAddr(&d, vpc)
+			val = c.leanRead(data, vpc)
+		} else {
+			switch d.mode {
+			case isa.AModeAbs:
+				addr = uint32(d.disp)
+			case isa.AModeDisp:
+				addr = c.Regs[d.base] + uint32(d.disp)
+			case isa.AModeIndex:
+				addr = c.Regs[d.base] + c.Regs[d.index]
+			default:
+				addr = c.Regs[d.base] + c.Regs[d.index]>>d.shift
+			}
+			val = c.Regs[data]
+		}
+		if f := c.Bus.Write(addr, val, false); f != nil {
+			ecFault.add(&c.Stats)
+			if ovf {
+				c.traceFault2(fq, isa.CauseOverflow, f.Cause)
+			} else {
+				c.traceFault(fq, f.Cause)
+			}
+			return false
+		}
+		if c.onMem != nil {
+			c.onMem(vpc, addr, true)
+		}
+		if ovf {
+			// The store hit memory (and may have invalidated this very
+			// trace); the register write is suppressed and the word
+			// restarts through the exception.
+			ecDone.add(&c.Stats)
+			c.traceFault(fq, isa.CauseOverflow)
+			return false
+		}
+		if movLo {
+			c.Lo = loV
+		} else {
+			c.Regs[dst] = aluV
+			c.lastWrite[dst] = c.seq
+		}
+		if !tr.valid {
+			c.deopt = DeoptInvalidation
+			ecDone.add(&c.Stats)
+			c.pcq[0], c.pcq[1] = cq[0], cq[1]
+			c.pcn = cqn
+			return false
+		}
+		return true
+	}, wcPackedStore
+}
+
+// emitPackedTerm compiles a packed terminator — an ALU-class piece
+// sharing its word with a branch, jump, call, or indirect jump — as one
+// specialized closure. The control piece evaluates exactly (hook fired
+// with the real outcome before any exit), the recorded direction or
+// target is the guard, and a disagreeing resolution restores the exact
+// redirect queue the executor would have produced. An enabled overflow
+// accounts the word with its real control outcome, then restarts it
+// through the fault queue the real direction leaves behind — the queue
+// entries past the architectural return window are discarded by the
+// exception sequence, so three entries always suffice.
+func emitPackedTerm(w *traceWord, pre traceCost) (traceOp, traceCost) {
+	d := w.d
+	vpc, fq := w.vpc, w.fq
+	guarded := w.hazard
+	movLo := d.aluKind == isa.PieceALU && d.aluOp == isa.OpMovLo
+	dst := d.aluDst
+
+	if d.memKind == isa.PieceJumpInd {
+		exp := w.expTarget
+		ec := pre.plus(wcPackedTaken)
+		return func(c *CPU) bool {
+			c.seq++
+			if guarded && c.pendN != 0 {
+				c.commitLoads()
+			}
+			aluV, loV, ovf := c.packedALU(&d, vpc, guarded)
+			var t uint32
+			if guarded {
+				t = rdOpG(c, d.m1, vpc)
+			} else {
+				t = rdOp(c, d.m1)
+			}
+			if c.onBranch != nil {
+				c.onBranch(vpc, t, true)
+			}
+			if ovf {
+				// The jump executed, then the word restarted: the
+				// fourth queue entry (the target, two delays out) falls
+				// past the saved return window, so the restart queue is
+				// the sequential image.
+				ec.add(&c.Stats)
+				c.traceFault(fq, isa.CauseOverflow)
+				return false
+			}
+			if movLo {
+				c.Lo = loV
+			} else {
+				c.Regs[dst] = aluV
+				c.lastWrite[dst] = c.seq
+			}
+			if t != exp {
+				c.deopt = DeoptIndirectTarget
+				ec.add(&c.Stats)
+				c.pcq[0], c.pcq[1], c.pcq[2] = vpc+1, vpc+2, t
+				c.pcn = 3
+				return false
+			}
+			return true
+		}, wcPackedTaken
+	}
+
+	if d.memKind == isa.PieceBranch {
+		target := d.target
+		recTaken := w.taken
+		ecTaken := pre.plus(wcPackedTaken)
+		ecNot := pre.plus(wcPackedBranch)
+		happy := wcPackedBranch
+		if recTaken {
+			happy = wcPackedTaken
+		}
+		return func(c *CPU) bool {
+			c.seq++
+			if guarded && c.pendN != 0 {
+				c.commitLoads()
+			}
+			aluV, loV, ovf := c.packedALU(&d, vpc, guarded)
+			var a, b uint32
+			if guarded {
+				a, b = rdOpG(c, d.m1, vpc), rdOpG(c, d.m2, vpc)
+			} else {
+				a, b = rdOp(c, d.m1), rdOp(c, d.m2)
+			}
+			t := d.memCmp.Eval(a, b)
+			if c.onBranch != nil {
+				c.onBranch(vpc, target, t)
+			}
+			if ovf {
+				// Word accounted with its real outcome, then restarted:
+				// the fault queue carries the real direction's redirect.
+				q1 := vpc + 2
+				if t {
+					ecTaken.add(&c.Stats)
+					q1 = target
+				} else {
+					ecNot.add(&c.Stats)
+				}
+				c.traceFault([3]uint32{vpc, vpc + 1, q1}, isa.CauseOverflow)
+				return false
+			}
+			if movLo {
+				c.Lo = loV
+			} else {
+				c.Regs[dst] = aluV
+				c.lastWrite[dst] = c.seq
+			}
+			if t != recTaken {
+				c.deopt = DeoptBranchDirection
+				if t {
+					ecTaken.add(&c.Stats)
+					c.pcq[0], c.pcq[1] = vpc+1, target
+					c.pcn = 2
+				} else {
+					ecNot.add(&c.Stats)
+					c.pcq[0], c.pcn = vpc+1, 1
+				}
+				return false
+			}
+			return true
+		}, happy
+	}
+
+	// Direct jump or call: always taken, the only exit is overflow.
+	target := d.target
+	isCall := d.memKind == isa.PieceCall
+	linkDst := d.linkDst
+	link := vpc + 1 + isa.BranchDelay
+	ec := pre.plus(wcPackedTaken)
+	return func(c *CPU) bool {
+		c.seq++
+		if guarded && c.pendN != 0 {
+			c.commitLoads()
+		}
+		aluV, loV, ovf := c.packedALU(&d, vpc, guarded)
+		if c.onBranch != nil {
+			c.onBranch(vpc, target, true)
+		}
+		if ovf {
+			ec.add(&c.Stats)
+			c.traceFault([3]uint32{vpc, vpc + 1, target}, isa.CauseOverflow)
+			return false
+		}
+		if movLo {
+			c.Lo = loV
+		} else {
+			c.Regs[dst] = aluV
+			c.lastWrite[dst] = c.seq
+		}
+		if isCall {
+			// Link commits after the ALU write, exactly as staged.
+			c.Regs[linkDst] = link
+			c.lastWrite[linkDst] = c.seq
+		}
+		return true
+	}, wcPackedTaken
 }
 
 // emitALU compiles a single-ALU-piece word. The overflow-capable ops

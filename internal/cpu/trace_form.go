@@ -144,18 +144,36 @@ func (c *CPU) heatBump(pc uint32) bool {
 	}
 	h := &c.heat[pc&(heatEntries-1)]
 	if h.pc != pc {
-		h.pc, h.n = pc, 1
+		if h.n != 0 {
+			// The direct-mapped slot held another entry PC still warming
+			// (or poisoned): its accumulated heat is lost to aliasing.
+			c.Trans.TraceHeatEvicted++
+		}
+		h.pc, h.n, h.boff = pc, 1, 0
 		return false
 	}
 	if h.n == heatNever {
 		return false
 	}
 	h.n++
-	if h.n >= heatThreshold {
+	if h.n >= heatThreshold<<h.boff {
 		h.n = 0
 		return true
 	}
 	return false
+}
+
+// heatBackoff doubles an entry's effective formation threshold after a
+// transient (short-path) refusal: the retry stays possible but each
+// failure makes the next attempt rarer, bounding steady-state recording
+// cost without the permanence of poisoning.
+func (c *CPU) heatBackoff(pc uint32) {
+	if c.heat == nil {
+		return
+	}
+	if h := &c.heat[pc&(heatEntries-1)]; h.pc == pc && h.boff < heatBoffMax {
+		h.boff++
+	}
 }
 
 // traceYield reports whether the block chain should end at npc and hand
@@ -199,6 +217,13 @@ func dsCompilable(d *decoded) bool {
 	switch d.bclass {
 	case bcNop, bcALU, bcLoad, bcStore:
 		return true
+	case bcGeneral:
+		// A packed computation+memory word compiles position-exactly
+		// (emitPacked consumes the flattened queue images), so it may
+		// ride in a delay slot. Any other general shape — packed
+		// control, traps, specials — may not.
+		return (d.aluKind == isa.PieceALU || d.aluKind == isa.PieceSetCond) &&
+			(d.memKind == isa.PieceLoad || d.memKind == isa.PieceStore)
 	}
 	return false
 }
@@ -302,8 +327,15 @@ func validateTraceBlock(b *block, pc, nextPC uint32) (ok, taken bool, dsCount ui
 func (c *CPU) finishTraceRecording(entry uint32) {
 	pts := c.trec.pts[:c.trec.n]
 	if len(pts) < 2 || pts[0].pc != entry {
+		// A short path is usually transient — the block engine has not
+		// chained through this entry yet, or an interrupt cut the
+		// recording Step — so the entry backs off instead of poisoning:
+		// each failure doubles the threshold the next retry must re-earn.
+		// Recording is allocation-free up to this point, so retries cost
+		// only the recorded Step itself. Structural failures (validation
+		// refusing the first block, compilation failing) still poison.
 		c.refuseTrace(RefusalShortPath, entry)
-		c.markNeverTrace(entry)
+		c.heatBackoff(entry)
 		return
 	}
 	// A path that revisits its entry closes into a loop trace; an open
@@ -437,12 +469,13 @@ func (c *CPU) finishTraceRecording(entry uint32) {
 		if i < 2 {
 			words[i].hazard = true
 		}
-		if (words[i].d.bclass == bcLoad && !words[i].eager &&
-			words[i].d.mode != isa.AModeLongImm) ||
-			words[i].d.bclass == bcGeneral {
-			// A non-eager load's commit lands two words later; a packed
-			// word run through the exact executor may leave one pending
-			// too. Either way the window drains per word.
+		d := &words[i].d
+		if (d.bclass == bcLoad && !words[i].eager && d.mode != isa.AModeLongImm) ||
+			(d.bclass == bcGeneral && d.memKind == isa.PieceLoad &&
+				d.mode != isa.AModeLongImm) {
+			// A non-eager load's commit lands two words later, and a
+			// packed load (always delayed) leaves the same window; no
+			// other shape pends a write. The window drains per word.
 			for k := i + 1; k <= i+2 && k < len(words); k++ {
 				words[k].hazard = true
 			}

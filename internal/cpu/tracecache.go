@@ -24,14 +24,25 @@ const (
 
 	// heatEntries sizes the direct-mapped heat table; heatThreshold is
 	// how many trace-tier dispatch misses an entry PC accumulates
-	// before a path recording triggers.
+	// before a path recording triggers. The threshold can sit this low
+	// because recordings no longer depend on how deeply the block
+	// engine has chained (the recording loop resolves successors
+	// through the block cache itself) and a transiently short path
+	// backs off instead of poisoning, so early recording costs little
+	// and short programs reach the trace tier while they still matter.
 	heatEntries   = 1 << 9
-	heatThreshold = 32
+	heatThreshold = 8
 
 	// traceMaxBlocks bounds how many superblocks one recording may
 	// fuse; traceMaxOps bounds the compiled op count.
 	traceMaxBlocks = 16
 	traceMaxOps    = 256
+
+	// sideThreshold is how many times one op's guard must exit toward
+	// the same unresolved continuation before a side stub is compiled
+	// for it. Lower than heatThreshold: the parent trace being hot is
+	// already established, only the exit's own heat is in question.
+	sideThreshold = 16
 )
 
 // traceOp is one compiled trace operation: a specialized closure over
@@ -72,6 +83,23 @@ type traceSpan struct {
 	n  uint32
 }
 
+// sideSlot is one compiled op's side-exit state: how hot its guard
+// exits run, the side stub compiled for a branch guard's cold arm, and
+// the small inline target cache of an indirect guard (MRU entry first).
+// All of it is derived state rebuilt on demand: validity is checked on
+// every use, and a dropped stub re-forms from live instruction memory.
+type sideSlot struct {
+	hot   uint32 // exits observed since the last build (sideNever: poisoned)
+	br    *trace // cold-arm stub of a branch-direction guard
+	icTgt [2]uint32
+	ic    [2]*trace // indirect-target stubs keyed by icTgt
+}
+
+// sideNever poisons a side slot whose continuation cannot compile, so
+// steady state stops re-attempting (and re-allocating) the build. A
+// rebuilt parent trace allocates fresh slots.
+const sideNever = ^uint32(0)
+
 // trace is one compiled trace: the flat closure array, the bulk cost of
 // a clean pass, the resume point after it, and the coherence spans.
 type trace struct {
@@ -83,14 +111,23 @@ type trace struct {
 
 	valid   bool
 	warm    bool // dispatched at least once (gates the dispatch-cold event)
+	side    bool // a side stub: reached by exit-to-entry chaining, not the cache
 	liveIdx int  // index in CPU.liveTraces, for swap-removal
+
+	// sides holds per-op side-exit state, indexed like ops. Allocated at
+	// compile time so the dispatch path never allocates; side stubs keep
+	// it nil (their words carry no resolvable guards).
+	sides []sideSlot
 
 	// Per-site introspection history, written by the CPU goroutine and
 	// read by TraceSites via atomic loads: dispatches, instructions
-	// retired inside this trace, and guard exits by reason.
-	hits   uint64
-	instrs uint64
-	deopts [NumDeoptReasons]uint64
+	// retired inside this trace, guard exits by reason, and exits
+	// resolved in-tier (side stubs and inline caches).
+	hits     uint64
+	instrs   uint64
+	sideHits uint64
+	icHits   uint64
+	deopts   [NumDeoptReasons]uint64
 }
 
 // covers reports whether a physical word address falls inside any span.
@@ -103,11 +140,21 @@ func (tr *trace) covers(addr uint32) bool {
 	return false
 }
 
-// heatEntry is one slot of the direct-mapped heat table.
+// heatEntry is one slot of the direct-mapped heat table. boff is the
+// entry's backoff exponent: a short-path refusal doubles the effective
+// threshold instead of poisoning, so transient failures (the block
+// engine had not chained through the entry yet) retry cheaply while
+// persistent ones decay toward never without a permanent mark.
 type heatEntry struct {
-	pc uint32
-	n  uint32
+	pc   uint32
+	n    uint32
+	boff uint8
 }
+
+// heatBoffMax caps the backoff exponent: 4<<10 = 4096 misses between
+// retries is close enough to never while still self-healing if the
+// code around the entry changes shape.
+const heatBoffMax = 10
 
 // traceSlot returns the trace-cache slot for an entry PC, building the
 // cache lazily.
@@ -138,6 +185,23 @@ func (c *CPU) installTrace(tr *trace) {
 		c.dropTrace(old)
 	}
 	*slot = tr
+	tr.valid = true
+	tr.liveIdx = len(c.liveTraces)
+	c.liveTraces = append(c.liveTraces, tr)
+	c.unlockTraces()
+	for _, sp := range tr.spans {
+		c.coverWords(sp.pa, sp.n)
+	}
+	c.armBarrier()
+}
+
+// installSideTrace registers a side stub with the live list and the
+// write barrier but not the trace cache: a stub's entry is reached with
+// a non-sequential fetch queue (mid delay-slot drain), so it must never
+// be found by a plain head-of-queue lookup — only by the exit-to-entry
+// wiring in its parent's side slot.
+func (c *CPU) installSideTrace(tr *trace) {
+	c.lockTraces()
 	tr.valid = true
 	tr.liveIdx = len(c.liveTraces)
 	c.liveTraces = append(c.liveTraces, tr)

@@ -13,7 +13,7 @@ import (
 	"mips/internal/mem"
 )
 
-// Snapshot wire format, version 3:
+// Snapshot wire format, version 4:
 //
 //	offset  size  field
 //	0       8     magic "MIPSSNAP"
@@ -34,8 +34,9 @@ const (
 	// SnapshotVersion is the current snapshot format version. Version 2
 	// extended cpu.TranslationStats with the trace-tier counters;
 	// version 3 extended it again with the deopt/refusal taxonomy and
-	// tier-residency counters. Both change the gob payload.
-	SnapshotVersion = 3
+	// tier-residency counters; version 4 added the side-trace, inline-
+	// cache, and heat-eviction counters. Each changes the gob payload.
+	SnapshotVersion = 4
 	snapshotHeader  = 24
 	// maxSnapshotPayload bounds how much Restore will read: a corrupt
 	// length field must not become an allocation bomb. 1 GiB is far

@@ -287,6 +287,9 @@ func TestSnapshotRandomPreemptAcrossEngines(t *testing.T) {
 	if a.Trans().TraceDispatchHits == 0 {
 		t.Fatal("uninterrupted traces run never dispatched a trace; the test is vacuous")
 	}
+	if a.Trans().TraceSideHits+a.Trans().TraceICHits == 0 {
+		t.Fatal("uninterrupted traces run never resolved a side exit in-tier; the mid-side-trace preemption property is vacuous")
+	}
 
 	rotation := []sim.Engine{sim.Traces, sim.Blocks, sim.Traces, sim.FastPath, sim.Traces, sim.Reference}
 	for seed := int64(1); seed <= 3; seed++ {

@@ -105,6 +105,199 @@ func Regressions(deltas []BenchDelta, thresholdPct float64) []BenchDelta {
 	return bad
 }
 
+// tierOrder fixes the rendering order of the execution tiers from
+// slowest to fastest, matching the dispatch ladder. Unknown tier names
+// (a future tier against an old benchdiff binary) sort after these,
+// alphabetically.
+var tierOrder = []string{"reference", "fast", "blocks", "traces"}
+
+// ResidencyDelta is one benchmark's informational tier/deopt
+// comparison: where its instructions retired before and after, and how
+// its trace guard exits were distributed over the deopt taxonomy. None
+// of this is gated — residency shifts and deopt-mix changes are exactly
+// what tier work is supposed to produce — but a rising deopt count or a
+// fall out of the trace tier is the first thing to look at when the
+// cycle gate trips.
+type ResidencyDelta struct {
+	Name string
+	// Tiers maps tier name to instruction share (0..1) computed from
+	// xlate.tier.* over cpu.instructions, per artifact. Nil when the
+	// artifact predates tier accounting.
+	OldTiers, NewTiers map[string]float64
+	// Deopts compares the xlate.trace.guard_exits.<reason> counters,
+	// listing every reason nonzero on either side.
+	Deopts []DeoptDelta
+}
+
+// DeoptDelta is one guard-exit reason's old-vs-new count.
+type DeoptDelta struct {
+	Reason   string
+	Old, New uint64
+}
+
+// tierShares extracts the per-tier instruction shares of one entry.
+func tierShares(e CoreBenchEntry) map[string]float64 {
+	instr := float64(e.Metrics["cpu.instructions"])
+	if instr == 0 {
+		return nil
+	}
+	var shares map[string]float64
+	for k, v := range e.Metrics {
+		if name, ok := cutPrefix(k, "xlate.tier."); ok {
+			if shares == nil {
+				shares = map[string]float64{}
+			}
+			shares[name] = float64(v) / instr
+		}
+	}
+	return shares
+}
+
+// DiffResidency builds the informational tier-residency and
+// deopt-reason comparison for every benchmark present in both
+// artifacts. Benchmarks without tier accounting on either side are
+// skipped entirely.
+func DiffResidency(before, after map[string]CoreBenchEntry) []ResidencyDelta {
+	var names []string
+	for n := range after {
+		if _, ok := before[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var out []ResidencyDelta
+	for _, n := range names {
+		o, w := before[n], after[n]
+		d := ResidencyDelta{Name: n, OldTiers: tierShares(o), NewTiers: tierShares(w)}
+		if d.OldTiers == nil && d.NewTiers == nil {
+			continue
+		}
+		reasons := map[string]bool{}
+		for k, v := range o.Metrics {
+			if r, ok := cutPrefix(k, "xlate.trace.guard_exits."); ok && v > 0 {
+				reasons[r] = true
+			}
+		}
+		for k, v := range w.Metrics {
+			if r, ok := cutPrefix(k, "xlate.trace.guard_exits."); ok && v > 0 {
+				reasons[r] = true
+			}
+		}
+		sorted := make([]string, 0, len(reasons))
+		for r := range reasons {
+			sorted = append(sorted, r)
+		}
+		sort.Strings(sorted)
+		for _, r := range sorted {
+			d.Deopts = append(d.Deopts, DeoptDelta{
+				Reason: r,
+				Old:    o.Metrics["xlate.trace.guard_exits."+r],
+				New:    w.Metrics["xlate.trace.guard_exits."+r],
+			})
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// cutPrefix is strings.CutPrefix for the one shape used here.
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) > len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+// orderedTiers lists every tier name present in a delta, ladder order
+// first, unknown names after.
+func orderedTiers(d ResidencyDelta) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, t := range tierOrder {
+		if _, o := d.OldTiers[t]; o {
+			names, seen[t] = append(names, t), true
+			continue
+		}
+		if _, w := d.NewTiers[t]; w {
+			names, seen[t] = append(names, t), true
+		}
+	}
+	var extra []string
+	for t := range d.OldTiers {
+		if !seen[t] {
+			extra, seen[t] = append(extra, t), true
+		}
+	}
+	for t := range d.NewTiers {
+		if !seen[t] {
+			extra, seen[t] = append(extra, t), true
+		}
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}
+
+// BenchResidencyTable renders the informational per-tier residency
+// comparison: one row per benchmark × tier, instruction share old vs
+// new. Returns nil when no benchmark carries tier accounting.
+func BenchResidencyTable(deltas []ResidencyDelta) *Table {
+	if len(deltas) == 0 {
+		return nil
+	}
+	t := &Table{
+		ID:     "benchdiff-residency",
+		Title:  "Tier residency (informational: share of cpu.instructions per engine tier)",
+		Header: []string{"program", "tier", "instr% old", "instr% new", "Δ"},
+	}
+	for _, d := range deltas {
+		for _, tier := range orderedTiers(d) {
+			o, inOld := d.OldTiers[tier]
+			w, inNew := d.NewTiers[tier]
+			oc, wc := "-", "-"
+			if inOld {
+				oc = pct(o)
+			}
+			if inNew {
+				wc = pct(w)
+			}
+			delta := "-"
+			if inOld && inNew {
+				delta = fmt.Sprintf("%+.1fpp", 100*(w-o))
+			}
+			t.AddRow(d.Name, tier, oc, wc, delta)
+		}
+	}
+	return t
+}
+
+// BenchDeoptTable renders the informational deopt-reason comparison:
+// one row per benchmark × guard-exit reason that fired on either side.
+// Returns nil when no trace tier ever deopted.
+func BenchDeoptTable(deltas []ResidencyDelta) *Table {
+	any := false
+	for _, d := range deltas {
+		if len(d.Deopts) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	t := &Table{
+		ID:     "benchdiff-deopts",
+		Title:  "Trace deopt reasons (informational: xlate.trace.guard_exits.* old vs new)",
+		Header: []string{"program", "reason", "exits old", "exits new", "Δ"},
+	}
+	for _, d := range deltas {
+		for _, dd := range d.Deopts {
+			t.AddRow(d.Name, dd.Reason, num(dd.Old), num(dd.New),
+				fmt.Sprintf("%+d", int64(dd.New)-int64(dd.Old)))
+		}
+	}
+	return t
+}
+
 // BenchDiffTable renders the comparison for the console.
 func BenchDiffTable(deltas []BenchDelta, thresholdPct float64) *Table {
 	t := &Table{

@@ -121,6 +121,78 @@ func TestBenchDiffNewMetricKeysInformational(t *testing.T) {
 	}
 }
 
+// TestBenchDiffResidencySections pins the informational tier-residency
+// and deopt-reason comparison: shares computed against cpu.instructions
+// per artifact, reasons unioned across both sides, nothing gated, and
+// benchmarks without tier accounting skipped entirely.
+func TestBenchDiffResidencySections(t *testing.T) {
+	old := benchFixture(50000)
+	cur := benchFixture(50000)
+	fib := old["fib"]
+	fib.Metrics = trace.Snapshot{
+		"cpu.cycles":        50000,
+		"cpu.instructions":  40000,
+		"xlate.tier.blocks": 30000,
+		"xlate.tier.traces": 10000,
+		"xlate.trace.guard_exits.branch_direction": 900,
+	}
+	old["fib"] = fib
+	fib = cur["fib"]
+	fib.Metrics = trace.Snapshot{
+		"cpu.cycles":        50000,
+		"cpu.instructions":  40000,
+		"xlate.tier.blocks": 8000,
+		"xlate.tier.traces": 32000,
+		"xlate.trace.guard_exits.branch_direction": 90,
+		"xlate.trace.guard_exits.indirect_target":  12,
+	}
+	cur["fib"] = fib
+
+	res := DiffResidency(old, cur)
+	if len(res) != 1 || res[0].Name != "fib" {
+		t.Fatalf("residency deltas = %+v, want exactly fib (puzzle0 has no tier counters)", res)
+	}
+	d := res[0]
+	if got := d.OldTiers["blocks"]; got != 0.75 {
+		t.Errorf("old blocks share = %v, want 0.75", got)
+	}
+	if got := d.NewTiers["traces"]; got != 0.80 {
+		t.Errorf("new traces share = %v, want 0.80", got)
+	}
+	want := []DeoptDelta{
+		{Reason: "branch_direction", Old: 900, New: 90},
+		{Reason: "indirect_target", Old: 0, New: 12},
+	}
+	if len(d.Deopts) != len(want) {
+		t.Fatalf("deopt deltas = %+v, want %+v", d.Deopts, want)
+	}
+	for i := range want {
+		if d.Deopts[i] != want[i] {
+			t.Errorf("Deopts[%d] = %+v, want %+v", i, d.Deopts[i], want[i])
+		}
+	}
+	// Residency shifts and deopt-mix changes never trip the gate.
+	if bad := Regressions(DiffCoreBench(old, cur), 2.0); len(bad) != 0 {
+		t.Errorf("informational sections flagged as regression: %+v", bad)
+	}
+	rt := BenchResidencyTable(res).Render()
+	for _, s := range []string{"fib", "blocks", "traces", "+55.0pp", "-55.0pp"} {
+		if !strings.Contains(rt, s) {
+			t.Errorf("residency table lacks %q:\n%s", s, rt)
+		}
+	}
+	dt := BenchDeoptTable(res).Render()
+	for _, s := range []string{"branch_direction", "-810", "indirect_target", "+12"} {
+		if !strings.Contains(dt, s) {
+			t.Errorf("deopt table lacks %q:\n%s", s, dt)
+		}
+	}
+	// Artifacts with no tier accounting anywhere render nothing.
+	if BenchResidencyTable(nil) != nil || BenchDeoptTable(nil) != nil {
+		t.Error("empty residency input rendered a table")
+	}
+}
+
 // TestBenchDiffRoundTripsArtifact pins that the reader consumes exactly
 // what WriteCoreBench produces.
 func TestBenchDiffRoundTripsArtifact(t *testing.T) {

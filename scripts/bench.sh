@@ -13,6 +13,9 @@ out=${BENCH_OUT:-BENCH_core.json}
 echo "==> steady-state allocation check (must be 0 allocs/op)"
 go test ./internal/cpu/ -run TestSteadyStateZeroAlloc -count=1 -v
 
+echo "==> side-trace/inline-cache dispatch paths (must be 0 allocs/op)"
+go test ./internal/cpu/ -run TestSideTraceZeroAllocSteadyState -count=1 -v
+
 echo "==> job-service hot path without telemetry (must be 0 allocs/op)"
 go test ./internal/sim/ -run TestJobServiceNoTelemetryZeroAlloc -count=1 -v
 go test ./internal/sim/ -run '^$' -bench BenchmarkJobServiceNoTelemetry \
