@@ -12,14 +12,31 @@
 // snapshot of any running job and resubmit it later — to the same
 // daemon, a different one, or a different engine.
 //
-//	POST /jobs               submit ({"program": "sieve"} or {"snapshot": base64};
-//	                         optional tenant/profile/trace fields)
-//	GET  /jobs               list job statuses
-//	GET  /jobs/{id}          one job's status
-//	GET  /jobs/{id}/output   console output (terminal states)
-//	GET  /jobs/{id}/profile  folded cycle stacks (profile: true jobs)
-//	GET  /jobs/{id}/snapshot checkpoint download (binary, resumable)
-//	POST /jobs/{id}/cancel   request cancellation
+// The job API is versioned under /v1. Jobs cold-boot from a corpus
+// program or a snapshot upload, or warm-fork from a named template — a
+// golden snapshot held pre-decoded so admission costs O(pages-touched)
+// copy-on-write work instead of a full boot:
+//
+//	POST   /v1/jobs               submit ({"program": "sieve"},
+//	                              {"snapshot": base64}, or
+//	                              {"template": "name"}; optional
+//	                              tenant/profile/trace fields)
+//	GET    /v1/jobs               list jobs (?state=, ?limit=, ?after=)
+//	GET    /v1/jobs/{id}          one job's status
+//	GET    /v1/jobs/{id}/output   console output (terminal states)
+//	GET    /v1/jobs/{id}/profile  folded cycle stacks (profile: true jobs)
+//	GET    /v1/jobs/{id}/snapshot checkpoint download (binary, resumable)
+//	POST   /v1/jobs/{id}/cancel   request cancellation
+//	PUT    /v1/templates/{name}   create a template from a program or
+//	                              snapshot (optional warmup_steps)
+//	GET    /v1/templates          list templates
+//	GET    /v1/templates/{name}   template metadata
+//	DELETE /v1/templates/{name}   remove a template
+//
+// Errors are a JSON envelope {"error": "...", "code": "..."} with
+// machine-readable codes (queue_full, closed, not_found, bad_spec,
+// template_missing). The unversioned /jobs paths remain as aliases for
+// one release and will be removed; new clients should use /v1.
 //
 // Submittable programs are the built-in corpus; the telemetry surface
 // serves the job service's counters plus the fleet rollup:
@@ -118,14 +135,15 @@ func main() {
 		JIT:             jitLog,
 		OnJobTerminal: func(s sim.JobSample) {
 			rollup.Observe(fleet.JobSample{
-				Tenant:         s.Tenant,
-				Engine:         s.Engine,
-				Outcome:        s.Outcome,
-				LatencySeconds: s.LatencySeconds,
-				InstrsPerSec:   s.InstrsPerSec,
-				Instructions:   s.Instructions,
-				Preempts:       s.Preempts,
-				Counters:       s.Counters,
+				Tenant:           s.Tenant,
+				Engine:           s.Engine,
+				Outcome:          s.Outcome,
+				LatencySeconds:   s.LatencySeconds,
+				AdmissionSeconds: s.AdmissionSeconds,
+				InstrsPerSec:     s.InstrsPerSec,
+				Instructions:     s.Instructions,
+				Preempts:         s.Preempts,
+				Counters:         s.Counters,
 			})
 		},
 	})
@@ -146,8 +164,10 @@ func main() {
 		merged, _ := fed.MergedFolded(svc.FleetFolded())
 		return fleet.WriteFolded(w, merged)
 	})
-	handler := svc.Handler(sim.HTTPConfig{Programs: corpusPrograms()})
-	srv.Mount("/jobs", handler)
+	templates := sim.NewTemplatePool()
+	handler := svc.Handler(sim.HTTPConfig{Programs: corpusPrograms(), Templates: templates})
+	srv.Mount("/v1/", handler)
+	srv.Mount("/jobs", handler) // legacy unversioned aliases (one release)
 	srv.Mount("/jobs/", handler)
 	srv.Mount("/fleet/peers", fed.Handler())
 
@@ -155,7 +175,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "mipsd: serving simulation jobs at %s (POST /jobs, GET /jobs/{id}, /metrics, /status)\n", displayURL(bound))
+	fmt.Fprintf(os.Stderr, "mipsd: serving simulation jobs at %s (POST /v1/jobs, PUT /v1/templates/{name}, /metrics, /status)\n", displayURL(bound))
 	if peers := fed.Peers(); len(peers) > 0 {
 		fmt.Fprintf(os.Stderr, "mipsd: federating %d peers: %s\n", len(peers), strings.Join(peers, ", "))
 	}

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
 
 	"mips/internal/asm"
 	"mips/internal/cpu"
@@ -36,28 +37,22 @@ type Config struct {
 	TimerPeriod uint32
 }
 
-// NewMachine builds and boots-ready a machine: the kernel is assembled
-// through the reorganizer, loaded at physical address zero, and sealed
-// as ROM.
-func NewMachine(cfg Config) (*Machine, error) {
-	if cfg.PhysWords == 0 {
-		cfg.PhysWords = 1 << 22
-	}
-	if cfg.PhysWords > IOBase {
-		return nil, fmt.Errorf("kernel: physical memory (%d words) overlaps the device window at %d", cfg.PhysWords, IOBase)
-	}
-	phys := mem.NewPhysical(cfg.PhysWords)
-	m := &Machine{Phys: phys}
-	m.disk = newDisk()
+// kernelImages memoizes the assembled kernel per physical page count
+// (the only input to kernelSource). Assembling the kernel — parse,
+// reorganize, encode — dominates machine construction, and every
+// machine of a given memory size runs byte-identical kernel text, so
+// one assembly per size serves the whole process. The cached image is
+// shared read-only: LoadImage copies the words into instruction memory
+// and never writes the image.
+var kernelImages sync.Map // phys pages (uint32) -> *isa.Image
 
-	bus := cpu.NewBus(phys)
-	m.CPU = cpu.New(bus)
-	m.dev = &devices{m: m}
-	m.dev.timer.period = cfg.TimerPeriod
-	bus.Attach(m.dev)
-
-	// Build the kernel with the full reorganizer chain.
-	unit, err := asm.Parse(kernelSource(uint32(cfg.PhysWords) >> mem.PageBits))
+// kernelImage returns the assembled kernel for a machine with the given
+// number of physical pages, building and caching it on first use.
+func kernelImage(physPages uint32) (*isa.Image, error) {
+	if im, ok := kernelImages.Load(physPages); ok {
+		return im.(*isa.Image), nil
+	}
+	unit, err := asm.Parse(kernelSource(physPages))
 	if err != nil {
 		return nil, fmt.Errorf("kernel: %w", err)
 	}
@@ -69,16 +64,68 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if len(im.Words) >= causeTab {
 		return nil, fmt.Errorf("kernel text too large: %d words", len(im.Words))
 	}
-	if err := m.CPU.LoadImage(im); err != nil {
+	cached, _ := kernelImages.LoadOrStore(physPages, im)
+	return cached.(*isa.Image), nil
+}
+
+// NewMachine builds and boots-ready a machine: the kernel is assembled
+// through the reorganizer, loaded at physical address zero, and sealed
+// as ROM.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.PhysWords == 0 {
+		cfg.PhysWords = 1 << 22
+	}
+	if cfg.PhysWords > IOBase {
+		return nil, fmt.Errorf("kernel: physical memory (%d words) overlaps the device window at %d", cfg.PhysWords, IOBase)
+	}
+	m, err := newShell(mem.NewPhysical(cfg.PhysWords), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.CPU.LoadImage(m.kim); err != nil {
 		return nil, fmt.Errorf("kernel: %w", err)
 	}
-	m.kim = im
-	phys.SealROM(ROMLimit)
+	m.Phys.SealROM(ROMLimit)
 	m.Phys.Poke(kFrameNxt, FirstUserFrame)
 	m.Phys.Poke(kEvictPtr, FirstUserFrame)
 	if cfg.PhysWords < (FirstUserFrame+1)<<mem.PageBits {
 		return nil, fmt.Errorf("kernel: %d words leave no user frames", cfg.PhysWords)
 	}
+	return m, nil
+}
+
+// NewMachineShell builds a machine chassis — CPU, bus, devices, empty
+// backing store — around an existing physical memory WITHOUT writing a
+// single word of it: no kernel load into memory, no ROM seal, no
+// kernel-RAM pokes. It exists for the warm-fork admission path: the
+// supplied memory is a copy-on-write fork of a booted template, so the
+// kernel text, ROM seal, and scheduler RAM already sit in the shared
+// golden frames, and writing any of them here would both be redundant
+// and privatize pages the fork may never touch. The caller restores
+// CPU, MMU, and device state from the template's capture immediately
+// after.
+func NewMachineShell(phys *mem.Physical, cfg Config) (*Machine, error) {
+	if int(phys.Size()) > IOBase {
+		return nil, fmt.Errorf("kernel: physical memory (%d words) overlaps the device window at %d", phys.Size(), IOBase)
+	}
+	return newShell(phys, cfg)
+}
+
+// newShell assembles the device complement and (cached) kernel image
+// around phys. It performs no memory writes.
+func newShell(phys *mem.Physical, cfg Config) (*Machine, error) {
+	im, err := kernelImage(phys.Size() >> mem.PageBits)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{Phys: phys}
+	m.disk = newDisk()
+	bus := cpu.NewBus(phys)
+	m.CPU = cpu.New(bus)
+	m.dev = &devices{m: m}
+	m.dev.timer.period = cfg.TimerPeriod
+	bus.Attach(m.dev)
+	m.kim = im
 	return m, nil
 }
 

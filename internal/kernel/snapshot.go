@@ -81,6 +81,13 @@ func (m *Machine) CaptureState() State {
 
 // RestoreState replaces the device state with a previous capture. The
 // caller restores the CPU, physical memory, and MMU separately.
+//
+// Backing-store page contents are adopted by reference, not copied: the
+// disk's write path (writeBack) always replaces a map entry with a
+// freshly built slice and never mutates one in place, so any number of
+// machines restored from one capture — warm forks sharing a template's
+// decoded wire — may share the page slices safely. Only the maps
+// themselves are per-machine.
 func (m *Machine) RestoreState(st State) {
 	m.dev.console.Reset()
 	m.dev.console.Write(st.Console)
@@ -91,14 +98,14 @@ func (m *Machine) RestoreState(st State) {
 	m.disk.frame = st.DiskFrame
 	m.disk.reads = st.DiskReads
 	m.disk.writes = st.DiskWrites
-	m.disk.data = make(map[uint32][]uint32)
-	m.disk.code = make(map[uint32][]isa.Instr)
+	m.disk.data = make(map[uint32][]uint32, len(st.DiskPages))
+	m.disk.code = make(map[uint32][]isa.Instr, len(st.DiskPages))
 	for _, pg := range st.DiskPages {
 		if pg.Data != nil {
-			m.disk.data[pg.VPage] = append([]uint32(nil), pg.Data...)
+			m.disk.data[pg.VPage] = pg.Data
 		}
 		if pg.Code != nil {
-			m.disk.code[pg.VPage] = append([]isa.Instr(nil), pg.Code...)
+			m.disk.code[pg.VPage] = pg.Code
 		}
 	}
 	m.pmPort.vpage = st.PMVPage

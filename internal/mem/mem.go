@@ -31,9 +31,24 @@ func (f *Fault) Error() string {
 // Physical is the physical word memory. The first RomWords words are the
 // dispatch ROM: "it must be put in a ROM on the virtual address bus"
 // (paper §3.3); writes to sealed ROM fail.
+//
+// A Physical is either a plain memory (words holds everything, shared is
+// nil) or a copy-on-write fork of a Golden frame set (cow.go): reads of
+// pages the fork has not written are served from the shared golden
+// frames, and the first store to such a page copies that one frame into
+// a private per-page frame before the write lands. The non-fork hot
+// path pays one nil check.
 type Physical struct {
-	words    []uint32
+	size     uint32
+	words    []uint32 // nil on a live fork; frames hold its private pages
 	romLimit uint32
+
+	// COW state: shared is the golden frame set (nil on plain memories),
+	// frames the two-level table of per-page private copies (nil leaf =
+	// still shared), cowFaults the number of frames copied on first write.
+	shared    []uint32
+	frames    []*cowChunk
+	cowFaults uint64
 
 	// barrier, when set, observes every successful word write — CPU
 	// stores, DMA moves, and device/loader pokes alike. The CPU's
@@ -50,11 +65,11 @@ func (p *Physical) SetWriteBarrier(fn func(addr uint32)) { p.barrier = fn }
 
 // NewPhysical allocates a physical memory of the given size in words.
 func NewPhysical(words int) *Physical {
-	return &Physical{words: make([]uint32, words)}
+	return &Physical{size: uint32(words), words: make([]uint32, words)}
 }
 
 // Size returns the memory size in words.
-func (p *Physical) Size() uint32 { return uint32(len(p.words)) }
+func (p *Physical) Size() uint32 { return p.size }
 
 // SealROM write-protects addresses below limit. The kernel loads the
 // dispatch routine first, then seals it.
@@ -65,22 +80,41 @@ func (p *Physical) ROMLimit() uint32 { return p.romLimit }
 
 // Read returns the word at a physical address.
 func (p *Physical) Read(addr uint32) (uint32, *Fault) {
-	if addr >= uint32(len(p.words)) {
+	if addr >= p.size {
 		return 0, &Fault{Cause: isa.CausePageFault, Addr: addr}
+	}
+	if p.shared != nil {
+		if fr := p.frame(addr >> PageBits); fr != nil {
+			return fr[addr&(PageWords-1)], nil
+		}
+		return p.shared[addr], nil
 	}
 	return p.words[addr], nil
 }
 
 // Write stores a word at a physical address. Writing sealed ROM is a
 // fault: the dispatch routine must always be resident and intact.
+// On a COW fork, the first store to a still-shared page copies the
+// golden frame into the fork's private memory before the write lands —
+// the write barrier then fires for the stored word exactly as for a
+// normal store (frame contents are identical up to that word, so no
+// other invalidation is due).
 func (p *Physical) Write(addr, val uint32) *Fault {
-	if addr >= uint32(len(p.words)) {
+	if addr >= p.size {
 		return &Fault{Cause: isa.CausePageFault, Addr: addr, Write: true}
 	}
 	if addr < p.romLimit {
 		return &Fault{Cause: isa.CausePageFault, Addr: addr, Write: true}
 	}
-	p.words[addr] = val
+	if p.shared != nil {
+		fr := p.frame(addr >> PageBits)
+		if fr == nil {
+			fr = p.cowBreak(addr >> PageBits)
+		}
+		fr[addr&(PageWords-1)] = val
+	} else {
+		p.words[addr] = val
+	}
 	if p.barrier != nil {
 		p.barrier(addr)
 	}
@@ -89,10 +123,18 @@ func (p *Physical) Write(addr, val uint32) *Fault {
 
 // Poke writes a word ignoring ROM protection; used only by loaders and
 // devices. Out-of-range pokes are dropped (a device writing past the end
-// of installed memory).
+// of installed memory). Pokes break COW sharing like any other store.
 func (p *Physical) Poke(addr, val uint32) {
-	if addr < uint32(len(p.words)) {
-		p.words[addr] = val
+	if addr < p.size {
+		if p.shared != nil {
+			fr := p.frame(addr >> PageBits)
+			if fr == nil {
+				fr = p.cowBreak(addr >> PageBits)
+			}
+			fr[addr&(PageWords-1)] = val
+		} else {
+			p.words[addr] = val
+		}
 		if p.barrier != nil {
 			p.barrier(addr)
 		}
@@ -101,8 +143,14 @@ func (p *Physical) Poke(addr, val uint32) {
 
 // Peek reads a word without fault semantics; used by tests and tools.
 func (p *Physical) Peek(addr uint32) uint32 {
-	if addr >= uint32(len(p.words)) {
+	if addr >= p.size {
 		return 0
+	}
+	if p.shared != nil {
+		if fr := p.frame(addr >> PageBits); fr != nil {
+			return fr[addr&(PageWords-1)]
+		}
+		return p.shared[addr]
 	}
 	return p.words[addr]
 }

@@ -32,19 +32,31 @@ type PhysState struct {
 const physRunGap = 16
 
 // CaptureState snapshots memory contents and the ROM seal. The result
-// shares no storage with the memory.
+// shares no storage with the memory. On a COW fork the capture reads
+// through the golden frames — still-shared pages flatten into the
+// capture — so a fork's checkpoint is self-contained: it restores
+// anywhere with no reference to the template it forked from.
 func (p *Physical) CaptureState() PhysState {
-	st := PhysState{Size: uint32(len(p.words)), ROMLimit: p.romLimit}
-	i, n := 0, len(p.words)
+	at := func(i int) uint32 { return p.words[i] }
+	if p.shared != nil {
+		at = func(i int) uint32 {
+			if fr := p.frame(uint32(i) >> PageBits); fr != nil {
+				return fr[uint32(i)&(PageWords-1)]
+			}
+			return p.shared[i]
+		}
+	}
+	st := PhysState{Size: p.size, ROMLimit: p.romLimit}
+	i, n := 0, int(p.size)
 	for i < n {
-		if p.words[i] == 0 {
+		if at(i) == 0 {
 			i++
 			continue
 		}
 		start, last := i, i
 		zeros := 0
 		for i++; i < n; i++ {
-			if p.words[i] != 0 {
+			if at(i) != 0 {
 				last, zeros = i, 0
 				continue
 			}
@@ -53,7 +65,9 @@ func (p *Physical) CaptureState() PhysState {
 			}
 		}
 		run := make([]uint32, last-start+1)
-		copy(run, p.words[start:last+1])
+		for k := range run {
+			run[k] = at(start + k)
+		}
 		st.Runs = append(st.Runs, PhysRun{Base: uint32(start), Words: run})
 	}
 	return st
@@ -62,10 +76,16 @@ func (p *Physical) CaptureState() PhysState {
 // RestoreState replaces memory contents with a previous capture. The
 // memory must have been constructed at the captured size. The write
 // barrier is not invoked: restore accompanies a cache invalidation on
-// the CPU side, which is the only barrier consumer.
+// the CPU side, which is the only barrier consumer. Restoring over a
+// COW fork drops the golden sharing — every page becomes private, since
+// the capture replaces the whole contents anyway.
 func (p *Physical) RestoreState(st PhysState) error {
-	if st.Size != uint32(len(p.words)) {
-		return fmt.Errorf("mem: restore: memory is %d words, capture is %d", len(p.words), st.Size)
+	if st.Size != p.size {
+		return fmt.Errorf("mem: restore: memory is %d words, capture is %d", p.size, st.Size)
+	}
+	p.shared, p.frames = nil, nil
+	if p.words == nil {
+		p.words = make([]uint32, p.size)
 	}
 	clear(p.words)
 	for _, run := range st.Runs {

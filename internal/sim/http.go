@@ -7,26 +7,41 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"mips/internal/isa"
 	"mips/internal/kernel"
 )
 
-// HTTP surface of the job service, mounted under /jobs (cmd/mipsd
-// mounts it on the telemetry server):
+// HTTP surface of the job service (cmd/mipsd mounts it on the
+// telemetry server). The versioned surface lives under /v1:
 //
-//	POST /jobs               submit a job (JSON body, see jobRequest)
-//	GET  /jobs               list job statuses
-//	GET  /jobs/{id}          one job's status
-//	GET  /jobs/{id}/output   console output so far (text)
-//	GET  /jobs/{id}/profile  folded cycle stacks (text; profile: true jobs)
-//	GET  /jobs/{id}/snapshot checkpoint download (binary, resumable)
-//	POST /jobs/{id}/cancel   request cancellation
+//	POST   /v1/jobs                  submit a job (JSON body, see jobRequest)
+//	GET    /v1/jobs                  list jobs (?state= filter, ?limit=/?after= pagination)
+//	GET    /v1/jobs/{id}             one job's status
+//	GET    /v1/jobs/{id}/status      alias of the above
+//	GET    /v1/jobs/{id}/output      console output so far (text)
+//	GET    /v1/jobs/{id}/profile     folded cycle stacks (text; profile: true jobs)
+//	GET    /v1/jobs/{id}/snapshot    checkpoint download (binary, resumable)
+//	POST   /v1/jobs/{id}/cancel      request cancellation
+//	PUT    /v1/templates/{name}      create/replace a golden template (JSON body, see templateRequest)
+//	GET    /v1/templates             list templates
+//	GET    /v1/templates/{name}      one template's metadata
+//	DELETE /v1/templates/{name}      delete a template (live forks keep running)
 //
-// A submitted job names a built-in program, or carries a snapshot from
-// a previous run (the /jobs/{id}/snapshot bytes, base64 in JSON) to
-// resume it — possibly on a different engine.
+// The legacy unversioned /jobs paths remain mounted as thin aliases for
+// one release (see the README deprecation note); new clients should use
+// /v1. Every error response is one JSON envelope:
+//
+//	{"error": "human-readable message", "code": "machine_readable_code"}
+//
+// with codes queue_full, closed, not_found, bad_spec, template_missing.
+//
+// A submitted job names a built-in program, carries a snapshot from a
+// previous run (the snapshot endpoint's bytes, base64 in JSON) to
+// resume it — possibly on a different engine — or names a template to
+// warm-fork from.
 
 // ProgramFunc compiles a named program; kernelTarget selects the
 // kernel-process memory layout. cmd/mipsd supplies the corpus this way
@@ -37,15 +52,35 @@ type ProgramFunc func(kernelTarget bool) (*isa.Image, error)
 type HTTPConfig struct {
 	// Programs maps submittable program names to their builders.
 	Programs map[string]ProgramFunc
+	// Templates is the golden-template pool served under /v1/templates
+	// and forked by template submissions. Handler creates a private pool
+	// when nil.
+	Templates *TemplatePool
 }
 
-// jobRequest is the POST /jobs body.
+// Machine-readable error codes carried in the JSON error envelope.
+const (
+	CodeQueueFull       = "queue_full"       // admission backpressure; retry after jobs finish
+	CodeClosed          = "closed"           // service is draining/closed
+	CodeNotFound        = "not_found"        // no such job, or state not available yet
+	CodeBadSpec         = "bad_spec"         // malformed or inconsistent request
+	CodeTemplateMissing = "template_missing" // no such template
+)
+
+// errorEnvelope is the uniform JSON error body.
+type errorEnvelope struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// jobRequest is the POST /v1/jobs body.
 type jobRequest struct {
-	Name      string `json:"name"`       // display label (default: program)
+	Name      string `json:"name"`       // display label (default: program/template)
 	Tenant    string `json:"tenant"`     // fleet-rollup tenant label (default "default")
 	Program   string `json:"program"`    // built-in program name
 	Snapshot  []byte `json:"snapshot"`   // base64 snapshot to resume instead
-	Engine    string `json:"engine"`     // reference | fast | blocks (default: process default)
+	Template  string `json:"template"`   // golden template to warm-fork instead
+	Engine    string `json:"engine"`     // reference | fast | blocks | traces (default: process default)
 	Kernel    bool   `json:"kernel"`     // run under the kernel machine
 	Timer     uint32 `json:"timer"`      // kernel timer period (implies kernel)
 	Processes int    `json:"processes"`  // kernel: copies of the program to load (default 1)
@@ -56,14 +91,65 @@ type jobRequest struct {
 	Trace     bool   `json:"trace"`      // attach a tracer (exact engine; sampled SSE source)
 }
 
-// Handler returns the job service's HTTP API.
+// templateRequest is the PUT /v1/templates/{name} body: either a
+// program spec (the machine is built, booted, optionally warmed up,
+// and captured server-side) or a pre-captured snapshot.
+type templateRequest struct {
+	Program     string `json:"program"`      // built-in program to bake in
+	Snapshot    []byte `json:"snapshot"`     // pre-captured snapshot instead
+	Engine      string `json:"engine"`       // capture engine (forks may override; snapshots are engine-agnostic)
+	Kernel      bool   `json:"kernel"`       // bake the kernel machine
+	Timer       uint32 `json:"timer"`        // kernel timer period (implies kernel)
+	Processes   int    `json:"processes"`    // kernel: copies of the program (default 1)
+	SpaceBits   uint8  `json:"space_bits"`   // kernel address-space size (default 16)
+	WarmupSteps uint64 `json:"warmup_steps"` // steps to run before capture (heat tables re-form fast in forks)
+}
+
+// jobListPage is the GET /v1/jobs response envelope.
+type jobListPage struct {
+	Jobs []Status `json:"jobs"`
+	// Next, when set, is the ?after= cursor for the next page.
+	Next string `json:"next,omitempty"`
+}
+
+// templateList is the GET /v1/templates response envelope.
+type templateList struct {
+	Templates []TemplateInfo `json:"templates"`
+}
+
+// Handler returns the job service's HTTP API (both the /v1 surface and
+// the legacy unversioned aliases).
 func (s *Service) Handler(cfg HTTPConfig) http.Handler {
+	if cfg.Templates == nil {
+		cfg.Templates = NewTemplatePool()
+	}
 	h := &jobHandler{svc: s, cfg: cfg}
 	mux := http.NewServeMux()
+
+	// Versioned surface.
+	mux.HandleFunc("POST /v1/jobs", h.submit)
+	mux.HandleFunc("POST /v1/jobs/{$}", h.submit)
+	mux.HandleFunc("GET /v1/jobs", h.list)
+	mux.HandleFunc("GET /v1/jobs/{$}", h.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", h.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/status", h.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/output", h.output)
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", h.profile)
+	mux.HandleFunc("GET /v1/jobs/{id}/snapshot", h.snapshot)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", h.cancel)
+	mux.HandleFunc("PUT /v1/templates/{name}", h.templatePut)
+	mux.HandleFunc("GET /v1/templates", h.templateIndex)
+	mux.HandleFunc("GET /v1/templates/{$}", h.templateIndex)
+	mux.HandleFunc("GET /v1/templates/{name}", h.templateGet)
+	mux.HandleFunc("DELETE /v1/templates/{name}", h.templateDelete)
+
+	// Legacy unversioned aliases, kept for one release. The legacy list
+	// keeps its original bare-array shape; everything else shares the
+	// /v1 handlers.
 	mux.HandleFunc("POST /jobs", h.submit)
 	mux.HandleFunc("POST /jobs/{$}", h.submit)
-	mux.HandleFunc("GET /jobs", h.list)
-	mux.HandleFunc("GET /jobs/{$}", h.list)
+	mux.HandleFunc("GET /jobs", h.legacyList)
+	mux.HandleFunc("GET /jobs/{$}", h.legacyList)
 	mux.HandleFunc("GET /jobs/{id}", h.status)
 	mux.HandleFunc("GET /jobs/{id}/output", h.output)
 	mux.HandleFunc("GET /jobs/{id}/profile", h.profile)
@@ -77,8 +163,8 @@ type jobHandler struct {
 	cfg HTTPConfig
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	http.Error(w, err.Error(), code)
+func httpError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorEnvelope{Error: err.Error(), Code: code})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -92,32 +178,36 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func (h *jobHandler) submit(w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSnapshotPayload)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		httpError(w, http.StatusBadRequest, CodeBadSpec, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	spec, err := h.buildSpec(req)
+	if errors.Is(err, ErrTemplateMissing) {
+		httpError(w, http.StatusNotFound, CodeTemplateMissing, err)
+		return
+	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, CodeBadSpec, err)
 		return
 	}
 	j, err := h.svc.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, err)
+		httpError(w, http.StatusTooManyRequests, CodeQueueFull, err)
 		return
 	case errors.Is(err, ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, err)
+		httpError(w, http.StatusServiceUnavailable, CodeClosed, err)
 		return
 	case err != nil:
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, CodeBadSpec, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
-// buildSpec validates a request eagerly (unknown program, bad engine)
-// but defers machine construction to the worker pool.
+// buildSpec validates a request eagerly (unknown program or template,
+// bad engine) but defers machine construction to the worker pool.
 func (h *jobHandler) buildSpec(req jobRequest) (JobSpec, error) {
 	engine, err := ParseEngine(req.Engine)
 	if err != nil {
@@ -131,10 +221,30 @@ func (h *jobHandler) buildSpec(req jobRequest) (JobSpec, error) {
 		Profile:  req.Profile,
 		Trace:    req.Trace,
 	}
-	if len(req.Snapshot) > 0 {
-		if req.Program != "" {
-			return JobSpec{}, errors.New("give either a program or a snapshot, not both")
+	sources := 0
+	for _, given := range []bool{req.Program != "", len(req.Snapshot) > 0, req.Template != ""} {
+		if given {
+			sources++
 		}
+	}
+	if sources > 1 {
+		return JobSpec{}, errors.New("give exactly one of program, snapshot, or template")
+	}
+	if req.Template != "" {
+		t, err := h.cfg.Templates.Get(req.Template)
+		if err != nil {
+			return JobSpec{}, err
+		}
+		if spec.Name == "" {
+			spec.Name = req.Template
+		}
+		spec.Template = req.Template
+		spec.Build = func() (*Machine, error) {
+			return t.Fork(WithEngine(engine))
+		}
+		return spec, nil
+	}
+	if len(req.Snapshot) > 0 {
 		snap := req.Snapshot
 		if spec.Name == "" {
 			spec.Name = "restore"
@@ -165,32 +275,92 @@ func (h *jobHandler) buildSpec(req jobRequest) (JobSpec, error) {
 		return JobSpec{}, errors.New("multiple processes need kernel: true")
 	}
 	spec.Build = func() (*Machine, error) {
-		im, err := prog(useKernel)
-		if err != nil {
-			return nil, err
-		}
-		opts := []Option{WithEngine(engine)}
-		if useKernel {
-			opts = append(opts, WithKernel(kernel.Config{TimerPeriod: req.Timer}))
-			if req.SpaceBits > 0 {
-				opts = append(opts, WithSpaceBits(req.SpaceBits))
-			}
-		}
-		m, err := New(opts...)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < nproc; i++ {
-			if err := m.Load(im); err != nil {
-				return nil, err
-			}
-		}
-		return m, nil
+		return buildProgramMachine(prog, engine, useKernel, req.Timer, req.SpaceBits, nproc)
 	}
 	return spec, nil
 }
 
+// buildProgramMachine compiles a program and loads it into a fresh
+// machine — the cold-boot admission path, shared by job submission and
+// template baking.
+func buildProgramMachine(prog ProgramFunc, engine Engine, useKernel bool, timer uint32, spaceBits uint8, nproc int) (*Machine, error) {
+	im, err := prog(useKernel)
+	if err != nil {
+		return nil, err
+	}
+	opts := []Option{WithEngine(engine)}
+	if useKernel {
+		opts = append(opts, WithKernel(kernel.Config{TimerPeriod: timer}))
+		if spaceBits > 0 {
+			opts = append(opts, WithSpaceBits(spaceBits))
+		}
+	}
+	m, err := New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nproc; i++ {
+		if err := m.Load(im); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// list serves GET /v1/jobs: submission order, optionally filtered by
+// ?state= and paginated with ?limit= / ?after= (an ID from a previous
+// page; the page starts strictly after it).
 func (h *jobHandler) list(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := q.Get("state")
+	if state != "" {
+		switch state {
+		case JobQueued.String(), JobRunning.String(), JobDone.String(), JobFailed.String(), JobCancelled.String():
+		default:
+			httpError(w, http.StatusBadRequest, CodeBadSpec, fmt.Errorf("unknown state %q", state))
+			return
+		}
+	}
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, CodeBadSpec, fmt.Errorf("bad limit %q", s))
+			return
+		}
+		limit = n
+	}
+	after := q.Get("after")
+
+	page := jobListPage{Jobs: []Status{}}
+	skipping := after != ""
+	for _, j := range h.svc.Jobs() {
+		if skipping {
+			if j.ID == after {
+				skipping = false
+			}
+			continue
+		}
+		st := j.Status()
+		if state != "" && st.State != state {
+			continue
+		}
+		if limit > 0 && len(page.Jobs) == limit {
+			page.Next = page.Jobs[len(page.Jobs)-1].ID
+			break
+		}
+		page.Jobs = append(page.Jobs, st)
+	}
+	if skipping {
+		httpError(w, http.StatusBadRequest, CodeBadSpec, fmt.Errorf("unknown cursor %q", after))
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// legacyList preserves the unversioned GET /jobs shape — a bare status
+// array, no filtering — for the deprecation window.
+func (h *jobHandler) legacyList(w http.ResponseWriter, r *http.Request) {
 	jobs := h.svc.Jobs()
 	out := make([]Status, 0, len(jobs))
 	for _, j := range jobs {
@@ -202,7 +372,7 @@ func (h *jobHandler) list(w http.ResponseWriter, r *http.Request) {
 func (h *jobHandler) job(w http.ResponseWriter, r *http.Request) *Job {
 	j, ok := h.svc.Job(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		httpError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return nil
 	}
 	return j
@@ -221,7 +391,7 @@ func (h *jobHandler) output(w http.ResponseWriter, r *http.Request) {
 	}
 	out, err := j.Output()
 	if err != nil {
-		httpError(w, http.StatusConflict, err)
+		httpError(w, http.StatusConflict, CodeNotFound, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -238,7 +408,7 @@ func (h *jobHandler) profile(w http.ResponseWriter, r *http.Request) {
 	}
 	folded := j.FoldedProfile()
 	if folded == nil {
-		httpError(w, http.StatusConflict, errors.New("job was not submitted with profile: true (or has not built its machine)"))
+		httpError(w, http.StatusConflict, CodeNotFound, errors.New("job was not submitted with profile: true (or has not built its machine)"))
 		return
 	}
 	type row struct {
@@ -268,7 +438,7 @@ func (h *jobHandler) snapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	snap, err := j.Snapshot()
 	if err != nil {
-		httpError(w, http.StatusConflict, err)
+		httpError(w, http.StatusConflict, CodeNotFound, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -283,4 +453,81 @@ func (h *jobHandler) cancel(w http.ResponseWriter, r *http.Request) {
 	}
 	h.svc.Cancel(j.ID)
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// templatePut creates or replaces a golden template: from a program
+// spec — built, booted, optionally warmed up, and captured here, since
+// template baking is the one-time preparation the fork path amortizes —
+// or from pre-captured snapshot bytes.
+func (h *jobHandler) templatePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req templateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSnapshotPayload)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, CodeBadSpec, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if (req.Program == "") == (len(req.Snapshot) == 0) {
+		httpError(w, http.StatusBadRequest, CodeBadSpec, errors.New("give exactly one of program or snapshot"))
+		return
+	}
+	if len(req.Snapshot) > 0 {
+		t, err := h.cfg.Templates.Put(name, req.Snapshot)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, CodeBadSpec, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, t.Info())
+		return
+	}
+	engine, err := ParseEngine(req.Engine)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, CodeBadSpec, err)
+		return
+	}
+	prog, ok := h.cfg.Programs[req.Program]
+	if !ok {
+		httpError(w, http.StatusBadRequest, CodeBadSpec, fmt.Errorf("unknown program %q", req.Program))
+		return
+	}
+	useKernel := req.Kernel || req.Timer > 0
+	nproc := req.Processes
+	if nproc <= 0 {
+		nproc = 1
+	}
+	if nproc > 1 && !useKernel {
+		httpError(w, http.StatusBadRequest, CodeBadSpec, errors.New("multiple processes need kernel: true"))
+		return
+	}
+	m, err := buildProgramMachine(prog, engine, useKernel, req.Timer, req.SpaceBits, nproc)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, CodeBadSpec, err)
+		return
+	}
+	t, err := h.cfg.Templates.Capture(name, m, req.WarmupSteps)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, CodeBadSpec, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, t.Info())
+}
+
+func (h *jobHandler) templateIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, templateList{Templates: h.cfg.Templates.List()})
+}
+
+func (h *jobHandler) templateGet(w http.ResponseWriter, r *http.Request) {
+	t, err := h.cfg.Templates.Get(r.PathValue("name"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, CodeTemplateMissing, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Info())
+}
+
+func (h *jobHandler) templateDelete(w http.ResponseWriter, r *http.Request) {
+	if !h.cfg.Templates.Delete(r.PathValue("name")) {
+		httpError(w, http.StatusNotFound, CodeTemplateMissing, fmt.Errorf("%w: %q", ErrTemplateMissing, r.PathValue("name")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }

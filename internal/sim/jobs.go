@@ -75,12 +75,13 @@ type JobSample struct {
 	Engine  string // resolved engine, or "none" if the machine never built
 	Outcome string // done | failed | cancelled
 
-	LatencySeconds float64 // admission to terminal state
-	InstrsPerSec   float64 // retirement rate over running wall time
-	Instructions   uint64
-	Preempts       uint64 // scheduling quanta (checkpoint-preemptions)
+	LatencySeconds   float64 // admission to terminal state
+	AdmissionSeconds float64 // submission to a runnable machine (built + ready for its first instruction)
+	InstrsPerSec     float64 // retirement rate over running wall time
+	Instructions     uint64
+	Preempts         uint64 // scheduling quanta (checkpoint-preemptions)
 
-	Counters map[string]uint64 // xlate.* totals from the machine
+	Counters map[string]uint64 // xlate.* totals from the machine, jobs.cow_faults for template forks
 }
 
 // TracerRegistry receives per-job tracers as traced jobs build their
@@ -129,6 +130,10 @@ type JobSpec struct {
 	// Tenant labels the job for the fleet rollup (DefaultTenant if
 	// empty).
 	Tenant string
+	// Template names the golden template the job's Build forks from, if
+	// any. The service only uses it as a label (jobs.template_forks,
+	// Status) — the fork itself happens inside Build.
+	Template string
 	// Build constructs the machine. It runs on a worker goroutine at the
 	// job's first quantum, so heavy setup (compilation, snapshot decode)
 	// never blocks Submit.
@@ -169,6 +174,7 @@ type Job struct {
 	maxSteps     uint64
 	err          error
 	created      time.Time
+	admitted     time.Time // machine built and ready to retire its first instruction
 	started      time.Time
 	finished     time.Time
 	deadline     time.Time
@@ -206,6 +212,8 @@ type Service struct {
 	mCancelled *trace.Counter
 	mRejected  *trace.Counter
 	mQuanta    *trace.Counter
+	mForks     *trace.Counter
+	mCOWFaults *trace.Counter
 }
 
 // NewService starts a job service.
@@ -242,6 +250,10 @@ func NewService(cfg ServiceConfig) *Service {
 		reg.Describe("jobs.rejected", "submissions rejected by queue backpressure")
 		s.mQuanta = reg.Counter("jobs.quanta")
 		reg.Describe("jobs.quanta", "scheduling quanta executed (checkpoint-preemptions)")
+		s.mForks = reg.Counter("jobs.template_forks")
+		reg.Describe("jobs.template_forks", "jobs admitted by forking a golden template")
+		s.mCOWFaults = reg.Counter("jobs.cow_faults")
+		reg.Describe("jobs.cow_faults", "copy-on-write page privatizations across terminal forked jobs")
 		reg.Gauge("jobs.active", func() uint64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -417,6 +429,14 @@ func (s *Service) runQuantum(j *Job) bool {
 		}
 		j.m = m
 		s.attachJobObservers(j)
+		// Boot here so the admission stamp covers everything between
+		// Submit and the machine being able to retire its first
+		// instruction (boot is a no-op on restored/forked machines).
+		m.Boot()
+		j.admitted = time.Now()
+		if j.spec.Template != "" {
+			inc(s.mForks)
+		}
 	}
 	if j.state == JobQueued {
 		j.state = JobRunning
@@ -501,6 +521,9 @@ func (s *Service) finishLocked(j *Job, state JobState, err error) {
 	case JobCancelled:
 		inc(s.mCancelled)
 	}
+	if j.spec.Template != "" && j.m != nil && s.mCOWFaults != nil {
+		s.mCOWFaults.Add(j.m.COWStats().Faults)
+	}
 	if j.spec.Trace && s.cfg.Tracers != nil {
 		// Terminal jobs emit no more events; stop offering them as
 		// sampled-SSE sources (clients already tailing drain normally).
@@ -522,6 +545,9 @@ func (s *Service) sampleLocked(j *Job, state JobState) JobSample {
 		LatencySeconds: j.finished.Sub(j.created).Seconds(),
 		Instructions:   j.instructions,
 		Preempts:       j.quanta,
+	}
+	if !j.admitted.IsZero() {
+		sample.AdmissionSeconds = j.admitted.Sub(j.created).Seconds()
 	}
 	if !j.started.IsZero() {
 		if run := j.finished.Sub(j.started).Seconds(); run > 0 {
@@ -558,6 +584,9 @@ func (s *Service) sampleLocked(j *Job, state JobState) JobSample {
 		}
 		for tier := cpu.Tier(0); tier < cpu.NumTiers; tier++ {
 			sample.Counters["xlate.tier."+tier.String()] = ts.TierInstrs[tier]
+		}
+		if j.spec.Template != "" {
+			sample.Counters["jobs.cow_faults"] = j.m.COWStats().Faults
 		}
 	}
 	return sample
@@ -647,6 +676,7 @@ type Status struct {
 	ID           string        `json:"id"`
 	Name         string        `json:"name,omitempty"`
 	Tenant       string        `json:"tenant,omitempty"`
+	Template     string        `json:"template,omitempty"`
 	State        string        `json:"state"`
 	Instructions uint64        `json:"instructions"`
 	Steps        uint64        `json:"steps"`
@@ -669,6 +699,7 @@ func (j *Job) Status() Status {
 		ID:           j.ID,
 		Name:         j.Name,
 		Tenant:       j.spec.Tenant,
+		Template:     j.spec.Template,
 		State:        j.state.String(),
 		Instructions: j.instructions,
 		Steps:        j.steps,

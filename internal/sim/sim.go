@@ -105,11 +105,12 @@ type Machine struct {
 	cpu  *cpu.CPU
 	kern *kernel.Machine // nil for the bare machine
 
-	out     strings.Builder // bare-machine console
-	hazards []cpu.Hazard
-	booted  bool // kernel machine has taken its reset exception
-	loaded  int
-	images  []*isa.Image // every image loaded, for late symbolization
+	out      strings.Builder // bare-machine console
+	hazards  []cpu.Hazard
+	booted   bool // kernel machine has taken its reset exception
+	loaded   int
+	images   []*isa.Image // every image loaded, for late symbolization
+	template string       // template the machine was forked from ("" = none)
 }
 
 // New builds a machine. With no options: the bare machine on the
@@ -264,6 +265,23 @@ func (m *Machine) boot() {
 		m.booted = true
 	}
 }
+
+// Boot forces the one-time power-up reset now instead of at the first
+// Run/RunSteps call. Template capture uses it so a golden snapshot is
+// taken post-boot — forks then start retiring user instructions
+// immediately — and the admission benchmark uses it to separate
+// construction cost from execution.
+func (m *Machine) Boot() { m.boot() }
+
+// Template returns the name of the template this machine was forked
+// from, or "" for machines that were built cold. The label survives
+// snapshot/restore (provenance).
+func (m *Machine) Template() string { return m.template }
+
+// COWStats reports the machine's copy-on-write memory counters:
+// zero-valued for cold-built machines, live fault/privatization counts
+// for template forks.
+func (m *Machine) COWStats() mem.COWStats { return m.cpu.Bus.MMU.Phys.COWStats() }
 
 // Run executes until the machine halts or the step limit is reached,
 // returning the number of instructions executed. Calling Run again

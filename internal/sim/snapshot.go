@@ -13,7 +13,7 @@ import (
 	"mips/internal/mem"
 )
 
-// Snapshot wire format, version 4:
+// Snapshot wire format, version 5:
 //
 //	offset  size  field
 //	0       8     magic "MIPSSNAP"
@@ -35,8 +35,10 @@ const (
 	// extended cpu.TranslationStats with the trace-tier counters;
 	// version 3 extended it again with the deopt/refusal taxonomy and
 	// tier-residency counters; version 4 added the side-trace, inline-
-	// cache, and heat-eviction counters. Each changes the gob payload.
-	SnapshotVersion = 4
+	// cache, and heat-eviction counters; version 5 added the template
+	// provenance label (warm-fork admission). Each changes the gob
+	// payload.
+	SnapshotVersion = 5
 	snapshotHeader  = 24
 	// maxSnapshotPayload bounds how much Restore will read: a corrupt
 	// length field must not become an allocation bomb. 1 GiB is far
@@ -59,6 +61,7 @@ type snapshotWire struct {
 	SpaceBits   uint8
 	Output      string // bare-machine console
 	Hazards     []cpu.Hazard
+	Template    string // template the machine was forked from ("" = none)
 
 	CPU  cpu.State
 	Phys mem.PhysState
@@ -79,6 +82,7 @@ func (m *Machine) Snapshot(w io.Writer) error {
 		SpaceBits:   m.spaceBits,
 		Output:      m.out.String(),
 		Hazards:     append([]cpu.Hazard(nil), m.hazards...),
+		Template:    m.template,
 		CPU:         m.cpu.CaptureState(),
 		Phys:        m.cpu.Bus.MMU.Phys.CaptureState(),
 		MMU:         m.cpu.Bus.MMU.CaptureState(),
@@ -180,6 +184,21 @@ func Restore(r io.Reader, opts ...Option) (*Machine, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return buildFromWire(wire, &cfg, nil)
+}
+
+// buildFromWire materializes a machine from a decoded snapshot payload —
+// the tail shared by Restore and Template.Fork. With fork nil the
+// machine gets a fresh physical memory and the capture's contents are
+// copied in. With fork non-nil (a copy-on-write fork of the template's
+// golden frames, already holding the captured contents) the memory is
+// adopted as-is and the O(memory) physical restore is skipped — that
+// skip is what makes warm-fork admission O(pages-touched).
+//
+// The wire may be shared by concurrent forks: this function and every
+// RestoreState it calls only read from it (slices are deep-copied into
+// the machine).
+func buildFromWire(wire *snapshotWire, cfg *config, fork *mem.Physical) (*Machine, error) {
 	if cfg.spaceBits == 0 {
 		cfg.spaceBits = 16
 	}
@@ -197,13 +216,20 @@ func Restore(r io.Reader, opts ...Option) (*Machine, error) {
 		spaceBits:   cfg.spaceBits,
 		booted:      wire.Booted,
 		loaded:      1,
-		hazards:     wire.Hazards,
+		hazards:     append([]cpu.Hazard(nil), wire.Hazards...),
+		template:    wire.Template,
 	}
 	if wire.Kernel {
 		if wire.Kern == nil {
 			return nil, fmt.Errorf("%w: kernel snapshot without device state", ErrSnapshotFormat)
 		}
-		k, err := kernel.NewMachine(kernel.Config{PhysWords: int(wire.Phys.Size)})
+		var k *kernel.Machine
+		var err error
+		if fork != nil {
+			k, err = kernel.NewMachineShell(fork, kernel.Config{})
+		} else {
+			k, err = kernel.NewMachine(kernel.Config{PhysWords: int(wire.Phys.Size)})
+		}
 		if err != nil {
 			return nil, fmt.Errorf("sim: restore: %w", err)
 		}
@@ -211,7 +237,10 @@ func Restore(r io.Reader, opts ...Option) (*Machine, error) {
 		m.cpu = k.CPU
 		k.RestoreState(*wire.Kern)
 	} else {
-		phys := mem.NewPhysical(int(wire.Phys.Size))
+		phys := fork
+		if phys == nil {
+			phys = mem.NewPhysical(int(wire.Phys.Size))
+		}
 		bus := cpu.NewBus(phys)
 		if wire.DMA != nil || cfg.dma {
 			bus.DMA = mem.NewDMA(phys)
@@ -221,8 +250,10 @@ func Restore(r io.Reader, opts ...Option) (*Machine, error) {
 		m.cpu.SetAudit(func(h cpu.Hazard) { m.hazards = append(m.hazards, h) })
 		m.out.WriteString(wire.Output)
 	}
-	if err := m.cpu.Bus.MMU.Phys.RestoreState(wire.Phys); err != nil {
-		return nil, fmt.Errorf("sim: restore: %w", err)
+	if fork == nil {
+		if err := m.cpu.Bus.MMU.Phys.RestoreState(wire.Phys); err != nil {
+			return nil, fmt.Errorf("sim: restore: %w", err)
+		}
 	}
 	m.cpu.Bus.MMU.RestoreState(wire.MMU)
 	if err := m.cpu.RestoreState(wire.CPU); err != nil {
@@ -233,7 +264,7 @@ func Restore(r io.Reader, opts ...Option) (*Machine, error) {
 	}
 	m.cpu.Interlocked = wire.Interlocked
 	m.engine.apply(m.cpu)
-	if err := m.attachObservers(&cfg); err != nil {
+	if err := m.attachObservers(cfg); err != nil {
 		return nil, err
 	}
 	return m, nil

@@ -121,6 +121,50 @@ func TestBenchDiffNewMetricKeysInformational(t *testing.T) {
 	}
 }
 
+// TestBenchDiffJobsKeysInformational pins the same contract for the
+// warm-fork admission counters: jobs.* keys appearing in an entry (or a
+// whole new "admission" entry) against an older baseline are surfaced
+// informationally and never trip the gate.
+func TestBenchDiffJobsKeysInformational(t *testing.T) {
+	old := benchFixture(50000)
+	cur := benchFixture(50000)
+	fib := cur["fib"]
+	fib.Metrics = trace.Snapshot{
+		"cpu.cycles":             50000,
+		"cpu.instructions":       49995,
+		"jobs.template_forks":    1,
+		"jobs.cow_faults":        12,
+		"jobs.cow_private_pages": 12,
+	}
+	cur["fib"] = fib
+	cur["admission"] = CoreBenchEntry{Metrics: trace.Snapshot{
+		"cpu.cycles":      50000,
+		"jobs.cow_faults": 12,
+	}}
+	deltas := DiffCoreBench(old, cur)
+	if bad := Regressions(deltas, 2.0); len(bad) != 0 {
+		t.Fatalf("jobs.* keys flagged as regression: %+v", bad)
+	}
+	var fd *BenchDelta
+	for i := range deltas {
+		if deltas[i].Name == "fib" {
+			fd = &deltas[i]
+		}
+	}
+	want := []string{"jobs.cow_faults", "jobs.cow_private_pages", "jobs.template_forks"}
+	if fd == nil || len(fd.NewMetricKeys) != len(want) {
+		t.Fatalf("fib delta = %+v, want new keys %v", fd, want)
+	}
+	for i, k := range want {
+		if fd.NewMetricKeys[i] != k {
+			t.Errorf("NewMetricKeys[%d] = %q, want %q", i, fd.NewMetricKeys[i], k)
+		}
+	}
+	if table := BenchDiffTable(deltas, 2.0).Render(); !strings.Contains(table, "(+3 metrics)") {
+		t.Errorf("rendered table lacks informational metric note:\n%s", table)
+	}
+}
+
 // TestBenchDiffResidencySections pins the informational tier-residency
 // and deopt-reason comparison: shares computed against cpu.instructions
 // per artifact, reasons unioned across both sides, nothing gated, and

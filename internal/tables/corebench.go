@@ -70,13 +70,20 @@ func CoreBenchRun(workers int, engine sim.Engine, sink func(name string, reg *tr
 	forEachIndexed(len(progs), workers, func(i int) {
 		entries[i], errs[i] = coreBenchOne(progs[i], engine, sink)
 	})
-	out := make(map[string]CoreBenchEntry, len(progs))
+	out := make(map[string]CoreBenchEntry, len(progs)+1)
 	for i, p := range progs {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
 		out[p.Name] = entries[i]
 	}
+	// The warm-fork admission entry rides along: fib run to completion on
+	// a template fork, with the jobs.* COW counters in its metrics.
+	admission, err := admissionBench(engine, sink)
+	if err != nil {
+		return nil, err
+	}
+	out["admission"] = admission
 	return out, nil
 }
 

@@ -19,6 +19,9 @@ type JobSample struct {
 	Outcome string
 	// LatencySeconds is admission-to-terminal wall time.
 	LatencySeconds float64
+	// AdmissionSeconds is submission-to-runnable-machine wall time —
+	// the admission latency warm-fork templates exist to shrink.
+	AdmissionSeconds float64
 	// InstrsPerSec is the job's retirement rate over its running time.
 	InstrsPerSec float64
 	// Instructions and Preempts are the job's totals (preempts =
@@ -39,10 +42,11 @@ type GroupKey struct {
 
 // Group is the merged aggregate of one (tenant, engine) group.
 type Group struct {
-	Outcomes map[string]uint64
-	Latency  *Sketch // seconds, admission to terminal
-	Rate     *Sketch // instructions per second while running
-	Preempts *Sketch // scheduling quanta per job
+	Outcomes  map[string]uint64
+	Latency   *Sketch // seconds, admission to terminal
+	Admission *Sketch // seconds, submission to runnable machine
+	Rate      *Sketch // instructions per second while running
+	Preempts  *Sketch // scheduling quanta per job
 	// Instructions is the summed retirement count; Counters the summed
 	// extra totals (xlate.* from the job service).
 	Instructions uint64
@@ -51,17 +55,19 @@ type Group struct {
 
 func newGroup() *Group {
 	return &Group{
-		Outcomes: make(map[string]uint64),
-		Latency:  NewSketch(),
-		Rate:     NewSketch(),
-		Preempts: NewSketch(),
-		Counters: make(map[string]uint64),
+		Outcomes:  make(map[string]uint64),
+		Latency:   NewSketch(),
+		Admission: NewSketch(),
+		Rate:      NewSketch(),
+		Preempts:  NewSketch(),
+		Counters:  make(map[string]uint64),
 	}
 }
 
 func (g *Group) observe(s JobSample) {
 	g.Outcomes[s.Outcome]++
 	g.Latency.Add(s.LatencySeconds)
+	g.Admission.Add(s.AdmissionSeconds)
 	g.Rate.Add(s.InstrsPerSec)
 	g.Preempts.Add(float64(s.Preempts))
 	g.Instructions += s.Instructions
@@ -76,6 +82,7 @@ func (g *Group) merge(o *Group) {
 		g.Outcomes[k] += v
 	}
 	g.Latency.Merge(o.Latency)
+	g.Admission.Merge(o.Admission)
 	g.Rate.Merge(o.Rate)
 	g.Preempts.Merge(o.Preempts)
 	g.Instructions += o.Instructions
@@ -88,6 +95,7 @@ func (g *Group) clone() *Group {
 	c := &Group{
 		Outcomes:     make(map[string]uint64, len(g.Outcomes)),
 		Latency:      g.Latency.Clone(),
+		Admission:    g.Admission.Clone(),
 		Rate:         g.Rate.Clone(),
 		Preempts:     g.Preempts.Clone(),
 		Instructions: g.Instructions,
@@ -235,6 +243,9 @@ func (r *Rollup) WriteExposition(w io.Writer) error {
 		return err
 	}
 	if err := summary("jobs_latency_seconds", "per-job wall time from admission to terminal state", func(g *Group) *Sketch { return g.Latency }); err != nil {
+		return err
+	}
+	if err := summary("jobs_admission_seconds", "per-job wall time from submission to a runnable machine", func(g *Group) *Sketch { return g.Admission }); err != nil {
 		return err
 	}
 

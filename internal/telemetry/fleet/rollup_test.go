@@ -23,13 +23,14 @@ func fleetSamples() []JobSample {
 			outcome = "failed"
 		}
 		samples = append(samples, JobSample{
-			Tenant:         tenants[i%2],
-			Engine:         engines[(i/2)%2],
-			Outcome:        outcome,
-			LatencySeconds: 0.01 * float64(i+1),
-			InstrsPerSec:   1e6 + 1e4*float64(i),
-			Instructions:   uint64(1000 * (i + 1)),
-			Preempts:       uint64(i%7 + 1),
+			Tenant:           tenants[i%2],
+			Engine:           engines[(i/2)%2],
+			Outcome:          outcome,
+			LatencySeconds:   0.01 * float64(i+1),
+			AdmissionSeconds: 0.0001 * float64(i%8+1),
+			InstrsPerSec:     1e6 + 1e4*float64(i),
+			Instructions:     uint64(1000 * (i + 1)),
+			Preempts:         uint64(i%7 + 1),
 			Counters: map[string]uint64{
 				"xlate.block_hits":         uint64(10 * i),
 				"xlate.block_translations": uint64(i),
@@ -101,6 +102,7 @@ func TestRollupExpositionShape(t *testing.T) {
 	text := render(t, r)
 	for _, family := range []struct{ name, kind string }{
 		{"jobs_latency_seconds", "summary"},
+		{"jobs_admission_seconds", "summary"},
 		{"jobs_instrs_per_second", "summary"},
 		{"jobs_preempts", "summary"},
 		{"jobs_outcomes", "counter"},

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mips
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package mips
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock gates skip themselves under its overhead.
+const raceEnabled = true

@@ -24,6 +24,14 @@ go test ./internal/sim/ -run '^$' -bench BenchmarkJobServiceNoTelemetry \
 echo "==> trace JIT steady state (0 allocs/op assertion runs inside the benchmark)"
 go test -run '^$' -bench 'PipelineTraces' -benchmem -benchtime 1s .
 
+echo "==> warm-fork admission: no page copies until first write"
+go test ./internal/sim/ -run TestTemplateForkNoCopiesUntilWrite -count=1 -v
+
+echo "==> warm-fork admission: fork vs cold-boot latency (10x gate)"
+go test -run TestAdmissionForkSpeedup -count=1 -v .
+go test -run '^$' -bench 'AdmissionColdBoot|AdmissionTemplateFork' \
+    -benchmem -benchtime 1s .
+
 echo "==> core microbenchmarks"
 go test -run '^$' -bench \
     'PipelineSimulator|PipelineFastPath|PipelineReference|KernelBoot|DemandPaging|PageReplacement|FreeCycleDMA' \

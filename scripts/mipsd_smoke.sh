@@ -110,6 +110,44 @@ if ! cmp -s "$TMP/out1" "$TMP/out2"; then
     exit 1
 fi
 
+echo "==> templates: create -> fork -> output -> delete (/v1 surface)"
+curl -fsS -X PUT -H 'Content-Type: application/json' \
+    -d '{"program":"fib","engine":"fast"}' \
+    "$BASE/v1/templates/fib-golden" >"$TMP/tpl.json"
+TPL=$(field name "$TMP/tpl.json")
+[ "$TPL" = "fib-golden" ] || { echo "template create failed" >&2; cat "$TMP/tpl.json" >&2; exit 1; }
+curl -fsS "$BASE/v1/templates/fib-golden" >/dev/null
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"template":"fib-golden","engine":"blocks","name":"fib-forked"}' \
+    "$BASE/v1/jobs" >"$TMP/submit_fork.json"
+IDF=$(field id "$TMP/submit_fork.json")
+[ -n "$IDF" ] || { echo "no job id for forked job" >&2; cat "$TMP/submit_fork.json" >&2; exit 1; }
+echo "    forked job $IDF"
+STATEF=$(wait_done "$IDF")
+if [ "$STATEF" != "done" ]; then
+    echo "forked job $IDF ended in state $STATEF" >&2
+    cat "$TMP/status.json" >&2
+    exit 1
+fi
+curl -fsS "$BASE/v1/jobs/$IDF/output" >"$TMP/out_fork"
+if ! cmp -s "$TMP/out1" "$TMP/out_fork"; then
+    echo "template-forked job output differs from cold boot:" >&2
+    diff "$TMP/out1" "$TMP/out_fork" >&2 || true
+    exit 1
+fi
+curl -fsS -X DELETE "$BASE/v1/templates/fib-golden" >/dev/null
+if curl -fsS "$BASE/v1/templates/fib-golden" >"$TMP/tpl_gone.json" 2>/dev/null; then
+    echo "deleted template still resolves" >&2
+    exit 1
+fi
+curl -sS "$BASE/v1/templates/fib-golden" >"$TMP/tpl_gone.json"
+CODE=$(field code "$TMP/tpl_gone.json")
+[ "$CODE" = "template_missing" ] || {
+    echo "deleted template lookup returned code '$CODE', want template_missing" >&2
+    cat "$TMP/tpl_gone.json" >&2
+    exit 1
+}
+
 echo "==> fleet observability: profiled tenant job"
 curl -fsS -X POST -H 'Content-Type: application/json' \
     -d '{"program":"fib","engine":"fast","tenant":"smoke","profile":true}' \
@@ -135,7 +173,8 @@ curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
 [ -s "$TMP/metrics.txt" ] || { echo "empty /metrics" >&2; exit 1; }
 for want in \
     jobs_latency_seconds jobs_instrs_per_second jobs_outcomes \
-    jobs_rollup_instructions 'tenant="smoke"' 'quantile="0.99"'; do
+    jobs_rollup_instructions jobs_admission_seconds jobs_template_forks \
+    jobs_cow_faults 'tenant="smoke"' 'quantile="0.99"'; do
     grep -q "$want" "$TMP/metrics.txt" || {
         echo "/metrics is missing $want" >&2
         exit 1
